@@ -1,0 +1,60 @@
+//! Policy decision overhead: per-round action computation for all four
+//! algorithms at paper scale (256 nodes). This must be negligible next to
+//! training — the benches verify the control plane stays out of the way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skiptrain_core::policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
+use skiptrain_core::Schedule;
+use skiptrain_engine::RoundAction;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decide_256");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let n = 256usize;
+    let schedule = Schedule::new(4, 4);
+    let budgets: Vec<u32> = (0..n).map(|i| 200 + (i as u32 % 300)).collect();
+
+    let mut actions = vec![RoundAction::SyncOnly; n];
+
+    let mut dpsgd = DPsgdPolicy;
+    group.bench_function("d_psgd", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            dpsgd.decide(t, black_box(&mut actions));
+        })
+    });
+
+    let mut skiptrain = SkipTrainPolicy::new(schedule);
+    group.bench_function("skiptrain", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            skiptrain.decide(t, black_box(&mut actions));
+        })
+    });
+
+    let mut constrained = ConstrainedPolicy::new(schedule, budgets.clone(), 1000, 42);
+    group.bench_function("skiptrain_constrained", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            constrained.decide(t, black_box(&mut actions));
+        })
+    });
+
+    let mut greedy = GreedyPolicy::new(budgets);
+    group.bench_function("greedy", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            greedy.decide(t, black_box(&mut actions));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Local training-step latency: one SGD step (forward + backward + update)
+//! for the model family at the paper's batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiptrain_linalg::Matrix;
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_nn::zoo::mlp;
+use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn one_step(
+    model: &mut Sequential,
+    opt: &mut Sgd,
+    loss: &SoftmaxCrossEntropy,
+    x: &Matrix,
+    y: &[u32],
+    grad: &mut Matrix,
+) -> f32 {
+    model.zero_grads();
+    let value = {
+        let logits = model.forward(x, true);
+        loss.loss_and_grad(logits, y, grad)
+    };
+    model.backward(grad);
+    opt.step(model);
+    value
+}
+
+fn bench_mlp_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_step_mlp");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (label, dims) in
+        [("small_10k", vec![32usize, 128, 10]), ("medium_90k", vec![128, 512, 128, 10])]
+    {
+        let mut model = mlp(&dims, 1);
+        let loss = SoftmaxCrossEntropy::new(10);
+        let mut opt = Sgd::new(SgdConfig::plain(0.1));
+        let batch = 32usize;
+        let x = Matrix::from_fn(batch, dims[0], |r, c| ((r * 31 + c) as f32).sin());
+        let y: Vec<u32> = (0..batch).map(|i| (i % 10) as u32).collect();
+        let mut grad = Matrix::zeros(0, 0);
+        group.throughput(criterion::Throughput::Elements(model.param_count() as u64));
+        group.bench_function(BenchmarkId::new("batch32", label), |b| {
+            b.iter(|| black_box(one_step(&mut model, &mut opt, &loss, &x, &y, &mut grad)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_step_cnn");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    // the exact FEMNIST LEAF CNN of Table 1 (1 690 046 params), batch 16
+    let mut model = skiptrain_nn::zoo::femnist_cnn(1);
+    let loss = SoftmaxCrossEntropy::new(62);
+    let mut opt = Sgd::new(SgdConfig::plain(0.1));
+    let batch = 16usize;
+    let x = Matrix::from_fn(batch, 28 * 28, |r, c| ((r * 13 + c) as f32).cos() * 0.3);
+    let y: Vec<u32> = (0..batch).map(|i| (i % 62) as u32).collect();
+    let mut grad = Matrix::zeros(0, 0);
+    group.bench_function("femnist_cnn_batch16", |b| {
+        b.iter(|| black_box(one_step(&mut model, &mut opt, &loss, &x, &y, &mut grad)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp_step, bench_cnn_step);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Topology substrate costs: d-regular generation, Metropolis–Hastings
+//! weight construction, and spectral-gap estimation at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiptrain_topology::regular::random_regular;
+use skiptrain_topology::spectral::second_eigenvalue;
+use skiptrain_topology::MixingMatrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for degree in [6usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("random_regular_256", degree),
+            &degree,
+            |b, &d| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(random_regular(256, d, seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_weights_and_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixing_matrix");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let graph = random_regular(256, 6, 7);
+    group.bench_function("metropolis_hastings_256", |b| {
+        b.iter(|| black_box(MixingMatrix::metropolis_hastings(&graph)))
+    });
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+    group.bench_function("spectral_gap_256", |b| {
+        b.iter(|| black_box(second_eigenvalue(&mixing, 200, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_weights_and_spectral);
+criterion_main!(benches);

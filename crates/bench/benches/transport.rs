@@ -1,0 +1,51 @@
+//! Transport costs: serialize/decode of model frames at the paper's model
+//! sizes, and drop-decision throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiptrain_engine::transport::{decode_model, encode_model, TransportKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (label, params) in [("cifar_90k", 89_834usize), ("femnist_1m7", 1_690_046)] {
+        let model: Vec<f32> = (0..params).map(|i| (i as f32).sin()).collect();
+        group.throughput(criterion::Throughput::Bytes((params * 4) as u64));
+        group.bench_function(BenchmarkId::new("encode", label), |b| {
+            b.iter(|| black_box(encode_model(1, 2, &model)))
+        });
+        let frame = encode_model(1, 2, &model);
+        group.bench_function(BenchmarkId::new("decode", label), |b| {
+            b.iter(|| black_box(decode_model(frame.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_drop_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drop_decisions");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let transport = TransportKind::Serialized { drop_prob: 0.1 };
+    group.throughput(criterion::Throughput::Elements(256 * 6));
+    group.bench_function("round_256n_6deg", |b| {
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            let mut delivered = 0usize;
+            for src in 0..256usize {
+                for k in 0..6usize {
+                    let dst = (src + k + 1) % 256;
+                    if transport.delivered(42, round, src, dst) {
+                        delivered += 1;
+                    }
+                }
+            }
+            black_box(delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_drop_decisions);
+criterion_main!(benches);

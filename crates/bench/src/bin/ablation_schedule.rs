@@ -1,0 +1,75 @@
+//! Schedule-structure ablations the paper's design implies but does not
+//! evaluate:
+//!
+//! 1. **block ordering** — train-first (the paper's TTTTSSSS) vs sync-first
+//!    (SSSSTTTT) at the same Γ values;
+//! 2. **granularity** — at a fixed 50 % train fraction, interleaved (1,1)
+//!    vs blocked (4,4) vs coarse (8,8) schedules.
+
+use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
+use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec};
+use skiptrain_core::presets::cifar_config;
+use skiptrain_core::Schedule;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut base = cifar_config(args.scale, args.seed);
+    args.apply(&mut base);
+    base.eval_every = usize::MAX;
+    let data = base.data.build(base.nodes, base.seed);
+
+    banner("ablation 1: block ordering at Γ=(4,4)");
+    let mut rows = Vec::new();
+    for (label, schedule) in [
+        ("train-first TTTTSSSS", Schedule::new(4, 4)),
+        ("sync-first SSSSTTTT", Schedule::new(4, 4).with_offset(4)),
+    ] {
+        let mut cfg = base.clone();
+        cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
+        cfg.name = format!("order-{label}");
+        let r = run_experiment_on(&cfg, &data);
+        rows.push(vec![
+            label.to_string(),
+            pct(r.final_test.mean_accuracy),
+            pct(r.final_test.std_accuracy),
+            format!("{:.2}", r.total_training_wh),
+        ]);
+    }
+    println!("{}", render_table(&["ordering", "acc%", "std", "energy Wh"], &rows));
+    println!(
+        "note: sync-first front-loads mixing of the random initial models; the paper\n\
+         implicitly uses train-first. Final-round evaluation lands after a sync block\n\
+         for train-first and after a train block for sync-first, which is most of any\n\
+         difference observed (the Figure-4 sawtooth)."
+    );
+
+    banner("ablation 2: granularity at 50% train fraction");
+    let mut rows = Vec::new();
+    for (label, schedule) in [
+        ("interleaved (1,1)", Schedule::new(1, 1)),
+        ("paper blocks (4,4)", Schedule::new(4, 4)),
+        ("coarse blocks (8,8)", Schedule::new(8, 8)),
+    ] {
+        let mut cfg = base.clone();
+        cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
+        cfg.name = format!("granularity-{label}");
+        cfg.eval_every = schedule.period();
+        let r = run_experiment_on(&cfg, &data);
+        rows.push(vec![
+            label.to_string(),
+            pct(r.final_test.mean_accuracy),
+            pct(r.final_test.std_accuracy),
+            format!("{:.2}", r.total_training_wh),
+            r.node_train_events.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["schedule", "acc%", "std", "energy Wh", "train events"], &rows)
+    );
+    println!(
+        "\nreading: energy is identical at equal train fraction; accuracy differences\n\
+         isolate the value of *consecutive* synchronization rounds (multiple gossip\n\
+         steps compound per §2's mixing argument)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 2: the round schedules of D-PSGD, SkipTrain and
+//! SkipTrain-constrained, rendered as ASCII (the paper's figure is an
+//! illustration, so this harness regenerates the *pattern*, including a
+//! realization of the constrained policy's probabilistic skips).
+
+use skiptrain_bench::{banner, HarnessArgs};
+use skiptrain_core::policy::{ConstrainedPolicy, RoundPolicy, SkipTrainPolicy};
+use skiptrain_core::Schedule;
+use skiptrain_engine::RoundAction;
+
+fn render_policy(policy: &mut dyn RoundPolicy, nodes: usize, rounds: usize) -> Vec<String> {
+    let mut actions = vec![RoundAction::SyncOnly; nodes];
+    let mut rows = vec![String::new(); nodes];
+    for t in 0..rounds {
+        policy.decide(t, &mut actions);
+        for (row, action) in rows.iter_mut().zip(&actions) {
+            row.push(if *action == RoundAction::Train { 'T' } else { 's' });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let nodes = args.nodes.unwrap_or(4);
+    let rounds = args.rounds.unwrap_or(24);
+    let schedule = Schedule::new(4, 4);
+
+    banner("Figure 2a: D-PSGD (train every round)");
+    let mut dpsgd = skiptrain_core::policy::DPsgdPolicy;
+    for (i, row) in render_policy(&mut dpsgd, nodes, rounds).iter().enumerate() {
+        println!("node {i}: {row}");
+    }
+
+    banner("Figure 2b: SkipTrain (coordinated Γ_train=4 / Γ_sync=4)");
+    let mut skiptrain = SkipTrainPolicy::new(schedule);
+    for (i, row) in render_policy(&mut skiptrain, nodes, rounds).iter().enumerate() {
+        println!("node {i}: {row}");
+    }
+
+    banner("Figure 2c: SkipTrain-constrained (per-node probabilistic skips)");
+    // Budgets chosen so p ∈ {0.25, 0.5, 0.75, 1.0} across the four nodes.
+    let t_train = schedule.t_train(rounds);
+    let budgets: Vec<u32> =
+        (1..=nodes).map(|k| ((t_train * k as f64) / nodes as f64).ceil() as u32).collect();
+    let mut constrained = ConstrainedPolicy::new(schedule, budgets.clone(), rounds, args.seed);
+    for (i, row) in render_policy(&mut constrained, nodes, rounds).iter().enumerate() {
+        println!("node {i}: {row}   (τ={}, p={:.2})", budgets[i], constrained.probability(i));
+    }
+    println!("\nlegend: T = train+share+aggregate round, s = share+aggregate only");
+}

@@ -1,0 +1,94 @@
+//! Figure 5 + the accuracy columns of Table 3: SkipTrain vs D-PSGD test
+//! accuracy over rounds and over consumed training energy, on both datasets
+//! and all three topology degrees.
+
+use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
+use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec};
+use skiptrain_core::presets::{cifar_config, femnist_config};
+use skiptrain_core::{ExperimentResult, Schedule};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut all = Vec::new();
+
+    for dataset in ["cifar", "femnist"] {
+        for degree in [6usize, 8, 10] {
+            let mut base = match dataset {
+                "cifar" => cifar_config(args.scale, args.seed),
+                _ => femnist_config(args.scale, args.seed),
+            };
+            args.apply(&mut base);
+            base.topology = skiptrain_core::TopologySpec::Regular { degree };
+            let schedule = Schedule::tuned_for_degree(degree);
+            base.eval_every = schedule.period();
+
+            let data = base.data.build(base.nodes, base.seed);
+            banner(&format!("{dataset} {degree}-regular ({} nodes, {} rounds)", base.nodes, base.rounds));
+            let mut results: Vec<ExperimentResult> = Vec::new();
+            for algo in [AlgorithmSpec::DPsgd, AlgorithmSpec::SkipTrain(schedule)] {
+                let mut cfg = base.clone();
+                cfg.algorithm = algo;
+                cfg.name = format!("{dataset}-{degree}reg-{}", cfg.algorithm.name());
+                let result = run_experiment_on(&cfg, &data);
+                println!(
+                    "{:<22} final acc {:>5}%  (±{:>4})  train energy {:>9.2} Wh  train events {}",
+                    result.algorithm,
+                    pct(result.final_test.mean_accuracy),
+                    pct(result.final_test.std_accuracy),
+                    result.total_training_wh,
+                    result.node_train_events,
+                );
+                results.push(result);
+            }
+
+            // accuracy-vs-round / accuracy-vs-energy series (the two Figure-5 panels)
+            let rows: Vec<Vec<String>> = results[0]
+                .test_curve
+                .iter()
+                .zip(results[1].test_curve.iter())
+                .map(|(d, s)| {
+                    vec![
+                        d.round.to_string(),
+                        pct(d.mean_accuracy),
+                        format!("{:.2}", d.training_energy_wh),
+                        pct(s.mean_accuracy),
+                        format!("{:.2}", s.training_energy_wh),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "round",
+                        "dpsgd acc%",
+                        "dpsgd energy Wh",
+                        "skiptrain acc%",
+                        "skiptrain energy Wh",
+                    ],
+                    &rows
+                )
+            );
+            all.extend(results);
+        }
+    }
+
+    banner("summary (paper: SkipTrain ≥ D-PSGD accuracy at ~half the energy)");
+    for pair in all.chunks(2) {
+        let (d, s) = (&pair[0], &pair[1]);
+        println!(
+            "{:<28} acc {:>5}% -> {:>5}%   energy {:>9.2} -> {:>9.2} Wh ({:.2}x)",
+            s.name,
+            pct(d.final_test.mean_accuracy),
+            pct(s.final_test.mean_accuracy),
+            d.total_training_wh,
+            s.total_training_wh,
+            d.total_training_wh / s.total_training_wh.max(1e-9),
+        );
+    }
+
+    args.maybe_write_json(&serde_json::json!({
+        "experiment": "fig5_performance",
+        "results": all,
+    }));
+}

@@ -1,0 +1,81 @@
+//! Internal tuning probe: explores the hyperparameter regime in which the
+//! paper's qualitative result (SkipTrain ≥ D-PSGD at equal rounds under
+//! label skew) manifests on the synthetic task. Not part of the figure
+//! suite, but kept for transparency about how the preset regime was chosen.
+
+use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, DataSpec};
+use skiptrain_core::presets::{cifar_config, Scale};
+use skiptrain_core::Schedule;
+
+fn env_f32(name: &str, default: f32) -> f32 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let mut cfg = cifar_config(Scale::Quick, 42);
+    cfg.rounds = env_usize("ROUNDS", 120);
+    cfg.local_steps = env_usize("STEPS", 8);
+    cfg.learning_rate = env_f32("LR", 0.25);
+    cfg.nodes = env_usize("NODES", 24);
+    cfg.hidden_dim = env_usize("HIDDEN", 24);
+    cfg.eval_every = 8;
+    if let DataSpec::CifarLike { feature_dim, samples_per_node, test_samples, .. } = cfg.data {
+        cfg.data = DataSpec::CifarLike {
+            feature_dim: env_usize("DIM", feature_dim),
+            samples_per_node: env_usize("SPN", samples_per_node),
+            test_samples,
+            shards_per_node: env_usize("SHARDS", 2),
+            separation: env_f32("SEP", 1.0),
+            noise: env_f32("NOISE", 0.85),
+            modes_per_class: env_usize("MODES", 3),
+        };
+    }
+    eprintln!(
+        "probe: rounds={} steps={} lr={} nodes={} hidden={}",
+        cfg.rounds, cfg.local_steps, cfg.learning_rate, cfg.nodes, cfg.hidden_dim
+    );
+
+    let data = cfg.data.build(cfg.nodes, cfg.seed);
+    let constrained_energy = skiptrain_core::experiment::EnergySpec::cifar10_constrained()
+        .scaled_for_rounds(cfg.rounds, 1000);
+    for algo in [
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::SkipTrain(Schedule::new(4, 4)),
+        AlgorithmSpec::SkipTrain(Schedule::new(2, 2)),
+        AlgorithmSpec::Greedy,
+        AlgorithmSpec::SkipTrainConstrained(Schedule::new(4, 4)),
+    ] {
+        let mut c = cfg.clone();
+        let label = match &algo {
+            AlgorithmSpec::SkipTrain(s) => format!("skiptrain({},{})", s.gamma_train, s.gamma_sync),
+            other => other.name().to_string(),
+        };
+        if matches!(algo, AlgorithmSpec::Greedy | AlgorithmSpec::SkipTrainConstrained(_)) {
+            c.energy = constrained_energy.clone();
+        }
+        c.algorithm = algo;
+        c.record_mean_model = true;
+        let r = run_experiment_on(&c, &data);
+        let curve: Vec<String> = r
+            .test_curve
+            .iter()
+            .map(|p| format!("{}:{:.1}", p.round, p.mean_accuracy * 100.0))
+            .collect();
+        let mean_curve: Vec<String> = r
+            .mean_model_curve
+            .iter()
+            .map(|(t, a)| format!("{}:{:.1}", t, a * 100.0))
+            .collect();
+        println!(
+            "{label:<18} final {:.1}% (mean-model {:.1}%)\n  node curve: {}\n  mean curve: {}",
+            r.final_test.mean_accuracy * 100.0,
+            r.mean_model_curve.last().map(|(_, a)| a * 100.0).unwrap_or(0.0),
+            curve.join(" "),
+            mean_curve.join(" "),
+        );
+    }
+}

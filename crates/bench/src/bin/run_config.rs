@@ -1,0 +1,78 @@
+//! Config-driven experiment runner: execute any [`ExperimentConfig`] from a
+//! JSON file and write the full result as JSON — the integration point for
+//! external sweep tooling.
+//!
+//! ```sh
+//! # print a template config
+//! cargo run -p skiptrain-bench --release --bin run_config -- --template > exp.json
+//! # run it
+//! cargo run -p skiptrain-bench --release --bin run_config -- exp.json -o result.json
+//! ```
+
+use skiptrain_core::experiment::{run_experiment, AlgorithmSpec, ExperimentConfig};
+use skiptrain_core::presets::{cifar_config, Scale};
+use skiptrain_core::Schedule;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--template") {
+        let mut template = cifar_config(Scale::Quick, 42);
+        template.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(4, 4));
+        template.name = "my-experiment".into();
+        println!("{}", serde_json::to_string_pretty(&template).unwrap());
+        return;
+    }
+
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => output = it.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: run_config <config.json> [-o result.json] | --template");
+                return;
+            }
+            path => input = Some(path.to_string()),
+        }
+    }
+    let Some(path) = input else {
+        eprintln!("error: no config file given (try --template)");
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let cfg: ExperimentConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: invalid config: {e}");
+        std::process::exit(2);
+    });
+
+    eprintln!(
+        "running '{}': {} nodes, {} rounds, {} on {:?}",
+        cfg.name,
+        cfg.nodes,
+        cfg.rounds,
+        cfg.algorithm.name(),
+        cfg.topology
+    );
+    let result = run_experiment(&cfg);
+    println!(
+        "final accuracy {:.2}% (±{:.2}), training energy {:.2} Wh, comm {:.3} Wh",
+        result.final_test.mean_accuracy * 100.0,
+        result.final_test.std_accuracy * 100.0,
+        result.total_training_wh,
+        result.total_comm_wh
+    );
+    if let Some(out) = output {
+        std::fs::write(&out, serde_json::to_string_pretty(&result).unwrap()).unwrap_or_else(
+            |e| {
+                eprintln!("error: cannot write {out}: {e}");
+                std::process::exit(1);
+            },
+        );
+        eprintln!("wrote {out}");
+    }
+}

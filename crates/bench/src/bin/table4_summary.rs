@@ -1,0 +1,114 @@
+//! Table 4: the energy-constrained comparison — SkipTrain-constrained vs
+//! Greedy vs D-PSGD, energy spent and final accuracy per dataset × topology.
+
+use skiptrain_bench::paper::TABLE4;
+use skiptrain_bench::{accuracy_at_energy, banner, pct, render_table, HarnessArgs};
+use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, EnergySpec};
+use skiptrain_core::presets::{cifar_config, femnist_config};
+use skiptrain_core::{Schedule, TopologySpec};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    for (dataset, paper_rounds) in [("CIFAR-10", 1000usize), ("FEMNIST", 3000)] {
+        for algo_name in ["SkipTrain-constrained", "Greedy", "D-PSGD"] {
+            let mut acc = Vec::new();
+            let mut energy = Vec::new();
+            for degree in [6usize, 8, 10] {
+                let (mut cfg, constrained) = match dataset {
+                    "CIFAR-10" => {
+                        (cifar_config(args.scale, args.seed), EnergySpec::cifar10_constrained())
+                    }
+                    _ => (
+                        femnist_config(args.scale, args.seed),
+                        EnergySpec::femnist_constrained(),
+                    ),
+                };
+                args.apply(&mut cfg);
+                cfg.topology = TopologySpec::Regular { degree };
+                let schedule = Schedule::tuned_for_degree(degree);
+                let scaled = constrained.scaled_for_rounds(cfg.rounds, paper_rounds);
+                match algo_name {
+                    "SkipTrain-constrained" => {
+                        cfg.algorithm = AlgorithmSpec::SkipTrainConstrained(schedule);
+                        cfg.energy = scaled.clone();
+                    }
+                    "Greedy" => {
+                        cfg.algorithm = AlgorithmSpec::Greedy;
+                        cfg.energy = scaled.clone();
+                    }
+                    _ => {} // D-PSGD: unconstrained (not energy-aware)
+                }
+                cfg.name = format!("table4-{dataset}-{degree}-{algo_name}");
+                cfg.eval_every = schedule.period();
+                let data = cfg.data.build(cfg.nodes, cfg.seed);
+                let r = run_experiment_on(&cfg, &data);
+                if algo_name == "D-PSGD" {
+                    // Read the unconstrained baseline at the energy level the
+                    // constrained algorithms were allowed (paper Table 4).
+                    let budget: f64 = scaled
+                        .node_budgets(cfg.nodes)
+                        .iter()
+                        .zip(scaled.node_energies(cfg.nodes))
+                        .map(|(&b, e)| b as f64 * e)
+                        .sum();
+                    let (round, a) = accuracy_at_energy(&r, budget)
+                        .unwrap_or((0, r.test_curve[0].mean_accuracy));
+                    acc.push(format!("{} @r{round}", pct(a)));
+                    energy.push(format!("{budget:.1}"));
+                } else {
+                    acc.push(pct(r.final_test.mean_accuracy));
+                    energy.push(format!("{:.1}", r.total_training_wh));
+                }
+                results.push(r);
+            }
+            let paper_row = TABLE4
+                .iter()
+                .find(|r| r.dataset == dataset && r.algorithm == algo_name)
+                .unwrap();
+            rows.push(vec![
+                algo_name.to_string(),
+                dataset.to_string(),
+                format!("{} / {} / {}", energy[0], energy[1], energy[2]),
+                format!(
+                    "{:.1} / {:.1} / {:.1}",
+                    paper_row.budget_wh[0], paper_row.budget_wh[1], paper_row.budget_wh[2]
+                ),
+                format!("{} / {} / {}", acc[0], acc[1], acc[2]),
+                format!(
+                    "{} / {} / {}",
+                    paper_row.accuracy_pct[0], paper_row.accuracy_pct[1], paper_row.accuracy_pct[2]
+                ),
+            ]);
+        }
+    }
+
+    banner("Table 4 (columns are 6-regular / 8-regular / 10-regular)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "algorithm",
+                "dataset",
+                "measured Wh",
+                "paper budget Wh",
+                "measured acc%",
+                "paper acc%",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "shape checks: SkipTrain-constrained > Greedy > D-PSGD in accuracy on the\n\
+         sharded dataset; ordering preserved but gaps smaller on FEMNIST.\n\
+         note: D-PSGD reports unconstrained energy at simulation scale; the paper\n\
+         caps all rows at comparable budgets."
+    );
+
+    args.maybe_write_json(&serde_json::json!({
+        "experiment": "table4_summary",
+        "results": results,
+    }));
+}

@@ -1,0 +1,224 @@
+//! Shared harness utilities for the per-figure/per-table regeneration
+//! binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale quick|medium|paper   simulation scale (default: quick)
+//! --seed N                     master seed (default: 42)
+//! --nodes N                    override node count
+//! --rounds N                   override round count
+//! --json PATH                  also dump results as JSON
+//! ```
+//!
+//! Binaries print the paper's reported numbers next to the measured ones so
+//! the reproduction can be judged at a glance; EXPERIMENTS.md records one
+//! full run.
+
+use skiptrain_core::presets::Scale;
+use skiptrain_core::ExperimentConfig;
+use std::path::PathBuf;
+
+pub mod paper;
+
+/// Parsed command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Simulation scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Node-count override.
+    pub nodes: Option<usize>,
+    /// Round-count override.
+    pub rounds: Option<usize>,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: Scale::Quick, seed: 42, nodes: None, rounds: None, json: None }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| usage(&format!("missing value for {name}")))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale");
+                    out.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
+                }
+                "--seed" => {
+                    out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed"))
+                }
+                "--nodes" => {
+                    out.nodes =
+                        Some(value("--nodes").parse().unwrap_or_else(|_| usage("bad --nodes")))
+                }
+                "--rounds" => {
+                    out.rounds =
+                        Some(value("--rounds").parse().unwrap_or_else(|_| usage("bad --rounds")))
+                }
+                "--json" => out.json = Some(PathBuf::from(value("--json"))),
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+
+    /// Applies overrides to an experiment config.
+    pub fn apply(&self, cfg: &mut ExperimentConfig) {
+        cfg.seed = self.seed;
+        if let Some(n) = self.nodes {
+            cfg.nodes = n;
+        }
+        if let Some(r) = self.rounds {
+            cfg.rounds = r;
+        }
+    }
+
+    /// Writes a JSON value to `--json` if given.
+    pub fn maybe_write_json(&self, value: &serde_json::Value) {
+        if let Some(path) = &self.json {
+            let text = serde_json::to_string_pretty(value).expect("serializable result");
+            std::fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--scale quick|medium|paper] [--seed N] [--nodes N] [--rounds N] [--json PATH]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Renders an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Reads a learning curve at a training-energy budget: the last evaluation
+/// point whose cumulative training energy does not exceed `budget_wh`.
+/// This is how the paper's Table 4 reads the (not energy-aware) D-PSGD
+/// baseline at an energy level matched to the constrained algorithms.
+pub fn accuracy_at_energy(
+    result: &skiptrain_core::ExperimentResult,
+    budget_wh: f64,
+) -> Option<(usize, f32)> {
+    result
+        .test_curve
+        .iter()
+        .filter(|p| p.training_energy_wh <= budget_wh + 1e-9)
+        .next_back()
+        .map(|p| (p.round, p.mean_accuracy))
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let args = HarnessArgs::parse_from(Vec::<String>::new());
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.scale, Scale::Quick);
+        assert!(args.nodes.is_none());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let args = HarnessArgs::parse_from(
+            [
+                "--scale", "medium", "--seed", "7", "--nodes", "16", "--rounds", "99", "--json",
+                "/tmp/x.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(args.scale, Scale::Medium);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.nodes, Some(16));
+        assert_eq!(args.rounds, Some(99));
+        assert!(args.json.is_some());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut cfg = skiptrain_core::presets::cifar_config(Scale::Quick, 1);
+        let args =
+            HarnessArgs { nodes: Some(12), rounds: Some(20), seed: 9, ..HarnessArgs::default() };
+        args.apply(&mut cfg);
+        assert_eq!(cfg.nodes, 12);
+        assert_eq!(cfg.rounds, 20);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "rows not aligned:\n{t}");
+    }
+}

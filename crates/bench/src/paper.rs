@@ -1,0 +1,159 @@
+//! The paper's published numbers, embedded for side-by-side comparison in
+//! harness output. All values transcribed from arXiv:2407.01283.
+
+/// One row of the paper's Table 3 (unconstrained performance).
+pub struct Table3Row {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Training energy (Wh) per topology degree 6/8/10.
+    pub energy_wh: [f64; 3],
+    /// Average test accuracy (%) per topology degree 6/8/10.
+    pub accuracy_pct: [f64; 3],
+}
+
+/// The paper's Table 3.
+pub const TABLE3: [Table3Row; 4] = [
+    Table3Row {
+        algorithm: "SkipTrain",
+        dataset: "CIFAR-10",
+        energy_wh: [755.02, 756.53, 1008.71],
+        accuracy_pct: [65.09, 65.93, 66.96],
+    },
+    Table3Row {
+        algorithm: "D-PSGD",
+        dataset: "CIFAR-10",
+        energy_wh: [1510.04, 1510.04, 1510.04],
+        accuracy_pct: [57.55, 60.08, 62.20],
+    },
+    Table3Row {
+        algorithm: "SkipTrain",
+        dataset: "FEMNIST",
+        energy_wh: [7457.19, 7457.19, 9942.92],
+        accuracy_pct: [79.26, 79.32, 79.24],
+    },
+    Table3Row {
+        algorithm: "D-PSGD",
+        dataset: "FEMNIST",
+        energy_wh: [14914.38, 14914.38, 14914.38],
+        accuracy_pct: [78.6, 78.69, 78.73],
+    },
+];
+
+/// One row of the paper's Table 4 (energy-constrained setting).
+pub struct Table4Row {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Energy budget (Wh) per topology degree 6/8/10.
+    pub budget_wh: [f64; 3],
+    /// Average test accuracy (%) per topology degree 6/8/10.
+    pub accuracy_pct: [f64; 3],
+}
+
+/// The paper's Table 4.
+pub const TABLE4: [Table4Row; 6] = [
+    Table4Row {
+        algorithm: "SkipTrain-constrained",
+        dataset: "CIFAR-10",
+        budget_wh: [462.7, 463.1, 490.55],
+        accuracy_pct: [63.50, 63.52, 64.33],
+    },
+    Table4Row {
+        algorithm: "Greedy",
+        dataset: "CIFAR-10",
+        budget_wh: [463.37, 463.7, 491.18],
+        accuracy_pct: [54.39, 56.57, 57.86],
+    },
+    Table4Row {
+        algorithm: "D-PSGD",
+        dataset: "CIFAR-10",
+        budget_wh: [468.11, 468.11, 498.31],
+        accuracy_pct: [51.57, 53.98, 56.36],
+    },
+    Table4Row {
+        algorithm: "SkipTrain-constrained",
+        dataset: "FEMNIST",
+        budget_wh: [2455.43, 2454.97, 2454.29],
+        accuracy_pct: [78.27, 78.26, 78.23],
+    },
+    Table4Row {
+        algorithm: "Greedy",
+        dataset: "FEMNIST",
+        budget_wh: [2460.41, 2460.41, 1460.41],
+        accuracy_pct: [77.25, 77.45, 77.60],
+    },
+    Table4Row {
+        algorithm: "D-PSGD",
+        dataset: "FEMNIST",
+        budget_wh: [2485.73, 2485.73, 2485.73],
+        accuracy_pct: [77.05, 77.34, 77.54],
+    },
+];
+
+/// The paper's Figure 3 validation-accuracy grids (%), indexed
+/// `[Γ_sync − 1][Γ_train − 1]`, one grid per topology degree.
+pub const FIG3_VAL_ACC_6REG: [[f64; 4]; 4] = [
+    [59.7, 61.4, 63.1, 63.4],
+    [60.6, 64.1, 65.0, 65.6],
+    [58.9, 63.7, 65.7, 65.8],
+    [57.0, 63.2, 65.6, 66.1],
+];
+
+/// 8-regular validation grid of Figure 3.
+pub const FIG3_VAL_ACC_8REG: [[f64; 4]; 4] = [
+    [60.3, 62.5, 64.2, 64.9],
+    [61.5, 65.0, 66.3, 66.1],
+    [59.0, 64.6, 66.3, 66.3],
+    [56.6, 63.3, 65.9, 66.0],
+];
+
+/// 10-regular validation grid of Figure 3.
+pub const FIG3_VAL_ACC_10REG: [[f64; 4]; 4] = [
+    [61.3, 64.4, 65.4, 65.9],
+    [62.7, 66.0, 66.3, 66.8],
+    [59.4, 64.9, 66.5, 66.2],
+    [56.8, 64.0, 65.6, 66.1],
+];
+
+/// The paper's Figure 3 energy grid (Wh), same indexing.
+pub const FIG3_ENERGY_WH: [[f64; 4]; 4] = [
+    [755.0, 1007.0, 1133.0, 1208.0],
+    [504.0, 755.0, 906.0, 1009.0],
+    [378.0, 604.0, 757.0, 864.0],
+    [302.0, 504.0, 648.0, 755.0],
+];
+
+/// §1 headline claims.
+pub const CLAIM_TRAINING_KWH: f64 = 1.51;
+/// §1: communication + aggregation energy for the same run (Wh).
+pub const CLAIM_COMM_WH: f64 = 7.0;
+/// §1: training is "more than 200×" costlier than communication.
+pub const CLAIM_MIN_RATIO: f64 = 200.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_energy_halves_under_skiptrain() {
+        // SkipTrain's 6-regular energy is half of D-PSGD's (Γ = (4,4)).
+        assert!((TABLE3[0].energy_wh[0] * 2.0 - TABLE3[1].energy_wh[0]).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig3_energy_is_monotone_in_gamma_train() {
+        for gs in 0..4 {
+            for gt in 0..3 {
+                assert!(FIG3_ENERGY_WH[gs][gt] < FIG3_ENERGY_WH[gs][gt + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn claims_are_consistent() {
+        assert!(CLAIM_TRAINING_KWH * 1000.0 / CLAIM_COMM_WH > CLAIM_MIN_RATIO);
+    }
+}

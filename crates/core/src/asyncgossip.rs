@@ -1,0 +1,191 @@
+//! Asynchronous pairwise-gossip SkipTrain — the extension the paper leaves
+//! as future work (§5.3).
+//!
+//! The synchronous algorithms require every node to act in lockstep each
+//! round, which §5.3 calls "challenging to implement at scale". The
+//! asynchronous variant drops the global barrier semantics:
+//!
+//! * each tick, every node independently decides to train with probability
+//!   `q` (its energy knob — `q = 0.5` spends the same expected training
+//!   energy as SkipTrain with Γ_train = Γ_sync);
+//! * instead of the all-neighbor exchange, a random maximal matching of the
+//!   topology "fires": matched pairs average their models (`W = ½` each),
+//!   unmatched nodes keep theirs.
+//!
+//! Pairwise averaging with doubly stochastic pair matrices preserves the
+//! network-average model and contracts disagreement in expectation, so
+//! convergence follows the same intuition as the synchronous analysis —
+//! just with slower mixing per tick (one partner instead of d neighbors).
+
+use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
+use rand::RngExt;
+use skiptrain_engine::metrics::MetricsRecorder;
+use skiptrain_engine::{RoundAction, Simulation, SimulationConfig};
+use skiptrain_linalg::rng::{derive_seed, stream_rng};
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_topology::matching::random_maximal_matching;
+use skiptrain_topology::MixingMatrix;
+
+/// Runs the asynchronous pairwise-gossip variant on a pre-built data bundle.
+///
+/// `activation_prob` is the per-node, per-tick training probability `q`.
+/// Communication happens over random maximal matchings of the configured
+/// topology; communication energy is accounted per actual matched pair
+/// (each firing edge carries one message each way).
+pub fn run_async_gossip(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    activation_prob: f64,
+) -> ExperimentResult {
+    assert!((0.0..=1.0).contains(&activation_prob), "activation probability in [0,1]");
+    let kind = cfg.model_kind();
+    let models: Vec<_> = (0..cfg.nodes)
+        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
+        .collect();
+    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
+    // The engine still wants a default matrix; rounds override it.
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+
+    let sim_config = SimulationConfig {
+        seed: cfg.seed,
+        batch_size: cfg.batch_size,
+        local_steps: cfg.local_steps,
+        sgd: SgdConfig::plain(cfg.learning_rate),
+        transport: cfg.transport,
+        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
+        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        nominal_params: Some(cfg.energy.workload.model_params),
+    };
+    let graph_for_matching = graph.clone();
+    let mut sim =
+        Simulation::new(models, data.node_datasets.clone(), graph, mixing, sim_config);
+
+    let mut recorder = MetricsRecorder::new();
+    let mut mean_model_curve = Vec::new();
+    let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
+    let mut node_train_events = 0u64;
+
+    for t in 0..cfg.rounds {
+        // independent per-node activation draws
+        for (i, slot) in actions.iter_mut().enumerate() {
+            let mut rng = stream_rng(cfg.seed ^ 0xA57C, (t as u64) << 24 | i as u64);
+            *slot = if rng.random::<f64>() < activation_prob {
+                RoundAction::Train
+            } else {
+                RoundAction::SyncOnly
+            };
+        }
+        node_train_events +=
+            actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
+
+        let pairs =
+            random_maximal_matching(&graph_for_matching, derive_seed(cfg.seed, 0x3A7C + t as u64));
+        let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
+        sim.run_round_with_mixing(&actions, &round_mixing);
+
+        let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds;
+        if at_eval {
+            let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
+            recorder.record(&stats, sim.ledger().total_wh(), sim.ledger().total_training_wh());
+            if cfg.record_mean_model {
+                let (acc, _) = sim.evaluate_mean_model(&data.test, cfg.eval_max_samples);
+                mean_model_curve.push((t + 1, acc));
+            }
+        }
+    }
+
+    let final_test = sim.evaluate(&data.test, cfg.eval_max_samples);
+    let final_val = sim.evaluate(&data.validation, cfg.eval_max_samples);
+    let final_mean_model = sim.mean_params();
+    let node_class_sets = data
+        .node_datasets
+        .iter()
+        .map(|d| {
+            d.class_histogram()
+                .iter()
+                .enumerate()
+                .filter(|&(_, c)| *c > 0)
+                .map(|(class, _)| class as u32)
+                .collect()
+        })
+        .collect();
+
+    ExperimentResult {
+        name: format!("{}/async-q{activation_prob}", cfg.name),
+        algorithm: "async-gossip".to_string(),
+        nodes: cfg.nodes,
+        rounds: cfg.rounds,
+        test_curve: recorder.points().to_vec(),
+        mean_model_curve,
+        final_test,
+        final_val_accuracy: final_val.mean_accuracy,
+        total_training_wh: sim.ledger().total_training_wh(),
+        total_comm_wh: sim.ledger().total_comm_wh(),
+        node_train_events,
+        final_mean_model,
+        node_class_sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{cifar_config, Scale};
+
+    fn tiny() -> ExperimentConfig {
+        let mut cfg = cifar_config(Scale::Quick, 5);
+        cfg.nodes = 12;
+        cfg.rounds = 24;
+        cfg.eval_every = 12;
+        cfg.eval_max_samples = 200;
+        cfg.local_steps = 4;
+        cfg
+    }
+
+    #[test]
+    fn async_gossip_learns() {
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let result = run_async_gossip(&cfg, &data, 0.5);
+        assert!(
+            result.final_test.mean_accuracy > 0.3,
+            "async gossip failed to learn: {}",
+            result.final_test.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn activation_prob_controls_training_energy() {
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let half = run_async_gossip(&cfg, &data, 0.5);
+        let quarter = run_async_gossip(&cfg, &data, 0.25);
+        let expected_half = 0.5 * (cfg.nodes * cfg.rounds) as f64;
+        assert!(
+            (half.node_train_events as f64 - expected_half).abs() < expected_half * 0.35,
+            "q=0.5 trained {} of expected ~{expected_half}",
+            half.node_train_events
+        );
+        assert!(quarter.node_train_events < half.node_train_events);
+        assert!(quarter.total_training_wh < half.total_training_wh);
+    }
+
+    #[test]
+    fn zero_activation_never_trains() {
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let result = run_async_gossip(&cfg, &data, 0.0);
+        assert_eq!(result.node_train_events, 0);
+        assert_eq!(result.total_training_wh, 0.0);
+    }
+
+    #[test]
+    fn async_gossip_is_deterministic() {
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let a = run_async_gossip(&cfg, &data, 0.5);
+        let b = run_async_gossip(&cfg, &data, 0.5);
+        assert_eq!(a.final_test.mean_accuracy.to_bits(), b.final_test.mean_accuracy.to_bits());
+        assert_eq!(a.node_train_events, b.node_train_events);
+    }
+}

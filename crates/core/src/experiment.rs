@@ -1,0 +1,528 @@
+//! End-to-end experiment driver.
+//!
+//! An [`ExperimentConfig`] fully describes one run of the paper's evaluation
+//! pipeline — dataset synthesis and partitioning, topology and mixing
+//! matrix, per-node models, the algorithm (policy), energy traces — and
+//! [`run_experiment`] executes it, returning learning curves and energy
+//! totals. Every figure/table harness in `skiptrain-bench` is a thin loop
+//! over these configs.
+
+use crate::policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use skiptrain_data::partition::{materialize, partition_indices};
+use skiptrain_data::split::split_eval;
+use skiptrain_data::synth::{cifar_like, femnist_like, MixtureSpec};
+use skiptrain_data::{Dataset, Partition};
+use skiptrain_energy::device::fleet;
+use skiptrain_energy::trace::{round_energy_wh, training_budget_rounds, WorkloadSpec};
+use skiptrain_engine::metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
+use skiptrain_engine::{RoundAction, Simulation, SimulationConfig, TransportKind};
+use skiptrain_linalg::rng::derive_seed;
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_nn::zoo::ModelKind;
+use skiptrain_topology::regular::random_regular;
+use skiptrain_topology::{Graph, MixingMatrix};
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// D-PSGD (Algorithm 1) — train every round.
+    DPsgd,
+    /// SkipTrain (§3.1) with a coordinated schedule.
+    SkipTrain(Schedule),
+    /// SkipTrain-constrained (§3.2): schedule + Eq. 5 probabilities +
+    /// battery budgets (requires `EnergySpec::battery_fraction`).
+    SkipTrainConstrained(Schedule),
+    /// Greedy baseline (§3.2): train until the budget is gone.
+    Greedy,
+}
+
+impl AlgorithmSpec {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::DPsgd => "d-psgd",
+            AlgorithmSpec::SkipTrain(_) => "skiptrain",
+            AlgorithmSpec::SkipTrainConstrained(_) => "skiptrain-constrained",
+            AlgorithmSpec::Greedy => "greedy",
+        }
+    }
+}
+
+/// Communication topology family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Random d-regular graph (the paper's setting).
+    Regular {
+        /// Node degree.
+        degree: usize,
+    },
+    /// Fully-connected graph (all-reduce communication pattern).
+    Complete,
+    /// Ring.
+    Ring,
+}
+
+impl TopologySpec {
+    /// Builds the graph.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        match self {
+            TopologySpec::Regular { degree } => random_regular(n, *degree, seed),
+            TopologySpec::Complete => Graph::complete(n),
+            TopologySpec::Ring => Graph::ring(n),
+        }
+    }
+}
+
+/// Synthetic dataset family (see `skiptrain-data` for the substitution
+/// rationale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// CIFAR-10-like shared pool with sort-by-label sharding (§4.2).
+    CifarLike {
+        /// Feature dimensionality.
+        feature_dim: usize,
+        /// Training samples per node.
+        samples_per_node: usize,
+        /// Test-pool size (split 50/50 into validation/test).
+        test_samples: usize,
+        /// Shards per node (2 = the paper's setting).
+        shards_per_node: usize,
+        /// Class-center separation (task difficulty).
+        separation: f32,
+        /// Within-class noise (task difficulty).
+        noise: f32,
+        /// Sub-clusters per class (task nonlinearity).
+        modes_per_class: usize,
+    },
+    /// CIFAR-10-like shared pool under an arbitrary partitioner (IID /
+    /// Dirichlet / shards) — used by heterogeneity ablations.
+    CifarPartitioned {
+        /// Feature dimensionality.
+        feature_dim: usize,
+        /// Training samples per node.
+        samples_per_node: usize,
+        /// Test-pool size (split 50/50 into validation/test).
+        test_samples: usize,
+        /// The partitioner.
+        partition: skiptrain_data::Partition,
+        /// Class-center separation (task difficulty).
+        separation: f32,
+        /// Within-class noise (task difficulty).
+        noise: f32,
+        /// Sub-clusters per class (task nonlinearity).
+        modes_per_class: usize,
+    },
+    /// FEMNIST-like per-writer data (natural non-IID).
+    FemnistLike {
+        /// Feature dimensionality.
+        feature_dim: usize,
+        /// Training samples per writer/node.
+        samples_per_node: usize,
+        /// Test-pool size (split 50/50 into validation/test).
+        test_samples: usize,
+        /// Writer-style strength in `[0, 1]`.
+        style_strength: f32,
+        /// Class-center separation (task difficulty).
+        separation: f32,
+        /// Within-class noise (task difficulty).
+        noise: f32,
+        /// Sub-clusters per class (task nonlinearity).
+        modes_per_class: usize,
+    },
+}
+
+impl DataSpec {
+    /// Number of classes in the task.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DataSpec::CifarLike { .. } | DataSpec::CifarPartitioned { .. } => 10,
+            DataSpec::FemnistLike { .. } => 47,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            DataSpec::CifarLike { feature_dim, .. }
+            | DataSpec::CifarPartitioned { feature_dim, .. }
+            | DataSpec::FemnistLike { feature_dim, .. } => *feature_dim,
+        }
+    }
+
+    /// Generates per-node datasets plus validation/test splits.
+    pub fn build(&self, n: usize, seed: u64) -> DataBundle {
+        match self {
+            DataSpec::CifarLike {
+                feature_dim,
+                samples_per_node,
+                test_samples,
+                shards_per_node,
+                separation,
+                noise,
+                modes_per_class,
+            } => {
+                let spec = MixtureSpec {
+                    num_classes: 10,
+                    feature_dim: *feature_dim,
+                    modes_per_class: *modes_per_class,
+                    separation: *separation,
+                    noise: *noise,
+                };
+                let (pool, test_pool) =
+                    cifar_like(&spec, n * samples_per_node, *test_samples, seed);
+                let parts = partition_indices(
+                    &pool,
+                    n,
+                    &Partition::Shards { shards_per_node: *shards_per_node },
+                    derive_seed(seed, 0x5A4D),
+                );
+                let node_datasets = materialize(&pool, &parts);
+                let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
+                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+            }
+            DataSpec::CifarPartitioned {
+                feature_dim,
+                samples_per_node,
+                test_samples,
+                partition,
+                separation,
+                noise,
+                modes_per_class,
+            } => {
+                let spec = MixtureSpec {
+                    num_classes: 10,
+                    feature_dim: *feature_dim,
+                    modes_per_class: *modes_per_class,
+                    separation: *separation,
+                    noise: *noise,
+                };
+                let (pool, test_pool) =
+                    cifar_like(&spec, n * samples_per_node, *test_samples, seed);
+                let parts =
+                    partition_indices(&pool, n, partition, derive_seed(seed, 0x5A4D));
+                let node_datasets = materialize(&pool, &parts);
+                let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
+                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+            }
+            DataSpec::FemnistLike {
+                feature_dim,
+                samples_per_node,
+                test_samples,
+                style_strength,
+                separation,
+                noise,
+                modes_per_class,
+            } => {
+                let spec = MixtureSpec {
+                    num_classes: 47,
+                    feature_dim: *feature_dim,
+                    modes_per_class: *modes_per_class,
+                    separation: *separation,
+                    noise: *noise,
+                };
+                let (node_datasets, test_pool) = femnist_like(
+                    &spec,
+                    n,
+                    *samples_per_node,
+                    *test_samples,
+                    *style_strength,
+                    seed,
+                );
+                let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
+                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+            }
+        }
+    }
+}
+
+/// Generated data for one experiment.
+pub struct DataBundle {
+    /// One private training set per node.
+    pub node_datasets: Vec<Dataset>,
+    /// Validation set (hyperparameter tuning).
+    pub validation: Dataset,
+    /// Test set (reported accuracy).
+    pub test: Dataset,
+}
+
+/// Energy accounting setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergySpec {
+    /// Nominal Table-1 workload used for energy math (decoupled from the
+    /// reduced synthetic simulation models).
+    pub workload: WorkloadSpec,
+    /// `Some(fraction)` enables the constrained setting: per-node budgets τ
+    /// equal the rounds needed to spend `fraction` of each device battery.
+    pub battery_fraction: Option<f64>,
+}
+
+impl EnergySpec {
+    /// Unconstrained CIFAR-10 energy accounting.
+    pub fn cifar10() -> Self {
+        Self { workload: WorkloadSpec::cifar10(), battery_fraction: None }
+    }
+
+    /// Constrained CIFAR-10 (10 % battery, §4.2).
+    pub fn cifar10_constrained() -> Self {
+        Self {
+            workload: WorkloadSpec::cifar10(),
+            battery_fraction: Some(skiptrain_energy::trace::CIFAR_BATTERY_FRACTION),
+        }
+    }
+
+    /// Unconstrained FEMNIST energy accounting.
+    pub fn femnist() -> Self {
+        Self { workload: WorkloadSpec::femnist(), battery_fraction: None }
+    }
+
+    /// Constrained FEMNIST (50 % battery, §4.2).
+    pub fn femnist_constrained() -> Self {
+        Self {
+            workload: WorkloadSpec::femnist(),
+            battery_fraction: Some(skiptrain_energy::trace::FEMNIST_BATTERY_FRACTION),
+        }
+    }
+
+    /// Rescales the battery fraction so the budget-to-opportunity ratio
+    /// τ/T_train at `rounds` matches what the paper's setting produces at
+    /// `paper_rounds` (used when running the constrained experiments at
+    /// reduced scale).
+    pub fn scaled_for_rounds(&self, rounds: usize, paper_rounds: usize) -> EnergySpec {
+        EnergySpec {
+            workload: self.workload,
+            battery_fraction: self
+                .battery_fraction
+                .map(|f| f * rounds as f64 / paper_rounds as f64),
+        }
+    }
+
+    /// Per-node training-round energies (Wh) for an `n`-node fleet.
+    pub fn node_energies(&self, n: usize) -> Vec<f64> {
+        fleet(n).iter().map(|d| round_energy_wh(&d.profile(), &self.workload)).collect()
+    }
+
+    /// Per-node training budgets τ; `u32::MAX` when unconstrained.
+    pub fn node_budgets(&self, n: usize) -> Vec<u32> {
+        match self.battery_fraction {
+            None => vec![u32::MAX; n],
+            Some(frac) => fleet(n)
+                .iter()
+                .map(|d| training_budget_rounds(&d.profile(), &self.workload, frac) as u32)
+                .collect(),
+        }
+    }
+}
+
+/// Complete description of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Label used in reports.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total rounds `T`.
+    pub rounds: usize,
+    /// Algorithm under test.
+    pub algorithm: AlgorithmSpec,
+    /// Communication topology.
+    pub topology: TopologySpec,
+    /// Dataset family and scale.
+    pub data: DataSpec,
+    /// Hidden width of the per-node MLP (0 = softmax regression).
+    pub hidden_dim: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Local SGD steps per training round.
+    pub local_steps: usize,
+    /// SGD learning rate η.
+    pub learning_rate: f32,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate every this many rounds (the paper uses Γ_train + Γ_sync).
+    pub eval_every: usize,
+    /// Cap on evaluation samples per eval point (`usize::MAX` = full set).
+    pub eval_max_samples: usize,
+    /// Energy accounting / budgets.
+    pub energy: EnergySpec,
+    /// Message transport.
+    pub transport: TransportKind,
+    /// Also record the accuracy of the averaged (all-reduced) model at each
+    /// evaluation point — the hypothetical curve of Figure 1.
+    pub record_mean_model: bool,
+}
+
+impl ExperimentConfig {
+    /// The per-node model architecture.
+    pub fn model_kind(&self) -> ModelKind {
+        let classes = self.data.num_classes();
+        let input = self.data.feature_dim();
+        if self.hidden_dim == 0 {
+            ModelKind::Logistic { input_dim: input, classes }
+        } else {
+            ModelKind::Mlp { dims: vec![input, self.hidden_dim, classes] }
+        }
+    }
+
+    /// Builds the policy for this config.
+    pub fn build_policy(&self) -> Box<dyn RoundPolicy> {
+        match &self.algorithm {
+            AlgorithmSpec::DPsgd => Box::new(DPsgdPolicy),
+            AlgorithmSpec::SkipTrain(schedule) => Box::new(SkipTrainPolicy::new(*schedule)),
+            AlgorithmSpec::SkipTrainConstrained(schedule) => {
+                assert!(
+                    self.energy.battery_fraction.is_some(),
+                    "SkipTrain-constrained requires a battery fraction"
+                );
+                Box::new(ConstrainedPolicy::new(
+                    *schedule,
+                    self.energy.node_budgets(self.nodes),
+                    self.rounds,
+                    derive_seed(self.seed, 0x70C1),
+                ))
+            }
+            AlgorithmSpec::Greedy => {
+                assert!(
+                    self.energy.battery_fraction.is_some(),
+                    "Greedy requires a battery fraction"
+                );
+                Box::new(GreedyPolicy::new(self.energy.node_budgets(self.nodes)))
+            }
+        }
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Config label.
+    pub name: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Test-accuracy learning curve.
+    pub test_curve: Vec<AccuracyPoint>,
+    /// `(round, accuracy)` of the averaged model, when enabled.
+    pub mean_model_curve: Vec<(usize, f32)>,
+    /// Final test statistics.
+    pub final_test: EvalStats,
+    /// Final mean validation accuracy (hyperparameter-tuning metric).
+    pub final_val_accuracy: f32,
+    /// Total training energy (Wh), Eq. 3 restricted to training.
+    pub total_training_wh: f64,
+    /// Total communication energy (Wh).
+    pub total_comm_wh: f64,
+    /// Total node-round training events executed.
+    pub node_train_events: u64,
+    /// The element-wise mean of all node models at the end of the run (the
+    /// consensus model used by fairness analysis, §5.1).
+    pub final_mean_model: Vec<f32>,
+    /// Distinct classes held locally by each node (fairness analysis).
+    pub node_class_sets: Vec<Vec<u32>>,
+}
+
+impl ExperimentResult {
+    /// Accuracy (%) convenience for report printing.
+    pub fn final_test_accuracy_pct(&self) -> f64 {
+        self.final_test.mean_accuracy as f64 * 100.0
+    }
+}
+
+/// Runs one experiment end to end.
+///
+/// # Panics
+/// Panics on invalid configuration (mismatched sizes, missing budgets for
+/// constrained algorithms).
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let data = cfg.data.build(cfg.nodes, cfg.seed);
+    run_experiment_on(cfg, &data)
+}
+
+/// Runs one experiment on pre-built data (lets sweeps and multi-algorithm
+/// comparisons reuse one generated dataset).
+pub fn run_experiment_on(cfg: &ExperimentConfig, data: &DataBundle) -> ExperimentResult {
+    assert_eq!(data.node_datasets.len(), cfg.nodes, "data bundle does not match node count");
+    let kind = cfg.model_kind();
+    let models: Vec<_> = (0..cfg.nodes)
+        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
+        .collect();
+
+    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+
+    let sim_config = SimulationConfig {
+        seed: cfg.seed,
+        batch_size: cfg.batch_size,
+        local_steps: cfg.local_steps,
+        sgd: SgdConfig::plain(cfg.learning_rate),
+        transport: cfg.transport,
+        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
+        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        nominal_params: Some(cfg.energy.workload.model_params),
+    };
+    let mut sim =
+        Simulation::new(models, data.node_datasets.clone(), graph, mixing, sim_config);
+
+    let mut policy = cfg.build_policy();
+    let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
+    let mut recorder = MetricsRecorder::new();
+    let mut mean_model_curve = Vec::new();
+    let mut node_train_events = 0u64;
+
+    for t in 0..cfg.rounds {
+        policy.decide(t, &mut actions);
+        node_train_events +=
+            actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
+        sim.run_round(&actions);
+
+        let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds;
+        if at_eval {
+            let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
+            recorder.record(
+                &stats,
+                sim.ledger().total_wh(),
+                sim.ledger().total_training_wh(),
+            );
+            if cfg.record_mean_model {
+                let (acc, _) = sim.evaluate_mean_model(&data.test, cfg.eval_max_samples);
+                mean_model_curve.push((t + 1, acc));
+            }
+        }
+    }
+
+    let final_test = sim.evaluate(&data.test, cfg.eval_max_samples);
+    let final_val = sim.evaluate(&data.validation, cfg.eval_max_samples);
+    let final_mean_model = sim.mean_params();
+    let node_class_sets = data
+        .node_datasets
+        .iter()
+        .map(|d| {
+            d.class_histogram()
+                .iter()
+                .enumerate()
+                .filter(|&(_, c)| *c > 0)
+                .map(|(class, _)| class as u32)
+                .collect()
+        })
+        .collect();
+
+    ExperimentResult {
+        name: cfg.name.clone(),
+        algorithm: cfg.algorithm.name().to_string(),
+        nodes: cfg.nodes,
+        rounds: cfg.rounds,
+        test_curve: recorder.points().to_vec(),
+        mean_model_curve,
+        final_test,
+        final_val_accuracy: final_val.mean_accuracy,
+        total_training_wh: sim.ledger().total_training_wh(),
+        total_comm_wh: sim.ledger().total_comm_wh(),
+        node_train_events,
+        final_mean_model,
+        node_class_sets,
+    }
+}

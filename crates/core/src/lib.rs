@@ -1,0 +1,45 @@
+//! SkipTrain: energy-aware decentralized learning with intermittent model
+//! training.
+//!
+//! This crate implements the paper's contribution on top of the
+//! `skiptrain-engine` substrate:
+//!
+//! * [`schedule`] — the coordinated Γ_train/Γ_sync round schedule (§3.1,
+//!   Eq. 4),
+//! * [`prob`] — energy-budget training probabilities (§3.2, Eq. 5),
+//! * [`policy`] — the algorithms as round policies: D-PSGD, SkipTrain,
+//!   SkipTrain-constrained, Greedy,
+//! * [`experiment`] — the end-to-end experiment driver used by every
+//!   figure/table harness,
+//! * [`sweep`] — the §4.3 (Γ_train, Γ_sync) grid search,
+//! * [`presets`] — Table-1 configurations at paper/medium/quick scales.
+//!
+//! # Quick example
+//!
+//! ```
+//! use skiptrain_core::experiment::AlgorithmSpec;
+//! use skiptrain_core::presets::{cifar_config, with_algorithm, Scale};
+//! use skiptrain_core::schedule::Schedule;
+//!
+//! let base = cifar_config(Scale::Quick, 42);
+//! let skiptrain = with_algorithm(base, AlgorithmSpec::SkipTrain(Schedule::new(4, 4)));
+//! assert_eq!(skiptrain.algorithm.name(), "skiptrain");
+//! ```
+
+pub mod asyncgossip;
+pub mod experiment;
+pub mod fairness;
+pub mod policy;
+pub mod presets;
+pub mod prob;
+pub mod schedule;
+pub mod sweep;
+
+pub use experiment::{
+    run_experiment, run_experiment_on, AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig,
+    ExperimentResult, TopologySpec,
+};
+pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
+pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};
+pub use schedule::Schedule;
+pub use sweep::{grid_search, SweepResult};

@@ -1,0 +1,75 @@
+//! Training probabilities for the constrained setting (Eq. 5, §3.2).
+
+use crate::schedule::Schedule;
+
+/// Eq. 5: the training probability of a node with budget τ under a schedule
+/// that offers `t_train` training opportunities: `p = min(τ / T_train, 1)`.
+///
+/// # Panics
+/// Panics if `t_train <= 0`.
+pub fn training_probability(budget: u32, t_train: f64) -> f64 {
+    assert!(t_train > 0.0, "T_train must be positive");
+    (budget as f64 / t_train).min(1.0)
+}
+
+/// Per-node training probabilities for a full deployment (Eq. 5 applied to
+/// every budget, with `T_train` from Eq. 4).
+pub fn training_probabilities(budgets: &[u32], schedule: &Schedule, total_rounds: usize) -> Vec<f64> {
+    let t_train = schedule.t_train(total_rounds);
+    budgets.iter().map(|&b| training_probability(b, t_train)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ample_budget_gives_probability_one() {
+        // §3.2: τ ≥ T_train ⇒ p = 1 (equivalent to unconstrained SkipTrain)
+        assert_eq!(training_probability(500, 500.0), 1.0);
+        assert_eq!(training_probability(900, 500.0), 1.0);
+    }
+
+    #[test]
+    fn scarce_budget_scales_linearly() {
+        assert!((training_probability(250, 500.0) - 0.5).abs() < 1e-12);
+        assert!((training_probability(50, 500.0) - 0.1).abs() < 1e-12);
+        assert_eq!(training_probability(0, 500.0), 0.0);
+    }
+
+    #[test]
+    fn per_node_probabilities_use_eq4() {
+        let s = Schedule::new(4, 4); // T_train = 500 over 1000 rounds
+        let p = training_probabilities(&[250, 500, 1000], &s, 1000);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+        assert_eq!(p[2], 1.0);
+    }
+
+    #[test]
+    fn paper_cifar_budgets() {
+        // Table 2 budgets against the 6-regular schedule (4,4), T = 1000:
+        // T_train = 500, so the OnePlus Nord 2 (τ=681) trains always while
+        // the Xiaomi 12 Pro (τ=272) trains with p ≈ 0.544.
+        let s = Schedule::new(4, 4);
+        let p = training_probabilities(&[272, 324, 681, 272], &s, 1000);
+        assert!((p[0] - 0.544).abs() < 1e-9);
+        assert!((p[1] - 0.648).abs() < 1e-9);
+        assert_eq!(p[2], 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probability_in_unit_interval(budget in 0u32..100_000, t in 1.0f64..10_000.0) {
+            let p = training_probability(budget, t);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_monotone_in_budget(b1 in 0u32..5_000, b2 in 0u32..5_000, t in 1.0f64..10_000.0) {
+            let (lo, hi) = (b1.min(b2), b1.max(b2));
+            prop_assert!(training_probability(lo, t) <= training_probability(hi, t));
+        }
+    }
+}

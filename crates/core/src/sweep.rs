@@ -1,0 +1,132 @@
+//! The (Γ_train, Γ_sync) grid search of §4.3 / Figure 3.
+
+use crate::experiment::{run_experiment_on, AlgorithmSpec, ExperimentConfig, ExperimentResult};
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the Figure-3 grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Γ_train of this cell.
+    pub gamma_train: usize,
+    /// Γ_sync of this cell.
+    pub gamma_sync: usize,
+    /// Final mean validation accuracy (the tuning metric, §4.3).
+    pub val_accuracy: f32,
+    /// Final mean test accuracy.
+    pub test_accuracy: f32,
+    /// Total training energy spent (Wh).
+    pub training_energy_wh: f64,
+}
+
+/// Result of a full grid search over one base configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Grid cells in row-major `(Γ_sync, Γ_train)` order.
+    pub cells: Vec<SweepCell>,
+    /// Γ values swept (both axes).
+    pub gammas: Vec<usize>,
+}
+
+impl SweepResult {
+    /// The best cell: highest validation accuracy, ties broken by lower
+    /// energy (§4.3's tie-break rule).
+    pub fn best(&self) -> &SweepCell {
+        self.cells
+            .iter()
+            .max_by(|a, b| {
+                a.val_accuracy
+                    .total_cmp(&b.val_accuracy)
+                    .then(b.training_energy_wh.total_cmp(&a.training_energy_wh))
+            })
+            .expect("sweep has at least one cell")
+    }
+
+    /// Cell lookup.
+    pub fn cell(&self, gamma_train: usize, gamma_sync: usize) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.gamma_train == gamma_train && c.gamma_sync == gamma_sync)
+    }
+}
+
+/// Runs the grid search over `gammas × gammas` on a shared dataset built
+/// once from `base`.
+///
+/// The base config's algorithm is replaced by `SkipTrain(Γt, Γs)` per cell.
+pub fn grid_search(base: &ExperimentConfig, gammas: &[usize]) -> SweepResult {
+    assert!(!gammas.is_empty(), "empty gamma grid");
+    let data = base.data.build(base.nodes, base.seed);
+    let mut cells = Vec::with_capacity(gammas.len() * gammas.len());
+    for &gs in gammas {
+        for &gt in gammas {
+            let mut cfg = base.clone();
+            let schedule = Schedule::new(gt, gs);
+            cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
+            cfg.name = format!("{}/sweep-gt{gt}-gs{gs}", base.name);
+            cfg.eval_every = usize::MAX; // only final evaluation matters
+            let result: ExperimentResult = run_experiment_on(&cfg, &data);
+            cells.push(SweepCell {
+                gamma_train: gt,
+                gamma_sync: gs,
+                val_accuracy: result.final_val_accuracy,
+                test_accuracy: result.final_test.mean_accuracy,
+                training_energy_wh: result.total_training_wh,
+            });
+        }
+    }
+    SweepResult { cells, gammas: gammas.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_prefers_accuracy_then_energy() {
+        let sweep = SweepResult {
+            cells: vec![
+                SweepCell {
+                    gamma_train: 1,
+                    gamma_sync: 1,
+                    val_accuracy: 0.6,
+                    test_accuracy: 0.6,
+                    training_energy_wh: 100.0,
+                },
+                SweepCell {
+                    gamma_train: 2,
+                    gamma_sync: 1,
+                    val_accuracy: 0.6,
+                    test_accuracy: 0.59,
+                    training_energy_wh: 50.0,
+                },
+                SweepCell {
+                    gamma_train: 3,
+                    gamma_sync: 1,
+                    val_accuracy: 0.5,
+                    test_accuracy: 0.65,
+                    training_energy_wh: 10.0,
+                },
+            ],
+            gammas: vec![1, 2, 3],
+        };
+        let best = sweep.best();
+        assert_eq!((best.gamma_train, best.gamma_sync), (2, 1), "tie must break toward low energy");
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let sweep = SweepResult {
+            cells: vec![SweepCell {
+                gamma_train: 4,
+                gamma_sync: 2,
+                val_accuracy: 0.1,
+                test_accuracy: 0.1,
+                training_energy_wh: 1.0,
+            }],
+            gammas: vec![4],
+        };
+        assert!(sweep.cell(4, 2).is_some());
+        assert!(sweep.cell(2, 4).is_none());
+    }
+}

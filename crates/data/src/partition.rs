@@ -1,0 +1,288 @@
+//! Non-IID data partitioners.
+//!
+//! The paper's CIFAR-10 setting uses the 2-shard partition of McMahan et
+//! al.: sort samples by label, slice into `shards_per_node · n` contiguous
+//! shards, deal `shards_per_node` shards to each node. With 2 shards per
+//! node and 10 classes, most nodes end up with only two distinct labels —
+//! the extreme label skew visible in Figure 7 (left).
+
+use crate::dataset::Dataset;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Partitioning strategy for a shared sample pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Sort-by-label sharding (`shards_per_node = 2` is the paper's CIFAR-10
+    /// setting).
+    Shards {
+        /// Shards dealt to each node.
+        shards_per_node: usize,
+    },
+    /// Uniform shuffle split (the IID control).
+    Iid,
+    /// Dirichlet(α) label skew: for each class, node shares are drawn from
+    /// a Dirichlet distribution. Small α → high skew; large α → IID-like.
+    Dirichlet {
+        /// Concentration parameter.
+        alpha: f32,
+    },
+}
+
+/// Computes per-node sample index lists for `dataset` under `partition`.
+///
+/// All strategies are deterministic in `seed` and cover every sample exactly
+/// once.
+///
+/// # Panics
+/// Panics if `n_nodes == 0` or the dataset has fewer samples than nodes.
+pub fn partition_indices(
+    dataset: &Dataset,
+    n_nodes: usize,
+    partition: &Partition,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_nodes > 0, "need at least one node");
+    assert!(
+        dataset.len() >= n_nodes,
+        "dataset has {} samples for {} nodes",
+        dataset.len(),
+        n_nodes
+    );
+    match partition {
+        Partition::Shards { shards_per_node } => {
+            shard_partition(dataset, n_nodes, *shards_per_node, seed)
+        }
+        Partition::Iid => iid_partition(dataset.len(), n_nodes, seed),
+        Partition::Dirichlet { alpha } => dirichlet_partition(dataset, n_nodes, *alpha, seed),
+    }
+}
+
+/// Materializes per-node datasets from index lists.
+pub fn materialize(dataset: &Dataset, indices: &[Vec<usize>]) -> Vec<Dataset> {
+    indices.iter().map(|idx| dataset.subset(idx)).collect()
+}
+
+fn iid_partition(n: usize, n_nodes: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    deal_round_robin(&idx, n_nodes)
+}
+
+fn deal_round_robin(idx: &[usize], n_nodes: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::with_capacity(idx.len() / n_nodes + 1); n_nodes];
+    for (k, &i) in idx.iter().enumerate() {
+        out[k % n_nodes].push(i);
+    }
+    out
+}
+
+fn shard_partition(
+    dataset: &Dataset,
+    n_nodes: usize,
+    shards_per_node: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(shards_per_node >= 1, "need at least one shard per node");
+    // Sort indices by label (stable: ties keep original order).
+    let mut by_label: Vec<usize> = (0..dataset.len()).collect();
+    by_label.sort_by_key(|&i| dataset.labels()[i]);
+
+    let n_shards = n_nodes * shards_per_node;
+    assert!(
+        dataset.len() >= n_shards,
+        "dataset has {} samples for {} shards",
+        dataset.len(),
+        n_shards
+    );
+
+    // Slice into contiguous shards of (almost) equal size.
+    let base = dataset.len() / n_shards;
+    let extra = dataset.len() % n_shards;
+    let mut shards: Vec<&[usize]> = Vec::with_capacity(n_shards);
+    let mut start = 0usize;
+    for s in 0..n_shards {
+        let len = base + usize::from(s < extra);
+        shards.push(&by_label[start..start + len]);
+        start += len;
+    }
+
+    // Deal shards_per_node shuffled shards to each node.
+    let mut order: Vec<usize> = (0..n_shards).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut out = vec![Vec::new(); n_nodes];
+    for (k, &shard_id) in order.iter().enumerate() {
+        out[k / shards_per_node].extend_from_slice(shards[shard_id]);
+    }
+    out
+}
+
+/// Samples from Gamma(α, 1) via the Marsaglia–Tsang method (with the
+/// boosting trick for α < 1), enough for Dirichlet draws.
+fn gamma_sample(rng: &mut SmallRng, alpha: f32) -> f32 {
+    if alpha < 1.0 {
+        // boost: Gamma(α) = Gamma(α+1) · U^{1/α}
+        let u: f32 = rng.random::<f32>().max(1e-7);
+        return gamma_sample(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // standard normal via Box–Muller on the fly
+        let u1: f32 = (1.0 - rng.random::<f32>()).max(1e-7);
+        let u2: f32 = rng.random::<f32>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f32 = rng.random::<f32>().max(1e-7);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn dirichlet_partition(
+    dataset: &Dataset,
+    n_nodes: usize,
+    alpha: f32,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(alpha > 0.0, "dirichlet alpha must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Group indices per class, shuffled.
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for (i, &l) in dataset.labels().iter().enumerate() {
+        per_class[l as usize].push(i);
+    }
+    let mut out = vec![Vec::new(); n_nodes];
+    for class_idx in per_class.iter_mut() {
+        class_idx.shuffle(&mut rng);
+        // Node shares ~ Dirichlet(alpha).
+        let mut shares: Vec<f32> = (0..n_nodes).map(|_| gamma_sample(&mut rng, alpha)).collect();
+        let total: f32 = shares.iter().sum::<f32>().max(1e-9);
+        for s in &mut shares {
+            *s /= total;
+        }
+        // Convert shares to contiguous cut points over the class samples.
+        let n = class_idx.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f32;
+        for (node, &share) in shares.iter().enumerate() {
+            acc += share;
+            let end = if node + 1 == n_nodes { n } else { ((n as f32) * acc).round() as usize };
+            let end = end.clamp(start, n);
+            out[node].extend_from_slice(&class_idx[start..end]);
+            start = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skiptrain_linalg::Matrix;
+
+    fn labelled_pool(per_class: usize, classes: usize) -> Dataset {
+        let n = per_class * classes;
+        let features = Matrix::zeros(n, 2);
+        let labels: Vec<u32> = (0..n).map(|i| (i % classes) as u32).collect();
+        Dataset::new(features, labels, classes)
+    }
+
+    fn assert_exact_cover(parts: &[Vec<usize>], n: usize) {
+        let mut seen = vec![false; n];
+        for part in parts {
+            for &i in part {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all samples assigned");
+    }
+
+    #[test]
+    fn iid_covers_all_samples_evenly() {
+        let d = labelled_pool(10, 10);
+        let parts = partition_indices(&d, 4, &Partition::Iid, 1);
+        assert_exact_cover(&parts, d.len());
+        for p in &parts {
+            assert_eq!(p.len(), 25);
+        }
+    }
+
+    #[test]
+    fn two_shard_limits_distinct_labels() {
+        // 10 classes, 2 shards/node, 20 nodes: most nodes see ≤ 3 labels
+        // (a shard can straddle one class boundary).
+        let d = labelled_pool(100, 10);
+        let parts = partition_indices(&d, 20, &Partition::Shards { shards_per_node: 2 }, 7);
+        assert_exact_cover(&parts, d.len());
+        let sets = materialize(&d, &parts);
+        let avg_distinct: f32 =
+            sets.iter().map(|s| s.distinct_classes() as f32).sum::<f32>() / sets.len() as f32;
+        assert!(
+            avg_distinct <= 4.0,
+            "2-shard should induce strong label skew, got avg {avg_distinct} classes"
+        );
+    }
+
+    #[test]
+    fn shard_partition_is_deterministic() {
+        let d = labelled_pool(50, 10);
+        let a = partition_indices(&d, 10, &Partition::Shards { shards_per_node: 2 }, 3);
+        let b = partition_indices(&d, 10, &Partition::Shards { shards_per_node: 2 }, 3);
+        assert_eq!(a, b);
+        let c = partition_indices(&d, 10, &Partition::Shards { shards_per_node: 2 }, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dirichlet_covers_everything() {
+        let d = labelled_pool(40, 5);
+        let parts = partition_indices(&d, 8, &Partition::Dirichlet { alpha: 0.3 }, 5);
+        assert_exact_cover(&parts, d.len());
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_skews_more_than_large() {
+        let d = labelled_pool(200, 5);
+        let skewed = partition_indices(&d, 10, &Partition::Dirichlet { alpha: 0.05 }, 9);
+        let smooth = partition_indices(&d, 10, &Partition::Dirichlet { alpha: 100.0 }, 9);
+        let distinct = |parts: &[Vec<usize>]| -> f32 {
+            materialize(&d, parts).iter().map(|s| s.distinct_classes() as f32).sum::<f32>()
+                / parts.len() as f32
+        };
+        assert!(
+            distinct(&skewed) < distinct(&smooth),
+            "alpha=0.05 ({}) should be more skewed than alpha=100 ({})",
+            distinct(&skewed),
+            distinct(&smooth)
+        );
+    }
+
+    #[test]
+    fn iid_keeps_label_balance_per_node() {
+        let d = labelled_pool(100, 4);
+        let parts = partition_indices(&d, 4, &Partition::Iid, 11);
+        for set in materialize(&d, &parts) {
+            // each node has 100 samples over 4 classes; expect ~25/class
+            for c in set.class_histogram() {
+                assert!((c as f32 - 25.0).abs() < 15.0, "IID class count {c} too skewed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "samples for")]
+    fn rejects_more_shards_than_samples() {
+        let d = labelled_pool(1, 4); // 4 samples
+        let _ = partition_indices(&d, 4, &Partition::Shards { shards_per_node: 2 }, 1);
+    }
+}

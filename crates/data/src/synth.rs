@@ -1,0 +1,304 @@
+//! Synthetic dataset generators.
+//!
+//! Two generators mirror the paper's datasets (see the crate docs for the
+//! substitution rationale):
+//!
+//! * [`cifar_like`] — a shared Gaussian-mixture task. All nodes sample from
+//!   the *same* distribution; heterogeneity is injected afterwards by the
+//!   [`crate::partition`] module (2-shard label skew, as in §4.2).
+//! * [`femnist_like`] — per-writer data: one global mixture pushed through a
+//!   per-writer affine "style" transform, so label distributions are close
+//!   to homogeneous while feature distributions differ per node.
+
+use crate::dataset::Dataset;
+use rand::RngExt;
+use skiptrain_linalg::{GaussianSampler, Matrix};
+
+/// Configuration for a Gaussian-mixture classification task.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MixtureSpec {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Sub-clusters per class; more modes make the task less linearly
+    /// separable.
+    pub modes_per_class: usize,
+    /// Distance scale between class centers.
+    pub separation: f32,
+    /// Within-cluster noise standard deviation. The ratio
+    /// `separation / noise` controls the Bayes accuracy of the task.
+    pub noise: f32,
+}
+
+impl MixtureSpec {
+    /// The CIFAR-10-like default: 10 classes, moderate overlap so accuracy
+    /// plateaus well below 100 % (as CIFAR-10 does for small CNNs).
+    pub fn cifar_like(feature_dim: usize) -> Self {
+        Self { num_classes: 10, feature_dim, modes_per_class: 3, separation: 1.0, noise: 0.85 }
+    }
+
+    /// The FEMNIST-like default: 47 classes (digits + letters in the
+    /// balanced split), somewhat easier per-class structure.
+    pub fn femnist_like(feature_dim: usize) -> Self {
+        Self { num_classes: 47, feature_dim, modes_per_class: 2, separation: 1.3, noise: 0.75 }
+    }
+}
+
+/// The frozen ground-truth structure of a mixture task: per-class,
+/// per-mode cluster centers.
+///
+/// Keeping the generator around lets callers draw any number of additional
+/// i.i.d. datasets (train pools, test sets, per-writer sets) from the same
+/// task.
+pub struct MixtureTask {
+    spec: MixtureSpec,
+    /// `num_classes × modes_per_class` centers, each of `feature_dim`.
+    centers: Vec<Vec<f32>>,
+    seed: u64,
+}
+
+impl MixtureTask {
+    /// Samples the task structure (cluster centers) for `spec`.
+    pub fn new(spec: MixtureSpec, seed: u64) -> Self {
+        assert!(spec.num_classes >= 2, "need at least two classes");
+        assert!(spec.feature_dim >= 1, "need at least one feature");
+        assert!(spec.modes_per_class >= 1, "need at least one mode per class");
+        let mut g = GaussianSampler::for_stream(seed, 0xC0FFEE);
+        let mut centers = Vec::with_capacity(spec.num_classes * spec.modes_per_class);
+        for _ in 0..spec.num_classes * spec.modes_per_class {
+            let mut c = vec![0.0f32; spec.feature_dim];
+            g.fill(&mut c);
+            // Scale to `separation` so class distances are controlled
+            // independently of dimension.
+            let norm = skiptrain_linalg::ops::norm(&c).max(1e-6);
+            for v in &mut c {
+                *v *= spec.separation / norm * (spec.feature_dim as f32).sqrt();
+            }
+            centers.push(c);
+        }
+        Self { spec, centers, seed }
+    }
+
+    /// The task spec.
+    pub fn spec(&self) -> &MixtureSpec {
+        &self.spec
+    }
+
+    /// Draws `n` labelled samples with uniform class priors on stream
+    /// `stream` (distinct streams are independent).
+    pub fn sample(&self, n: usize, stream: u64) -> Dataset {
+        self.sample_with_style(n, stream, None)
+    }
+
+    /// Draws `n` samples, optionally pushing features through an affine
+    /// style transform (used for per-writer data).
+    pub fn sample_with_style(&self, n: usize, stream: u64, style: Option<&WriterStyle>) -> Dataset {
+        let d = self.spec.feature_dim;
+        let mut g = GaussianSampler::for_stream(self.seed, stream.wrapping_add(1));
+        let mut features = Matrix::zeros(n, d);
+        let mut labels = Vec::with_capacity(n);
+        let mut buf = vec![0.0f32; d];
+        for r in 0..n {
+            let class = g.rng_mut().random_range(0..self.spec.num_classes);
+            let mode = g.rng_mut().random_range(0..self.spec.modes_per_class);
+            let center = &self.centers[class * self.spec.modes_per_class + mode];
+            g.fill(&mut buf);
+            let row = features.row_mut(r);
+            for ((x, &c), &z) in row.iter_mut().zip(center).zip(&buf) {
+                *x = c + self.spec.noise * z;
+            }
+            if let Some(style) = style {
+                style.apply(row);
+            }
+            labels.push(class as u32);
+        }
+        Dataset::new(features, labels, self.spec.num_classes)
+    }
+}
+
+/// A per-writer affine feature transform: a sparse random rotation (sequence
+/// of Givens rotations) plus a bias, modelling a writer's "handwriting
+/// style" in feature space.
+pub struct WriterStyle {
+    /// Givens rotations as `(i, j, cos, sin)` tuples.
+    rotations: Vec<(usize, usize, f32, f32)>,
+    bias: Vec<f32>,
+}
+
+impl WriterStyle {
+    /// Samples a style of the given strength for feature dimension `d`.
+    ///
+    /// `strength` ∈ [0, 1]: 0 is the identity; 1 applies `d` rotations of up
+    /// to ~0.5 rad and a bias of ~0.5 σ.
+    pub fn sample(d: usize, strength: f32, seed: u64, stream: u64) -> Self {
+        let mut g = GaussianSampler::for_stream(seed, stream.wrapping_add(0x57717E));
+        let n_rot = ((d as f32) * strength).round() as usize;
+        let mut rotations = Vec::with_capacity(n_rot);
+        for _ in 0..n_rot {
+            let i = g.rng_mut().random_range(0..d);
+            let mut j = g.rng_mut().random_range(0..d);
+            if i == j {
+                j = (j + 1) % d;
+            }
+            let angle = g.sample() * 0.5 * strength;
+            rotations.push((i, j, angle.cos(), angle.sin()));
+        }
+        let mut bias = vec![0.0f32; d];
+        g.fill(&mut bias);
+        for b in &mut bias {
+            *b *= 0.5 * strength;
+        }
+        Self { rotations, bias }
+    }
+
+    /// Applies the style in place to one feature row.
+    pub fn apply(&self, row: &mut [f32]) {
+        for &(i, j, c, s) in &self.rotations {
+            let (xi, xj) = (row[i], row[j]);
+            row[i] = c * xi - s * xj;
+            row[j] = s * xi + c * xj;
+        }
+        for (x, &b) in row.iter_mut().zip(&self.bias) {
+            *x += b;
+        }
+    }
+}
+
+/// Generates the CIFAR-10-like global pools: `(train, test)`.
+///
+/// Heterogeneity is *not* applied here — partition the train pool with
+/// [`crate::partition::partition_indices`] (2-shard for the paper setting).
+pub fn cifar_like(spec: &MixtureSpec, train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
+    let task = MixtureTask::new(spec.clone(), seed);
+    (task.sample(train_n, 1), task.sample(test_n, 2))
+}
+
+/// Generates FEMNIST-like per-writer data: one train dataset per node (each
+/// through its own style) and a global style-free test pool.
+///
+/// `samples_per_writer` may vary per node in reality; the paper selects the
+/// top-256 writers by sample count, which we model as a uniform count.
+pub fn femnist_like(
+    spec: &MixtureSpec,
+    n_writers: usize,
+    samples_per_writer: usize,
+    test_n: usize,
+    style_strength: f32,
+    seed: u64,
+) -> (Vec<Dataset>, Dataset) {
+    let task = MixtureTask::new(spec.clone(), seed);
+    let mut writers = Vec::with_capacity(n_writers);
+    for w in 0..n_writers {
+        let style = WriterStyle::sample(spec.feature_dim, style_strength, seed, w as u64);
+        writers.push(task.sample_with_style(samples_per_writer, 100 + w as u64, Some(&style)));
+    }
+    let test = task.sample(test_n, 3);
+    (writers, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_is_deterministic_per_seed() {
+        let spec = MixtureSpec::cifar_like(8);
+        let a = MixtureTask::new(spec.clone(), 7).sample(20, 1);
+        let b = MixtureTask::new(spec, 7).sample(20, 1);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn different_streams_are_different() {
+        let spec = MixtureSpec::cifar_like(8);
+        let task = MixtureTask::new(spec, 7);
+        let a = task.sample(20, 1);
+        let b = task.sample(20, 2);
+        assert_ne!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn class_priors_are_roughly_uniform() {
+        let spec = MixtureSpec::cifar_like(4);
+        let task = MixtureTask::new(spec, 3);
+        let d = task.sample(5000, 1);
+        for count in d.class_histogram() {
+            assert!((count as f64 - 500.0).abs() < 150.0, "class count {count} far from 500");
+        }
+    }
+
+    #[test]
+    fn task_is_learnable_by_nearest_center() {
+        // Sanity: with separation >> noise a nearest-center classifier must
+        // beat random guessing by a wide margin.
+        let spec = MixtureSpec {
+            num_classes: 4,
+            feature_dim: 16,
+            modes_per_class: 1,
+            separation: 2.0,
+            noise: 0.5,
+        };
+        let task = MixtureTask::new(spec.clone(), 11);
+        let d = task.sample(400, 5);
+        let mut correct = 0usize;
+        for r in 0..d.len() {
+            let row = d.features().row(r);
+            let mut best = (f32::INFINITY, 0usize);
+            for class in 0..spec.num_classes {
+                let c = &task.centers[class]; // modes_per_class == 1
+                let dist = skiptrain_linalg::ops::squared_distance(row, c);
+                if dist < best.0 {
+                    best = (dist, class);
+                }
+            }
+            if best.1 == d.labels()[r] as usize {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / d.len() as f32;
+        assert!(acc > 0.9, "nearest-center accuracy {acc} too low");
+    }
+
+    #[test]
+    fn writer_style_changes_features_but_not_labels() {
+        let spec = MixtureSpec::femnist_like(12);
+        let task = MixtureTask::new(spec.clone(), 5);
+        let plain = task.sample(50, 9);
+        let style = WriterStyle::sample(12, 0.8, 5, 1);
+        let styled = task.sample_with_style(50, 9, Some(&style));
+        assert_eq!(plain.labels(), styled.labels());
+        assert_ne!(plain.features().as_slice(), styled.features().as_slice());
+    }
+
+    #[test]
+    fn zero_strength_style_is_identity() {
+        let style = WriterStyle::sample(6, 0.0, 1, 1);
+        let mut row = vec![1.0, -2.0, 3.0, 0.5, 0.0, -1.0];
+        let orig = row.clone();
+        style.apply(&mut row);
+        assert_eq!(row, orig);
+    }
+
+    #[test]
+    fn femnist_like_produces_writers_and_test() {
+        let spec = MixtureSpec::femnist_like(8);
+        let (writers, test) = femnist_like(&spec, 5, 30, 100, 0.5, 2);
+        assert_eq!(writers.len(), 5);
+        assert!(writers.iter().all(|w| w.len() == 30));
+        assert_eq!(test.len(), 100);
+        // writer label distributions are near-homogeneous (all writers see
+        // every class with the same prior), unlike 2-shard CIFAR
+        for w in &writers {
+            assert!(w.distinct_classes() > spec.num_classes / 3);
+        }
+    }
+
+    #[test]
+    fn styles_differ_across_writers() {
+        let spec = MixtureSpec::femnist_like(8);
+        let (writers, _) = femnist_like(&spec, 2, 40, 10, 0.8, 4);
+        assert_ne!(writers[0].features().as_slice(), writers[1].features().as_slice());
+    }
+}

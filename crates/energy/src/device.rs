@@ -1,0 +1,124 @@
+//! Smartphone device profiles (§4.2, Table 2 of the paper).
+//!
+//! The paper's evaluation assigns each of the 256 nodes one of four phones,
+//! evenly distributed. Per-device constants below are fitted to plausible
+//! public hardware characteristics (sustained SoC power, MobileNet-v2 CPU
+//! inference latency, battery capacity) such that the derived Table 2
+//! matches the published numbers; see `trace::tests` for the enforcement.
+
+use serde::{Deserialize, Serialize};
+
+/// Static physical characteristics of a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: String,
+    /// Sustained power draw while training (Burnout-style), watts.
+    pub power_w: f64,
+    /// MobileNet-v2 single-sample inference latency (AI-Benchmark-style),
+    /// milliseconds.
+    pub mobilenet_inference_ms: f64,
+    /// Battery capacity, watt-hours.
+    pub battery_wh: f64,
+}
+
+/// The four phones of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Xiaomi 12 Pro (Snapdragon 8 Gen 1).
+    Xiaomi12Pro,
+    /// Samsung Galaxy S22 Ultra (Exynos 2200).
+    GalaxyS22Ultra,
+    /// OnePlus Nord 2 5G (Dimensity 1200, mid-range).
+    OnePlusNord2,
+    /// Xiaomi Poco X3 (Snapdragon 732G, older mid-range).
+    PocoX3,
+}
+
+impl DeviceKind {
+    /// All four device kinds in Table 2 order.
+    pub const ALL: [DeviceKind; 4] = [
+        DeviceKind::Xiaomi12Pro,
+        DeviceKind::GalaxyS22Ultra,
+        DeviceKind::OnePlusNord2,
+        DeviceKind::PocoX3,
+    ];
+
+    /// The physical profile of this device.
+    pub fn profile(&self) -> DeviceProfile {
+        match self {
+            DeviceKind::Xiaomi12Pro => DeviceProfile {
+                name: "Xiaomi 12 Pro".into(),
+                power_w: 8.5,
+                mobilenet_inference_ms: 56.5,
+                battery_wh: 17.70,
+            },
+            DeviceKind::GalaxyS22Ultra => DeviceProfile {
+                name: "Samsung Galaxy S22 Ultra".into(),
+                power_w: 8.0,
+                mobilenet_inference_ms: 55.4,
+                battery_wh: 19.45,
+            },
+            DeviceKind::OnePlusNord2 => DeviceProfile {
+                name: "OnePlus Nord 2 5G".into(),
+                power_w: 4.5,
+                mobilenet_inference_ms: 42.69,
+                battery_wh: 17.72,
+            },
+            DeviceKind::PocoX3 => DeviceProfile {
+                name: "Xiaomi Poco X3".into(),
+                power_w: 6.0,
+                mobilenet_inference_ms: 104.6,
+                battery_wh: 23.12,
+            },
+        }
+    }
+}
+
+/// Assigns devices to `n` nodes, evenly distributed over the four types
+/// (§4.2: "we distribute the 256 nodes evenly among the four types").
+pub fn fleet(n: usize) -> Vec<DeviceKind> {
+    (0..n).map(|i| DeviceKind::ALL[i % DeviceKind::ALL.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_profiles_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            DeviceKind::ALL.iter().map(|d| d.profile().name).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn fleet_is_even_for_multiples_of_four() {
+        let f = fleet(256);
+        for kind in DeviceKind::ALL {
+            assert_eq!(f.iter().filter(|&&k| k == kind).count(), 64);
+        }
+    }
+
+    #[test]
+    fn fleet_handles_non_multiples() {
+        let f = fleet(6);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f[4], DeviceKind::Xiaomi12Pro);
+    }
+
+    #[test]
+    fn profiles_have_sane_physics() {
+        for kind in DeviceKind::ALL {
+            let p = kind.profile();
+            assert!(p.power_w > 1.0 && p.power_w < 20.0, "{}: power {}", p.name, p.power_w);
+            assert!(
+                p.mobilenet_inference_ms > 10.0 && p.mobilenet_inference_ms < 500.0,
+                "{}: latency {}",
+                p.name,
+                p.mobilenet_inference_ms
+            );
+            assert!(p.battery_wh > 5.0 && p.battery_wh < 30.0, "{}: battery {}", p.name, p.battery_wh);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-node energy accounting (Eq. 2 and Eq. 3).
+//!
+//! The ledger accumulates training and communication energy per node and
+//! per round; Eq. 3's total is the sum over both axes. The engine records
+//! into the ledger after each round, and the bench harness reads the series
+//! out for the accuracy-vs-energy plots (Figures 5 and 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated energy per node, split by cause.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    training_wh: Vec<f64>,
+    comm_wh: Vec<f64>,
+    /// Cumulative total (training + comm) after each closed round.
+    round_totals_wh: Vec<f64>,
+    /// Energy recorded in the currently open round.
+    open_round_wh: f64,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            training_wh: vec![0.0; n],
+            comm_wh: vec![0.0; n],
+            round_totals_wh: Vec::new(),
+            open_round_wh: 0.0,
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.training_wh.len()
+    }
+
+    /// True when tracking zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.training_wh.is_empty()
+    }
+
+    /// Records training energy for a node (Wh).
+    pub fn record_training(&mut self, node: usize, wh: f64) {
+        debug_assert!(wh >= 0.0, "negative energy");
+        self.training_wh[node] += wh;
+        self.open_round_wh += wh;
+    }
+
+    /// Records communication energy for a node (Wh).
+    pub fn record_comm(&mut self, node: usize, wh: f64) {
+        debug_assert!(wh >= 0.0, "negative energy");
+        self.comm_wh[node] += wh;
+        self.open_round_wh += wh;
+    }
+
+    /// Closes the current round, pushing the cumulative total onto the
+    /// per-round series.
+    pub fn end_round(&mut self) {
+        let prev = self.round_totals_wh.last().copied().unwrap_or(0.0);
+        self.round_totals_wh.push(prev + self.open_round_wh);
+        self.open_round_wh = 0.0;
+    }
+
+    /// Training energy spent by `node` so far (Wh).
+    pub fn node_training_wh(&self, node: usize) -> f64 {
+        self.training_wh[node]
+    }
+
+    /// Communication energy spent by `node` so far (Wh).
+    pub fn node_comm_wh(&self, node: usize) -> f64 {
+        self.comm_wh[node]
+    }
+
+    /// Total training energy over all nodes (Wh) — the quantity Figures 5/6
+    /// plot on the x axis.
+    pub fn total_training_wh(&self) -> f64 {
+        self.training_wh.iter().sum()
+    }
+
+    /// Total communication energy over all nodes (Wh).
+    pub fn total_comm_wh(&self) -> f64 {
+        self.comm_wh.iter().sum()
+    }
+
+    /// Eq. 3: total energy over all nodes and rounds (Wh).
+    pub fn total_wh(&self) -> f64 {
+        self.total_training_wh() + self.total_comm_wh()
+    }
+
+    /// Cumulative total energy after each closed round (Wh).
+    pub fn cumulative_by_round(&self) -> &[f64] {
+        &self.round_totals_wh
+    }
+
+    /// Number of closed rounds.
+    pub fn rounds(&self) -> usize {
+        self.round_totals_wh.len()
+    }
+
+    /// Merges another ledger (e.g. from a parallel shard) into this one.
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        assert_eq!(self.len(), other.len(), "ledger size mismatch");
+        for (a, b) in self.training_wh.iter_mut().zip(&other.training_wh) {
+            *a += b;
+        }
+        for (a, b) in self.comm_wh.iter_mut().zip(&other.comm_wh) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_nodes_and_causes() {
+        let mut l = EnergyLedger::new(3);
+        l.record_training(0, 1.0);
+        l.record_training(2, 2.0);
+        l.record_comm(1, 0.5);
+        assert_eq!(l.total_training_wh(), 3.0);
+        assert_eq!(l.total_comm_wh(), 0.5);
+        assert_eq!(l.total_wh(), 3.5);
+        assert_eq!(l.node_training_wh(2), 2.0);
+        assert_eq!(l.node_comm_wh(1), 0.5);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone() {
+        let mut l = EnergyLedger::new(2);
+        l.record_training(0, 1.0);
+        l.end_round();
+        l.record_comm(1, 0.25);
+        l.end_round();
+        l.end_round(); // empty round
+        assert_eq!(l.cumulative_by_round(), &[1.0, 1.25, 1.25]);
+        assert_eq!(l.rounds(), 3);
+    }
+
+    #[test]
+    fn merge_adds_per_node() {
+        let mut a = EnergyLedger::new(2);
+        a.record_training(0, 1.0);
+        let mut b = EnergyLedger::new(2);
+        b.record_training(0, 2.0);
+        b.record_comm(1, 3.0);
+        a.merge(&b);
+        assert_eq!(a.node_training_wh(0), 3.0);
+        assert_eq!(a.node_comm_wh(1), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn merge_rejects_size_mismatch() {
+        let mut a = EnergyLedger::new(2);
+        let b = EnergyLedger::new(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,533 @@
+//! The synchronous round executor.
+
+use crate::eval::{evaluate_model, fixed_subsample};
+use crate::metrics::EvalStats;
+use crate::node::Node;
+use crate::transport::{decode_model, encode_model, TransportKind};
+use rayon::prelude::*;
+use skiptrain_data::Dataset;
+use skiptrain_energy::comm::{model_message_bytes, CommEnergyModel};
+use skiptrain_energy::EnergyLedger;
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_nn::{Sequential, SoftmaxCrossEntropy};
+use skiptrain_topology::{Graph, MixingMatrix};
+
+/// What a node does in the local-compute phase of a round.
+///
+/// Every round ends with share + aggregate regardless of the action
+/// (Lines 12–13 of Algorithm 2); the action only controls Lines 5–11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundAction {
+    /// Run `E` local SGD steps (a training round for this node).
+    Train,
+    /// Skip training; share the current model as-is (synchronization).
+    SyncOnly,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Master seed; all node/round randomness derives from it.
+    pub seed: u64,
+    /// Mini-batch size `|ξ|`.
+    pub batch_size: usize,
+    /// Local SGD steps per training round `E`.
+    pub local_steps: usize,
+    /// Optimizer settings (the paper uses plain SGD).
+    pub sgd: SgdConfig,
+    /// Message transport.
+    pub transport: TransportKind,
+    /// Per-node training energy per round (Wh); empty disables training
+    /// energy accounting.
+    pub training_energy_wh: Vec<f64>,
+    /// Radio energy model for the share/aggregate phase.
+    pub comm_energy: CommEnergyModel,
+    /// Nominal parameter count for message-size accounting; `None` uses the
+    /// actual simulated model size. (The paper's energy traces are defined
+    /// for Table 1's |x|, which may exceed the reduced simulation models.)
+    pub nominal_params: Option<usize>,
+}
+
+impl SimulationConfig {
+    /// A minimal config for tests: no energy accounting, in-memory
+    /// transport.
+    pub fn minimal(seed: u64, batch_size: usize, local_steps: usize, lr: f32) -> Self {
+        Self {
+            seed,
+            batch_size,
+            local_steps,
+            sgd: SgdConfig::plain(lr),
+            transport: TransportKind::Memory,
+            training_energy_wh: Vec::new(),
+            comm_energy: CommEnergyModel::paper_fit(),
+            nominal_params: None,
+        }
+    }
+}
+
+/// The synchronous decentralized simulation: nodes, their model replicas as
+/// flat parameter vectors, the mixing topology, and the energy ledger.
+pub struct Simulation {
+    config: SimulationConfig,
+    nodes: Vec<Node>,
+    graph: Graph,
+    mixing: MixingMatrix,
+    /// Committed models `x^t`, one flat vector per node.
+    params: Vec<Vec<f32>>,
+    /// Half-step models `x^{t−½}` produced by the local-compute phase.
+    half: Vec<Vec<f32>>,
+    /// Aggregation output buffers (swapped into `params` at round end).
+    next: Vec<Vec<f32>>,
+    ledger: EnergyLedger,
+    round: usize,
+    param_count: usize,
+    loss_fn: SoftmaxCrossEntropy,
+    /// Mean training loss over the training nodes of the last round.
+    last_train_loss: Option<f32>,
+}
+
+impl Simulation {
+    /// Builds a simulation.
+    ///
+    /// `models` and `datasets` must have one entry per topology node, and
+    /// all models must share one architecture (identical parameter counts).
+    ///
+    /// # Panics
+    /// Panics on any arity or shape mismatch.
+    pub fn new(
+        models: Vec<Sequential>,
+        datasets: Vec<Dataset>,
+        graph: Graph,
+        mixing: MixingMatrix,
+        config: SimulationConfig,
+    ) -> Self {
+        let n = graph.len();
+        assert!(n > 0, "empty topology");
+        assert_eq!(models.len(), n, "one model per node required");
+        assert_eq!(datasets.len(), n, "one dataset per node required");
+        assert_eq!(mixing.len(), n, "mixing matrix size mismatch");
+        if !config.training_energy_wh.is_empty() {
+            assert_eq!(config.training_energy_wh.len(), n, "per-node energy size mismatch");
+        }
+        let param_count = models[0].param_count();
+        assert!(
+            models.iter().all(|m| m.param_count() == param_count),
+            "all nodes must share one architecture"
+        );
+        let num_classes = models[0].output_dim();
+
+        let params: Vec<Vec<f32>> = models.iter().map(|m| m.flat_params()).collect();
+        let half = params.clone();
+        let next = params.clone();
+        let nodes: Vec<Node> = models
+            .into_iter()
+            .zip(datasets)
+            .enumerate()
+            .map(|(i, (model, data))| {
+                Node::new(i, model, data, config.batch_size, config.sgd, config.seed)
+            })
+            .collect();
+
+        Self {
+            nodes,
+            graph,
+            mixing,
+            params,
+            half,
+            next,
+            ledger: EnergyLedger::new(n),
+            round: 0,
+            param_count,
+            loss_fn: SoftmaxCrossEntropy::new(num_classes),
+            last_train_loss: None,
+            config,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a zero-node simulation (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Flat parameter count of the shared architecture.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The communication topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The energy ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Current committed model of `node`.
+    pub fn node_params(&self, node: usize) -> &[f32] {
+        &self.params[node]
+    }
+
+    /// Overwrites the committed model of `node` (tests, warm starts).
+    pub fn set_node_params(&mut self, node: usize, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count, "parameter length mismatch");
+        self.params[node].copy_from_slice(params);
+    }
+
+    /// Mean training loss over training nodes in the last round.
+    pub fn last_train_loss(&self) -> Option<f32> {
+        self.last_train_loss
+    }
+
+    /// Element-wise mean of all node models.
+    pub fn mean_params(&self) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.param_count];
+        let scale = 1.0 / self.len() as f32;
+        for p in &self.params {
+            skiptrain_linalg::ops::axpy(scale, p, &mut mean);
+        }
+        mean
+    }
+
+    /// Mean squared distance of node models to the mean model, normalized by
+    /// the parameter count — the consensus-disagreement metric.
+    pub fn disagreement(&self) -> f64 {
+        let mean = self.mean_params();
+        let mut acc = 0.0f64;
+        for p in &self.params {
+            acc += skiptrain_linalg::ops::squared_distance(p, &mean) as f64;
+        }
+        acc / (self.len() as f64 * self.param_count as f64)
+    }
+
+    /// Executes one synchronous round: local compute per `actions`, then
+    /// share + aggregate, then energy accounting.
+    ///
+    /// # Panics
+    /// Panics if `actions.len() != self.len()`.
+    pub fn run_round(&mut self, actions: &[RoundAction]) {
+        self.run_round_inner(actions, None);
+    }
+
+    /// Executes one round aggregating with an externally supplied mixing
+    /// matrix instead of the topology's — the hook for time-varying
+    /// topologies and asynchronous pairwise gossip (§5.3 of the paper).
+    ///
+    /// # Panics
+    /// Panics if `actions.len() != self.len()` or the matrix size differs.
+    pub fn run_round_with_mixing(&mut self, actions: &[RoundAction], mixing: &MixingMatrix) {
+        assert_eq!(mixing.len(), self.len(), "mixing matrix size mismatch");
+        self.run_round_inner(actions, Some(mixing));
+    }
+
+    fn run_round_inner(&mut self, actions: &[RoundAction], mixing_override: Option<&MixingMatrix>) {
+        assert_eq!(actions.len(), self.len(), "one action per node required");
+        let local_steps = self.config.local_steps;
+
+        // Phase 1: local compute (parallel over nodes).
+        let params = &self.params;
+        let losses: Vec<Option<f32>> = self
+            .nodes
+            .par_iter_mut()
+            .zip(self.half.par_iter_mut())
+            .zip(params.par_iter())
+            .zip(actions.par_iter())
+            .map(|(((node, half_i), params_i), action)| match action {
+                RoundAction::Train => {
+                    Some(node.train_local(params_i, local_steps, half_i))
+                }
+                RoundAction::SyncOnly => {
+                    half_i.clear();
+                    half_i.extend_from_slice(params_i);
+                    None
+                }
+            })
+            .collect();
+        let train_losses: Vec<f32> = losses.into_iter().flatten().collect();
+        self.last_train_loss = if train_losses.is_empty() {
+            None
+        } else {
+            Some(train_losses.iter().sum::<f32>() / train_losses.len() as f32)
+        };
+
+        // Phase 2: share. The serialized transport actually encodes/decodes
+        // every model and may drop messages; the in-memory transport reads
+        // half-step models directly.
+        let decoded: Option<Vec<Vec<f32>>> = match self.config.transport {
+            TransportKind::Memory => None,
+            TransportKind::Serialized { .. } => {
+                let round = self.round as u32;
+                Some(
+                    self.half
+                        .par_iter()
+                        .enumerate()
+                        .map(|(i, model)| {
+                            let frame = encode_model(i as u32, round, model);
+                            decode_model(frame).expect("in-process frame must decode").params
+                        })
+                        .collect(),
+                )
+            }
+        };
+
+        // Phase 3: aggregate x^t = Σ_j W_ji x_j^{t−½} (parallel over nodes),
+        // renormalizing dropped neighbors into the self weight.
+        let half = &self.half;
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        let transport = self.config.transport;
+        let seed = self.config.seed;
+        let round = self.round;
+        let sources: &[Vec<f32>] = decoded.as_deref().unwrap_or(half);
+        self.next.par_iter_mut().enumerate().for_each(|(i, out)| {
+            let row = mixing.row(i);
+            let mut inputs: Vec<&[f32]> = Vec::with_capacity(row.len());
+            let mut weights: Vec<f32> = Vec::with_capacity(row.len());
+            let mut dropped_weight = 0.0f32;
+            let mut self_pos = usize::MAX;
+            for &(j, w) in row {
+                let j = j as usize;
+                if j == i {
+                    self_pos = inputs.len();
+                    inputs.push(&half[i]);
+                    weights.push(w);
+                } else if transport.delivered(seed, round, j, i) {
+                    inputs.push(&sources[j]);
+                    weights.push(w);
+                } else {
+                    dropped_weight += w;
+                }
+            }
+            debug_assert!(self_pos != usize::MAX, "mixing row missing self weight");
+            weights[self_pos] += dropped_weight;
+            skiptrain_linalg::ops::weighted_sum_into(out, &inputs, &weights);
+        });
+        std::mem::swap(&mut self.params, &mut self.next);
+
+        // Phase 4: energy accounting.
+        self.account_energy(actions);
+        self.round += 1;
+    }
+
+    fn account_energy(&mut self, actions: &[RoundAction]) {
+        let msg_bytes =
+            model_message_bytes(self.config.nominal_params.unwrap_or(self.param_count));
+        let comm = self.config.comm_energy;
+        for i in 0..self.len() {
+            if actions[i] == RoundAction::Train {
+                if let Some(&e) = self.config.training_energy_wh.get(i) {
+                    self.ledger.record_training(i, e);
+                }
+            }
+            let degree = self.graph.degree(i);
+            let mut delivered_in = 0usize;
+            for &j in self.graph.neighbors(i) {
+                if self.config.transport.delivered(self.config.seed, self.round, j as usize, i) {
+                    delivered_in += 1;
+                }
+            }
+            let wh = comm.tx_energy_wh(msg_bytes) * degree as f64
+                + comm.rx_energy_wh(msg_bytes) * delivered_in as f64;
+            self.ledger.record_comm(i, wh);
+        }
+        self.ledger.end_round();
+    }
+
+    /// Evaluates every node's model on (a fixed subsample of) `dataset`,
+    /// in parallel. `max_samples = usize::MAX` evaluates the full set.
+    pub fn evaluate(&mut self, dataset: &Dataset, max_samples: usize) -> EvalStats {
+        let indices = fixed_subsample(dataset.len(), max_samples, self.config.seed);
+        let loss_fn = &self.loss_fn;
+        let params = &self.params;
+        let results: Vec<(f32, f32)> = self
+            .nodes
+            .par_iter_mut()
+            .zip(params.par_iter())
+            .map(|(node, p)| {
+                node.model_mut().load_params(p);
+                evaluate_model(node.model_mut(), loss_fn, dataset, Some(&indices))
+            })
+            .collect();
+        EvalStats::from_node_results(self.round, &results)
+    }
+
+    /// Evaluates the *average* of all node models (the Figure-1 all-reduce
+    /// curve evaluates this quantity).
+    pub fn evaluate_mean_model(&mut self, dataset: &Dataset, max_samples: usize) -> (f32, f32) {
+        let indices = fixed_subsample(dataset.len(), max_samples, self.config.seed);
+        let mean = self.mean_params();
+        let node = &mut self.nodes[0];
+        node.model_mut().load_params(&mean);
+        evaluate_model(node.model_mut(), &self.loss_fn, dataset, Some(&indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skiptrain_data::synth::{MixtureSpec, MixtureTask};
+    use skiptrain_topology::regular::random_regular;
+
+    fn tiny_sim(n: usize, seed: u64, transport: TransportKind) -> (Simulation, Dataset) {
+        let spec = MixtureSpec {
+            num_classes: 4,
+            feature_dim: 6,
+            modes_per_class: 1,
+            separation: 1.6,
+            noise: 0.5,
+        };
+        let task = MixtureTask::new(spec, 99);
+        let datasets: Vec<Dataset> = (0..n).map(|i| task.sample(60, 10 + i as u64)).collect();
+        let test = task.sample(200, 5000);
+        let models: Vec<Sequential> =
+            (0..n).map(|i| skiptrain_nn::zoo::mlp(&[6, 12, 4], seed + i as u64)).collect();
+        let d = if n > 4 { 4 } else { n - 1 };
+        let graph = random_regular(n, d, seed);
+        let mixing = MixingMatrix::metropolis_hastings(&graph);
+        let mut config = SimulationConfig::minimal(seed, 8, 2, 0.1);
+        config.transport = transport;
+        (Simulation::new(models, datasets, graph, mixing, config), test)
+    }
+
+    #[test]
+    fn training_rounds_improve_accuracy() {
+        let (mut sim, test) = tiny_sim(8, 1, TransportKind::Memory);
+        let before = sim.evaluate(&test, usize::MAX);
+        let actions = vec![RoundAction::Train; 8];
+        for _ in 0..25 {
+            sim.run_round(&actions);
+        }
+        let after = sim.evaluate(&test, usize::MAX);
+        assert!(
+            after.mean_accuracy > before.mean_accuracy + 0.2,
+            "accuracy {} -> {} did not improve enough",
+            before.mean_accuracy,
+            after.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn sync_rounds_reduce_disagreement_without_changing_mean() {
+        let (mut sim, _) = tiny_sim(8, 2, TransportKind::Memory);
+        // diversify models with a few training rounds
+        for _ in 0..3 {
+            sim.run_round(&vec![RoundAction::Train; 8]);
+        }
+        let mean_before = sim.mean_params();
+        let d_before = sim.disagreement();
+        for _ in 0..10 {
+            sim.run_round(&vec![RoundAction::SyncOnly; 8]);
+        }
+        let d_after = sim.disagreement();
+        let mean_after = sim.mean_params();
+        assert!(d_after < d_before * 0.5, "disagreement {d_before} -> {d_after}");
+        // doubly stochastic mixing preserves the average model
+        let drift: f32 = mean_before
+            .iter()
+            .zip(&mean_after)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(drift < 1e-4, "sync rounds drifted the mean model by {drift}");
+    }
+
+    #[test]
+    fn serialized_transport_matches_memory_exactly() {
+        let (mut mem, test) = tiny_sim(6, 3, TransportKind::Memory);
+        let (mut ser, _) = tiny_sim(6, 3, TransportKind::Serialized { drop_prob: 0.0 });
+        let actions = vec![RoundAction::Train; 6];
+        for _ in 0..5 {
+            mem.run_round(&actions);
+            ser.run_round(&actions);
+        }
+        for i in 0..6 {
+            assert_eq!(
+                mem.node_params(i),
+                ser.node_params(i),
+                "node {i} diverged between transports"
+            );
+        }
+        let (am, _) = mem.evaluate_mean_model(&test, usize::MAX);
+        let (as_, _) = ser.evaluate_mean_model(&test, usize::MAX);
+        assert_eq!(am, as_);
+    }
+
+    #[test]
+    fn lossy_transport_still_converges_models() {
+        let (mut sim, _) = tiny_sim(8, 4, TransportKind::Serialized { drop_prob: 0.3 });
+        for _ in 0..3 {
+            sim.run_round(&vec![RoundAction::Train; 8]);
+        }
+        let d_before = sim.disagreement();
+        for _ in 0..15 {
+            sim.run_round(&vec![RoundAction::SyncOnly; 8]);
+        }
+        assert!(
+            sim.disagreement() < d_before * 0.5,
+            "lossy sync should still contract disagreement"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (mut sim, test) = tiny_sim(6, 7, TransportKind::Memory);
+            for r in 0..6 {
+                let actions: Vec<RoundAction> = (0..6)
+                    .map(|i| if (r + i) % 2 == 0 { RoundAction::Train } else { RoundAction::SyncOnly })
+                    .collect();
+                sim.run_round(&actions);
+            }
+            (sim.node_params(3).to_vec(), sim.evaluate(&test, 100).mean_accuracy)
+        };
+        let (p1, a1) = run();
+        let (p2, a2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn energy_accounting_matches_hand_computation() {
+        let (mut sim, _) = tiny_sim(4, 8, TransportKind::Memory);
+        sim.config.training_energy_wh = vec![2.0, 3.0, 5.0, 7.0];
+        let mut actions = vec![RoundAction::Train; 4];
+        actions[3] = RoundAction::SyncOnly;
+        sim.run_round(&actions);
+        // nodes 0..3 trained: 2 + 3 + 5 Wh
+        assert!((sim.ledger().total_training_wh() - 10.0).abs() < 1e-9);
+        // comm energy: every node tx+rx over its degree
+        let msg = model_message_bytes(sim.param_count());
+        let expected_comm: f64 = (0..4)
+            .map(|i| {
+                let d = sim.graph().degree(i) as f64;
+                sim.config.comm_energy.tx_energy_wh(msg) * d
+                    + sim.config.comm_energy.rx_energy_wh(msg) * d
+            })
+            .sum();
+        assert!((sim.ledger().total_comm_wh() - expected_comm).abs() < 1e-12);
+        assert_eq!(sim.ledger().rounds(), 1);
+    }
+
+    #[test]
+    fn mean_model_eval_uses_average() {
+        let (mut sim, test) = tiny_sim(4, 9, TransportKind::Memory);
+        let mean = sim.mean_params();
+        let (acc_direct, _) = sim.evaluate_mean_model(&test, usize::MAX);
+        // setting every node to the mean and evaluating gives the same
+        for i in 0..4 {
+            sim.set_node_params(i, &mean);
+        }
+        let stats = sim.evaluate(&test, usize::MAX);
+        assert!((stats.mean_accuracy - acc_direct).abs() < 1e-6);
+        assert!(stats.std_accuracy < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synchronous decentralized-learning execution engine.
+//!
+//! This crate is the DecentralizePy substitute: it owns the round loop
+//! mechanics that every algorithm in the paper shares. A *round* consists of
+//!
+//! 1. **local compute** — each node either trains `E` local SGD steps on its
+//!    private dataset (a *training* round) or leaves its model untouched
+//!    (a *synchronization* round), producing the half-step model `x^{t−½}`;
+//! 2. **share** — every node sends `x^{t−½}` to its topology neighbors
+//!    through a [`transport`](transport::TransportKind) (zero-copy in-memory
+//!    or full serialize/decode with byte accounting and optional loss);
+//! 3. **aggregate** — every node computes `x^t = Σ_j W_ji · x_j^{t−½}`
+//!    with its Metropolis–Hastings row.
+//!
+//! Which of train/sync each node performs per round is decided by the
+//! *policies* in `skiptrain-core`; the engine is policy-agnostic and simply
+//! executes [`RoundAction`](executor::RoundAction)s. Nodes execute in
+//! parallel with rayon; all randomness is derived from per-node seeded
+//! streams so results are independent of the thread count.
+
+pub mod eval;
+pub mod executor;
+pub mod metrics;
+pub mod node;
+pub mod transport;
+
+pub use executor::{RoundAction, Simulation, SimulationConfig};
+pub use metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
+pub use transport::TransportKind;

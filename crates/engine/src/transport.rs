@@ -1,0 +1,217 @@
+//! Model exchange between neighbors.
+//!
+//! The simulator supports two transports:
+//!
+//! * [`TransportKind::Memory`] — neighbors read each other's half-step
+//!   models directly (zero copies). This is the fast path used for large
+//!   experiments; message sizes are still accounted analytically so energy
+//!   numbers are transport-independent.
+//! * [`TransportKind::Serialized`] — every message is actually encoded to a
+//!   length-prefixed, checksummed byte frame (via the `bytes` crate),
+//!   optionally dropped with a seeded probability, and decoded at the
+//!   receiver. This path exists to (a) validate that the fidelity of the
+//!   in-memory shortcut is exact, (b) exercise lossy-network behavior, and
+//!   (c) measure serialization overhead in the benches.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use skiptrain_linalg::rng::derive_seed;
+
+/// Frame magic marker ("STRN").
+const MAGIC: u32 = 0x5354524E;
+
+/// Transport selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Zero-copy shared-memory exchange (default).
+    Memory,
+    /// Serialize/decode every message; drop each directed message
+    /// independently with probability `drop_prob`.
+    Serialized {
+        /// Per-message drop probability in `[0, 1)`.
+        drop_prob: f64,
+    },
+}
+
+impl Default for TransportKind {
+    fn default() -> Self {
+        TransportKind::Memory
+    }
+}
+
+impl TransportKind {
+    /// Whether the directed message `src → dst` in `round` is delivered.
+    /// Deterministic in `(seed, round, src, dst)`.
+    pub fn delivered(&self, seed: u64, round: usize, src: usize, dst: usize) -> bool {
+        match self {
+            TransportKind::Memory => true,
+            TransportKind::Serialized { drop_prob } => {
+                if *drop_prob <= 0.0 {
+                    return true;
+                }
+                let stream = (round as u64)
+                    .wrapping_mul(0x1_0000_0001)
+                    .wrapping_add((src as u64) << 20)
+                    .wrapping_add(dst as u64);
+                let h = derive_seed(seed ^ 0xD50F, stream);
+                // map to [0, 1)
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                u >= *drop_prob
+            }
+        }
+    }
+}
+
+/// Encodes a flat model into a framed message:
+/// `[magic | sender | round | len | payload… | checksum]`.
+pub fn encode_model(sender: u32, round: u32, params: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + params.len() * 4 + 4);
+    buf.put_u32(MAGIC);
+    buf.put_u32(sender);
+    buf.put_u32(round);
+    buf.put_u32(params.len() as u32);
+    let mut checksum = 0u32;
+    for &p in params {
+        let bits = p.to_bits();
+        checksum = checksum.rotate_left(1) ^ bits;
+        buf.put_u32_le(bits);
+    }
+    buf.put_u32(checksum);
+    buf.freeze()
+}
+
+/// Decode error taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than the fixed header.
+    Truncated,
+    /// Magic marker mismatch.
+    BadMagic,
+    /// Payload length disagrees with the header.
+    LengthMismatch,
+    /// Checksum mismatch (corrupted payload).
+    BadChecksum,
+}
+
+/// Decoded message header + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedModel {
+    /// Sender node id.
+    pub sender: u32,
+    /// Round the model was produced in.
+    pub round: u32,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+}
+
+/// Decodes a frame produced by [`encode_model`].
+pub fn decode_model(mut frame: Bytes) -> Result<DecodedModel, DecodeError> {
+    if frame.len() < 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = frame.get_u32();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let sender = frame.get_u32();
+    let round = frame.get_u32();
+    let len = frame.get_u32() as usize;
+    if frame.len() != len * 4 + 4 {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let mut params = Vec::with_capacity(len);
+    let mut checksum = 0u32;
+    for _ in 0..len {
+        let bits = frame.get_u32_le();
+        checksum = checksum.rotate_left(1) ^ bits;
+        params.push(f32::from_bits(bits));
+    }
+    let expected = frame.get_u32();
+    if checksum != expected {
+        return Err(DecodeError::BadChecksum);
+    }
+    Ok(DecodedModel { sender, round, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let params = vec![1.5f32, -0.25, f32::MIN_POSITIVE, 0.0, 1e30];
+        let frame = encode_model(7, 42, &params);
+        let decoded = decode_model(frame).unwrap();
+        assert_eq!(decoded.sender, 7);
+        assert_eq!(decoded.round, 42);
+        assert_eq!(decoded.params, params);
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let decoded = decode_model(encode_model(0, 0, &[])).unwrap();
+        assert!(decoded.params.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = encode_model(1, 2, &[1.0, 2.0, 3.0]);
+        let mut bytes = frame.to_vec();
+        bytes[18] ^= 0xFF; // flip a payload byte
+        let err = decode_model(Bytes::from(bytes)).unwrap_err();
+        assert_eq!(err, DecodeError::BadChecksum);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let frame = encode_model(1, 2, &[1.0]);
+        let short = frame.slice(0..10);
+        assert_eq!(decode_model(short).unwrap_err(), DecodeError::Truncated);
+        let clipped = frame.slice(0..frame.len() - 4);
+        assert_eq!(decode_model(clipped).unwrap_err(), DecodeError::LengthMismatch);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let frame = encode_model(1, 2, &[1.0]);
+        let mut bytes = frame.to_vec();
+        bytes[0] = 0;
+        assert_eq!(decode_model(Bytes::from(bytes)).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn memory_transport_never_drops() {
+        let t = TransportKind::Memory;
+        for r in 0..100 {
+            assert!(t.delivered(1, r, 0, 1));
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let t = TransportKind::Serialized { drop_prob: 0.3 };
+        let mut dropped = 0usize;
+        let total = 20_000;
+        for r in 0..total {
+            if !t.delivered(9, r, 3, 5) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic() {
+        let t = TransportKind::Serialized { drop_prob: 0.5 };
+        for r in 0..50 {
+            assert_eq!(t.delivered(4, r, 1, 2), t.delivered(4, r, 1, 2));
+        }
+    }
+
+    #[test]
+    fn zero_drop_prob_delivers_everything() {
+        let t = TransportKind::Serialized { drop_prob: 0.0 };
+        assert!((0..1000).all(|r| t.delivered(1, r, 0, 1)));
+    }
+}

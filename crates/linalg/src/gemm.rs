@@ -1,0 +1,304 @@
+//! Matrix multiplication kernels.
+//!
+//! Backpropagation through dense layers needs three product shapes:
+//!
+//! * `C = A · B`       — forward pass (activations × weights),
+//! * `C = Aᵀ · B`      — weight gradients (inputs × output gradients),
+//! * `C = A · Bᵀ`      — input gradients (output gradients × weights).
+//!
+//! Each has a dedicated kernel so no explicit transpose materialization is
+//! needed. The primitive kernels operate on plain row-major slices
+//! ([`gemm_into`], [`gemm_at_b_into`], [`gemm_a_bt_into`]) so that callers
+//! storing parameters in packed buffers (the NN layers) multiply without any
+//! copies; [`Matrix`] wrappers are provided on top. All kernels use an
+//! accumulation order whose inner loop runs over contiguous memory of both
+//! the source and the destination, which lets LLVM vectorize them. Multiplies
+//! with at least [`PAR_THRESHOLD`] output elements are parallelized over
+//! output row blocks with rayon.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Minimum number of output elements before a multiply is parallelized.
+///
+/// Below this, rayon's scheduling overhead outweighs the parallel speedup
+/// (measured with the `sgd_step` criterion bench).
+pub const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// `C = A · B` on row-major slices: `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+///
+/// # Panics
+/// Panics if any slice length does not match its shape.
+pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_into: A length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_into: B length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_into: C length mismatch");
+
+    let kernel = |a_row: &[f32], c_row: &mut [f32]| {
+        c_row.fill(0.0);
+        // ikj order: for each a[i][p], stream b row p into c row i.
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_exact_mut(n)
+            .zip(a.par_chunks_exact(k))
+            .for_each(|(c_row, a_row)| kernel(a_row, c_row));
+    } else {
+        for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
+            kernel(a_row, c_row);
+        }
+    }
+}
+
+/// `C += Aᵀ · B` on row-major slices: `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+///
+/// Note this *accumulates* into `C` (the natural mode for gradient sums).
+///
+/// # Panics
+/// Panics if any slice length does not match its shape.
+pub fn gemm_at_b_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_at_b_into: A length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_at_b_into: B length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_at_b_into: C length mismatch");
+
+    // For every sample p: c[i][j] += a[p][i] * b[p][j]. Row p of both inputs
+    // is contiguous, and c rows are streamed in the inner loop.
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` on row-major slices: `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
+///
+/// The inner loop is a dot product of two contiguous rows.
+///
+/// # Panics
+/// Panics if any slice length does not match its shape.
+pub fn gemm_a_bt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_a_bt_into: A length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_a_bt_into: B length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_a_bt_into: C length mismatch");
+
+    let kernel = |a_row: &[f32], c_row: &mut [f32]| {
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            *c_v = crate::ops::dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_exact_mut(n)
+            .zip(a.par_chunks_exact(k))
+            .for_each(|(c_row, a_row)| kernel(a_row, c_row));
+    } else {
+        for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
+            kernel(a_row, c_row);
+        }
+    }
+}
+
+/// `C = A · B` where `A` is `m×k` and `B` is `k×n`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()` or if `C` is not `m×n`.
+pub fn matmul(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "matmul output shape mismatch");
+    gemm_into(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+}
+
+/// `C = Aᵀ · B` where `A` is `k×m` and `B` is `k×n` (so `C` is `m×n`).
+///
+/// Used for weight gradients: `dW = Xᵀ · dY`. Overwrites `C`.
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()` or if `C` is not `m×n`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_at_b inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "matmul_at_b output shape mismatch");
+    c.fill_zero();
+    gemm_at_b_into(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+}
+
+/// `C = A · Bᵀ` where `A` is `m×k` and `B` is `n×k` (so `C` is `m×n`).
+///
+/// Used for input gradients: `dX = dY · Wᵀ`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.cols()` or if `C` is not `m×n`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "matmul_a_bt inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "matmul_a_bt output shape mismatch");
+    gemm_a_bt_into(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+}
+
+/// Naive triple-loop reference used by tests and property checks.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::zeros(2, 2);
+        matmul(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = rand_matrix(5, 5, 42);
+        let id = Matrix::identity(5);
+        let mut c = Matrix::zeros(5, 5);
+        matmul(&a, &id, &mut c);
+        assert!(c.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_reference_rectangular() {
+        let a = rand_matrix(7, 13, 1);
+        let b = rand_matrix(13, 5, 2);
+        let mut c = Matrix::zeros(7, 5);
+        matmul(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&matmul_reference(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_reference() {
+        // Large enough to cross PAR_THRESHOLD.
+        let a = rand_matrix(300, 40, 3);
+        let b = rand_matrix(40, 300, 4);
+        let mut c = Matrix::zeros(300, 300);
+        matmul(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&matmul_reference(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = rand_matrix(9, 4, 5);
+        let b = rand_matrix(9, 6, 6);
+        let mut c = Matrix::zeros(4, 6);
+        matmul_at_b(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&matmul_reference(&a.transposed(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_slice_kernel_accumulates() {
+        let a = rand_matrix(3, 2, 11);
+        let b = rand_matrix(3, 4, 12);
+        let reference = matmul_reference(&a.transposed(), &b);
+        let mut c = vec![0.0f32; 8];
+        gemm_at_b_into(2, 3, 4, a.as_slice(), b.as_slice(), &mut c);
+        gemm_at_b_into(2, 3, 4, a.as_slice(), b.as_slice(), &mut c);
+        for (got, want) in c.iter().zip(reference.as_slice()) {
+            assert!((got - 2.0 * want).abs() < 1e-4, "accumulation failed");
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = rand_matrix(8, 5, 7);
+        let b = rand_matrix(3, 5, 8);
+        let mut c = Matrix::zeros(8, 3);
+        matmul_a_bt(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&matmul_reference(&a, &b.transposed())) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 3);
+        matmul(&a, &b, &mut c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_matmul_matches_reference(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000
+        ) {
+            let a = rand_matrix(m, k, seed);
+            let b = rand_matrix(k, n, seed.wrapping_add(1));
+            let mut c = Matrix::zeros(m, n);
+            matmul(&a, &b, &mut c);
+            prop_assert!(c.max_abs_diff(&matmul_reference(&a, &b)) < 1e-3);
+        }
+
+        #[test]
+        fn prop_transpose_kernels_agree(
+            m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000
+        ) {
+            let a = rand_matrix(k, m, seed);
+            let b = rand_matrix(k, n, seed.wrapping_add(9));
+            let mut c1 = Matrix::zeros(m, n);
+            matmul_at_b(&a, &b, &mut c1);
+            let at = a.transposed();
+            let mut c2 = Matrix::zeros(m, n);
+            matmul(&at, &b, &mut c2);
+            prop_assert!(c1.max_abs_diff(&c2) < 1e-3);
+        }
+
+        #[test]
+        fn prop_a_bt_matches_reference(
+            m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000
+        ) {
+            let a = rand_matrix(m, k, seed);
+            let b = rand_matrix(n, k, seed.wrapping_add(17));
+            let mut c = Matrix::zeros(m, n);
+            matmul_a_bt(&a, &b, &mut c);
+            prop_assert!(c.max_abs_diff(&matmul_reference(&a, &b.transposed())) < 1e-3);
+        }
+    }
+}

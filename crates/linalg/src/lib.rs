@@ -1,0 +1,28 @@
+//! Dense `f32` linear-algebra kernels for the SkipTrain decentralized-learning
+//! simulator.
+//!
+//! The neural-network substrate ([`skiptrain-nn`]), the synthetic dataset
+//! generators and the gossip-aggregation kernels of the execution engine are
+//! all built on the row-major [`Matrix`] type and the fused vector kernels in
+//! [`ops`]. The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has a naive reference implementation and
+//!    is tested against it (including property tests).
+//! 2. **Cache-friendliness** — [`gemm`] uses an ikj loop order with row-major
+//!    accumulation so the inner loop is a contiguous fused multiply-add; large
+//!    multiplies are parallelized over row blocks with rayon.
+//! 3. **Zero allocation on hot paths** — all kernels write into caller-provided
+//!    buffers; the NN layers above keep workhorse buffers across rounds.
+//!
+//! This crate deliberately supports only what the reproduction needs: it is a
+//! substrate, not a general-purpose BLAS.
+
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+
+pub use gemm::{gemm_a_bt_into, gemm_at_b_into, gemm_into, matmul, matmul_a_bt, matmul_at_b};
+pub use matrix::Matrix;
+pub use rng::GaussianSampler;

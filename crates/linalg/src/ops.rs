@@ -1,0 +1,251 @@
+//! Fused vector kernels used on the hot paths of training and gossip
+//! aggregation.
+//!
+//! All functions operate on plain slices so the callers (flattened model
+//! parameter vectors, matrix buffers) never need to copy into a dedicated
+//! type. Every kernel panics on length mismatch — in this codebase a length
+//! mismatch is always a programming error, never a data error.
+
+/// `y += alpha * x` (the BLAS `axpy`), the core of gossip aggregation.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x` (scaled copy), used to start a weighted aggregation.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn scaled_copy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "scaled_copy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise `y += x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// Element-wise `y -= x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn sub_assign(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "sub_assign length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi -= xi;
+    }
+}
+
+/// Dot product of two slices.
+///
+/// Accumulates in four independent lanes so the compiler can vectorize and
+/// the result does not depend on auto-vectorization width.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean distance `‖x − y‖²`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn squared_distance(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "squared_distance length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// SGD update step: `w -= lr * g`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn sgd_step(lr: f32, grad: &[f32], weights: &mut [f32]) {
+    axpy(-lr, grad, weights);
+}
+
+/// Linear interpolation `y = (1 - t) * y + t * x`, used by mixing ablations.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn lerp_assign(t: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "lerp_assign length mismatch");
+    let s = 1.0 - t;
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = s * *yi + t * xi;
+    }
+}
+
+/// Weighted sum of many equal-length vectors into `out`:
+/// `out = Σ_k weights[k] * inputs[k]`.
+///
+/// This is the gossip-aggregation kernel (Line 8 of D-PSGD / Line 13 of
+/// SkipTrain): node `i` computes `Σ_j W_ji · x_j` over its neighborhood.
+/// The loop is ordered so that each input vector is streamed through exactly
+/// once.
+///
+/// # Panics
+/// Panics if `weights.len() != inputs.len()`, or if any input length differs
+/// from `out.len()`.
+pub fn weighted_sum_into(out: &mut [f32], inputs: &[&[f32]], weights: &[f32]) {
+    assert_eq!(inputs.len(), weights.len(), "weighted_sum_into arity mismatch");
+    match inputs.first() {
+        None => out.fill(0.0),
+        Some(first) => {
+            scaled_copy(weights[0], first, out);
+            for (x, &w) in inputs.iter().zip(weights).skip(1) {
+                axpy(w, x, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-5 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scaled_copy_overwrites() {
+        let x = [1.0, -2.0];
+        let mut y = [9.0, 9.0];
+        scaled_copy(0.5, &x, &mut y);
+        assert_eq!(y, [0.5, -1.0]);
+    }
+
+    #[test]
+    fn dot_handles_tails() {
+        // length 7 exercises both the 4-lane body and the tail loop
+        let x: Vec<f32> = (1..=7).map(|v| v as f32).collect();
+        let y: Vec<f32> = (1..=7).map(|v| (v * 2) as f32).collect();
+        let expected: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(close(dot(&x, &y), expected));
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axis() {
+        assert!(close(norm(&[0.0, 1.0, 0.0]), 1.0));
+    }
+
+    #[test]
+    fn squared_distance_symmetry() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 3.0];
+        assert!(close(squared_distance(&x, &y), squared_distance(&y, &x)));
+        assert!(close(squared_distance(&x, &y), 25.0));
+    }
+
+    #[test]
+    fn sgd_step_descends() {
+        let mut w = [1.0, 1.0];
+        sgd_step(0.1, &[1.0, -1.0], &mut w);
+        assert_eq!(w, [0.9, 1.1]);
+    }
+
+    #[test]
+    fn weighted_sum_matches_manual() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let c = [1.0, 1.0];
+        let mut out = [0.0, 0.0];
+        weighted_sum_into(&mut out, &[&a, &b, &c], &[0.5, 0.25, 0.25]);
+        assert_eq!(out, [0.75, 0.5]);
+    }
+
+    #[test]
+    fn weighted_sum_empty_inputs_zeroes_out() {
+        let mut out = [3.0, 4.0];
+        weighted_sum_into(&mut out, &[], &[]);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn lerp_assign_endpoints() {
+        let x = [2.0, 4.0];
+        let mut y = [0.0, 0.0];
+        lerp_assign(1.0, &x, &mut y);
+        assert_eq!(y, [2.0, 4.0]);
+        let mut y2 = [1.0, 1.0];
+        lerp_assign(0.0, &x, &mut y2);
+        assert_eq!(y2, [1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatch() {
+        let mut y = [0.0];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+}

@@ -1,0 +1,133 @@
+//! Reductions and summary statistics over slices.
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[inline]
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f32
+    }
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32
+}
+
+/// Population standard deviation.
+#[inline]
+pub fn std_dev(x: &[f32]) -> f32 {
+    variance(x).sqrt()
+}
+
+/// Index of the maximum element (first occurrence wins); `None` when empty.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_v = x[0];
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    Some(best)
+}
+
+/// Maximum element; `None` when empty. NaNs are ignored unless all elements
+/// are NaN, in which case the first element is returned.
+pub fn max(x: &[f32]) -> Option<f32> {
+    argmax(x).map(|i| x[i])
+}
+
+/// Minimum element; `None` when empty.
+pub fn min(x: &[f32]) -> Option<f32> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = x[0];
+    for &v in &x[1..] {
+        if v < best {
+            best = v;
+        }
+    }
+    Some(best)
+}
+
+/// Mean and standard deviation in one pass over `f64` accumulators, used for
+/// metrics aggregation where `f32` accumulation error would be visible across
+/// hundreds of nodes.
+pub fn mean_std(x: &[f32]) -> (f32, f32) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = x.len() as f64;
+    let mut s = 0.0f64;
+    let mut s2 = 0.0f64;
+    for &v in x {
+        let v = v as f64;
+        s += v;
+        s2 += v * v;
+    }
+    let m = s / n;
+    let var = (s2 / n - m * m).max(0.0);
+    (m as f32, var.sqrt() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_basics() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // var([1,2,3,4]) = 1.25 (population)
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn min_max_roundtrip() {
+        let x = [3.0, -1.0, 7.0, 0.0];
+        assert_eq!(max(&x), Some(7.0));
+        assert_eq!(min(&x), Some(-1.0));
+    }
+
+    #[test]
+    fn mean_std_matches_two_pass() {
+        let x: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let (m, s) = mean_std(&x);
+        assert!((m - mean(&x)).abs() < 1e-5);
+        assert!((s - std_dev(&x)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Stateless activation layers.
+
+use crate::layer::{ensure_shape, Layer};
+use skiptrain_linalg::Matrix;
+
+/// Rectified linear unit: `y = max(0, x)`.
+///
+/// The backward pass uses the *output* mask (`y > 0`), which equals the input
+/// mask for ReLU and avoids caching the input separately.
+pub struct Relu {
+    dim: usize,
+    cached_output_mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, cached_output_mask: Vec::new() }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
+        assert_eq!(input.cols(), self.dim, "relu forward: dim mismatch");
+        ensure_shape(output, input.rows(), self.dim);
+        if train {
+            self.cached_output_mask.clear();
+            self.cached_output_mask.reserve(input.len());
+            for (o, &i) in output.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                let keep = i > 0.0;
+                *o = if keep { i } else { 0.0 };
+                self.cached_output_mask.push(keep);
+            }
+        } else {
+            for (o, &i) in output.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                *o = if i > 0.0 { i } else { 0.0 };
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        assert_eq!(
+            self.cached_output_mask.len(),
+            grad_out.len(),
+            "relu backward: no cached forward for this batch"
+        );
+        ensure_shape(grad_in, grad_out.rows(), self.dim);
+        for ((gi, &go), &keep) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(&self.cached_output_mask)
+        {
+            *gi = if keep { go } else { 0.0 };
+        }
+    }
+}
+
+/// Hyperbolic tangent activation, provided for the linear/regression examples
+/// and ablations; the paper's models use ReLU.
+pub struct Tanh {
+    dim: usize,
+    cached_output: Vec<f32>,
+}
+
+impl Tanh {
+    /// Creates a tanh over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, cached_output: Vec::new() }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
+        assert_eq!(input.cols(), self.dim, "tanh forward: dim mismatch");
+        ensure_shape(output, input.rows(), self.dim);
+        for (o, &i) in output.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = i.tanh();
+        }
+        if train {
+            self.cached_output.clear();
+            self.cached_output.extend_from_slice(output.as_slice());
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        assert_eq!(
+            self.cached_output.len(),
+            grad_out.len(),
+            "tanh backward: no cached forward for this batch"
+        );
+        ensure_shape(grad_in, grad_out.rows(), self.dim);
+        for ((gi, &go), &y) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(&self.cached_output)
+        {
+            *gi = go * (1.0 - y * y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new(4);
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let mut y = Matrix::zeros(0, 0);
+        relu.forward(&x, &mut y, false);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_inactive_units() {
+        let mut relu = Relu::new(3);
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 1.0, 3.0]);
+        let mut y = Matrix::zeros(0, 0);
+        relu.forward(&x, &mut y, true);
+        let g = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        let mut gi = Matrix::zeros(0, 0);
+        relu.backward(&g, &mut gi);
+        assert_eq!(gi.as_slice(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_zero_input_has_zero_gradient() {
+        // the kink: subgradient at 0 chosen as 0, consistent forward/backward
+        let mut relu = Relu::new(1);
+        let x = Matrix::from_vec(1, 1, vec![0.0]);
+        let mut y = Matrix::zeros(0, 0);
+        relu.forward(&x, &mut y, true);
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        let mut gi = Matrix::zeros(0, 0);
+        relu.backward(&g, &mut gi);
+        assert_eq!(gi.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut t = Tanh::new(2);
+        let x = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let mut y = Matrix::zeros(0, 0);
+        t.forward(&x, &mut y, false);
+        assert!((y.row(0)[0] - 0.5f32.tanh()).abs() < 1e-6);
+        assert!((y.row(0)[1] + 0.5f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_is_one_minus_y_squared() {
+        let mut t = Tanh::new(1);
+        let x = Matrix::from_vec(1, 1, vec![0.0]);
+        let mut y = Matrix::zeros(0, 0);
+        t.forward(&x, &mut y, true);
+        let g = Matrix::from_vec(1, 1, vec![2.0]);
+        let mut gi = Matrix::zeros(0, 0);
+        t.backward(&g, &mut gi);
+        // tanh(0)=0, derivative = 1
+        assert!((gi.row(0)[0] - 2.0).abs() < 1e-6);
+    }
+}

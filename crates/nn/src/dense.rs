@@ -1,0 +1,226 @@
+//! Fully-connected (dense) layer.
+
+use crate::layer::{ensure_shape, Layer};
+use skiptrain_linalg::{gemm_a_bt_into, gemm_at_b_into, Matrix};
+
+/// A dense layer computing `Y = X · W + b`.
+///
+/// Parameters are packed contiguously as `[W (in×out, row-major) | b (out)]`
+/// so the model can expose one flat parameter vector for gossip exchange,
+/// and all three GEMMs of the layer run directly on the packed slice with no
+/// copies.
+pub struct Dense {
+    input_dim: usize,
+    output_dim: usize,
+    /// `[W | b]`, `input_dim * output_dim + output_dim` values.
+    params: Vec<f32>,
+    grads: Vec<f32>,
+    /// Input cached by the forward pass for the weight-gradient GEMM.
+    cached_input: Matrix,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initialized weights and zero
+    /// bias (PyTorch's `nn.Linear` default family).
+    pub fn new(input_dim: usize, output_dim: usize, init: &mut crate::zoo::InitRng) -> Self {
+        let n = input_dim * output_dim + output_dim;
+        let mut params = vec![0.0f32; n];
+        let bound = (6.0f32 / input_dim as f32).sqrt();
+        for w in params[..input_dim * output_dim].iter_mut() {
+            *w = init.uniform(-bound, bound);
+        }
+        Self {
+            input_dim,
+            output_dim,
+            params,
+            grads: vec![0.0f32; n],
+            cached_input: Matrix::zeros(0, 0),
+        }
+    }
+
+    #[inline]
+    fn weight_len(&self) -> usize {
+        self.input_dim * self.output_dim
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
+        let batch = input.rows();
+        assert_eq!(input.cols(), self.input_dim, "dense forward: input dim mismatch");
+        ensure_shape(output, batch, self.output_dim);
+
+        let (w, bias) = self.params.split_at(self.weight_len());
+        // Y = X · W, written with the ikj kernel streaming rows of W.
+        skiptrain_linalg::gemm_into(
+            batch,
+            self.input_dim,
+            self.output_dim,
+            input.as_slice(),
+            w,
+            output.as_mut_slice(),
+        );
+        for r in 0..batch {
+            let row = output.row_mut(r);
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+
+        if train {
+            ensure_shape(&mut self.cached_input, batch, self.input_dim);
+            self.cached_input.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        let batch = grad_out.rows();
+        assert_eq!(grad_out.cols(), self.output_dim, "dense backward: grad dim mismatch");
+        assert_eq!(
+            self.cached_input.rows(),
+            batch,
+            "dense backward: no cached forward for this batch"
+        );
+        ensure_shape(grad_in, batch, self.input_dim);
+
+        let wlen = self.weight_len();
+        let (dw, db) = self.grads.split_at_mut(wlen);
+        // dW += Xᵀ · dY
+        gemm_at_b_into(
+            self.input_dim,
+            batch,
+            self.output_dim,
+            self.cached_input.as_slice(),
+            grad_out.as_slice(),
+            dw,
+        );
+        // db += column sums of dY
+        for r in 0..batch {
+            for (g, d) in db.iter_mut().zip(grad_out.row(r)) {
+                *g += d;
+            }
+        }
+        // dX = dY · Wᵀ — A·Bᵀ with B = W viewed as out-major? W is in×out
+        // row-major, i.e. Wᵀ is out×in; a_bt wants B as n×k = in×out: exactly W.
+        gemm_a_bt_into(
+            batch,
+            self.output_dim,
+            self.input_dim,
+            grad_out.as_slice(),
+            &self.params[..wlen],
+            grad_in.as_mut_slice(),
+        );
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    fn grads_mut(&mut self) -> &mut [f32] {
+        &mut self.grads
+    }
+
+    fn params_and_grads(&mut self) -> (&mut [f32], &[f32]) {
+        (&mut self.params, &self.grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::InitRng;
+
+    fn fixed_dense(input_dim: usize, output_dim: usize) -> Dense {
+        let mut init = InitRng::new(42);
+        Dense::new(input_dim, output_dim, &mut init)
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut d = fixed_dense(2, 3);
+        // W = [[1,2,3],[4,5,6]], b = [.1,.2,.3]
+        d.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.1, 0.2, 0.3]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let mut y = Matrix::zeros(0, 0);
+        d.forward(&x, &mut y, false);
+        assert_eq!(y.shape(), (1, 3));
+        let row = y.row(0);
+        assert!((row[0] - 5.1).abs() < 1e-6);
+        assert!((row[1] - 7.2).abs() < 1e-6);
+        assert!((row[2] - 9.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_gradient_matches_manual() {
+        let mut d = fixed_dense(2, 2);
+        // W = [[1,2],[3,4]], b = 0
+        d.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let mut y = Matrix::zeros(0, 0);
+        d.forward(&x, &mut y, true);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let mut gi = Matrix::zeros(0, 0);
+        d.backward(&g, &mut gi);
+        // dX = dY · Wᵀ = [1,0]·[[1,3],[2,4]]ᵀ... dX_j = Σ_o g_o W[j][o] = W[j][0]
+        assert_eq!(gi.row(0), &[1.0, 3.0]);
+        // dW[i][o] = x_i * g_o → [[1,0],[1,0]]; db = [1,0]
+        assert_eq!(&d.grads()[..4], &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(&d.grads()[4..], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count_is_w_plus_b() {
+        let d = fixed_dense(7, 5);
+        assert_eq!(d.param_count(), 7 * 5 + 5);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = fixed_dense(4, 4);
+        let b = fixed_dense(4, 4);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn bias_initialized_to_zero() {
+        let d = fixed_dense(3, 2);
+        assert_eq!(&d.params()[6..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut d = fixed_dense(2, 2);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let mut y = Matrix::zeros(0, 0);
+        d.forward(&x, &mut y, true);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let mut gi = Matrix::zeros(0, 0);
+        d.backward(&g, &mut gi);
+        let g1 = d.grads().to_vec();
+        d.forward(&x, &mut y, true);
+        d.backward(&g, &mut gi);
+        for (a, b) in d.grads().iter().zip(&g1) {
+            assert!((a - 2.0 * b).abs() < 1e-5, "gradient did not accumulate");
+        }
+    }
+}

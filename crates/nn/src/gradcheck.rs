@@ -1,0 +1,191 @@
+//! Finite-difference gradient verification.
+//!
+//! Manual backpropagation is the highest-risk code in the substrate, so the
+//! test suite verifies every layer type end-to-end against central
+//! differences. The checker is public so downstream users adding custom
+//! layers can reuse it.
+
+use crate::loss::SoftmaxCrossEntropy;
+use crate::model::Sequential;
+use skiptrain_linalg::Matrix;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest relative error across the checked coordinates.
+    pub max_rel_error: f32,
+    /// Index of the worst coordinate in the flattened parameter vector.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst coordinate.
+    pub analytic: f32,
+    /// Numeric gradient at the worst coordinate.
+    pub numeric: f32,
+    /// How many coordinates were checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// True if the worst relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error < tol
+    }
+}
+
+/// Relative error with an absolute floor so near-zero gradients don't blow
+/// up the ratio.
+fn rel_error(a: f32, b: f32) -> f32 {
+    (a - b).abs() / (a.abs().max(b.abs()) + 1e-3)
+}
+
+/// Verifies the model's backpropagated gradients against central finite
+/// differences of the loss.
+///
+/// `max_coords` bounds the number of parameter coordinates probed (spread
+/// evenly over the flattened vector) since each probe costs two forward
+/// passes.
+pub fn check_gradients(
+    model: &mut Sequential,
+    loss: &SoftmaxCrossEntropy,
+    x: &Matrix,
+    labels: &[u32],
+    eps: f32,
+    max_coords: usize,
+) -> GradCheckReport {
+    // Analytic gradients.
+    model.zero_grads();
+    let mut grad_logits = Matrix::zeros(0, 0);
+    {
+        let logits = model.forward(x, true);
+        loss.loss_and_grad(logits, labels, &mut grad_logits);
+    }
+    model.backward(&grad_logits);
+    let mut analytic = Vec::new();
+    model.copy_grads_to(&mut analytic);
+
+    let mut flat = model.flat_params();
+    let n = flat.len();
+    let step = (n / max_coords.max(1)).max(1);
+
+    let mut report = GradCheckReport {
+        max_rel_error: 0.0,
+        worst_index: 0,
+        analytic: 0.0,
+        numeric: 0.0,
+        checked: 0,
+    };
+
+    let mut idx = 0usize;
+    while idx < n {
+        let orig = flat[idx];
+        flat[idx] = orig + eps;
+        model.load_params(&flat);
+        let lp = loss.loss(model.forward(x, false), labels);
+        flat[idx] = orig - eps;
+        model.load_params(&flat);
+        let lm = loss.loss(model.forward(x, false), labels);
+        flat[idx] = orig;
+
+        let numeric = (lp - lm) / (2.0 * eps);
+        let err = rel_error(analytic[idx], numeric);
+        if err > report.max_rel_error {
+            report.max_rel_error = err;
+            report.worst_index = idx;
+            report.analytic = analytic[idx];
+            report.numeric = numeric;
+        }
+        report.checked += 1;
+        idx += step;
+    }
+    model.load_params(&flat);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, MaxPool2d, Shape2d};
+    use crate::dense::Dense;
+    use crate::activations::{Relu, Tanh};
+    use crate::zoo::InitRng;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_batch(batch: usize, dim: usize, classes: usize, seed: u64) -> (Matrix, Vec<u32>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(batch, dim, |_, _| rng.random_range(-1.0f32..1.0));
+        let labels = (0..batch).map(|_| rng.random_range(0..classes) as u32).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn mlp_gradients_verify() {
+        let mut model = crate::zoo::mlp(&[6, 10, 4], 11);
+        let loss = SoftmaxCrossEntropy::new(4);
+        let (x, y) = random_batch(5, 6, 4, 1);
+        let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 120);
+        assert!(
+            report.passes(2e-2),
+            "mlp gradcheck failed: {:?}",
+            report
+        );
+    }
+
+    #[test]
+    fn logistic_gradients_verify() {
+        let mut model = crate::zoo::logistic_regression(8, 3, 5);
+        let loss = SoftmaxCrossEntropy::new(3);
+        let (x, y) = random_batch(7, 8, 3, 2);
+        let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 60);
+        assert!(report.passes(2e-2), "logistic gradcheck failed: {:?}", report);
+    }
+
+    #[test]
+    fn tanh_mlp_gradients_verify() {
+        let mut init = InitRng::new(3);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(5, 7, &mut init)),
+            Box::new(Tanh::new(7)),
+            Box::new(Dense::new(7, 3, &mut init)),
+        ]);
+        let loss = SoftmaxCrossEntropy::new(3);
+        let (x, y) = random_batch(4, 5, 3, 3);
+        let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 80);
+        assert!(report.passes(2e-2), "tanh gradcheck failed: {:?}", report);
+    }
+
+    #[test]
+    fn conv_pool_gradients_verify() {
+        let mut init = InitRng::new(4);
+        let s0 = Shape2d::new(2, 6, 6);
+        let c1 = Conv2d::new(s0, 3, 3, 1, 1, &mut init);
+        let s1 = c1.output_shape();
+        let p1 = MaxPool2d::new(s1, 2);
+        let s2 = p1.output_shape();
+        let fc = Dense::new(s2.len(), 4, &mut init);
+        let mut model = Sequential::new(vec![
+            Box::new(c1),
+            Box::new(Relu::new(s1.len())),
+            Box::new(p1),
+            Box::new(fc),
+        ]);
+        let loss = SoftmaxCrossEntropy::new(4);
+        let (x, y) = random_batch(3, s0.len(), 4, 4);
+        let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 150);
+        assert!(report.passes(3e-2), "conv gradcheck failed: {:?}", report);
+    }
+
+    #[test]
+    fn strided_conv_gradients_verify() {
+        let mut init = InitRng::new(6);
+        let s0 = Shape2d::new(1, 7, 7);
+        let c1 = Conv2d::new(s0, 2, 3, 2, 0, &mut init);
+        let s1 = c1.output_shape();
+        let fc = Dense::new(s1.len(), 3, &mut init);
+        let mut model =
+            Sequential::new(vec![Box::new(c1), Box::new(Relu::new(s1.len())), Box::new(fc)]);
+        let loss = SoftmaxCrossEntropy::new(3);
+        let (x, y) = random_batch(2, s0.len(), 3, 5);
+        let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 100);
+        assert!(report.passes(3e-2), "strided conv gradcheck failed: {:?}", report);
+    }
+}

@@ -1,0 +1,121 @@
+//! The layer abstraction.
+//!
+//! Layers process batch-major activations: a `Matrix` with one sample per
+//! row and `features` columns. Convolutional layers interpret the feature
+//! axis as a flattened `channels × height × width` volume; because the
+//! layout is row-major and contiguous, no reshapes are ever materialized.
+
+use skiptrain_linalg::Matrix;
+
+/// A differentiable layer.
+///
+/// Contract:
+/// * [`forward`](Layer::forward) consumes `input` (`batch × input_dim`) and
+///   writes `output` (`batch × output_dim`). When `train` is true the layer
+///   may cache whatever it needs for the backward pass.
+/// * [`backward`](Layer::backward) consumes `grad_out` (`batch × output_dim`),
+///   accumulates parameter gradients internally, and writes `grad_in`
+///   (`batch × input_dim`). It must be called after a `forward` with
+///   `train = true` on the same batch.
+/// * Parameters and their gradients are exposed as single contiguous slices
+///   so models can be flattened for gossip exchange without copying
+///   layer-by-layer structure around.
+pub trait Layer: Send {
+    /// Human-readable layer kind, used in model summaries.
+    fn name(&self) -> &'static str;
+
+    /// Number of input features per sample.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output features per sample.
+    fn output_dim(&self) -> usize;
+
+    /// Forward pass. See trait docs for the buffer contract.
+    fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool);
+
+    /// Backward pass. See trait docs for the buffer contract.
+    fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix);
+
+    /// Flat view of the trainable parameters (empty for stateless layers).
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+
+    /// Mutable flat view of the trainable parameters.
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+
+    /// Flat view of the parameter gradients, aligned with [`params`](Layer::params).
+    fn grads(&self) -> &[f32] {
+        &[]
+    }
+
+    /// Mutable flat view of the parameter gradients.
+    fn grads_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+
+    /// Mutable parameters together with their (read-only) gradients, for the
+    /// optimizer update. Layers with state implement this as a disjoint
+    /// field borrow; stateless layers return empty slices.
+    fn params_and_grads(&mut self) -> (&mut [f32], &[f32]) {
+        (&mut [], &[])
+    }
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        self.params().len()
+    }
+}
+
+/// Resizes `m` to `rows × cols` if needed, reusing the allocation when the
+/// total element count already matches.
+pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.shape() != (rows, cols) {
+        *m = Matrix::zeros(rows, cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stateless;
+    impl Layer for Stateless {
+        fn name(&self) -> &'static str {
+            "stateless"
+        }
+        fn input_dim(&self) -> usize {
+            3
+        }
+        fn output_dim(&self) -> usize {
+            3
+        }
+        fn forward(&mut self, input: &Matrix, output: &mut Matrix, _train: bool) {
+            output.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+        fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+            grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        }
+    }
+
+    #[test]
+    fn default_param_views_are_empty() {
+        let mut l = Stateless;
+        assert!(l.params().is_empty());
+        assert!(l.params_mut().is_empty());
+        assert!(l.grads().is_empty());
+        assert_eq!(l.param_count(), 0);
+    }
+
+    #[test]
+    fn ensure_shape_reallocates_only_on_mismatch() {
+        let mut m = Matrix::zeros(2, 3);
+        ensure_shape(&mut m, 2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        ensure_shape(&mut m, 4, 5);
+        assert_eq!(m.shape(), (4, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Neural-network training substrate for the SkipTrain reproduction.
+//!
+//! The paper trains CNNs with PyTorch; this crate provides the equivalent
+//! machinery from scratch:
+//!
+//! * [`layer`] — the [`Layer`](layer::Layer) abstraction with manual,
+//!   gradient-checked backpropagation,
+//! * [`dense`], [`conv`], [`activations`] — the layer implementations used by
+//!   the paper's model family (fully-connected, 2-D convolution with im2col,
+//!   max-pooling, ReLU),
+//! * [`loss`] — fused softmax cross-entropy (the paper's loss) and top-1
+//!   accuracy,
+//! * [`model`] — [`Sequential`](model::Sequential) models with flat parameter
+//!   access: decentralized learning shares and averages *flattened* parameter
+//!   vectors, so flatten/unflatten is a first-class operation,
+//! * [`sgd`] — plain and momentum SGD,
+//! * [`zoo`] — the model family of the evaluation (Table 1): the FEMNIST CNN
+//!   reproduces the paper's 1,690,046-parameter model exactly,
+//! * [`gradcheck`] — finite-difference gradient verification used by the test
+//!   suite.
+
+pub mod activations;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod sgd;
+pub mod zoo;
+
+pub use layer::Layer;
+pub use loss::SoftmaxCrossEntropy;
+pub use model::Sequential;
+pub use sgd::Sgd;

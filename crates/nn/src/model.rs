@@ -1,0 +1,259 @@
+//! Sequential model container with flat parameter access.
+//!
+//! Decentralized learning treats a model as an opaque parameter vector `x`
+//! that is trained locally, shared with neighbors, and averaged. The
+//! [`Sequential`] container therefore makes flatten/unflatten first-class:
+//! [`Sequential::copy_params_to`] and [`Sequential::load_params`] move the
+//! full parameter vector in and out without any per-layer bookkeeping on the
+//! caller's side.
+
+use crate::layer::Layer;
+use skiptrain_linalg::Matrix;
+
+/// A stack of layers executed in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    /// Output activation buffer per layer (workhorse, reused across batches).
+    acts: Vec<Matrix>,
+    /// Ping-pong gradient buffers for the backward sweep.
+    gbuf_a: Matrix,
+    gbuf_b: Matrix,
+    param_count: usize,
+}
+
+impl Sequential {
+    /// Builds a model from layers.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty or if consecutive layer dimensions do not
+    /// line up.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "layer {} output ({}) does not feed layer {} input ({})",
+                pair[0].name(),
+                pair[0].output_dim(),
+                pair[1].name(),
+                pair[1].input_dim()
+            );
+        }
+        let acts = layers.iter().map(|_| Matrix::zeros(0, 0)).collect();
+        let param_count = layers.iter().map(|l| l.param_count()).sum();
+        Self { layers, acts, gbuf_a: Matrix::zeros(0, 0), gbuf_b: Matrix::zeros(0, 0), param_count }
+    }
+
+    /// Number of input features per sample.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Number of output features (logits) per sample.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().output_dim()
+    }
+
+    /// Total number of trainable parameters (the paper's `|x|`).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Read access to the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Runs the forward pass and returns the logits for the batch.
+    ///
+    /// With `train = true`, layers cache what the backward pass needs.
+    pub fn forward(&mut self, input: &Matrix, train: bool) -> &Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "model forward: input dim mismatch");
+        let mut src: &Matrix = input;
+        for (layer, act) in self.layers.iter_mut().zip(self.acts.iter_mut()) {
+            layer.forward(src, act, train);
+            src = act;
+        }
+        self.acts.last().unwrap()
+    }
+
+    /// Runs the backward sweep from the logit gradient, accumulating
+    /// parameter gradients in every layer.
+    ///
+    /// Must follow a `forward(.., train = true)` on the same batch.
+    pub fn backward(&mut self, grad_logits: &Matrix) {
+        let Self { layers, acts, gbuf_a, gbuf_b, .. } = self;
+        let n = layers.len();
+        debug_assert_eq!(acts.len(), n);
+        // `cur` receives the gradient w.r.t. the current layer's input;
+        // `next` holds the gradient produced by the layer above.
+        let mut cur: &mut Matrix = gbuf_a;
+        let mut next: &mut Matrix = gbuf_b;
+        for (i, layer) in layers.iter_mut().enumerate().rev() {
+            if i == n - 1 {
+                layer.backward(grad_logits, cur);
+            } else {
+                layer.backward(&*next, cur);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.grads_mut().fill(0.0);
+        }
+    }
+
+    /// Copies the flattened parameter vector into `out` (resized to fit).
+    pub fn copy_params_to(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count);
+        for layer in &self.layers {
+            out.extend_from_slice(layer.params());
+        }
+    }
+
+    /// Returns the flattened parameter vector.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut v = Vec::new();
+        self.copy_params_to(&mut v);
+        v
+    }
+
+    /// Copies the flattened gradient vector into `out` (resized to fit).
+    pub fn copy_grads_to(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count);
+        for layer in &self.layers {
+            out.extend_from_slice(layer.grads());
+        }
+    }
+
+    /// Loads a flattened parameter vector produced by [`copy_params_to`]
+    /// (e.g. an aggregated neighbor model).
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != self.param_count()`.
+    pub fn load_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count, "flat parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let p = layer.params_mut();
+            p.copy_from_slice(&flat[offset..offset + p.len()]);
+            offset += p.len();
+        }
+    }
+
+    /// Visits `(params, grads)` slices of every parameterized layer, in
+    /// flatten order — the optimizer hook.
+    pub fn for_each_param_block(&mut self, mut f: impl FnMut(&mut [f32], &[f32])) {
+        for layer in &mut self.layers {
+            let (params, grads) = layer.params_and_grads();
+            if !params.is_empty() {
+                f(params, grads);
+            }
+        }
+    }
+
+    /// One-line architecture summary, e.g. `dense(64->128) -> relu -> ...`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .layers
+            .iter()
+            .map(|l| format!("{}({}->{})", l.name(), l.input_dim(), l.output_dim()))
+            .collect();
+        format!("{} [{} params]", parts.join(" -> "), self.param_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activations::Relu;
+    use crate::dense::Dense;
+    use crate::zoo::InitRng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut init = InitRng::new(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 6, &mut init)),
+            Box::new(Relu::new(6)),
+            Box::new(Dense::new(6, 3, &mut init)),
+        ])
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_mlp(1);
+        assert_eq!(m.param_count(), (4 * 6 + 6) + (6 * 3 + 3));
+    }
+
+    #[test]
+    fn forward_produces_logit_shape() {
+        let mut m = tiny_mlp(2);
+        let x = Matrix::zeros(5, 4);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), (5, 3));
+    }
+
+    #[test]
+    fn flatten_load_roundtrip() {
+        let mut a = tiny_mlp(3);
+        let b = tiny_mlp(4);
+        assert_ne!(a.flat_params(), b.flat_params());
+        let theirs = b.flat_params();
+        a.load_params(&theirs);
+        assert_eq!(a.flat_params(), theirs);
+    }
+
+    #[test]
+    fn loaded_params_change_predictions() {
+        let mut a = tiny_mlp(5);
+        let mut b = tiny_mlp(6);
+        let x = Matrix::from_fn(2, 4, |r, c| (r + c) as f32 * 0.3);
+        let ya = a.forward(&x, false).clone();
+        let flat_b = b.flat_params();
+        a.load_params(&flat_b);
+        let ya2 = a.forward(&x, false).clone();
+        let yb = b.forward(&x, false).clone();
+        assert!(ya.max_abs_diff(&ya2) > 1e-6, "loading params had no effect");
+        assert!(ya2.max_abs_diff(&yb) < 1e-6, "same params must predict identically");
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut m = tiny_mlp(7);
+        let x = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        let _ = m.forward(&x, true);
+        let g = Matrix::full(3, 3, 0.5);
+        m.backward(&g);
+        let mut grads = Vec::new();
+        m.copy_grads_to(&mut grads);
+        assert!(grads.iter().any(|&v| v != 0.0), "backward produced no gradient");
+        m.zero_grads();
+        m.copy_grads_to(&mut grads);
+        assert!(grads.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed")]
+    fn rejects_mismatched_layers() {
+        let mut init = InitRng::new(1);
+        let _ = Sequential::new(vec![
+            Box::new(Dense::new(4, 6, &mut init)),
+            Box::new(Dense::new(5, 3, &mut init)),
+        ]);
+    }
+
+    #[test]
+    fn summary_mentions_layers_and_params() {
+        let m = tiny_mlp(8);
+        let s = m.summary();
+        assert!(s.contains("dense(4->6)"));
+        assert!(s.contains("relu(6->6)"));
+        assert!(s.contains(&format!("{} params", m.param_count())));
+    }
+}

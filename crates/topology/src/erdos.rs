@@ -1,0 +1,77 @@
+//! Erdős–Rényi random graphs, used by ablation benches and tests that need
+//! irregular degree distributions.
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples `G(n, p)`: every possible edge is present independently with
+/// probability `p`.
+///
+/// # Panics
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.random::<f64>() < p {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    g
+}
+
+/// Samples connected `G(n, p)` by rejection, patching isolated components
+/// is deliberately avoided to keep the distribution clean; returns `None`
+/// if no connected sample is found in `attempts` tries.
+pub fn gnp_connected(n: usize, p: f64, seed: u64, attempts: usize) -> Option<Graph> {
+    for k in 0..attempts {
+        let g = gnp(n, p, seed.wrapping_add(k as u64));
+        if g.is_connected() {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_probabilities() {
+        let none = gnp(10, 0.0, 1);
+        assert_eq!(none.edge_count(), 0);
+        let all = gnp(10, 1.0, 1);
+        assert_eq!(all.edge_count(), 45);
+    }
+
+    #[test]
+    fn edge_count_tracks_probability() {
+        let g = gnp(60, 0.3, 5);
+        let expected = 0.3 * (60.0 * 59.0 / 2.0);
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < expected * 0.25, "edges {got} vs expected {expected}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gnp(20, 0.4, 9), gnp(20, 0.4, 9));
+        assert_ne!(gnp(20, 0.4, 9), gnp(20, 0.4, 10));
+    }
+
+    #[test]
+    fn connected_variant_finds_dense_graph() {
+        let g = gnp_connected(30, 0.4, 3, 16).expect("dense gnp should connect");
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn connected_variant_gives_up_on_empty() {
+        assert!(gnp_connected(10, 0.0, 1, 4).is_none());
+    }
+}

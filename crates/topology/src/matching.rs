@@ -1,0 +1,96 @@
+//! Random edge matchings for asynchronous pairwise gossip.
+//!
+//! Asynchronous decentralized learning (the paper's §5.3 future work)
+//! replaces the synchronous all-neighbor exchange with pairwise averaging:
+//! each tick, a set of disjoint edges "fires" and the two endpoints average
+//! their models. A random maximal matching of the topology gives the firing
+//! set.
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Samples a random maximal matching of `graph`: edges are visited in a
+/// seeded random order and greedily added if both endpoints are free.
+///
+/// Deterministic in `seed`. Every returned pair is an edge of the graph and
+/// no node appears twice.
+pub fn random_maximal_matching(graph: &Graph, seed: u64) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(graph.edge_count());
+    for i in 0..graph.len() {
+        for &j in graph.neighbors(i) {
+            if (j as usize) > i {
+                edges.push((i as u32, j));
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+
+    let mut used = vec![false; graph.len()];
+    let mut matching = Vec::new();
+    for (a, b) in edges {
+        if !used[a as usize] && !used[b as usize] {
+            used[a as usize] = true;
+            used[b as usize] = true;
+            matching.push((a, b));
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::random_regular;
+
+    #[test]
+    fn matching_is_disjoint_and_uses_real_edges() {
+        let g = random_regular(32, 6, 1);
+        let m = random_maximal_matching(&g, 7);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &m {
+            assert!(g.has_edge(a as usize, b as usize), "({a},{b}) is not an edge");
+            assert!(seen.insert(a), "node {a} matched twice");
+            assert!(seen.insert(b), "node {b} matched twice");
+        }
+    }
+
+    #[test]
+    fn matching_is_maximal() {
+        // no remaining edge can have both endpoints free
+        let g = random_regular(20, 4, 2);
+        let m = random_maximal_matching(&g, 3);
+        let mut used = vec![false; g.len()];
+        for &(a, b) in &m {
+            used[a as usize] = true;
+            used[b as usize] = true;
+        }
+        for i in 0..g.len() {
+            for &j in g.neighbors(i) {
+                assert!(
+                    used[i] || used[j as usize],
+                    "edge ({i},{j}) could still be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matchings_vary_with_seed_but_are_deterministic() {
+        let g = random_regular(32, 6, 4);
+        let a = random_maximal_matching(&g, 1);
+        let b = random_maximal_matching(&g, 1);
+        let c = random_maximal_matching(&g, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_graph_matches_nearly_everyone() {
+        let g = crate::graph::Graph::complete(16);
+        let m = random_maximal_matching(&g, 5);
+        assert_eq!(m.len(), 8, "complete graph has a perfect matching");
+    }
+}

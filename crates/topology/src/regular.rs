@@ -1,0 +1,196 @@
+//! Random d-regular graph generation.
+//!
+//! The naive configuration (pairing) model rejects any pairing containing a
+//! self-loop or duplicate edge; for the paper's degrees (d ∈ {6, 8, 10})
+//! the acceptance probability is ≈ exp(−(d²−1)/4), i.e. hopeless. Instead we
+//! use the standard double-edge-swap MCMC: start from a deterministic
+//! connected circulant and apply a long sequence of degree-preserving
+//! 2-swaps, which walks the space of simple d-regular graphs; swaps that
+//! would create self-loops or duplicate edges are skipped, and the final
+//! graph is re-randomized further if a swap sequence disconnected it.
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a connected random d-regular graph on `n` nodes via
+/// double-edge-swap randomization of a circulant seed graph.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n·d` is odd, `d == 0`, or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut g = circulant(n, d);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Enough successful swaps to mix the chain well past its (empirical)
+    // mixing time of O(edges · log(edges)).
+    let edges = n * d / 2;
+    let target_swaps = edges * 16;
+    // Re-randomize (in smaller batches) while the graph is disconnected;
+    // bounded so a pathological case degrades to the connected circulant.
+    for round in 0..8 {
+        let swaps = if round == 0 { target_swaps } else { target_swaps / 4 };
+        perform_swaps(&mut g, swaps, &mut rng);
+        if g.is_connected() {
+            return g;
+        }
+    }
+    circulant(n, d)
+}
+
+/// Applies `count` successful double-edge swaps to `g`.
+fn perform_swaps(g: &mut Graph, count: usize, rng: &mut SmallRng) {
+    let n = g.len();
+    let mut done = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = count * 20;
+    while done < count && attempts < max_attempts {
+        attempts += 1;
+        // Pick two random directed edges (a→b), (c→e).
+        let a = rng.random_range(0..n);
+        let deg_a = g.degree(a);
+        if deg_a == 0 {
+            continue;
+        }
+        let b = g.neighbors(a)[rng.random_range(0..deg_a)] as usize;
+        let c = rng.random_range(0..n);
+        let deg_c = g.degree(c);
+        if deg_c == 0 {
+            continue;
+        }
+        let e = g.neighbors(c)[rng.random_range(0..deg_c)] as usize;
+        // Swap to (a−e), (c−b): all four endpoints distinct, targets absent.
+        if a == c || a == e || b == c || b == e {
+            continue;
+        }
+        if g.has_edge(a, e) || g.has_edge(c, b) {
+            continue;
+        }
+        g.remove_edge(a as u32, b as u32);
+        g.remove_edge(c as u32, e as u32);
+        g.add_edge(a as u32, e as u32);
+        g.add_edge(c as u32, b as u32);
+        done += 1;
+    }
+}
+
+/// Deterministic connected circulant d-regular graph: node `i` connects to
+/// `i ± 1, i ± 2, …, i ± d/2` (and `i + n/2` when `d` is odd and `n` even).
+///
+/// # Panics
+/// Panics under the same conditions as [`random_regular`].
+pub fn circulant(n: usize, d: usize) -> Graph {
+    assert!(d > 0, "degree must be positive");
+    assert!(d < n, "degree must be below node count");
+    assert!((n * d) % 2 == 0, "n·d must be even for a d-regular graph");
+
+    let mut g = Graph::empty(n);
+    let half = d / 2;
+    for i in 0..n {
+        for k in 1..=half {
+            let j = (i + k) % n;
+            if !g.has_edge(i, j) {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    if d % 2 == 1 {
+        // n must be even here (n·d even with d odd)
+        for i in 0..n / 2 {
+            let j = i + n / 2;
+            if !g.has_edge(i, j) {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_topologies_are_regular_and_connected() {
+        for d in [6usize, 8, 10] {
+            let g = random_regular(256, d, 42);
+            assert!(g.is_regular(d), "not {d}-regular");
+            assert!(g.is_connected());
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_regular(64, 6, 7);
+        let b = random_regular(64, 6, 7);
+        assert_eq!(a, b);
+        let c = random_regular(64, 6, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn swaps_actually_randomize() {
+        // The randomized graph must differ from the circulant seed.
+        let g = random_regular(64, 6, 3);
+        let c = circulant(64, 6);
+        assert_ne!(g, c, "double-edge swaps left the circulant unchanged");
+    }
+
+    #[test]
+    fn circulant_even_degree() {
+        let g = circulant(10, 4);
+        assert!(g.is_regular(4));
+        assert!(g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn circulant_odd_degree() {
+        let g = circulant(8, 3);
+        assert!(g.is_regular(3));
+        assert!(g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_stub_count() {
+        let _ = random_regular(5, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below node count")]
+    fn rejects_degree_at_least_n() {
+        let _ = random_regular(4, 4, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_random_regular_invariants(
+            n in 8usize..64,
+            half_d in 1usize..4,
+            seed in 0u64..500,
+        ) {
+            let d = half_d * 2; // keep n·d even regardless of n
+            prop_assume!(d < n);
+            let g = random_regular(n, d, seed);
+            prop_assert!(g.is_regular(d));
+            prop_assert!(g.is_connected());
+            prop_assert!(g.validate().is_ok());
+        }
+
+        #[test]
+        fn prop_circulant_invariants(n in 6usize..40, d in 2usize..5) {
+            prop_assume!(d < n && (n * d) % 2 == 0);
+            let g = circulant(n, d);
+            prop_assert!(g.is_regular(d), "degrees: {:?}", (0..n).map(|i| g.degree(i)).collect::<Vec<_>>());
+            prop_assert!(g.is_connected());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Spectral analysis of mixing matrices.
+//!
+//! For a symmetric doubly stochastic `W`, the speed at which repeated gossip
+//! drives all nodes to the average is governed by the second-largest
+//! eigenvalue modulus λ₂ (Xiao & Boyd 2004): the disagreement contracts by
+//! λ₂ per synchronization round. This predicts the Figure-3 trend that
+//! denser topologies (larger spectral gap) need smaller Γ_sync.
+
+use crate::weights::MixingMatrix;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of the power-iteration estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralEstimate {
+    /// Estimated second-largest eigenvalue modulus λ₂ of `W`.
+    pub lambda2: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub gap: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Estimates λ₂ of a symmetric doubly stochastic mixing matrix by power
+/// iteration on the space orthogonal to the all-ones vector.
+///
+/// # Panics
+/// Panics for matrices with fewer than 2 nodes.
+pub fn second_eigenvalue(w: &MixingMatrix, iterations: usize, seed: u64) -> SpectralEstimate {
+    let n = w.len();
+    assert!(n >= 2, "spectral estimate needs at least 2 nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    deflate(&mut x);
+    normalize(&mut x);
+
+    let mut lambda = 0.0f64;
+    let mut done = 0usize;
+    for it in 0..iterations {
+        let mut y = w.apply_scalar(&x);
+        deflate(&mut y);
+        let norm = l2(&y);
+        done = it + 1;
+        if norm < 1e-14 {
+            lambda = 0.0;
+            break;
+        }
+        lambda = norm; // ‖Wx‖ / ‖x‖ with ‖x‖ = 1
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+    }
+    SpectralEstimate { lambda2: lambda, gap: 1.0 - lambda, iterations: done }
+}
+
+/// Number of gossip rounds needed to shrink disagreement by `factor`
+/// according to the spectral estimate (`λ₂^k ≤ 1/factor`).
+pub fn rounds_to_contract(lambda2: f64, factor: f64) -> usize {
+    assert!(factor > 1.0, "contraction factor must exceed 1");
+    if lambda2 <= 0.0 {
+        return 1;
+    }
+    if lambda2 >= 1.0 {
+        return usize::MAX;
+    }
+    (factor.ln() / -(lambda2.ln())).ceil() as usize
+}
+
+fn deflate(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = l2(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::regular::random_regular;
+
+    #[test]
+    fn complete_mixing_has_zero_lambda2() {
+        let w = MixingMatrix::uniform_complete(16);
+        let est = second_eigenvalue(&w, 50, 1);
+        assert!(est.lambda2 < 1e-6, "λ₂ = {}", est.lambda2);
+        assert!(est.gap > 0.999);
+    }
+
+    #[test]
+    fn identity_has_lambda2_one() {
+        let w = MixingMatrix::identity(8);
+        let est = second_eigenvalue(&w, 50, 1);
+        assert!((est.lambda2 - 1.0).abs() < 1e-9, "λ₂ = {}", est.lambda2);
+    }
+
+    #[test]
+    fn ring_lambda2_matches_closed_form() {
+        // For MH weights on a ring (all weights 1/3), W = (I + P + Pᵀ)/3 and
+        // λ₂ = (1 + 2 cos(2π/n)) / 3.
+        let n = 24;
+        let g = Graph::ring(n);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        let est = second_eigenvalue(&w, 4000, 3);
+        let expected = (1.0 + 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos()) / 3.0;
+        assert!(
+            (est.lambda2 - expected).abs() < 1e-3,
+            "λ₂ = {}, closed form {expected}",
+            est.lambda2
+        );
+    }
+
+    #[test]
+    fn denser_regular_graphs_have_larger_gap() {
+        let mut gaps = Vec::new();
+        for d in [4usize, 8, 16] {
+            let g = random_regular(64, d, 5);
+            let w = MixingMatrix::metropolis_hastings(&g);
+            gaps.push(second_eigenvalue(&w, 500, 7).gap);
+        }
+        assert!(
+            gaps[0] < gaps[1] && gaps[1] < gaps[2],
+            "gap should grow with degree: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn rounds_to_contract_monotone_in_lambda() {
+        let fast = rounds_to_contract(0.3, 100.0);
+        let slow = rounds_to_contract(0.9, 100.0);
+        assert!(fast < slow);
+        assert_eq!(rounds_to_contract(0.0, 10.0), 1);
+        assert_eq!(rounds_to_contract(1.0, 10.0), usize::MAX);
+    }
+}

@@ -1,0 +1,347 @@
+//! Sparse mixing (gossip) matrices.
+//!
+//! D-PSGD's aggregation step is `x_i ← Σ_j W_ji x_j` where `W` must be
+//! symmetric and doubly stochastic (§2.2). We store `W` row-wise and
+//! sparsely: row `i` holds `(j, W_ij)` pairs over `{i} ∪ N(i)`, which is all
+//! the engine needs to aggregate a node's neighborhood.
+
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A sparse, row-stored mixing matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixingMatrix {
+    n: usize,
+    /// `rows[i]` = sorted `(j, weight)` entries of row `i` (self included).
+    rows: Vec<Vec<(u32, f32)>>,
+}
+
+impl MixingMatrix {
+    /// Metropolis–Hastings weights for a graph (§2.2 of the paper):
+    ///
+    /// * `W_ij = 1 / (max(deg i, deg j) + 1)` for each edge `(i, j)`,
+    /// * `W_ii = 1 − Σ_{j≠i} W_ij`,
+    /// * `W_ij = 0` otherwise.
+    ///
+    /// The result is symmetric and doubly stochastic for any undirected
+    /// simple graph.
+    pub fn metropolis_hastings(graph: &Graph) -> Self {
+        let n = graph.len();
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row: Vec<(u32, f32)> = Vec::with_capacity(graph.degree(i) + 1);
+            let mut off_diagonal = 0.0f64;
+            for &j in graph.neighbors(i) {
+                let w = 1.0 / (graph.degree(i).max(graph.degree(j as usize)) as f64 + 1.0);
+                row.push((j, w as f32));
+                off_diagonal += w;
+            }
+            row.push((i as u32, (1.0 - off_diagonal) as f32));
+            row.sort_by_key(|&(j, _)| j);
+            rows.push(row);
+        }
+        Self { n, rows }
+    }
+
+    /// The uniform complete-mixing matrix `W_ij = 1/n` (the all-reduce
+    /// operator of Figure 1).
+    pub fn uniform_complete(n: usize) -> Self {
+        assert!(n > 0, "empty mixing matrix");
+        let w = 1.0 / n as f32;
+        let rows = (0..n)
+            .map(|_| (0..n as u32).map(|j| (j, w)).collect())
+            .collect();
+        Self { n, rows }
+    }
+
+    /// The identity matrix (no mixing) — a degenerate baseline for tests and
+    /// ablations.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "empty mixing matrix");
+        let rows = (0..n as u32).map(|i| vec![(i, 1.0f32)]).collect();
+        Self { n, rows }
+    }
+
+    /// Pairwise-averaging matrix for a set of disjoint node pairs
+    /// (asynchronous gossip): matched nodes average with their partner
+    /// (`W_ii = W_ij = ½`), unmatched nodes keep their model (`W_ii = 1`).
+    /// Symmetric and doubly stochastic by construction.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or non-disjoint pairs.
+    pub fn pairwise(n: usize, pairs: &[(u32, u32)]) -> Self {
+        assert!(n > 0, "empty mixing matrix");
+        let mut rows: Vec<Vec<(u32, f32)>> =
+            (0..n as u32).map(|i| vec![(i, 1.0f32)]).collect();
+        let mut matched = vec![false; n];
+        for &(a, b) in pairs {
+            let (ai, bi) = (a as usize, b as usize);
+            assert!(ai < n && bi < n, "pair endpoint out of range");
+            assert!(ai != bi, "self-pair");
+            assert!(!matched[ai] && !matched[bi], "node matched twice");
+            matched[ai] = true;
+            matched[bi] = true;
+            rows[ai] = vec![(a.min(b), 0.5), (a.max(b), 0.5)];
+            rows[bi] = rows[ai].clone();
+        }
+        Self { n, rows }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is 0×0 (never constructible via public API).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sorted `(column, weight)` entries of row `i`.
+    pub fn row(&self, i: usize) -> &[(u32, f32)] {
+        &self.rows[i]
+    }
+
+    /// Looks up `W_ij` (0 when absent).
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.rows[i]
+            .binary_search_by_key(&(j as u32), |&(c, _)| c)
+            .map(|pos| self.rows[i][pos].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Maximum deviation of any row or column sum from 1 — the
+    /// double-stochasticity check.
+    pub fn stochasticity_error(&self) -> f32 {
+        let mut col_sums = vec![0.0f64; self.n];
+        let mut worst = 0.0f64;
+        for row in &self.rows {
+            let mut s = 0.0f64;
+            for &(j, w) in row {
+                s += w as f64;
+                col_sums[j as usize] += w as f64;
+            }
+            worst = worst.max((s - 1.0).abs());
+        }
+        for c in col_sums {
+            worst = worst.max((c - 1.0).abs());
+        }
+        worst as f32
+    }
+
+    /// Maximum `|W_ij − W_ji|` — the symmetry check.
+    pub fn symmetry_error(&self) -> f32 {
+        let mut worst = 0.0f32;
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, w) in row {
+                worst = worst.max((w - self.get(j as usize, i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// True when all entries are non-negative.
+    pub fn is_nonnegative(&self) -> bool {
+        self.rows.iter().flatten().all(|&(_, w)| w >= 0.0)
+    }
+
+    /// Applies `y = Wᵀ x = W x` (symmetric) to a scalar per node — used by
+    /// spectral analysis and consensus tests.
+    pub fn apply_scalar(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        let mut y = vec![0.0f64; self.n];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for &(j, w) in row {
+                acc += w as f64 * x[j as usize];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Renormalizes row `i` after dropping the contribution of column `j`
+    /// (lossy-transport handling): the dropped weight is added back to the
+    /// self-weight so the row still sums to 1. Returns the dropped weight.
+    pub fn dropped_weight_to_self(row: &mut [(u32, f32)], self_id: u32, dropped: u32) -> f32 {
+        let mut w_dropped = 0.0f32;
+        for entry in row.iter_mut() {
+            if entry.0 == dropped {
+                w_dropped = entry.1;
+                entry.1 = 0.0;
+            }
+        }
+        if w_dropped > 0.0 {
+            for entry in row.iter_mut() {
+                if entry.0 == self_id {
+                    entry.1 += w_dropped;
+                }
+            }
+        }
+        w_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::random_regular;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mh_on_ring_matches_hand_computation() {
+        let g = Graph::ring(4);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        // all degrees 2 → off-diagonal weights 1/3, self 1/3
+        for i in 0..4 {
+            for &(j, v) in w.row(i) {
+                assert!((v - 1.0 / 3.0).abs() < 1e-6, "W[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn mh_is_symmetric_doubly_stochastic_on_paper_graphs() {
+        for d in [6usize, 8, 10] {
+            let g = random_regular(256, d, 1);
+            let w = MixingMatrix::metropolis_hastings(&g);
+            assert!(w.symmetry_error() < 1e-6);
+            assert!(w.stochasticity_error() < 1e-4);
+            assert!(w.is_nonnegative());
+        }
+    }
+
+    #[test]
+    fn mh_handles_irregular_degrees() {
+        // star graph: center degree n-1, leaves degree 1
+        let mut g = Graph::empty(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf as u32);
+        }
+        let w = MixingMatrix::metropolis_hastings(&g);
+        assert!(w.symmetry_error() < 1e-6);
+        assert!(w.stochasticity_error() < 1e-5);
+        // leaf-center weight = 1/(max(4,1)+1) = 0.2; leaf self = 0.8
+        assert!((w.get(1, 0) - 0.2).abs() < 1e-6);
+        assert!((w.get(1, 1) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_complete_averages() {
+        let w = MixingMatrix::uniform_complete(4);
+        let y = w.apply_scalar(&[1.0, 2.0, 3.0, 6.0]);
+        for v in y {
+            assert!((v - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let w = MixingMatrix::identity(3);
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(w.apply_scalar(&x), x);
+    }
+
+    #[test]
+    fn apply_scalar_preserves_mean() {
+        let g = random_regular(32, 4, 3);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        let x: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let before: f64 = x.iter().sum();
+        let after: f64 = w.apply_scalar(&x).iter().sum();
+        assert!((before - after).abs() < 1e-6, "doubly stochastic mixing must preserve the sum");
+    }
+
+    #[test]
+    fn mixing_contracts_variance() {
+        let g = random_regular(32, 4, 4);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        let x: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|a| (a - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        let y = w.apply_scalar(&x);
+        assert!(var(&y) < var(&x), "gossip step must contract variance");
+    }
+
+    #[test]
+    fn pairwise_averages_matched_nodes_only() {
+        let w = MixingMatrix::pairwise(5, &[(0, 3), (1, 4)]);
+        assert!(w.symmetry_error() < 1e-7);
+        assert!(w.stochasticity_error() < 1e-6);
+        let y = w.apply_scalar(&[10.0, 2.0, 7.0, 0.0, 4.0]);
+        assert_eq!(y, vec![5.0, 3.0, 7.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn pairwise_empty_matching_is_identity() {
+        let w = MixingMatrix::pairwise(3, &[]);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(w.apply_scalar(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched twice")]
+    fn pairwise_rejects_overlapping_pairs() {
+        let _ = MixingMatrix::pairwise(4, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn drop_renormalization_keeps_row_sum() {
+        let g = Graph::ring(5);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        let mut row = w.row(0).to_vec();
+        let dropped = MixingMatrix::dropped_weight_to_self(&mut row, 0, 1);
+        assert!(dropped > 0.0);
+        let sum: f32 = row.iter().map(|&(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(row.iter().find(|&&(j, _)| j == 1).unwrap().1, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_mh_invariants_on_random_graphs(n in 4usize..40, p in 0.15f64..0.9, seed in 0u64..200) {
+            let g = crate::erdos::gnp(n, p, seed);
+            let w = MixingMatrix::metropolis_hastings(&g);
+            prop_assert!(w.symmetry_error() < 1e-5);
+            prop_assert!(w.stochasticity_error() < 1e-4);
+            prop_assert!(w.is_nonnegative());
+        }
+
+        #[test]
+        fn prop_pairwise_from_matchings_is_doubly_stochastic(
+            n in 4usize..40, d in 2usize..5, seed in 0u64..200
+        ) {
+            let d = d * 2; // even degree keeps n·d even for any n
+            prop_assume!(d < n);
+            let g = crate::regular::random_regular(n, d, seed);
+            let m = crate::matching::random_maximal_matching(&g, seed ^ 0x99);
+            let w = MixingMatrix::pairwise(n, &m);
+            prop_assert!(w.symmetry_error() < 1e-6);
+            prop_assert!(w.stochasticity_error() < 1e-5);
+            // pairwise mixing never increases variance
+            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+            let var = |v: &[f64]| {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                v.iter().map(|a| (a - mean).powi(2)).sum::<f64>()
+            };
+            let y = w.apply_scalar(&x);
+            prop_assert!(var(&y) <= var(&x) + 1e-9);
+        }
+
+        #[test]
+        fn prop_mixing_preserves_sum(n in 4usize..30, p in 0.2f64..0.8, seed in 0u64..100) {
+            let g = crate::erdos::gnp(n, p, seed);
+            let w = MixingMatrix::metropolis_hastings(&g);
+            let x: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 13) as f64).collect();
+            let before: f64 = x.iter().sum();
+            let after: f64 = w.apply_scalar(&x).iter().sum();
+            // weights are stored as f32, so each row carries ~1e-7 relative
+            // rounding; bound the drift accordingly
+            prop_assert!((before - after).abs() < 1e-3 * before.abs().max(1.0));
+        }
+    }
+}
