@@ -1,0 +1,94 @@
+//! Campaign execution throughput: runs/sec for a 3×3 quick-scale
+//! (Γ_train, Γ_sync) sweep, serial vs parallel — the wall-clock win of
+//! running grid cells through the `Campaign` executor instead of a serial
+//! loop, plus the cost of bundle materialization amortized by the
+//! `(DataSpec, nodes, seed)` cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skiptrain_core::presets::{cifar_config, Scale};
+use skiptrain_core::sweep::grid_campaign;
+use skiptrain_core::{Campaign, DataSpec, ExperimentConfig, TopologySpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sweep_base(seed: u64) -> ExperimentConfig {
+    let mut cfg = cifar_config(Scale::Quick, seed);
+    cfg.nodes = 12;
+    cfg.rounds = 8;
+    cfg.eval_every = usize::MAX;
+    cfg.eval_max_samples = 100;
+    cfg.data = DataSpec::CifarLike {
+        feature_dim: 12,
+        samples_per_node: 40,
+        test_samples: 300,
+        shards_per_node: 2,
+        separation: 1.2,
+        noise: 0.8,
+        modes_per_class: 2,
+    };
+    cfg.hidden_dim = 12;
+    cfg.local_steps = 3;
+    cfg.topology = TopologySpec::Regular { degree: 4 };
+    cfg
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let gammas = [1usize, 2, 3];
+    let runs = gammas.len() * gammas.len();
+    group.throughput(Throughput::Elements(runs as u64));
+
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("grid_3x3", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let campaign = grid_campaign(&sweep_base(1), &gammas).threads(threads);
+                    black_box(campaign.run().expect("valid sweep"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bundle_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_data_cache");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    // Same bundle shared by all 9 runs vs 9 distinct bundles: isolates the
+    // cost the (DataSpec, nodes, seed) cache removes.
+    group.bench_function("shared_bundle_9_runs", |b| {
+        b.iter(|| {
+            let campaign = grid_campaign(&sweep_base(2), &[1, 2, 3]).threads(1);
+            black_box(campaign.run().expect("valid"))
+        })
+    });
+    group.bench_function("distinct_bundles_9_runs", |b| {
+        b.iter(|| {
+            let configs: Vec<ExperimentConfig> = (0..9)
+                .map(|i| {
+                    let mut cfg = sweep_base(3);
+                    cfg.seed = 1000 + i as u64; // distinct seed -> distinct bundle
+                    cfg
+                })
+                .collect();
+            black_box(
+                Campaign::from_configs(configs)
+                    .threads(1)
+                    .run()
+                    .expect("valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput, bench_bundle_cache);
+criterion_main!(benches);

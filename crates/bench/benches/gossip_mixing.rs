@@ -8,15 +8,20 @@ use std::time::Duration;
 
 fn bench_weighted_sum(c: &mut Criterion) {
     let mut group = c.benchmark_group("weighted_sum");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     // CIFAR-10 model size from Table 1
     let params = 89_834usize;
     for degree in [6usize, 8, 10] {
-        let neighbors: Vec<Vec<f32>> =
-            (0..=degree).map(|k| vec![k as f32 * 0.01 + 0.1; params]).collect();
+        let neighbors: Vec<Vec<f32>> = (0..=degree)
+            .map(|k| vec![k as f32 * 0.01 + 0.1; params])
+            .collect();
         let weights = vec![1.0 / (degree + 1) as f32; degree + 1];
         let mut out = vec![0.0f32; params];
-        group.throughput(criterion::Throughput::Elements(((degree + 1) * params) as u64));
+        group.throughput(criterion::Throughput::Elements(
+            ((degree + 1) * params) as u64,
+        ));
         group.bench_with_input(BenchmarkId::new("cifar_model", degree), &degree, |b, _| {
             b.iter(|| {
                 let inputs: Vec<&[f32]> = neighbors.iter().map(|v| v.as_slice()).collect();
@@ -31,7 +36,9 @@ fn bench_full_mixing_phase(c: &mut Criterion) {
     use skiptrain_topology::regular::random_regular;
     use skiptrain_topology::MixingMatrix;
     let mut group = c.benchmark_group("mixing_phase");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[16usize, 64] {
         let params = 10_000usize;
         let graph = random_regular(n, 6, 1);
@@ -42,8 +49,10 @@ fn bench_full_mixing_phase(c: &mut Criterion) {
             b.iter(|| {
                 for (i, out) in next.iter_mut().enumerate() {
                     let row = mixing.row(i);
-                    let inputs: Vec<&[f32]> =
-                        row.iter().map(|&(j, _)| half[j as usize].as_slice()).collect();
+                    let inputs: Vec<&[f32]> = row
+                        .iter()
+                        .map(|&(j, _)| half[j as usize].as_slice())
+                        .collect();
                     let weights: Vec<f32> = row.iter().map(|&(_, w)| w).collect();
                     weighted_sum_into(out, &inputs, &weights);
                 }

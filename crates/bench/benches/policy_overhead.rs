@@ -3,7 +3,9 @@
 //! training — the benches verify the control plane stays out of the way.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skiptrain_core::policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
+use skiptrain_core::policy::{
+    ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy,
+};
 use skiptrain_core::Schedule;
 use skiptrain_engine::RoundAction;
 use std::hint::black_box;
@@ -11,7 +13,9 @@ use std::time::Duration;
 
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_decide_256");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     let n = 256usize;
     let schedule = Schedule::new(4, 4);
     let budgets: Vec<u32> = (0..n).map(|i| 200 + (i as u32 % 300)).collect();

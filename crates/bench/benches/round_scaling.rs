@@ -14,20 +14,40 @@ use std::time::Duration;
 
 fn build_sim(n: usize, seed: u64) -> Simulation {
     let task = MixtureTask::new(
-        MixtureSpec { num_classes: 10, feature_dim: 32, modes_per_class: 2, separation: 1.0, noise: 0.9 },
+        MixtureSpec {
+            num_classes: 10,
+            feature_dim: 32,
+            modes_per_class: 2,
+            separation: 1.0,
+            noise: 0.9,
+        },
         seed,
     );
     let datasets = (0..n).map(|i| task.sample(60, i as u64)).collect();
-    let models =
-        (0..n).map(|i| ModelKind::Mlp { dims: vec![32, 24, 10] }.build(seed + i as u64)).collect();
+    let models = (0..n)
+        .map(|i| {
+            ModelKind::Mlp {
+                dims: vec![32, 24, 10],
+            }
+            .build(seed + i as u64)
+        })
+        .collect();
     let graph = random_regular(n, 6, seed);
     let mixing = MixingMatrix::metropolis_hastings(&graph);
-    Simulation::new(models, datasets, graph, mixing, SimulationConfig::minimal(seed, 16, 5, 0.5))
+    Simulation::new(
+        models,
+        datasets,
+        graph,
+        mixing,
+        SimulationConfig::minimal(seed, 16, 5, 0.5),
+    )
 }
 
 fn bench_round_by_nodes(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &n in &[16usize, 64, 256] {
         let mut sim = build_sim(n, 1);
         let actions = vec![RoundAction::Train; n];
@@ -48,32 +68,44 @@ fn bench_round_by_nodes(c: &mut Criterion) {
 
 fn bench_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("thread_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let n = 64usize;
     for &threads in &[1usize, 2, 4, 8] {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         let mut sim = build_sim(n, 2);
         let actions = vec![RoundAction::Train; n];
-        group.bench_with_input(BenchmarkId::new("train_round_64", threads), &threads, |b, _| {
-            b.iter(|| pool.install(|| sim.run_round(black_box(&actions))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_round_64", threads),
+            &threads,
+            |b, _| b.iter(|| pool.install(|| sim.run_round(black_box(&actions)))),
+        );
     }
     group.finish();
 }
 
 fn bench_full_experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let mut cfg = cifar_config(Scale::Quick, 5);
     cfg.nodes = 16;
     cfg.rounds = 8;
     cfg.eval_every = 8;
     cfg.eval_max_samples = 100;
-    group.bench_function("quick_16n_8r", |b| {
-        b.iter(|| black_box(skiptrain_core::run_experiment(&cfg)))
-    });
+    group.bench_function("quick_16n_8r", |b| b.iter(|| black_box(cfg.run())));
     group.finish();
 }
 
-criterion_group!(benches, bench_round_by_nodes, bench_thread_scaling, bench_full_experiment);
+criterion_group!(
+    benches,
+    bench_round_by_nodes,
+    bench_thread_scaling,
+    bench_full_experiment
+);
 criterion_main!(benches);

@@ -29,10 +29,13 @@ fn one_step(
 
 fn bench_mlp_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("sgd_step_mlp");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
-    for (label, dims) in
-        [("small_10k", vec![32usize, 128, 10]), ("medium_90k", vec![128, 512, 128, 10])]
-    {
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for (label, dims) in [
+        ("small_10k", vec![32usize, 128, 10]),
+        ("medium_90k", vec![128, 512, 128, 10]),
+    ] {
         let mut model = mlp(&dims, 1);
         let loss = SoftmaxCrossEntropy::new(10);
         let mut opt = Sgd::new(SgdConfig::plain(0.1));
@@ -50,7 +53,9 @@ fn bench_mlp_step(c: &mut Criterion) {
 
 fn bench_cnn_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("sgd_step_cnn");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     // the exact FEMNIST LEAF CNN of Table 1 (1 690 046 params), batch 16
     let mut model = skiptrain_nn::zoo::femnist_cnn(1);
     let loss = SoftmaxCrossEntropy::new(62);

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_build");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for degree in [6usize, 10] {
         group.bench_with_input(
             BenchmarkId::new("random_regular_256", degree),
@@ -29,7 +31,9 @@ fn bench_generation(c: &mut Criterion) {
 
 fn bench_weights_and_spectral(c: &mut Criterion) {
     let mut group = c.benchmark_group("mixing_matrix");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let graph = random_regular(256, 6, 7);
     group.bench_function("metropolis_hastings_256", |b| {
         b.iter(|| black_box(MixingMatrix::metropolis_hastings(&graph)))

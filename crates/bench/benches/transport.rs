@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_encode_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_codec");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for (label, params) in [("cifar_90k", 89_834usize), ("femnist_1m7", 1_690_046)] {
         let model: Vec<f32> = (0..params).map(|i| (i as f32).sin()).collect();
         group.throughput(criterion::Throughput::Bytes((params * 4) as u64));
@@ -25,7 +27,9 @@ fn bench_encode_decode(c: &mut Criterion) {
 
 fn bench_drop_decisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("drop_decisions");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let transport = TransportKind::Serialized { drop_prob: 0.1 };
     group.throughput(criterion::Throughput::Elements(256 * 6));
     group.bench_function("round_256n_6deg", |b| {

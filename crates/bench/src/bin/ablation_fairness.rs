@@ -9,7 +9,7 @@
 //! control: budgets equal → no systematic gap expected).
 
 use skiptrain_bench::{banner, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, EnergySpec};
+use skiptrain_core::experiment::{AlgorithmSpec, EnergySpec};
 use skiptrain_core::fairness::analyze;
 use skiptrain_core::presets::cifar_config;
 use skiptrain_core::Schedule;
@@ -32,7 +32,7 @@ fn main() {
             cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
         }
         cfg.name = format!("fairness-{}", cfg.algorithm.name());
-        let result = run_experiment_on(&cfg, &data);
+        let result = cfg.run_on(&data);
         let report = analyze(&result, &cfg.model_kind(), &data.test, &cfg.energy);
 
         banner(&format!(
@@ -46,14 +46,19 @@ fn main() {
                 vec![
                     g.device.clone(),
                     g.nodes.to_string(),
-                    g.mean_budget.map(|b| format!("{b:.0}")).unwrap_or_else(|| "∞".into()),
+                    g.mean_budget
+                        .map(|b| format!("{b:.0}"))
+                        .unwrap_or_else(|| "∞".into()),
                     format!("{:.1}%", g.mean_owned_class_recall * 100.0),
                 ]
             })
             .collect();
         println!(
             "{}",
-            render_table(&["device", "nodes", "mean budget τ", "owned-class recall"], &rows)
+            render_table(
+                &["device", "nodes", "mean budget τ", "owned-class recall"],
+                &rows
+            )
         );
         println!(
             "group gap {:.1} pp   budget–recall correlation {}",

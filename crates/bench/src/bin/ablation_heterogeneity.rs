@@ -7,7 +7,7 @@
 //! maps the whole curve.
 
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, DataSpec};
+use skiptrain_core::experiment::{AlgorithmSpec, DataSpec};
 use skiptrain_core::presets::cifar_config;
 use skiptrain_core::Schedule;
 use skiptrain_data::stats::label_skew;
@@ -28,7 +28,14 @@ fn main() {
             noise,
             modes_per_class,
             ..
-        } => (*feature_dim, *samples_per_node, *test_samples, *separation, *noise, *modes_per_class),
+        } => (
+            *feature_dim,
+            *samples_per_node,
+            *test_samples,
+            *separation,
+            *noise,
+            *modes_per_class,
+        ),
         _ => unreachable!("cifar preset"),
     };
     let make_data = |partition: Partition| DataSpec::CifarPartitioned {
@@ -43,8 +50,14 @@ fn main() {
 
     let settings: Vec<(String, DataSpec)> = vec![
         ("iid".into(), make_data(Partition::Iid)),
-        ("dirichlet(1.0)".into(), make_data(Partition::Dirichlet { alpha: 1.0 })),
-        ("dirichlet(0.2)".into(), make_data(Partition::Dirichlet { alpha: 0.2 })),
+        (
+            "dirichlet(1.0)".into(),
+            make_data(Partition::Dirichlet { alpha: 1.0 }),
+        ),
+        (
+            "dirichlet(0.2)".into(),
+            make_data(Partition::Dirichlet { alpha: 0.2 }),
+        ),
         ("2-shard (paper)".into(), base.data.clone()),
     ];
 
@@ -61,12 +74,11 @@ fn main() {
         let skew = label_skew(&data.node_datasets);
 
         cfg.algorithm = AlgorithmSpec::DPsgd;
-        let dpsgd = run_experiment_on(&cfg, &data);
+        let dpsgd = cfg.run_on(&data);
         cfg.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(4, 4));
-        let skiptrain = run_experiment_on(&cfg, &data);
+        let skiptrain = cfg.run_on(&data);
 
-        let gap =
-            (skiptrain.final_test.mean_accuracy - dpsgd.final_test.mean_accuracy) * 100.0;
+        let gap = (skiptrain.final_test.mean_accuracy - dpsgd.final_test.mean_accuracy) * 100.0;
         rows.push(vec![
             label.clone(),
             format!("{skew:.3}"),
@@ -84,7 +96,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["partition", "label skew (TV)", "d-psgd acc%", "skiptrain acc%", "gap pp"],
+            &[
+                "partition",
+                "label skew (TV)",
+                "d-psgd acc%",
+                "skiptrain acc%",
+                "gap pp"
+            ],
             &rows
         )
     );

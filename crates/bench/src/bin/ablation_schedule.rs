@@ -7,7 +7,7 @@
 //!    vs blocked (4,4) vs coarse (8,8) schedules.
 
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec};
+use skiptrain_core::experiment::AlgorithmSpec;
 use skiptrain_core::presets::cifar_config;
 use skiptrain_core::Schedule;
 
@@ -27,7 +27,7 @@ fn main() {
         let mut cfg = base.clone();
         cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
         cfg.name = format!("order-{label}");
-        let r = run_experiment_on(&cfg, &data);
+        let r = cfg.run_on(&data);
         rows.push(vec![
             label.to_string(),
             pct(r.final_test.mean_accuracy),
@@ -35,7 +35,10 @@ fn main() {
             format!("{:.2}", r.total_training_wh),
         ]);
     }
-    println!("{}", render_table(&["ordering", "acc%", "std", "energy Wh"], &rows));
+    println!(
+        "{}",
+        render_table(&["ordering", "acc%", "std", "energy Wh"], &rows)
+    );
     println!(
         "note: sync-first front-loads mixing of the random initial models; the paper\n\
          implicitly uses train-first. Final-round evaluation lands after a sync block\n\
@@ -54,7 +57,7 @@ fn main() {
         cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
         cfg.name = format!("granularity-{label}");
         cfg.eval_every = schedule.period();
-        let r = run_experiment_on(&cfg, &data);
+        let r = cfg.run_on(&data);
         rows.push(vec![
             label.to_string(),
             pct(r.final_test.mean_accuracy),
@@ -65,7 +68,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["schedule", "acc%", "std", "energy Wh", "train events"], &rows)
+        render_table(
+            &["schedule", "acc%", "std", "energy Wh", "train events"],
+            &rows
+        )
     );
     println!(
         "\nreading: energy is identical at equal train fraction; accuracy differences\n\

@@ -15,13 +15,16 @@ fn main() {
     let degree = 6usize;
     let workload = WorkloadSpec::cifar10();
 
-    let train_per_round: f64 =
-        fleet(nodes).iter().map(|d| round_energy_wh(&d.profile(), &workload)).sum();
+    let train_per_round: f64 = fleet(nodes)
+        .iter()
+        .map(|d| round_energy_wh(&d.profile(), &workload))
+        .sum();
     let train_total = train_per_round * rounds as f64;
 
     let comm = CommEnergyModel::paper_fit();
-    let comm_total: f64 =
-        (0..rounds).map(|_| comm.round_energy_wh(nodes, degree, workload.model_params)).sum();
+    let comm_total: f64 = (0..rounds)
+        .map(|_| comm.round_energy_wh(nodes, degree, workload.model_params))
+        .sum();
 
     banner("§1 claim: training vs communication energy (256 nodes, 1000 rounds, 6-regular)");
     let rows = vec![
@@ -43,7 +46,10 @@ fn main() {
     ];
     println!("{}", render_table(&["quantity", "derived", "paper"], &rows));
 
-    assert!(train_total / comm_total > CLAIM_MIN_RATIO, "ratio claim failed");
+    assert!(
+        train_total / comm_total > CLAIM_MIN_RATIO,
+        "ratio claim failed"
+    );
     println!("claim reproduced: training is >200x costlier than sharing+aggregation");
 
     args.maybe_write_json(&serde_json::json!({

@@ -8,7 +8,7 @@
 
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
 use skiptrain_core::asyncgossip::run_async_gossip;
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec};
+use skiptrain_core::experiment::AlgorithmSpec;
 use skiptrain_core::presets::cifar_config;
 use skiptrain_core::Schedule;
 
@@ -29,13 +29,13 @@ fn main() {
 
     let mut dpsgd_cfg = base.clone();
     dpsgd_cfg.algorithm = AlgorithmSpec::DPsgd;
-    let dpsgd = run_experiment_on(&dpsgd_cfg, &data);
+    let dpsgd = dpsgd_cfg.run_on(&data);
     rows.push(summary_row("d-psgd (sync)", &dpsgd));
     results.push(dpsgd);
 
     let mut st_cfg = base.clone();
     st_cfg.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(4, 4));
-    let skiptrain = run_experiment_on(&st_cfg, &data);
+    let skiptrain = st_cfg.run_on(&data);
     rows.push(summary_row("skiptrain (4,4) sync", &skiptrain));
     results.push(skiptrain);
 
@@ -48,7 +48,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["algorithm", "final acc%", "std", "train energy Wh", "train events"],
+            &[
+                "algorithm",
+                "final acc%",
+                "std",
+                "train energy Wh",
+                "train events"
+            ],
             &rows
         )
     );

@@ -8,7 +8,6 @@
 
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
 use skiptrain_core::presets::cifar_config;
-use skiptrain_core::run_experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -21,7 +20,7 @@ fn main() {
         "Figure 1: D-PSGD vs all-reduce ({} nodes, {} rounds, 6-regular)",
         cfg.nodes, cfg.rounds
     ));
-    let result = run_experiment(&cfg);
+    let result = cfg.run();
 
     let rows: Vec<Vec<String>> = result
         .test_curve
@@ -39,7 +38,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["round", "d-psgd acc%", "all-reduce acc%", "gap pp"], &rows)
+        render_table(
+            &["round", "d-psgd acc%", "all-reduce acc%", "gap pp"],
+            &rows
+        )
     );
 
     let final_gap = result
@@ -50,7 +52,11 @@ fn main() {
     println!(
         "final: d-psgd {}%  all-reduce {}%  gap {final_gap:+.1} pp (paper at 256 nodes: ≈ +10 pp)",
         pct(result.final_test.mean_accuracy),
-        pct(result.mean_model_curve.last().map(|(_, a)| *a).unwrap_or(0.0)),
+        pct(result
+            .mean_model_curve
+            .last()
+            .map(|(_, a)| *a)
+            .unwrap_or(0.0)),
     );
 
     args.maybe_write_json(&serde_json::json!({

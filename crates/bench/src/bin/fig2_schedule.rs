@@ -14,7 +14,11 @@ fn render_policy(policy: &mut dyn RoundPolicy, nodes: usize, rounds: usize) -> V
     for t in 0..rounds {
         policy.decide(t, &mut actions);
         for (row, action) in rows.iter_mut().zip(&actions) {
-            row.push(if *action == RoundAction::Train { 'T' } else { 's' });
+            row.push(if *action == RoundAction::Train {
+                'T'
+            } else {
+                's'
+            });
         }
     }
     rows
@@ -34,18 +38,29 @@ fn main() {
 
     banner("Figure 2b: SkipTrain (coordinated Γ_train=4 / Γ_sync=4)");
     let mut skiptrain = SkipTrainPolicy::new(schedule);
-    for (i, row) in render_policy(&mut skiptrain, nodes, rounds).iter().enumerate() {
+    for (i, row) in render_policy(&mut skiptrain, nodes, rounds)
+        .iter()
+        .enumerate()
+    {
         println!("node {i}: {row}");
     }
 
     banner("Figure 2c: SkipTrain-constrained (per-node probabilistic skips)");
     // Budgets chosen so p ∈ {0.25, 0.5, 0.75, 1.0} across the four nodes.
     let t_train = schedule.t_train(rounds);
-    let budgets: Vec<u32> =
-        (1..=nodes).map(|k| ((t_train * k as f64) / nodes as f64).ceil() as u32).collect();
+    let budgets: Vec<u32> = (1..=nodes)
+        .map(|k| ((t_train * k as f64) / nodes as f64).ceil() as u32)
+        .collect();
     let mut constrained = ConstrainedPolicy::new(schedule, budgets.clone(), rounds, args.seed);
-    for (i, row) in render_policy(&mut constrained, nodes, rounds).iter().enumerate() {
-        println!("node {i}: {row}   (τ={}, p={:.2})", budgets[i], constrained.probability(i));
+    for (i, row) in render_policy(&mut constrained, nodes, rounds)
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "node {i}: {row}   (τ={}, p={:.2})",
+            budgets[i],
+            constrained.probability(i)
+        );
     }
     println!("\nlegend: T = train+share+aggregate round, s = share+aggregate only");
 }

@@ -17,9 +17,11 @@ fn main() {
     let gammas = [1usize, 2, 3, 4];
     let mut summaries = Vec::new();
 
-    for (degree, paper_grid) in
-        [(6usize, FIG3_VAL_ACC_6REG), (8, FIG3_VAL_ACC_8REG), (10, FIG3_VAL_ACC_10REG)]
-    {
+    for (degree, paper_grid) in [
+        (6usize, FIG3_VAL_ACC_6REG),
+        (8, FIG3_VAL_ACC_8REG),
+        (10, FIG3_VAL_ACC_10REG),
+    ] {
         let mut base = cifar_config(args.scale, args.seed);
         args.apply(&mut base);
         base.topology = TopologySpec::Regular { degree };
@@ -45,7 +47,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["measured (paper) %", "Γtrain=1", "Γtrain=2", "Γtrain=3", "Γtrain=4"],
+                &[
+                    "measured (paper) %",
+                    "Γtrain=1",
+                    "Γtrain=2",
+                    "Γtrain=3",
+                    "Γtrain=4"
+                ],
                 &rows
             )
         );
@@ -73,7 +81,12 @@ fn main() {
     banner("Figure 3 (right): energy heatmap, 256 nodes × 1000 rounds, Wh");
     let per_round: f64 = fleet(256)
         .iter()
-        .map(|d| round_energy_wh(&d.profile(), &skiptrain_energy::trace::WorkloadSpec::cifar10()))
+        .map(|d| {
+            round_energy_wh(
+                &d.profile(),
+                &skiptrain_energy::trace::WorkloadSpec::cifar10(),
+            )
+        })
         .sum();
     let mut rows = Vec::new();
     for &gs in &gammas {
@@ -88,7 +101,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["measured (paper) Wh", "Γtrain=1", "Γtrain=2", "Γtrain=3", "Γtrain=4"],
+            &[
+                "measured (paper) Wh",
+                "Γtrain=1",
+                "Γtrain=2",
+                "Γtrain=3",
+                "Γtrain=4"
+            ],
             &rows
         )
     );

@@ -6,7 +6,7 @@
 use skiptrain_bench::{banner, render_table, HarnessArgs};
 use skiptrain_core::experiment::AlgorithmSpec;
 use skiptrain_core::presets::cifar_config;
-use skiptrain_core::{run_experiment, Schedule};
+use skiptrain_core::Schedule;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -21,7 +21,7 @@ fn main() {
         "Figure 4: SkipTrain accuracy every 2 rounds ({} nodes, {} rounds, Γ=(4,4))",
         cfg.nodes, cfg.rounds
     ));
-    let result = run_experiment(&cfg);
+    let result = cfg.run();
 
     // Show the final ~32 rounds (the paper shows rounds 970–1000).
     let window = 16usize;
@@ -30,8 +30,11 @@ fn main() {
     let rows: Vec<Vec<String>> = tail
         .iter()
         .map(|p| {
-            let phase =
-                if schedule.is_train_round(p.round.saturating_sub(1)) { "train" } else { "sync" };
+            let phase = if schedule.is_train_round(p.round.saturating_sub(1)) {
+                "train"
+            } else {
+                "sync"
+            };
             vec![
                 p.round.to_string(),
                 phase.to_string(),
@@ -40,7 +43,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["round", "phase", "mean acc%", "std acc pp"], &rows));
+    println!(
+        "{}",
+        render_table(&["round", "phase", "mean acc%", "std acc pp"], &rows)
+    );
 
     // Quantify the sawtooth: average accuracy and std at points that follow
     // sync rounds vs points that follow train rounds.

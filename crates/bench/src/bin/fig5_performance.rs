@@ -1,16 +1,19 @@
 //! Figure 5 + the accuracy columns of Table 3: SkipTrain vs D-PSGD test
 //! accuracy over rounds and over consumed training energy, on both datasets
 //! and all three topology degrees.
+//!
+//! All 12 runs execute as one parallel [`Campaign`]; runs over the same
+//! dataset share one materialized bundle.
 
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec};
 use skiptrain_core::presets::{cifar_config, femnist_config};
-use skiptrain_core::{ExperimentResult, Schedule};
+use skiptrain_core::{AlgorithmSpec, Campaign, ExperimentConfig, Schedule};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut all = Vec::new();
 
+    let mut configs: Vec<ExperimentConfig> = Vec::new();
+    let mut cells = Vec::new();
     for dataset in ["cifar", "femnist"] {
         for degree in [6usize, 8, 10] {
             let mut base = match dataset {
@@ -21,56 +24,64 @@ fn main() {
             base.topology = skiptrain_core::TopologySpec::Regular { degree };
             let schedule = Schedule::tuned_for_degree(degree);
             base.eval_every = schedule.period();
-
-            let data = base.data.build(base.nodes, base.seed);
-            banner(&format!("{dataset} {degree}-regular ({} nodes, {} rounds)", base.nodes, base.rounds));
-            let mut results: Vec<ExperimentResult> = Vec::new();
+            cells.push((dataset, degree, base.nodes, base.rounds));
             for algo in [AlgorithmSpec::DPsgd, AlgorithmSpec::SkipTrain(schedule)] {
                 let mut cfg = base.clone();
+                cfg.name = format!("{dataset}-{degree}reg-{}", algo.name());
                 cfg.algorithm = algo;
-                cfg.name = format!("{dataset}-{degree}reg-{}", cfg.algorithm.name());
-                let result = run_experiment_on(&cfg, &data);
-                println!(
-                    "{:<22} final acc {:>5}%  (±{:>4})  train energy {:>9.2} Wh  train events {}",
-                    result.algorithm,
-                    pct(result.final_test.mean_accuracy),
-                    pct(result.final_test.std_accuracy),
-                    result.total_training_wh,
-                    result.node_train_events,
-                );
-                results.push(result);
+                configs.push(cfg);
             }
-
-            // accuracy-vs-round / accuracy-vs-energy series (the two Figure-5 panels)
-            let rows: Vec<Vec<String>> = results[0]
-                .test_curve
-                .iter()
-                .zip(results[1].test_curve.iter())
-                .map(|(d, s)| {
-                    vec![
-                        d.round.to_string(),
-                        pct(d.mean_accuracy),
-                        format!("{:.2}", d.training_energy_wh),
-                        pct(s.mean_accuracy),
-                        format!("{:.2}", s.training_energy_wh),
-                    ]
-                })
-                .collect();
-            println!(
-                "{}",
-                render_table(
-                    &[
-                        "round",
-                        "dpsgd acc%",
-                        "dpsgd energy Wh",
-                        "skiptrain acc%",
-                        "skiptrain energy Wh",
-                    ],
-                    &rows
-                )
-            );
-            all.extend(results);
         }
+    }
+
+    let all = Campaign::from_configs(configs).run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    for ((dataset, degree, nodes, rounds), pair) in cells.iter().zip(all.chunks(2)) {
+        banner(&format!(
+            "{dataset} {degree}-regular ({nodes} nodes, {rounds} rounds)"
+        ));
+        for result in pair {
+            println!(
+                "{:<22} final acc {:>5}%  (±{:>4})  train energy {:>9.2} Wh  train events {}",
+                result.algorithm,
+                pct(result.final_test.mean_accuracy),
+                pct(result.final_test.std_accuracy),
+                result.total_training_wh,
+                result.node_train_events,
+            );
+        }
+
+        // accuracy-vs-round / accuracy-vs-energy series (the two Figure-5 panels)
+        let rows: Vec<Vec<String>> = pair[0]
+            .test_curve
+            .iter()
+            .zip(pair[1].test_curve.iter())
+            .map(|(d, s)| {
+                vec![
+                    d.round.to_string(),
+                    pct(d.mean_accuracy),
+                    format!("{:.2}", d.training_energy_wh),
+                    pct(s.mean_accuracy),
+                    format!("{:.2}", s.training_energy_wh),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "round",
+                    "dpsgd acc%",
+                    "dpsgd energy Wh",
+                    "skiptrain acc%",
+                    "skiptrain energy Wh",
+                ],
+                &rows
+            )
+        );
     }
 
     banner("summary (paper: SkipTrain ≥ D-PSGD accuracy at ~half the energy)");

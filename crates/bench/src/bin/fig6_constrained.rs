@@ -5,23 +5,28 @@
 //!
 //! Per §4.2, budgets τ_i derive from spending 10 % (CIFAR-10) / 50 %
 //! (FEMNIST) of each device's battery; at reduced scales the battery
-//! fraction is rescaled so τ/T_train matches the paper's ratio.
+//! fraction is rescaled so τ/T_train matches the paper's ratio. The 18 runs
+//! execute as one parallel [`Campaign`] over two shared data bundles.
 
 use skiptrain_bench::{accuracy_at_energy, banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, EnergySpec};
 use skiptrain_core::presets::{cifar_config, femnist_config};
-use skiptrain_core::{ExperimentResult, Schedule, TopologySpec};
+use skiptrain_core::{
+    AlgorithmSpec, Campaign, EnergySpec, ExperimentConfig, ExperimentResult, Schedule, TopologySpec,
+};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut all: Vec<ExperimentResult> = Vec::new();
 
+    let mut configs: Vec<ExperimentConfig> = Vec::new();
+    let mut cells = Vec::new();
     for dataset in ["cifar", "femnist"] {
         for degree in [6usize, 8, 10] {
             let (mut base, constrained_spec, paper_rounds) = match dataset {
-                "cifar" => {
-                    (cifar_config(args.scale, args.seed), EnergySpec::cifar10_constrained(), 1000)
-                }
+                "cifar" => (
+                    cifar_config(args.scale, args.seed),
+                    EnergySpec::cifar10_constrained(),
+                    1000,
+                ),
                 _ => (
                     femnist_config(args.scale, args.seed),
                     EnergySpec::femnist_constrained(),
@@ -33,42 +38,61 @@ fn main() {
             let schedule = Schedule::tuned_for_degree(degree);
             base.eval_every = schedule.period();
             let scaled = constrained_spec.scaled_for_rounds(base.rounds, paper_rounds);
+            cells.push((dataset, degree, base.nodes, base.rounds, paper_rounds));
 
-            let data = base.data.build(base.nodes, base.seed);
-            banner(&format!(
-                "{dataset} {degree}-regular constrained ({} nodes, {} rounds, τ scaled ×{}/{paper_rounds})",
-                base.nodes, base.rounds, base.rounds
-            ));
-
-            let mut rows = Vec::new();
             for (algo, energy) in [
                 // D-PSGD is not energy-aware: trains every round, unconstrained.
                 (AlgorithmSpec::DPsgd, base.energy.clone()),
                 (AlgorithmSpec::Greedy, scaled.clone()),
-                (AlgorithmSpec::SkipTrainConstrained(schedule), scaled.clone()),
+                (
+                    AlgorithmSpec::SkipTrainConstrained(schedule),
+                    scaled.clone(),
+                ),
             ] {
                 let mut cfg = base.clone();
                 cfg.name = format!("{dataset}-{degree}reg-{}", algo.name());
                 cfg.algorithm = algo;
                 cfg.energy = energy;
-                let result = run_experiment_on(&cfg, &data);
-                rows.push(vec![
+                configs.push(cfg);
+            }
+        }
+    }
+
+    let all: Vec<ExperimentResult> = Campaign::from_configs(configs).run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    for ((dataset, degree, nodes, rounds, paper_rounds), group) in cells.iter().zip(all.chunks(3)) {
+        banner(&format!(
+            "{dataset} {degree}-regular constrained ({nodes} nodes, {rounds} rounds, \
+             τ scaled ×{rounds}/{paper_rounds})"
+        ));
+        let rows: Vec<Vec<String>> = group
+            .iter()
+            .map(|result| {
+                vec![
                     result.algorithm.clone(),
                     pct(result.final_test.mean_accuracy),
                     pct(result.final_test.std_accuracy),
                     format!("{:.2}", result.total_training_wh),
                     result.node_train_events.to_string(),
-                ]);
-                all.push(result);
-            }
-            println!(
-                "{}",
-                render_table(
-                    &["algorithm", "final acc%", "std", "training energy Wh", "train events"],
-                    &rows
-                )
-            );
-        }
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "algorithm",
+                    "final acc%",
+                    "std",
+                    "training energy Wh",
+                    "train events"
+                ],
+                &rows
+            )
+        );
     }
 
     banner("summary (paper: SkipTrain-c > Greedy > D-PSGD at matched energy)");

@@ -8,7 +8,12 @@ use skiptrain_data::stats::{dot_plot_rows, label_skew, mean_distinct_classes};
 
 fn render_ascii(hists: &[Vec<usize>], max_classes: usize) {
     let max_count = hists.iter().flatten().copied().max().unwrap_or(1).max(1);
-    println!("      class -> {}", (0..max_classes).map(|c| format!("{c:>3}")).collect::<String>());
+    println!(
+        "      class -> {}",
+        (0..max_classes)
+            .map(|c| format!("{c:>3}"))
+            .collect::<String>()
+    );
     for (node, hist) in hists.iter().enumerate() {
         let cells: String = hist
             .iter()
@@ -33,8 +38,12 @@ fn main() {
     let cifar = cifar_config(args.scale, args.seed);
     let cifar_data = cifar.data.build(cifar.nodes, cifar.seed);
     banner("Figure 7 (left): CIFAR-10-like, 2-shard partition, first 10 nodes");
-    let cifar_hists: Vec<Vec<usize>> =
-        cifar_data.node_datasets.iter().take(10).map(|d| d.class_histogram()).collect();
+    let cifar_hists: Vec<Vec<usize>> = cifar_data
+        .node_datasets
+        .iter()
+        .take(10)
+        .map(|d| d.class_histogram())
+        .collect();
     render_ascii(&cifar_hists, 10);
     println!(
         "mean distinct classes/node: {:.2} (10 available)   label skew (TV): {:.3}",
@@ -45,8 +54,12 @@ fn main() {
     let femnist = femnist_config(args.scale, args.seed);
     let femnist_data = femnist.data.build(femnist.nodes, femnist.seed);
     banner("Figure 7 (right): FEMNIST-like, writer partition, first 10 nodes (first 20 classes)");
-    let femnist_hists: Vec<Vec<usize>> =
-        femnist_data.node_datasets.iter().take(10).map(|d| d.class_histogram()).collect();
+    let femnist_hists: Vec<Vec<usize>> = femnist_data
+        .node_datasets
+        .iter()
+        .take(10)
+        .map(|d| d.class_histogram())
+        .collect();
     render_ascii(&femnist_hists, 20);
     println!(
         "mean distinct classes/node: {:.2} (47 available)   label skew (TV): {:.3}",

@@ -3,16 +3,22 @@
 //! label skew) manifests on the synthetic task. Not part of the figure
 //! suite, but kept for transparency about how the preset regime was chosen.
 
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, DataSpec};
+use skiptrain_core::experiment::{AlgorithmSpec, DataSpec};
 use skiptrain_core::presets::{cifar_config, Scale};
 use skiptrain_core::Schedule;
 
 fn env_f32(name: &str, default: f32) -> f32 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -23,7 +29,13 @@ fn main() {
     cfg.nodes = env_usize("NODES", 24);
     cfg.hidden_dim = env_usize("HIDDEN", 24);
     cfg.eval_every = 8;
-    if let DataSpec::CifarLike { feature_dim, samples_per_node, test_samples, .. } = cfg.data {
+    if let DataSpec::CifarLike {
+        feature_dim,
+        samples_per_node,
+        test_samples,
+        ..
+    } = cfg.data
+    {
         cfg.data = DataSpec::CifarLike {
             feature_dim: env_usize("DIM", feature_dim),
             samples_per_node: env_usize("SPN", samples_per_node),
@@ -54,12 +66,15 @@ fn main() {
             AlgorithmSpec::SkipTrain(s) => format!("skiptrain({},{})", s.gamma_train, s.gamma_sync),
             other => other.name().to_string(),
         };
-        if matches!(algo, AlgorithmSpec::Greedy | AlgorithmSpec::SkipTrainConstrained(_)) {
+        if matches!(
+            algo,
+            AlgorithmSpec::Greedy | AlgorithmSpec::SkipTrainConstrained(_)
+        ) {
             c.energy = constrained_energy.clone();
         }
         c.algorithm = algo;
         c.record_mean_model = true;
-        let r = run_experiment_on(&c, &data);
+        let r = c.run_on(&data);
         let curve: Vec<String> = r
             .test_curve
             .iter()
@@ -73,7 +88,10 @@ fn main() {
         println!(
             "{label:<18} final {:.1}% (mean-model {:.1}%)\n  node curve: {}\n  mean curve: {}",
             r.final_test.mean_accuracy * 100.0,
-            r.mean_model_curve.last().map(|(_, a)| a * 100.0).unwrap_or(0.0),
+            r.mean_model_curve
+                .last()
+                .map(|(_, a)| a * 100.0)
+                .unwrap_or(0.0),
             curve.join(" "),
             mean_curve.join(" "),
         );

@@ -1,17 +1,22 @@
-//! Config-driven experiment runner: execute any [`ExperimentConfig`] from a
-//! JSON file and write the full result as JSON — the integration point for
-//! external sweep tooling.
+//! Config-driven experiment runner: execute any [`ExperimentConfig`] — or a
+//! JSON array of them, in parallel — from a file and write full results as
+//! JSON. The integration point for external sweep tooling.
 //!
 //! ```sh
 //! # print a template config
 //! cargo run -p skiptrain-bench --release --bin run_config -- --template > exp.json
 //! # run it
 //! cargo run -p skiptrain-bench --release --bin run_config -- exp.json -o result.json
+//! # run a batch of configs (JSON array) on 8 worker threads
+//! cargo run -p skiptrain-bench --release --bin run_config -- batch.json --threads 8 -o results.json
 //! ```
+//!
+//! Configurations are validated up front: an invalid config fails fast with
+//! a typed diagnostic (and the offending array index) instead of panicking
+//! mid-run.
 
-use skiptrain_core::experiment::{run_experiment, AlgorithmSpec, ExperimentConfig};
 use skiptrain_core::presets::{cifar_config, Scale};
-use skiptrain_core::Schedule;
+use skiptrain_core::{AlgorithmSpec, Campaign, ExperimentConfig, Schedule};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,12 +30,22 @@ fn main() {
 
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--output" => output = it.next(),
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --threads needs a positive integer");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
-                eprintln!("usage: run_config <config.json> [-o result.json] | --template");
+                eprintln!(
+                    "usage: run_config <config.json> [--threads N] [-o result.json] | --template\n\
+                     <config.json> holds one ExperimentConfig or an array of them"
+                );
                 return;
             }
             path => input = Some(path.to_string()),
@@ -45,34 +60,80 @@ fn main() {
         eprintln!("error: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let cfg: ExperimentConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
-        eprintln!("error: invalid config: {e}");
-        std::process::exit(2);
-    });
+    // A batch file is a JSON array of configs; a single config runs as a
+    // one-element campaign. Dispatch on the leading token so a malformed
+    // batch reports its own parse error, not the single-config one.
+    let batched = text.trim_start().starts_with('[');
+    let configs: Vec<ExperimentConfig> = if batched {
+        serde_json::from_str::<Vec<ExperimentConfig>>(&text).unwrap_or_else(|e| {
+            eprintln!("error: invalid config batch: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        match serde_json::from_str::<ExperimentConfig>(&text) {
+            Ok(cfg) => vec![cfg],
+            Err(e) => {
+                eprintln!("error: invalid config: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
 
-    eprintln!(
-        "running '{}': {} nodes, {} rounds, {} on {:?}",
-        cfg.name,
-        cfg.nodes,
-        cfg.rounds,
-        cfg.algorithm.name(),
-        cfg.topology
-    );
-    let result = run_experiment(&cfg);
-    println!(
-        "final accuracy {:.2}% (±{:.2}), training energy {:.2} Wh, comm {:.3} Wh",
-        result.final_test.mean_accuracy * 100.0,
-        result.final_test.std_accuracy * 100.0,
-        result.total_training_wh,
-        result.total_comm_wh
-    );
-    if let Some(out) = output {
-        std::fs::write(&out, serde_json::to_string_pretty(&result).unwrap()).unwrap_or_else(
-            |e| {
-                eprintln!("error: cannot write {out}: {e}");
-                std::process::exit(1);
-            },
+    let mut campaign = Campaign::from_configs(configs);
+    if let Some(threads) = threads {
+        campaign = campaign.threads(threads);
+    }
+    if let Err(e) = campaign.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    for cfg in campaign.configs() {
+        eprintln!(
+            "queued '{}': {} nodes, {} rounds, {} on {:?}",
+            cfg.name,
+            cfg.nodes,
+            cfg.rounds,
+            cfg.algorithm.name(),
+            cfg.topology
         );
+    }
+
+    let results = campaign
+        .on_result(|run, result| {
+            eprintln!(
+                "run #{run} '{}' finished: acc {:.2}% (±{:.2}), training {:.2} Wh",
+                result.name,
+                result.final_test.mean_accuracy * 100.0,
+                result.final_test.std_accuracy * 100.0,
+                result.total_training_wh,
+            );
+        })
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+
+    for result in &results {
+        println!(
+            "{}: final accuracy {:.2}% (±{:.2}), training energy {:.2} Wh, comm {:.3} Wh",
+            result.name,
+            result.final_test.mean_accuracy * 100.0,
+            result.final_test.std_accuracy * 100.0,
+            result.total_training_wh,
+            result.total_comm_wh
+        );
+    }
+    if let Some(out) = output {
+        let rendered = if batched {
+            serde_json::to_string_pretty(&results).unwrap()
+        } else {
+            serde_json::to_string_pretty(&results[0]).unwrap()
+        };
+        std::fs::write(&out, rendered).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("wrote {out}");
     }
 }

@@ -9,7 +9,9 @@ fn main() {
     for scale in [Scale::Quick, Scale::Medium, Scale::Paper] {
         let cifar = cifar_config(scale, args.seed);
         let femnist = femnist_config(scale, args.seed);
-        banner(&format!("Table 1 at scale {scale:?} (paper values in parentheses)"));
+        banner(&format!(
+            "Table 1 at scale {scale:?} (paper values in parentheses)"
+        ));
         let rows = vec![
             vec![
                 "η (learning rate)".into(),
@@ -42,7 +44,10 @@ fn main() {
                 format!("{} (256)", femnist.nodes),
             ],
         ];
-        println!("{}", render_table(&["hyperparameter", "CIFAR-10-like", "FEMNIST-like"], &rows));
+        println!(
+            "{}",
+            render_table(&["hyperparameter", "CIFAR-10-like", "FEMNIST-like"], &rows)
+        );
     }
     println!(
         "\nη differs from the paper because the synthetic Gaussian-mixture task needs a\n\

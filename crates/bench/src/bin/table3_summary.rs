@@ -5,34 +5,35 @@
 //! reported twice: measured at the simulated scale, and the exact paper-
 //! scale value (256 nodes, Table-1 rounds) computed analytically from the
 //! energy substrate — training energy depends only on the schedule and the
-//! fleet, not on the learning dynamics.
+//! fleet, not on the learning dynamics. The 12 runs execute as one parallel
+//! [`Campaign`] over two shared data bundles.
 
 use skiptrain_bench::paper::TABLE3;
 use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, EnergySpec};
 use skiptrain_core::presets::{cifar_config, femnist_config};
-use skiptrain_core::{Schedule, TopologySpec};
+use skiptrain_core::{AlgorithmSpec, Campaign, EnergySpec, Schedule, TopologySpec};
 use skiptrain_energy::device::fleet;
 use skiptrain_energy::trace::round_energy_wh;
 
 /// Paper-scale training energy for a schedule: executed training rounds ×
 /// full-fleet per-round energy.
 fn paper_scale_energy(schedule: Schedule, paper_rounds: usize, energy: &EnergySpec) -> f64 {
-    let per_round: f64 =
-        fleet(256).iter().map(|d| round_energy_wh(&d.profile(), &energy.workload)).sum();
+    let per_round: f64 = fleet(256)
+        .iter()
+        .map(|d| round_energy_wh(&d.profile(), &energy.workload))
+        .sum();
     schedule.count_train_rounds(paper_rounds) as f64 * per_round
 }
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
 
+    // One run per (dataset, algorithm, degree), in row-assembly order.
+    let mut configs = Vec::new();
+    let mut row_specs = Vec::new();
     for (dataset, paper_rounds) in [("CIFAR-10", 1000usize), ("FEMNIST", 3000)] {
         for algo_is_skiptrain in [true, false] {
-            let mut acc = Vec::new();
-            let mut measured_wh = Vec::new();
-            let mut paper_wh = Vec::new();
+            row_specs.push((dataset, paper_rounds, algo_is_skiptrain));
             for degree in [6usize, 8, 10] {
                 let mut cfg = match dataset {
                     "CIFAR-10" => cifar_config(args.scale, args.seed),
@@ -48,41 +49,64 @@ fn main() {
                 };
                 cfg.name = format!("table3-{dataset}-{degree}-{}", cfg.algorithm.name());
                 cfg.eval_every = usize::MAX; // final accuracy only
-                let data = cfg.data.build(cfg.nodes, cfg.seed);
-                let r = run_experiment_on(&cfg, &data);
-                acc.push(pct(r.final_test.mean_accuracy));
-                measured_wh.push(format!("{:.1}", r.total_training_wh));
-                let sched =
-                    if algo_is_skiptrain { schedule } else { Schedule::dpsgd() };
-                paper_wh.push(format!(
-                    "{:.1}",
-                    paper_scale_energy(sched, paper_rounds, &cfg.energy)
-                ));
-                results.push(r);
+                configs.push(cfg);
             }
-            let paper_row = TABLE3
-                .iter()
-                .find(|r| {
-                    r.dataset == dataset
-                        && (r.algorithm == "SkipTrain") == algo_is_skiptrain
-                })
-                .unwrap();
-            rows.push(vec![
-                if algo_is_skiptrain { "SkipTrain" } else { "D-PSGD" }.to_string(),
-                dataset.to_string(),
-                format!("{} / {} / {}", measured_wh[0], measured_wh[1], measured_wh[2]),
-                format!("{} / {} / {}", paper_wh[0], paper_wh[1], paper_wh[2]),
-                format!(
-                    "{:.2} / {:.2} / {:.2}",
-                    paper_row.energy_wh[0], paper_row.energy_wh[1], paper_row.energy_wh[2]
-                ),
-                format!("{} / {} / {}", acc[0], acc[1], acc[2]),
-                format!(
-                    "{} / {} / {}",
-                    paper_row.accuracy_pct[0], paper_row.accuracy_pct[1], paper_row.accuracy_pct[2]
-                ),
-            ]);
         }
+    }
+
+    let energy_specs: Vec<EnergySpec> = configs.iter().map(|c| c.energy.clone()).collect();
+    let results = Campaign::from_configs(configs).run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    let mut rows = Vec::new();
+    for (row, ((dataset, paper_rounds, algo_is_skiptrain), group)) in
+        row_specs.iter().zip(results.chunks(3)).enumerate()
+    {
+        let mut acc = Vec::new();
+        let mut measured_wh = Vec::new();
+        let mut paper_wh = Vec::new();
+        for (col, (degree, r)) in [6usize, 8, 10].iter().zip(group).enumerate() {
+            acc.push(pct(r.final_test.mean_accuracy));
+            measured_wh.push(format!("{:.1}", r.total_training_wh));
+            let sched = if *algo_is_skiptrain {
+                Schedule::tuned_for_degree(*degree)
+            } else {
+                Schedule::dpsgd()
+            };
+            paper_wh.push(format!(
+                "{:.1}",
+                paper_scale_energy(sched, *paper_rounds, &energy_specs[row * 3 + col])
+            ));
+        }
+        let paper_row = TABLE3
+            .iter()
+            .find(|r| r.dataset == *dataset && (r.algorithm == "SkipTrain") == *algo_is_skiptrain)
+            .unwrap();
+        rows.push(vec![
+            if *algo_is_skiptrain {
+                "SkipTrain"
+            } else {
+                "D-PSGD"
+            }
+            .to_string(),
+            dataset.to_string(),
+            format!(
+                "{} / {} / {}",
+                measured_wh[0], measured_wh[1], measured_wh[2]
+            ),
+            format!("{} / {} / {}", paper_wh[0], paper_wh[1], paper_wh[2]),
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                paper_row.energy_wh[0], paper_row.energy_wh[1], paper_row.energy_wh[2]
+            ),
+            format!("{} / {} / {}", acc[0], acc[1], acc[2]),
+            format!(
+                "{} / {} / {}",
+                paper_row.accuracy_pct[0], paper_row.accuracy_pct[1], paper_row.accuracy_pct[2]
+            ),
+        ]);
     }
 
     banner("Table 3 (columns are 6-regular / 8-regular / 10-regular)");

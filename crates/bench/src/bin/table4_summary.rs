@@ -1,26 +1,31 @@
 //! Table 4: the energy-constrained comparison — SkipTrain-constrained vs
 //! Greedy vs D-PSGD, energy spent and final accuracy per dataset × topology.
+//!
+//! All 18 runs execute as one parallel [`Campaign`] over two shared data
+//! bundles.
 
 use skiptrain_bench::paper::TABLE4;
 use skiptrain_bench::{accuracy_at_energy, banner, pct, render_table, HarnessArgs};
-use skiptrain_core::experiment::{run_experiment_on, AlgorithmSpec, EnergySpec};
 use skiptrain_core::presets::{cifar_config, femnist_config};
-use skiptrain_core::{Schedule, TopologySpec};
+use skiptrain_core::{AlgorithmSpec, Campaign, EnergySpec, Schedule, TopologySpec};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
 
+    // One run per (dataset, algorithm, degree), in row-assembly order.
+    // `budgets[i]` carries the matched-energy budget for D-PSGD rows.
+    let mut configs = Vec::new();
+    let mut budgets: Vec<Option<f64>> = Vec::new();
+    let mut row_specs = Vec::new();
     for (dataset, paper_rounds) in [("CIFAR-10", 1000usize), ("FEMNIST", 3000)] {
         for algo_name in ["SkipTrain-constrained", "Greedy", "D-PSGD"] {
-            let mut acc = Vec::new();
-            let mut energy = Vec::new();
+            row_specs.push((dataset, algo_name));
             for degree in [6usize, 8, 10] {
                 let (mut cfg, constrained) = match dataset {
-                    "CIFAR-10" => {
-                        (cifar_config(args.scale, args.seed), EnergySpec::cifar10_constrained())
-                    }
+                    "CIFAR-10" => (
+                        cifar_config(args.scale, args.seed),
+                        EnergySpec::cifar10_constrained(),
+                    ),
                     _ => (
                         femnist_config(args.scale, args.seed),
                         EnergySpec::femnist_constrained(),
@@ -41,48 +46,66 @@ fn main() {
                     }
                     _ => {} // D-PSGD: unconstrained (not energy-aware)
                 }
-                cfg.name = format!("table4-{dataset}-{degree}-{algo_name}");
-                cfg.eval_every = schedule.period();
-                let data = cfg.data.build(cfg.nodes, cfg.seed);
-                let r = run_experiment_on(&cfg, &data);
-                if algo_name == "D-PSGD" {
-                    // Read the unconstrained baseline at the energy level the
-                    // constrained algorithms were allowed (paper Table 4).
-                    let budget: f64 = scaled
+                budgets.push((algo_name == "D-PSGD").then(|| {
+                    // The energy level the constrained algorithms were
+                    // allowed (paper Table 4).
+                    scaled
                         .node_budgets(cfg.nodes)
                         .iter()
                         .zip(scaled.node_energies(cfg.nodes))
                         .map(|(&b, e)| b as f64 * e)
-                        .sum();
-                    let (round, a) = accuracy_at_energy(&r, budget)
-                        .unwrap_or((0, r.test_curve[0].mean_accuracy));
+                        .sum()
+                }));
+                cfg.name = format!("table4-{dataset}-{degree}-{algo_name}");
+                cfg.eval_every = schedule.period();
+                configs.push(cfg);
+            }
+        }
+    }
+
+    let results = Campaign::from_configs(configs).run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    let mut rows = Vec::new();
+    for (row, ((dataset, algo_name), group)) in row_specs.iter().zip(results.chunks(3)).enumerate()
+    {
+        let mut acc = Vec::new();
+        let mut energy = Vec::new();
+        for (col, r) in group.iter().enumerate() {
+            match budgets[row * 3 + col] {
+                Some(budget) => {
+                    // Read the unconstrained baseline at the matched budget.
+                    let (round, a) =
+                        accuracy_at_energy(r, budget).unwrap_or((0, r.test_curve[0].mean_accuracy));
                     acc.push(format!("{} @r{round}", pct(a)));
                     energy.push(format!("{budget:.1}"));
-                } else {
+                }
+                None => {
                     acc.push(pct(r.final_test.mean_accuracy));
                     energy.push(format!("{:.1}", r.total_training_wh));
                 }
-                results.push(r);
             }
-            let paper_row = TABLE4
-                .iter()
-                .find(|r| r.dataset == dataset && r.algorithm == algo_name)
-                .unwrap();
-            rows.push(vec![
-                algo_name.to_string(),
-                dataset.to_string(),
-                format!("{} / {} / {}", energy[0], energy[1], energy[2]),
-                format!(
-                    "{:.1} / {:.1} / {:.1}",
-                    paper_row.budget_wh[0], paper_row.budget_wh[1], paper_row.budget_wh[2]
-                ),
-                format!("{} / {} / {}", acc[0], acc[1], acc[2]),
-                format!(
-                    "{} / {} / {}",
-                    paper_row.accuracy_pct[0], paper_row.accuracy_pct[1], paper_row.accuracy_pct[2]
-                ),
-            ]);
         }
+        let paper_row = TABLE4
+            .iter()
+            .find(|r| r.dataset == *dataset && r.algorithm == *algo_name)
+            .unwrap();
+        rows.push(vec![
+            algo_name.to_string(),
+            dataset.to_string(),
+            format!("{} / {} / {}", energy[0], energy[1], energy[2]),
+            format!(
+                "{:.1} / {:.1} / {:.1}",
+                paper_row.budget_wh[0], paper_row.budget_wh[1], paper_row.budget_wh[2]
+            ),
+            format!("{} / {} / {}", acc[0], acc[1], acc[2]),
+            format!(
+                "{} / {} / {}",
+                paper_row.accuracy_pct[0], paper_row.accuracy_pct[1], paper_row.accuracy_pct[2]
+            ),
+        ]);
     }
 
     banner("Table 4 (columns are 6-regular / 8-regular / 10-regular)");

@@ -38,7 +38,13 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: Scale::Quick, seed: 42, nodes: None, rounds: None, json: None }
+        Self {
+            scale: Scale::Quick,
+            seed: 42,
+            nodes: None,
+            rounds: None,
+            json: None,
+        }
     }
 }
 
@@ -54,24 +60,33 @@ impl HarnessArgs {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| usage(&format!("missing value for {name}")))
+                it.next()
+                    .unwrap_or_else(|| usage(&format!("missing value for {name}")))
             };
             match flag.as_str() {
                 "--scale" => {
                     let v = value("--scale");
-                    out.scale = Scale::parse(&v)
-                        .unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
+                    out.scale =
+                        Scale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale '{v}'")));
                 }
                 "--seed" => {
-                    out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed"))
+                    out.seed = value("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seed"))
                 }
                 "--nodes" => {
-                    out.nodes =
-                        Some(value("--nodes").parse().unwrap_or_else(|_| usage("bad --nodes")))
+                    out.nodes = Some(
+                        value("--nodes")
+                            .parse()
+                            .unwrap_or_else(|_| usage("bad --nodes")),
+                    )
                 }
                 "--rounds" => {
-                    out.rounds =
-                        Some(value("--rounds").parse().unwrap_or_else(|_| usage("bad --rounds")))
+                    out.rounds = Some(
+                        value("--rounds")
+                            .parse()
+                            .unwrap_or_else(|_| usage("bad --rounds")),
+                    )
                 }
                 "--json" => out.json = Some(PathBuf::from(value("--json"))),
                 "--help" | "-h" => usage(""),
@@ -161,8 +176,7 @@ pub fn accuracy_at_energy(
     result
         .test_curve
         .iter()
-        .filter(|p| p.training_energy_wh <= budget_wh + 1e-9)
-        .next_back()
+        .rfind(|p| p.training_energy_wh <= budget_wh + 1e-9)
         .map(|p| (p.round, p.mean_accuracy))
 }
 
@@ -187,7 +201,15 @@ mod tests {
     fn parse_all_flags() {
         let args = HarnessArgs::parse_from(
             [
-                "--scale", "medium", "--seed", "7", "--nodes", "16", "--rounds", "99", "--json",
+                "--scale",
+                "medium",
+                "--seed",
+                "7",
+                "--nodes",
+                "16",
+                "--rounds",
+                "99",
+                "--json",
                 "/tmp/x.json",
             ]
             .iter()
@@ -203,8 +225,12 @@ mod tests {
     #[test]
     fn overrides_apply() {
         let mut cfg = skiptrain_core::presets::cifar_config(Scale::Quick, 1);
-        let args =
-            HarnessArgs { nodes: Some(12), rounds: Some(20), seed: 9, ..HarnessArgs::default() };
+        let args = HarnessArgs {
+            nodes: Some(12),
+            rounds: Some(20),
+            seed: 9,
+            ..HarnessArgs::default()
+        };
         args.apply(&mut cfg);
         assert_eq!(cfg.nodes, 12);
         assert_eq!(cfg.rounds, 20);
@@ -219,6 +245,9 @@ mod tests {
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "rows not aligned:\n{t}");
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "rows not aligned:\n{t}"
+        );
     }
 }

@@ -145,15 +145,19 @@ mod tests {
 
     #[test]
     fn fig3_energy_is_monotone_in_gamma_train() {
-        for gs in 0..4 {
+        for row in &FIG3_ENERGY_WH {
             for gt in 0..3 {
-                assert!(FIG3_ENERGY_WH[gs][gt] < FIG3_ENERGY_WH[gs][gt + 1]);
+                assert!(row[gt] < row[gt + 1]);
             }
         }
     }
 
     #[test]
     fn claims_are_consistent() {
-        assert!(CLAIM_TRAINING_KWH * 1000.0 / CLAIM_COMM_WH > CLAIM_MIN_RATIO);
+        let ratio = CLAIM_TRAINING_KWH * 1000.0 / CLAIM_COMM_WH;
+        assert!(
+            ratio > CLAIM_MIN_RATIO,
+            "claimed ratio {ratio} below {CLAIM_MIN_RATIO}"
+        );
     }
 }

@@ -37,7 +37,10 @@ pub fn run_async_gossip(
     data: &DataBundle,
     activation_prob: f64,
 ) -> ExperimentResult {
-    assert!((0.0..=1.0).contains(&activation_prob), "activation probability in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&activation_prob),
+        "activation probability in [0,1]"
+    );
     let kind = cfg.model_kind();
     let models: Vec<_> = (0..cfg.nodes)
         .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
@@ -57,8 +60,13 @@ pub fn run_async_gossip(
         nominal_params: Some(cfg.energy.workload.model_params),
     };
     let graph_for_matching = graph.clone();
-    let mut sim =
-        Simulation::new(models, data.node_datasets.clone(), graph, mixing, sim_config);
+    let mut sim = Simulation::with_shared_data(
+        models,
+        data.node_datasets.clone(),
+        graph,
+        mixing,
+        sim_config,
+    );
 
     let mut recorder = MetricsRecorder::new();
     let mut mean_model_curve = Vec::new();
@@ -75,18 +83,23 @@ pub fn run_async_gossip(
                 RoundAction::SyncOnly
             };
         }
-        node_train_events +=
-            actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
+        node_train_events += actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
 
-        let pairs =
-            random_maximal_matching(&graph_for_matching, derive_seed(cfg.seed, 0x3A7C + t as u64));
+        let pairs = random_maximal_matching(
+            &graph_for_matching,
+            derive_seed(cfg.seed, 0x3A7C + t as u64),
+        );
         let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
         sim.run_round_with_mixing(&actions, &round_mixing);
 
         let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds;
         if at_eval {
             let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
-            recorder.record(&stats, sim.ledger().total_wh(), sim.ledger().total_training_wh());
+            recorder.record(
+                &stats,
+                sim.ledger().total_wh(),
+                sim.ledger().total_training_wh(),
+            );
             if cfg.record_mean_model {
                 let (acc, _) = sim.evaluate_mean_model(&data.test, cfg.eval_max_samples);
                 mean_model_curve.push((t + 1, acc));
@@ -185,7 +198,10 @@ mod tests {
         let data = cfg.data.build(cfg.nodes, cfg.seed);
         let a = run_async_gossip(&cfg, &data, 0.5);
         let b = run_async_gossip(&cfg, &data, 0.5);
-        assert_eq!(a.final_test.mean_accuracy.to_bits(), b.final_test.mean_accuracy.to_bits());
+        assert_eq!(
+            a.final_test.mean_accuracy.to_bits(),
+            b.final_test.mean_accuracy.to_bits()
+        );
         assert_eq!(a.node_train_events, b.node_train_events);
     }
 }

@@ -1,0 +1,285 @@
+//! Fluent, validating construction of experiments.
+//!
+//! [`ExperimentBuilder`] assembles an
+//! [`ExperimentConfig`](crate::ExperimentConfig) field by field from
+//! sensible quick-scale defaults (or from an existing config), and
+//! [`ExperimentBuilder::build`] validates every cross-field invariant into
+//! a typed [`ConfigError`] instead of letting an `assert!` fire mid-run.
+//! The output is an [`Experiment`]: a proof-of-validity wrapper whose run
+//! methods cannot panic on configuration mistakes.
+//!
+//! ```
+//! use skiptrain_core::{AlgorithmSpec, Experiment, Schedule, TopologySpec};
+//!
+//! let experiment = Experiment::builder()
+//!     .name("quick-demo")
+//!     .nodes(16)
+//!     .rounds(24)
+//!     .algorithm(AlgorithmSpec::SkipTrain(Schedule::new(4, 4)))
+//!     .topology(TopologySpec::Regular { degree: 4 })
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(experiment.config().nodes, 16);
+//! ```
+
+use crate::error::ConfigError;
+use crate::experiment::{
+    AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
+    TopologySpec,
+};
+use crate::runner;
+use skiptrain_engine::observer::RoundObserver;
+use skiptrain_engine::TransportKind;
+
+/// Fluent builder for [`ExperimentConfig`] (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    config: ExperimentConfig,
+}
+
+impl Default for ExperimentBuilder {
+    /// Quick-scale CIFAR-like defaults: 24 nodes, 64 rounds, D-PSGD on a
+    /// 6-regular graph.
+    fn default() -> Self {
+        Self {
+            config: crate::presets::cifar_config(crate::presets::Scale::Quick, 42),
+        }
+    }
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta] $name:ident: $ty:ty),* $(,)?) => {$(
+        #[$doc]
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.config.$name = $name;
+            self
+        }
+    )*};
+}
+
+impl ExperimentBuilder {
+    /// Starts from the quick-scale defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration (e.g. a preset).
+    pub fn from_config(config: ExperimentConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the report label.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    setter! {
+        /// Sets the node count.
+        nodes: usize,
+        /// Sets the total round count `T`.
+        rounds: usize,
+        /// Sets the algorithm under test.
+        algorithm: AlgorithmSpec,
+        /// Sets the communication topology.
+        topology: TopologySpec,
+        /// Sets the dataset family and scale.
+        data: DataSpec,
+        /// Sets the hidden width of the per-node MLP (0 = softmax regression).
+        hidden_dim: usize,
+        /// Sets the mini-batch size.
+        batch_size: usize,
+        /// Sets the local SGD steps per training round.
+        local_steps: usize,
+        /// Sets the SGD learning rate.
+        learning_rate: f32,
+        /// Sets the master seed.
+        seed: u64,
+        /// Sets the evaluation cadence (every N rounds).
+        eval_every: usize,
+        /// Caps evaluation samples per eval point (`usize::MAX` = full set).
+        eval_max_samples: usize,
+        /// Sets the energy accounting / budget model.
+        energy: EnergySpec,
+        /// Sets the message transport.
+        transport: TransportKind,
+        /// Enables/disables the averaged-model curve of Figure 1.
+        record_mean_model: bool,
+    }
+
+    /// Validates and builds the raw configuration.
+    pub fn build_config(self) -> Result<ExperimentConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validates and builds a runnable [`Experiment`].
+    pub fn build(self) -> Result<Experiment, ConfigError> {
+        Ok(Experiment {
+            config: self.build_config()?,
+        })
+    }
+}
+
+/// A validated experiment: the only way to obtain one is through
+/// validation, so its run methods never panic on configuration errors.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Starts a fluent builder with quick-scale defaults.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// Validates an existing configuration into an `Experiment`.
+    pub fn from_config(config: ExperimentConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Unwraps the configuration (e.g. to hand to a [`Campaign`](crate::Campaign)).
+    pub fn into_config(self) -> ExperimentConfig {
+        self.config
+    }
+
+    /// Generates this experiment's data bundle.
+    pub fn build_data(&self) -> DataBundle {
+        self.config.data.build(self.config.nodes, self.config.seed)
+    }
+
+    /// Runs end to end: generates data, executes every round, returns the
+    /// collected result.
+    pub fn run(&self) -> ExperimentResult {
+        let data = self.build_data();
+        runner::execute(&self.config, &data, &mut [])
+    }
+
+    /// Runs on a pre-built bundle (campaigns and sweeps share bundles
+    /// across runs).
+    pub fn run_on(&self, data: &DataBundle) -> Result<ExperimentResult, ConfigError> {
+        runner::run_with_observers(&self.config, data, &mut [])
+    }
+
+    /// Runs with caller-supplied observers hooked into the round loop.
+    pub fn run_observed(
+        &self,
+        data: &DataBundle,
+        observers: &mut [&mut dyn RoundObserver],
+    ) -> Result<ExperimentResult, ConfigError> {
+        runner::run_with_observers(&self.config, data, observers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let experiment = Experiment::builder()
+            .build()
+            .expect("defaults must validate");
+        assert!(experiment.config().nodes > 0);
+    }
+
+    #[test]
+    fn constrained_without_battery_fraction_is_a_typed_error() {
+        let err = Experiment::builder()
+            .algorithm(AlgorithmSpec::SkipTrainConstrained(Schedule::new(4, 4)))
+            .energy(EnergySpec::cifar10()) // no battery fraction
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::MissingBatteryFraction {
+                algorithm: "skiptrain-constrained".into()
+            }
+        );
+    }
+
+    #[test]
+    fn greedy_without_battery_fraction_is_a_typed_error() {
+        let err = Experiment::builder()
+            .algorithm(AlgorithmSpec::Greedy)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::MissingBatteryFraction { .. }));
+    }
+
+    #[test]
+    fn zero_rounds_and_nodes_are_rejected() {
+        assert_eq!(
+            Experiment::builder().rounds(0).build().unwrap_err(),
+            ConfigError::ZeroRounds
+        );
+        assert_eq!(
+            Experiment::builder().nodes(0).build().unwrap_err(),
+            ConfigError::ZeroNodes
+        );
+    }
+
+    #[test]
+    fn impossible_regular_topology_is_rejected() {
+        let err = Experiment::builder()
+            .nodes(6)
+            .topology(TopologySpec::Regular { degree: 6 })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::DegreeTooLarge {
+                degree: 6,
+                nodes: 6
+            }
+        );
+
+        let err = Experiment::builder()
+            .nodes(7)
+            .topology(TopologySpec::Regular { degree: 3 })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::OddDegreeProduct {
+                degree: 3,
+                nodes: 7
+            }
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_an_existing_config() {
+        let base = crate::presets::cifar_config(crate::presets::Scale::Quick, 7);
+        let rebuilt = ExperimentBuilder::from_config(base.clone())
+            .seed(9)
+            .build_config()
+            .unwrap();
+        assert_eq!(rebuilt.nodes, base.nodes);
+        assert_eq!(rebuilt.seed, 9);
+    }
+
+    #[test]
+    fn run_on_reports_arity_mismatch() {
+        let experiment = Experiment::builder().nodes(12).rounds(2).build().unwrap();
+        let other = Experiment::builder().nodes(10).rounds(2).build().unwrap();
+        let bundle = other.build_data();
+        let err = experiment.run_on(&bundle).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::ArityMismatch {
+                expected: 12,
+                got: 10,
+                ..
+            }
+        ));
+    }
+}

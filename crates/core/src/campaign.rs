@@ -1,0 +1,458 @@
+//! Parallel multi-run experiment execution.
+//!
+//! The paper's evaluation is inherently *many runs over shared data*: the
+//! §4.3 grid alone is |Γ|² full experiments on one dataset, and every
+//! figure compares several algorithms on identical bundles. A [`Campaign`]
+//! executes N validated configurations with:
+//!
+//! * **data deduplication** — bundles are keyed by
+//!   `(DataSpec, nodes, seed)` and materialized once behind `Arc`, so a
+//!   16-cell sweep synthesizes its dataset a single time and shares it
+//!   zero-copy across runs;
+//! * **run-level parallelism** — independent runs execute on worker
+//!   threads (each run's internal node loop stays sequential on its
+//!   worker, which is the right grain for multi-run workloads);
+//! * **deterministic results in input order** — every run is
+//!   self-contained and seeded, so the output is identical to serial
+//!   execution, cell for cell;
+//! * **observability** — an optional observer factory hooks
+//!   [`RoundObserver`]s into every run, and an `on_result` callback
+//!   streams completions as they happen.
+//!
+//! ```
+//! use skiptrain_core::presets::{cifar_config, Scale};
+//! use skiptrain_core::Campaign;
+//!
+//! let mut base = cifar_config(Scale::Quick, 1);
+//! base.nodes = 10;
+//! base.rounds = 4;
+//! base.eval_max_samples = 50;
+//! let campaign = Campaign::replicates(&base, 3);
+//! assert_eq!(campaign.len(), 3);
+//! ```
+
+use crate::error::CampaignError;
+use crate::experiment::{DataBundle, DataSpec, ExperimentConfig, ExperimentResult};
+use crate::runner;
+use rayon::prelude::*;
+use skiptrain_engine::observer::RoundObserver;
+use skiptrain_linalg::rng::derive_seed;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Factory producing per-run observers (run index, config → observers).
+type ObserverFactory = dyn Fn(usize, &ExperimentConfig) -> Vec<Box<dyn RoundObserver>> + Sync;
+
+/// Streaming completion callback (run index, result).
+type ResultCallback = dyn Fn(usize, &ExperimentResult) + Sync;
+
+/// A batch of experiment runs executed in parallel over shared data
+/// (see the module docs).
+#[derive(Default)]
+pub struct Campaign {
+    configs: Vec<ExperimentConfig>,
+    threads: Option<usize>,
+    observer_factory: Option<Box<ObserverFactory>>,
+    on_result: Option<Box<ResultCallback>>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A campaign over an explicit list of configurations.
+    pub fn from_configs(configs: Vec<ExperimentConfig>) -> Self {
+        Self {
+            configs,
+            ..Self::default()
+        }
+    }
+
+    /// A campaign of `n` seed-replicates of `base`: run `i` gets the
+    /// deterministically derived seed `derive_seed(base.seed, i)` and a
+    /// `name/rep{i}` label.
+    pub fn replicates(base: &ExperimentConfig, n: usize) -> Self {
+        let configs = (0..n)
+            .map(|i| {
+                let mut cfg = base.clone();
+                cfg.seed = derive_seed(base.seed, i as u64);
+                cfg.name = format!("{}/rep{i}", base.name);
+                cfg
+            })
+            .collect();
+        Self {
+            configs,
+            ..Self::default()
+        }
+    }
+
+    /// Appends one run.
+    pub fn push(mut self, config: ExperimentConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Caps the worker threads used for run-level parallelism
+    /// (default: all available cores; `1` forces serial execution).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Installs a factory that builds [`RoundObserver`]s for every run.
+    ///
+    /// Observers are created per run and dropped when it finishes; to
+    /// extract data from them, capture a shared sink (`Arc<Mutex<_>>`,
+    /// channel, ...) in the observer at construction time.
+    pub fn observe_with(
+        mut self,
+        factory: impl Fn(usize, &ExperimentConfig) -> Vec<Box<dyn RoundObserver>> + Sync + 'static,
+    ) -> Self {
+        self.observer_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Installs a callback invoked as each run completes (from worker
+    /// threads, in completion order).
+    pub fn on_result(
+        mut self,
+        callback: impl Fn(usize, &ExperimentResult) + Sync + 'static,
+    ) -> Self {
+        self.on_result = Some(Box::new(callback));
+        self
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when the campaign holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The configured runs, in input order.
+    pub fn configs(&self) -> &[ExperimentConfig] {
+        &self.configs
+    }
+
+    /// Validates every run up front (first failure wins, with its index).
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        for (run, cfg) in self.configs.iter().enumerate() {
+            cfg.validate().map_err(|source| CampaignError {
+                run,
+                name: cfg.name.clone(),
+                source,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Executes every run and returns results in input order.
+    ///
+    /// Equal `(DataSpec, nodes, seed)` triples share one materialized
+    /// [`DataBundle`]. Bundles are built lazily by the first run that needs
+    /// them (so peak memory is bounded by the worker count, not the number
+    /// of distinct bundles) and freed as soon as their last dependent run
+    /// finishes.
+    pub fn run(&self) -> Result<Vec<ExperimentResult>, CampaignError> {
+        self.validate()?;
+        if self.configs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slots = self.bundle_slots();
+        let execute_all = || {
+            let indices: Vec<usize> = (0..self.configs.len()).collect();
+            indices
+                .par_iter()
+                .map(|&run| {
+                    let cfg = &self.configs[run];
+                    let slot = &slots[&data_key(&cfg.data, cfg.nodes, cfg.seed)];
+                    let bundle = slot.acquire(cfg);
+                    let result = self.execute_one(run, cfg, &bundle);
+                    drop(bundle);
+                    slot.release();
+                    if let Some(callback) = &self.on_result {
+                        callback(run, &result);
+                    }
+                    result
+                })
+                .collect()
+        };
+        let results: Vec<ExperimentResult> = match self.threads {
+            Some(threads) => rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool")
+                .install(execute_all),
+            None => execute_all(),
+        };
+        Ok(results)
+    }
+
+    fn execute_one(
+        &self,
+        run: usize,
+        cfg: &ExperimentConfig,
+        bundle: &DataBundle,
+    ) -> ExperimentResult {
+        match &self.observer_factory {
+            None => runner::execute(cfg, bundle, &mut []),
+            Some(factory) => {
+                let mut boxed = factory(run, cfg);
+                let mut refs: Vec<&mut dyn RoundObserver> = Vec::with_capacity(boxed.len());
+                for observer in &mut boxed {
+                    refs.push(observer.as_mut());
+                }
+                runner::execute(cfg, bundle, &mut refs)
+            }
+        }
+    }
+
+    /// One lazy cache slot per distinct `(DataSpec, nodes, seed)` triple,
+    /// pre-counted with how many runs will use it.
+    fn bundle_slots(&self) -> HashMap<String, BundleSlot> {
+        let mut slots: HashMap<String, BundleSlot> = HashMap::new();
+        for cfg in &self.configs {
+            slots
+                .entry(data_key(&cfg.data, cfg.nodes, cfg.seed))
+                .or_default()
+                .expected_uses += 1;
+        }
+        slots
+    }
+}
+
+/// A lazily materialized, use-counted data bundle shared by every run with
+/// the same data key. The bundle is built under the slot lock by the first
+/// run that needs it (runs on *other* keys proceed concurrently) and freed
+/// once the last dependent run releases it, so campaign peak memory is
+/// bounded by the bundles in active use, not by the number of distinct
+/// keys.
+#[derive(Default)]
+struct BundleSlot {
+    bundle: Mutex<Option<Arc<DataBundle>>>,
+    expected_uses: usize,
+    released: AtomicUsize,
+}
+
+impl BundleSlot {
+    /// The shared bundle, materializing it on first use.
+    fn acquire(&self, cfg: &ExperimentConfig) -> Arc<DataBundle> {
+        let mut guard = self.bundle.lock().expect("bundle slot poisoned");
+        guard
+            .get_or_insert_with(|| Arc::new(cfg.data.build(cfg.nodes, cfg.seed)))
+            .clone()
+    }
+
+    /// Signals that one dependent run finished; the last release drops the
+    /// cached bundle.
+    fn release(&self) {
+        if self.released.fetch_add(1, Ordering::AcqRel) + 1 == self.expected_uses {
+            *self.bundle.lock().expect("bundle slot poisoned") = None;
+        }
+    }
+}
+
+/// Cache key for data deduplication. `DataSpec` holds floats, so the key is
+/// its full `Debug` rendering (shortest-roundtrip float formatting makes
+/// distinct values render distinctly) plus the node count and seed.
+fn data_key(spec: &DataSpec, nodes: usize, seed: u64) -> String {
+    format!("{spec:?}|n={nodes}|s={seed}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ConfigError;
+    use crate::experiment::AlgorithmSpec;
+    use crate::presets::{cifar_config, Scale};
+    use crate::schedule::Schedule;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn micro(seed: u64) -> ExperimentConfig {
+        let mut cfg = cifar_config(Scale::Quick, seed);
+        cfg.nodes = 8;
+        cfg.rounds = 6;
+        cfg.eval_every = 3;
+        cfg.eval_max_samples = 80;
+        cfg.data = DataSpec::CifarLike {
+            feature_dim: 8,
+            samples_per_node: 30,
+            test_samples: 200,
+            shards_per_node: 2,
+            separation: 1.2,
+            noise: 0.8,
+            modes_per_class: 1,
+        };
+        cfg.hidden_dim = 8;
+        cfg.local_steps = 2;
+        cfg.topology = crate::experiment::TopologySpec::Regular { degree: 3 };
+        cfg
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let configs: Vec<ExperimentConfig> = (0..4)
+            .map(|i| {
+                let mut cfg = micro(5);
+                cfg.name = format!("run-{i}");
+                cfg.algorithm = if i % 2 == 0 {
+                    AlgorithmSpec::DPsgd
+                } else {
+                    AlgorithmSpec::SkipTrain(Schedule::new(2, 2))
+                };
+                cfg
+            })
+            .collect();
+        let results = Campaign::from_configs(configs).run().unwrap();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.name, format!("run-{i}"));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let campaign = |threads: usize| {
+            Campaign::from_configs(vec![micro(1), micro(2), micro(3)])
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let serial = campaign(1);
+        let parallel = campaign(4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                a.final_test.mean_accuracy.to_bits(),
+                b.final_test.mean_accuracy.to_bits()
+            );
+            assert_eq!(a.final_mean_model, b.final_mean_model);
+            assert_eq!(a.node_train_events, b.node_train_events);
+        }
+    }
+
+    #[test]
+    fn equal_data_specs_share_one_bundle() {
+        // Two runs, same (data, nodes, seed) but different algorithms:
+        // exactly one bundle slot, used twice.
+        let mut a = micro(9);
+        a.algorithm = AlgorithmSpec::DPsgd;
+        let mut b = micro(9);
+        b.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(2, 2));
+        let campaign = Campaign::from_configs(vec![a, b]);
+        let slots = campaign.bundle_slots();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots.values().next().unwrap().expected_uses, 2);
+        // A changed seed produces a second slot.
+        let campaign = Campaign::from_configs(vec![micro(9), micro(10)]);
+        assert_eq!(campaign.bundle_slots().len(), 2);
+    }
+
+    #[test]
+    fn bundle_slots_free_after_last_release() {
+        let cfg = micro(21);
+        let slot = BundleSlot {
+            expected_uses: 2,
+            ..BundleSlot::default()
+        };
+        let first = slot.acquire(&cfg);
+        let second = slot.acquire(&cfg);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same slot must share one bundle"
+        );
+        slot.release();
+        assert!(
+            slot.bundle.lock().unwrap().is_some(),
+            "freed before last user"
+        );
+        slot.release();
+        assert!(
+            slot.bundle.lock().unwrap().is_none(),
+            "not freed after last user"
+        );
+    }
+
+    #[test]
+    fn invalid_run_is_rejected_with_its_index() {
+        let mut bad = micro(1);
+        bad.rounds = 0;
+        bad.name = "broken".into();
+        let err = Campaign::from_configs(vec![micro(1), bad])
+            .run()
+            .unwrap_err();
+        assert_eq!(err.run, 1);
+        assert_eq!(err.name, "broken");
+        assert_eq!(err.source, ConfigError::ZeroRounds);
+    }
+
+    #[test]
+    fn replicates_derive_distinct_deterministic_seeds() {
+        let base = micro(7);
+        let campaign = Campaign::replicates(&base, 3);
+        let seeds: Vec<u64> = campaign.configs().iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0], derive_seed(7, 0));
+        assert_eq!(seeds[1], derive_seed(7, 1));
+        assert!(seeds[0] != seeds[1] && seeds[1] != seeds[2]);
+        // Re-deriving gives the same seeds.
+        let again: Vec<u64> = Campaign::replicates(&base, 3)
+            .configs()
+            .iter()
+            .map(|c| c.seed)
+            .collect();
+        assert_eq!(seeds, again);
+    }
+
+    #[test]
+    fn on_result_streams_every_completion() {
+        // The callback must be 'static, so move a counter behind an Arc.
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let c2 = std::sync::Arc::clone(&counter);
+        let results = Campaign::from_configs(vec![micro(1), micro(2)])
+            .on_result(move |_, _| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            })
+            .run()
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn observer_factory_hooks_into_every_run() {
+        use skiptrain_engine::observer::{EvalReport, RoundObserver};
+        use skiptrain_engine::Simulation;
+        use std::ops::ControlFlow;
+
+        struct CountEvals(std::sync::Arc<Mutex<Vec<usize>>>);
+        impl RoundObserver for CountEvals {
+            fn on_eval(
+                &mut self,
+                _sim: &mut Simulation,
+                report: &EvalReport<'_>,
+            ) -> ControlFlow<()> {
+                self.0.lock().unwrap().push(report.round);
+                ControlFlow::Continue(())
+            }
+        }
+
+        let sink = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let s2 = std::sync::Arc::clone(&sink);
+        let results = Campaign::from_configs(vec![micro(4)])
+            .observe_with(move |_, _| vec![Box::new(CountEvals(std::sync::Arc::clone(&s2)))])
+            .run()
+            .unwrap();
+        // rounds=6, eval_every=3 -> evals after rounds 3 and 6
+        assert_eq!(results[0].test_curve.len(), 2);
+        let mut rounds = sink.lock().unwrap().clone();
+        rounds.sort_unstable();
+        assert_eq!(rounds, vec![3, 6]);
+    }
+}

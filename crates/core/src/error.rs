@@ -1,0 +1,169 @@
+//! Typed experiment-configuration errors.
+//!
+//! The legacy API validated configurations with scattered `assert!`s that
+//! fired mid-run, after minutes of dataset synthesis. [`ConfigError`]
+//! centralizes every invariant so builders and campaigns reject invalid
+//! configurations *before* any work starts, with a diagnosable reason.
+
+use serde::{Deserialize, Serialize};
+
+/// Why an [`ExperimentConfig`](crate::ExperimentConfig) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `nodes == 0`.
+    ZeroNodes,
+    /// `rounds == 0`.
+    ZeroRounds,
+    /// `batch_size == 0`.
+    ZeroBatchSize,
+    /// `local_steps == 0`.
+    ZeroLocalSteps,
+    /// Learning rate is not a positive finite number.
+    NonPositiveLearningRate,
+    /// A budget-constrained algorithm was configured without
+    /// `EnergySpec::battery_fraction`.
+    MissingBatteryFraction {
+        /// The algorithm that requires a battery budget.
+        algorithm: String,
+    },
+    /// The battery fraction is outside `(0, 1]`.
+    InvalidBatteryFraction,
+    /// A regular topology's degree does not fit the node count
+    /// (`degree >= nodes`).
+    DegreeTooLarge {
+        /// Configured degree.
+        degree: usize,
+        /// Configured node count.
+        nodes: usize,
+    },
+    /// A `d`-regular graph needs `nodes * degree` even.
+    OddDegreeProduct {
+        /// Configured degree.
+        degree: usize,
+        /// Configured node count.
+        nodes: usize,
+    },
+    /// The dataset spec would generate no training samples per node.
+    EmptyNodeData,
+    /// The dataset spec would generate no evaluation samples.
+    EmptyEvalData,
+    /// A pre-built data bundle does not match the configuration.
+    ArityMismatch {
+        /// What disagreed (e.g. `"node datasets"`).
+        what: String,
+        /// Count the config requires.
+        expected: usize,
+        /// Count the bundle provides.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "experiment needs at least one node"),
+            ConfigError::ZeroRounds => write!(f, "experiment needs at least one round"),
+            ConfigError::ZeroBatchSize => write!(f, "mini-batch size must be positive"),
+            ConfigError::ZeroLocalSteps => {
+                write!(f, "local SGD steps per training round must be positive")
+            }
+            ConfigError::NonPositiveLearningRate => {
+                write!(f, "learning rate must be a positive finite number")
+            }
+            ConfigError::MissingBatteryFraction { algorithm } => write!(
+                f,
+                "algorithm `{algorithm}` requires a battery fraction \
+                 (set `EnergySpec::battery_fraction`)"
+            ),
+            ConfigError::InvalidBatteryFraction => {
+                write!(f, "battery fraction must lie in (0, 1]")
+            }
+            ConfigError::DegreeTooLarge { degree, nodes } => write!(
+                f,
+                "a {degree}-regular topology needs more than {degree} nodes, got {nodes}"
+            ),
+            ConfigError::OddDegreeProduct { degree, nodes } => write!(
+                f,
+                "a {degree}-regular graph on {nodes} nodes does not exist \
+                 (nodes x degree must be even)"
+            ),
+            ConfigError::EmptyNodeData => {
+                write!(f, "dataset spec generates zero training samples per node")
+            }
+            ConfigError::EmptyEvalData => {
+                write!(f, "dataset spec generates zero evaluation samples")
+            }
+            ConfigError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "data bundle mismatch: expected {expected} {what}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A campaign-level failure: which run was invalid and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Index of the offending run in the campaign's input order.
+    pub run: usize,
+    /// Name of the offending configuration.
+    pub name: String,
+    /// The underlying configuration error.
+    pub source: ConfigError,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign run #{} (`{}`): {}",
+            self.run, self.name, self.source
+        )
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::MissingBatteryFraction {
+            algorithm: "greedy".into(),
+        };
+        assert!(e.to_string().contains("battery fraction"));
+        assert!(e.to_string().contains("greedy"));
+        let c = CampaignError {
+            run: 3,
+            name: "x".into(),
+            source: ConfigError::ZeroRounds,
+        };
+        assert!(c.to_string().contains("#3"));
+        assert!(c.to_string().contains("round"));
+    }
+
+    #[test]
+    fn errors_serialize() {
+        let e = ConfigError::DegreeTooLarge {
+            degree: 8,
+            nodes: 4,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ConfigError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,12 +1,14 @@
-//! End-to-end experiment driver.
+//! Experiment configuration and results.
 //!
 //! An [`ExperimentConfig`] fully describes one run of the paper's evaluation
 //! pipeline — dataset synthesis and partitioning, topology and mixing
-//! matrix, per-node models, the algorithm (policy), energy traces — and
-//! [`run_experiment`] executes it, returning learning curves and energy
-//! totals. Every figure/table harness in `skiptrain-bench` is a thin loop
-//! over these configs.
+//! matrix, per-node models, the algorithm (policy), energy traces. Configs
+//! are built fluently via [`ExperimentBuilder`](crate::ExperimentBuilder),
+//! validated into typed [`ConfigError`](crate::ConfigError)s, and executed
+//! one at a time ([`ExperimentConfig::run`]) or in parallel batches over
+//! shared data ([`Campaign`](crate::Campaign)).
 
+use crate::error::ConfigError;
 use crate::policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
@@ -16,13 +18,13 @@ use skiptrain_data::synth::{cifar_like, femnist_like, MixtureSpec};
 use skiptrain_data::{Dataset, Partition};
 use skiptrain_energy::device::fleet;
 use skiptrain_energy::trace::{round_energy_wh, training_budget_rounds, WorkloadSpec};
-use skiptrain_engine::metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
-use skiptrain_engine::{RoundAction, Simulation, SimulationConfig, TransportKind};
+use skiptrain_engine::metrics::{AccuracyPoint, EvalStats};
+use skiptrain_engine::TransportKind;
 use skiptrain_linalg::rng::derive_seed;
-use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_topology::regular::random_regular;
-use skiptrain_topology::{Graph, MixingMatrix};
+use skiptrain_topology::Graph;
+use std::sync::Arc;
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,12 +177,14 @@ impl DataSpec {
                 let parts = partition_indices(
                     &pool,
                     n,
-                    &Partition::Shards { shards_per_node: *shards_per_node },
+                    &Partition::Shards {
+                        shards_per_node: *shards_per_node,
+                    },
                     derive_seed(seed, 0x5A4D),
                 );
                 let node_datasets = materialize(&pool, &parts);
                 let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
-                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+                DataBundle::from_parts(node_datasets, splits.validation, splits.test)
             }
             DataSpec::CifarPartitioned {
                 feature_dim,
@@ -200,11 +204,10 @@ impl DataSpec {
                 };
                 let (pool, test_pool) =
                     cifar_like(&spec, n * samples_per_node, *test_samples, seed);
-                let parts =
-                    partition_indices(&pool, n, partition, derive_seed(seed, 0x5A4D));
+                let parts = partition_indices(&pool, n, partition, derive_seed(seed, 0x5A4D));
                 let node_datasets = materialize(&pool, &parts);
                 let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
-                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+                DataBundle::from_parts(node_datasets, splits.validation, splits.test)
             }
             DataSpec::FemnistLike {
                 feature_dim,
@@ -231,20 +234,65 @@ impl DataSpec {
                     seed,
                 );
                 let splits = split_eval(&test_pool, derive_seed(seed, 0xE0A1));
-                DataBundle { node_datasets, validation: splits.validation, test: splits.test }
+                DataBundle::from_parts(node_datasets, splits.validation, splits.test)
             }
+        }
+    }
+
+    /// Training samples generated per node.
+    pub fn samples_per_node(&self) -> usize {
+        match self {
+            DataSpec::CifarLike {
+                samples_per_node, ..
+            }
+            | DataSpec::CifarPartitioned {
+                samples_per_node, ..
+            }
+            | DataSpec::FemnistLike {
+                samples_per_node, ..
+            } => *samples_per_node,
+        }
+    }
+
+    /// Size of the evaluation pool (split into validation/test).
+    pub fn test_samples(&self) -> usize {
+        match self {
+            DataSpec::CifarLike { test_samples, .. }
+            | DataSpec::CifarPartitioned { test_samples, .. }
+            | DataSpec::FemnistLike { test_samples, .. } => *test_samples,
         }
     }
 }
 
 /// Generated data for one experiment.
+///
+/// Every dataset sits behind an `Arc`: cloning a bundle reference into a
+/// simulation (or sharing one bundle across all runs of a
+/// [`Campaign`](crate::Campaign)) is pointer-cheap, never a deep copy.
+#[derive(Debug, Clone)]
 pub struct DataBundle {
     /// One private training set per node.
-    pub node_datasets: Vec<Dataset>,
+    pub node_datasets: Vec<Arc<Dataset>>,
     /// Validation set (hyperparameter tuning).
-    pub validation: Dataset,
+    pub validation: Arc<Dataset>,
     /// Test set (reported accuracy).
-    pub test: Dataset,
+    pub test: Arc<Dataset>,
+}
+
+impl DataBundle {
+    /// Wraps freshly materialized datasets into a shareable bundle.
+    pub fn from_parts(node_datasets: Vec<Dataset>, validation: Dataset, test: Dataset) -> Self {
+        Self {
+            node_datasets: node_datasets.into_iter().map(Arc::new).collect(),
+            validation: Arc::new(validation),
+            test: Arc::new(test),
+        }
+    }
+
+    /// Number of per-node datasets.
+    pub fn node_count(&self) -> usize {
+        self.node_datasets.len()
+    }
 }
 
 /// Energy accounting setup.
@@ -261,7 +309,10 @@ pub struct EnergySpec {
 impl EnergySpec {
     /// Unconstrained CIFAR-10 energy accounting.
     pub fn cifar10() -> Self {
-        Self { workload: WorkloadSpec::cifar10(), battery_fraction: None }
+        Self {
+            workload: WorkloadSpec::cifar10(),
+            battery_fraction: None,
+        }
     }
 
     /// Constrained CIFAR-10 (10 % battery, §4.2).
@@ -274,7 +325,10 @@ impl EnergySpec {
 
     /// Unconstrained FEMNIST energy accounting.
     pub fn femnist() -> Self {
-        Self { workload: WorkloadSpec::femnist(), battery_fraction: None }
+        Self {
+            workload: WorkloadSpec::femnist(),
+            battery_fraction: None,
+        }
     }
 
     /// Constrained FEMNIST (50 % battery, §4.2).
@@ -300,7 +354,10 @@ impl EnergySpec {
 
     /// Per-node training-round energies (Wh) for an `n`-node fleet.
     pub fn node_energies(&self, n: usize) -> Vec<f64> {
-        fleet(n).iter().map(|d| round_energy_wh(&d.profile(), &self.workload)).collect()
+        fleet(n)
+            .iter()
+            .map(|d| round_energy_wh(&d.profile(), &self.workload))
+            .collect()
     }
 
     /// Per-node training budgets τ; `u32::MAX` when unconstrained.
@@ -359,37 +416,131 @@ impl ExperimentConfig {
         let classes = self.data.num_classes();
         let input = self.data.feature_dim();
         if self.hidden_dim == 0 {
-            ModelKind::Logistic { input_dim: input, classes }
+            ModelKind::Logistic {
+                input_dim: input,
+                classes,
+            }
         } else {
-            ModelKind::Mlp { dims: vec![input, self.hidden_dim, classes] }
+            ModelKind::Mlp {
+                dims: vec![input, self.hidden_dim, classes],
+            }
         }
     }
 
-    /// Builds the policy for this config.
-    pub fn build_policy(&self) -> Box<dyn RoundPolicy> {
-        match &self.algorithm {
+    /// Builds the policy for this config, reporting missing battery budgets
+    /// as a typed error.
+    pub fn try_build_policy(&self) -> Result<Box<dyn RoundPolicy>, ConfigError> {
+        let needs_budget = matches!(
+            self.algorithm,
+            AlgorithmSpec::SkipTrainConstrained(_) | AlgorithmSpec::Greedy
+        );
+        if needs_budget && self.energy.battery_fraction.is_none() {
+            return Err(ConfigError::MissingBatteryFraction {
+                algorithm: self.algorithm.name().to_string(),
+            });
+        }
+        Ok(match &self.algorithm {
             AlgorithmSpec::DPsgd => Box::new(DPsgdPolicy),
             AlgorithmSpec::SkipTrain(schedule) => Box::new(SkipTrainPolicy::new(*schedule)),
-            AlgorithmSpec::SkipTrainConstrained(schedule) => {
-                assert!(
-                    self.energy.battery_fraction.is_some(),
-                    "SkipTrain-constrained requires a battery fraction"
-                );
-                Box::new(ConstrainedPolicy::new(
-                    *schedule,
-                    self.energy.node_budgets(self.nodes),
-                    self.rounds,
-                    derive_seed(self.seed, 0x70C1),
-                ))
-            }
+            AlgorithmSpec::SkipTrainConstrained(schedule) => Box::new(ConstrainedPolicy::new(
+                *schedule,
+                self.energy.node_budgets(self.nodes),
+                self.rounds,
+                derive_seed(self.seed, 0x70C1),
+            )),
             AlgorithmSpec::Greedy => {
-                assert!(
-                    self.energy.battery_fraction.is_some(),
-                    "Greedy requires a battery fraction"
-                );
                 Box::new(GreedyPolicy::new(self.energy.node_budgets(self.nodes)))
             }
+        })
+    }
+
+    /// Builds the policy for this config.
+    ///
+    /// # Panics
+    /// Panics when a budget-constrained algorithm lacks a battery fraction;
+    /// prefer [`ExperimentConfig::try_build_policy`] or the validating
+    /// [`Experiment`](crate::Experiment) API.
+    pub fn build_policy(&self) -> Box<dyn RoundPolicy> {
+        self.try_build_policy().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks every configuration invariant, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
         }
+        if self.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.local_steps == 0 {
+            return Err(ConfigError::ZeroLocalSteps);
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(ConfigError::NonPositiveLearningRate);
+        }
+        if let TopologySpec::Regular { degree } = self.topology {
+            if degree >= self.nodes {
+                return Err(ConfigError::DegreeTooLarge {
+                    degree,
+                    nodes: self.nodes,
+                });
+            }
+            if !(degree * self.nodes).is_multiple_of(2) {
+                return Err(ConfigError::OddDegreeProduct {
+                    degree,
+                    nodes: self.nodes,
+                });
+            }
+        }
+        if self.data.samples_per_node() == 0 {
+            return Err(ConfigError::EmptyNodeData);
+        }
+        if self.data.test_samples() == 0 {
+            return Err(ConfigError::EmptyEvalData);
+        }
+        if let Some(fraction) = self.energy.battery_fraction {
+            if !(fraction > 0.0 && fraction <= 1.0) {
+                return Err(ConfigError::InvalidBatteryFraction);
+            }
+        }
+        let needs_budget = matches!(
+            self.algorithm,
+            AlgorithmSpec::SkipTrainConstrained(_) | AlgorithmSpec::Greedy
+        );
+        if needs_budget && self.energy.battery_fraction.is_none() {
+            return Err(ConfigError::MissingBatteryFraction {
+                algorithm: self.algorithm.name().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs this experiment end to end: generates data, executes every
+    /// round, returns the collected result.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use
+    /// [`Experiment`](crate::Experiment) for the fallible, pre-validated
+    /// path.
+    pub fn run(&self) -> ExperimentResult {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
+        let data = self.data.build(self.nodes, self.seed);
+        crate::runner::execute(self, &data, &mut [])
+    }
+
+    /// Runs this experiment on pre-built data (sweeps and multi-algorithm
+    /// comparisons reuse one generated bundle).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a mismatched bundle; see
+    /// [`ExperimentConfig::run`].
+    pub fn run_on(&self, data: &DataBundle) -> ExperimentResult {
+        crate::runner::run_with_observers(self, data, &mut [])
+            .unwrap_or_else(|e| panic!("invalid experiment config: {e}"))
     }
 }
 
@@ -437,92 +588,24 @@ impl ExperimentResult {
 /// # Panics
 /// Panics on invalid configuration (mismatched sizes, missing budgets for
 /// constrained algorithms).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentConfig::run`, the validating `Experiment` builder, \
+            or `Campaign` for multi-run execution"
+)]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    let data = cfg.data.build(cfg.nodes, cfg.seed);
-    run_experiment_on(cfg, &data)
+    cfg.run()
 }
 
 /// Runs one experiment on pre-built data (lets sweeps and multi-algorithm
 /// comparisons reuse one generated dataset).
+///
+/// # Panics
+/// Panics on invalid configuration or a mismatched bundle.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExperimentConfig::run_on`, `Experiment::run_on`, or `Campaign`"
+)]
 pub fn run_experiment_on(cfg: &ExperimentConfig, data: &DataBundle) -> ExperimentResult {
-    assert_eq!(data.node_datasets.len(), cfg.nodes, "data bundle does not match node count");
-    let kind = cfg.model_kind();
-    let models: Vec<_> = (0..cfg.nodes)
-        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
-        .collect();
-
-    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
-    let mixing = MixingMatrix::metropolis_hastings(&graph);
-
-    let sim_config = SimulationConfig {
-        seed: cfg.seed,
-        batch_size: cfg.batch_size,
-        local_steps: cfg.local_steps,
-        sgd: SgdConfig::plain(cfg.learning_rate),
-        transport: cfg.transport,
-        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
-        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
-        nominal_params: Some(cfg.energy.workload.model_params),
-    };
-    let mut sim =
-        Simulation::new(models, data.node_datasets.clone(), graph, mixing, sim_config);
-
-    let mut policy = cfg.build_policy();
-    let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
-    let mut recorder = MetricsRecorder::new();
-    let mut mean_model_curve = Vec::new();
-    let mut node_train_events = 0u64;
-
-    for t in 0..cfg.rounds {
-        policy.decide(t, &mut actions);
-        node_train_events +=
-            actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
-        sim.run_round(&actions);
-
-        let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds;
-        if at_eval {
-            let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
-            recorder.record(
-                &stats,
-                sim.ledger().total_wh(),
-                sim.ledger().total_training_wh(),
-            );
-            if cfg.record_mean_model {
-                let (acc, _) = sim.evaluate_mean_model(&data.test, cfg.eval_max_samples);
-                mean_model_curve.push((t + 1, acc));
-            }
-        }
-    }
-
-    let final_test = sim.evaluate(&data.test, cfg.eval_max_samples);
-    let final_val = sim.evaluate(&data.validation, cfg.eval_max_samples);
-    let final_mean_model = sim.mean_params();
-    let node_class_sets = data
-        .node_datasets
-        .iter()
-        .map(|d| {
-            d.class_histogram()
-                .iter()
-                .enumerate()
-                .filter(|&(_, c)| *c > 0)
-                .map(|(class, _)| class as u32)
-                .collect()
-        })
-        .collect();
-
-    ExperimentResult {
-        name: cfg.name.clone(),
-        algorithm: cfg.algorithm.name().to_string(),
-        nodes: cfg.nodes,
-        rounds: cfg.rounds,
-        test_curve: recorder.points().to_vec(),
-        mean_model_curve,
-        final_test,
-        final_val_accuracy: final_val.mean_accuracy,
-        total_training_wh: sim.ledger().total_training_wh(),
-        total_comm_wh: sim.ledger().total_comm_wh(),
-        node_train_events,
-        final_mean_model,
-        node_class_sets,
-    }
+    cfg.run_on(data)
 }

@@ -93,7 +93,10 @@ pub fn analyze(
             if classes.is_empty() {
                 0.0
             } else {
-                classes.iter().map(|&c| class_recall[c as usize]).sum::<f32>()
+                classes
+                    .iter()
+                    .map(|&c| class_recall[c as usize])
+                    .sum::<f32>()
                     / classes.len() as f32
             }
         })
@@ -106,8 +109,8 @@ pub fn analyze(
         if members.is_empty() {
             continue;
         }
-        let mean_owned = members.iter().map(|&i| node_recall[i]).sum::<f32>()
-            / members.len() as f32;
+        let mean_owned =
+            members.iter().map(|&i| node_recall[i]).sum::<f32>() / members.len() as f32;
         let mean_budget = constrained.then(|| {
             members.iter().map(|&i| budgets[i] as f64).sum::<f64>() / members.len() as f64
         });
@@ -119,14 +122,30 @@ pub fn analyze(
         });
     }
 
-    let best = groups.iter().map(|g| g.mean_owned_class_recall).fold(f32::MIN, f32::max);
-    let worst = groups.iter().map(|g| g.mean_owned_class_recall).fold(f32::MAX, f32::min);
+    let best = groups
+        .iter()
+        .map(|g| g.mean_owned_class_recall)
+        .fold(f32::MIN, f32::max);
+    let worst = groups
+        .iter()
+        .map(|g| g.mean_owned_class_recall)
+        .fold(f32::MAX, f32::min);
 
     let budget_recall_correlation = constrained
-        .then(|| pearson(&budgets.iter().map(|&b| b as f64).collect::<Vec<_>>(), &node_recall))
+        .then(|| {
+            pearson(
+                &budgets.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+                &node_recall,
+            )
+        })
         .flatten();
 
-    FairnessReport { class_recall, groups, group_gap: best - worst, budget_recall_correlation }
+    FairnessReport {
+        class_recall,
+        groups,
+        group_gap: best - worst,
+        budget_recall_correlation,
+    }
 }
 
 /// Pearson correlation; `None` when either side is constant.
@@ -164,7 +183,10 @@ mod tests {
         // classify perfectly.
         let features = Matrix::from_vec(4, 2, vec![1.0, 0.0, -1.0, 0.0, 2.0, 0.0, -2.0, 0.0]);
         let test = Dataset::new(features, vec![0, 1, 0, 1], 2);
-        let kind = ModelKind::Logistic { input_dim: 2, classes: 2 };
+        let kind = ModelKind::Logistic {
+            input_dim: 2,
+            classes: 2,
+        };
         // params: W (2x2 row-major) then b (2): class0 score = +x0, class1 = -x0
         let params = vec![1.0, -1.0, 0.0, 0.0, 0.0, 0.0];
         let recall = per_class_recall(&kind, &params, &test);
@@ -182,7 +204,7 @@ mod tests {
 
     #[test]
     fn analyze_runs_on_a_small_experiment() {
-        use crate::experiment::{run_experiment, AlgorithmSpec};
+        use crate::experiment::AlgorithmSpec;
         use crate::presets::{cifar_config, Scale};
         let mut cfg = cifar_config(Scale::Quick, 3);
         cfg.nodes = 8;
@@ -191,7 +213,7 @@ mod tests {
         cfg.eval_max_samples = 200;
         cfg.energy = EnergySpec::cifar10_constrained().scaled_for_rounds(cfg.rounds, 1000);
         cfg.algorithm = AlgorithmSpec::SkipTrainConstrained(crate::Schedule::new(2, 2));
-        let result = run_experiment(&cfg);
+        let result = cfg.run();
         let data = cfg.data.build(cfg.nodes, cfg.seed);
         let report = analyze(&result, &cfg.model_kind(), &data.test, &cfg.energy);
         assert_eq!(report.class_recall.len(), 10);

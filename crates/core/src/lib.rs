@@ -9,37 +9,81 @@
 //! * [`prob`] — energy-budget training probabilities (§3.2, Eq. 5),
 //! * [`policy`] — the algorithms as round policies: D-PSGD, SkipTrain,
 //!   SkipTrain-constrained, Greedy,
-//! * [`experiment`] — the end-to-end experiment driver used by every
-//!   figure/table harness,
-//! * [`sweep`] — the §4.3 (Γ_train, Γ_sync) grid search,
+//! * [`builder`] — fluent, validating experiment construction
+//!   ([`Experiment::builder`]) with typed [`ConfigError`]s,
+//! * [`runner`] — the observer-driven round loop
+//!   ([`RoundObserver`](skiptrain_engine::RoundObserver) hooks for curve
+//!   recording, energy streaming, early stopping),
+//! * [`campaign`] — [`Campaign`], the parallel multi-run executor that
+//!   deduplicates data bundles and returns results in input order,
+//! * [`sweep`] — the §4.3 (Γ_train, Γ_sync) grid search, run as a parallel
+//!   campaign,
 //! * [`presets`] — Table-1 configurations at paper/medium/quick scales.
 //!
 //! # Quick example
 //!
-//! ```
-//! use skiptrain_core::experiment::AlgorithmSpec;
-//! use skiptrain_core::presets::{cifar_config, with_algorithm, Scale};
-//! use skiptrain_core::schedule::Schedule;
+//! Build one validated experiment and a small campaign on top of a preset:
 //!
+//! ```
+//! use skiptrain_core::presets::{cifar_config, with_algorithm, Scale};
+//! use skiptrain_core::{AlgorithmSpec, Campaign, Experiment, Schedule};
+//!
+//! // Fluent single-experiment construction with typed validation.
+//! let experiment = Experiment::builder()
+//!     .name("demo")
+//!     .nodes(16)
+//!     .rounds(8)
+//!     .algorithm(AlgorithmSpec::SkipTrain(Schedule::new(4, 4)))
+//!     .build()
+//!     .expect("valid config");
+//! assert_eq!(experiment.config().algorithm.name(), "skiptrain");
+//!
+//! // A two-run campaign comparing algorithms on one shared dataset.
 //! let base = cifar_config(Scale::Quick, 42);
-//! let skiptrain = with_algorithm(base, AlgorithmSpec::SkipTrain(Schedule::new(4, 4)));
-//! assert_eq!(skiptrain.algorithm.name(), "skiptrain");
+//! let campaign = Campaign::new()
+//!     .push(base.clone())
+//!     .push(with_algorithm(base, AlgorithmSpec::SkipTrain(Schedule::new(4, 4))));
+//! assert_eq!(campaign.len(), 2);
+//! // campaign.run() executes both in parallel over one data bundle.
+//! ```
+//!
+//! Invalid configurations fail at build time with a typed error instead of
+//! panicking mid-run:
+//!
+//! ```
+//! use skiptrain_core::{AlgorithmSpec, ConfigError, Experiment};
+//!
+//! let err = Experiment::builder()
+//!     .algorithm(AlgorithmSpec::Greedy) // needs a battery budget
+//!     .build()
+//!     .unwrap_err();
+//! assert!(matches!(err, ConfigError::MissingBatteryFraction { .. }));
 //! ```
 
 pub mod asyncgossip;
+pub mod builder;
+pub mod campaign;
+pub mod error;
 pub mod experiment;
 pub mod fairness;
 pub mod policy;
 pub mod presets;
 pub mod prob;
+pub mod runner;
 pub mod schedule;
 pub mod sweep;
 
+pub use builder::{Experiment, ExperimentBuilder};
+pub use campaign::Campaign;
+pub use error::{CampaignError, ConfigError};
+#[allow(deprecated)]
+pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
-    run_experiment, run_experiment_on, AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig,
-    ExperimentResult, TopologySpec,
+    AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
+    TopologySpec,
 };
 pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};
+pub use runner::run_with_observers;
 pub use schedule::Schedule;
-pub use sweep::{grid_search, SweepResult};
+pub use sweep::{grid_campaign, grid_search, SweepResult};

@@ -94,7 +94,12 @@ impl ConstrainedPolicy {
     /// τ_i; probabilities follow Eq. 5 with `T_train` from Eq. 4.
     pub fn new(schedule: Schedule, budgets: Vec<u32>, total_rounds: usize, seed: u64) -> Self {
         let probabilities = training_probabilities(&budgets, &schedule, total_rounds);
-        Self { schedule, probabilities, budget: BudgetTracker::new(budgets), seed }
+        Self {
+            schedule,
+            probabilities,
+            budget: BudgetTracker::new(budgets),
+            seed,
+        }
     }
 
     /// The Eq. 5 probability of a node.
@@ -123,8 +128,7 @@ impl RoundPolicy for ConstrainedPolicy {
         for (i, slot) in actions.iter_mut().enumerate() {
             let can = self.budget.can_train(i);
             let draw = if can {
-                let mut rng =
-                    stream_rng(self.seed ^ 0xBE7, (round as u64) << 24 | i as u64);
+                let mut rng = stream_rng(self.seed ^ 0xBE7, (round as u64) << 24 | i as u64);
                 rng.random::<f64>() <= self.probabilities[i]
             } else {
                 false
@@ -151,7 +155,9 @@ pub struct GreedyPolicy {
 impl GreedyPolicy {
     /// Creates the policy from per-node budgets.
     pub fn new(budgets: Vec<u32>) -> Self {
-        Self { budget: BudgetTracker::new(budgets) }
+        Self {
+            budget: BudgetTracker::new(budgets),
+        }
     }
 
     /// The budget tracker (read access).
@@ -205,7 +211,11 @@ mod tests {
         let mut pattern = String::new();
         for t in 0..10 {
             p.decide(t, &mut actions);
-            pattern.push(if actions[0] == RoundAction::Train { 'T' } else { 'S' });
+            pattern.push(if actions[0] == RoundAction::Train {
+                'T'
+            } else {
+                'S'
+            });
             // coordinated: all nodes identical
             assert!(actions.iter().all(|&a| a == actions[0]));
         }
@@ -225,7 +235,11 @@ mod tests {
                 }
             }
         }
-        assert!(trained[0] <= 3, "node 0 exceeded its budget: {}", trained[0]);
+        assert!(
+            trained[0] <= 3,
+            "node 0 exceeded its budget: {}",
+            trained[0]
+        );
         assert_eq!(trained[1], 0, "node 1 has zero budget");
         assert_eq!(p.remaining_budget(1), Some(0));
     }
@@ -264,7 +278,10 @@ mod tests {
             }
         }
         let rate = trains as f64 / opportunities as f64;
-        assert!((rate - 0.5).abs() < 0.1, "empirical rate {rate} far from 0.5");
+        assert!(
+            (rate - 0.5).abs() < 0.1,
+            "empirical rate {rate} far from 0.5"
+        );
     }
 
     #[test]

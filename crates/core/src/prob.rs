@@ -14,9 +14,16 @@ pub fn training_probability(budget: u32, t_train: f64) -> f64 {
 
 /// Per-node training probabilities for a full deployment (Eq. 5 applied to
 /// every budget, with `T_train` from Eq. 4).
-pub fn training_probabilities(budgets: &[u32], schedule: &Schedule, total_rounds: usize) -> Vec<f64> {
+pub fn training_probabilities(
+    budgets: &[u32],
+    schedule: &Schedule,
+    total_rounds: usize,
+) -> Vec<f64> {
     let t_train = schedule.t_train(total_rounds);
-    budgets.iter().map(|&b| training_probability(b, t_train)).collect()
+    budgets
+        .iter()
+        .map(|&b| training_probability(b, t_train))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! The observer-driven experiment runner.
+//!
+//! One experiment = build per-node models and topology, loop rounds under a
+//! [`RoundPolicy`](crate::policy::RoundPolicy), and notify
+//! [`RoundObserver`]s at the hook points. Everything the legacy
+//! `run_experiment` hard-coded — learning-curve recording, the mean-model
+//! curve, energy tallies — now flows through the same observer interface
+//! external callers use, so a figure harness can add its own recording (or
+//! stop the run early) without touching this loop.
+//!
+//! The loop structure, seed derivations, and evaluation cadence are
+//! byte-compatible with the legacy driver: a run with no extra observers
+//! produces an identical [`ExperimentResult`].
+
+use crate::error::ConfigError;
+use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
+use skiptrain_engine::observer::{EvalReport, RoundCtx, RoundObserver, RoundReport};
+use skiptrain_engine::{
+    CurveObserver, MeanModelObserver, RoundAction, Simulation, SimulationConfig,
+};
+use skiptrain_linalg::rng::derive_seed;
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_topology::MixingMatrix;
+use std::sync::Arc;
+
+/// Runs `cfg` on a pre-built bundle with caller-supplied observers, after
+/// validating both.
+///
+/// This is the fallible entry point used by [`Experiment`](crate::Experiment)
+/// and [`Campaign`](crate::Campaign); the legacy panicking API wraps it.
+pub fn run_with_observers(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    observers: &mut [&mut dyn RoundObserver],
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate()?;
+    if data.node_datasets.len() != cfg.nodes {
+        return Err(ConfigError::ArityMismatch {
+            what: "node datasets".into(),
+            expected: cfg.nodes,
+            got: data.node_datasets.len(),
+        });
+    }
+    Ok(execute(cfg, data, observers))
+}
+
+/// The round loop. Assumes `cfg` is valid and `data` matches it.
+pub(crate) fn execute(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    extra_observers: &mut [&mut dyn RoundObserver],
+) -> ExperimentResult {
+    let kind = cfg.model_kind();
+    let models: Vec<_> = (0..cfg.nodes)
+        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
+        .collect();
+
+    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+
+    let sim_config = SimulationConfig {
+        seed: cfg.seed,
+        batch_size: cfg.batch_size,
+        local_steps: cfg.local_steps,
+        sgd: SgdConfig::plain(cfg.learning_rate),
+        transport: cfg.transport,
+        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
+        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        nominal_params: Some(cfg.energy.workload.model_params),
+    };
+    let mut sim = Simulation::with_shared_data(
+        models,
+        data.node_datasets.clone(),
+        graph,
+        mixing,
+        sim_config,
+    );
+
+    let mut policy = cfg.build_policy();
+    let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
+
+    // Built-in observers reimplement the legacy driver's recording; they run
+    // before caller observers so callers see a fully recorded state.
+    let mut curve = CurveObserver::new();
+    let mut mean_model = cfg
+        .record_mean_model
+        .then(|| MeanModelObserver::new(Arc::clone(&data.test), cfg.eval_max_samples));
+    {
+        let mut observers: Vec<&mut dyn RoundObserver> = Vec::new();
+        observers.push(&mut curve);
+        if let Some(mean) = mean_model.as_mut() {
+            observers.push(mean);
+        }
+        for obs in extra_observers.iter_mut() {
+            observers.push(&mut **obs);
+        }
+
+        let mut node_train_events = 0u64;
+        let mut executed_rounds = 0usize;
+        let mut prev_training_wh = 0.0f64;
+        let mut prev_comm_wh = 0.0f64;
+
+        for t in 0..cfg.rounds {
+            policy.decide(t, &mut actions);
+            let trained_nodes = actions.iter().filter(|&&a| a == RoundAction::Train).count();
+            node_train_events += trained_nodes as u64;
+
+            {
+                let ctx = RoundCtx {
+                    round: t,
+                    actions: &actions,
+                };
+                for obs in observers.iter_mut() {
+                    obs.on_round_start(&sim, &ctx);
+                }
+            }
+
+            sim.run_round(&actions);
+            executed_rounds = t + 1;
+
+            let training_wh = sim.ledger().total_training_wh();
+            let comm_wh = sim.ledger().total_comm_wh();
+            let report = RoundReport {
+                round: t,
+                actions: &actions,
+                trained_nodes,
+                train_loss: sim.last_train_loss(),
+                round_training_wh: training_wh - prev_training_wh,
+                round_comm_wh: comm_wh - prev_comm_wh,
+                cumulative_wh: training_wh + comm_wh,
+            };
+            prev_training_wh = training_wh;
+            prev_comm_wh = comm_wh;
+
+            let mut stop = false;
+            for obs in observers.iter_mut() {
+                if obs.on_round_end(&mut sim, &report).is_break() {
+                    stop = true;
+                }
+            }
+
+            let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds || stop;
+            if at_eval {
+                let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
+                let eval = EvalReport {
+                    round: t + 1,
+                    stats: &stats,
+                    total_wh: sim.ledger().total_wh(),
+                    training_wh: sim.ledger().total_training_wh(),
+                };
+                for obs in observers.iter_mut() {
+                    if obs.on_eval(&mut sim, &eval).is_break() {
+                        stop = true;
+                    }
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+
+        let final_test = sim.evaluate(&data.test, cfg.eval_max_samples);
+        let final_val = sim.evaluate(&data.validation, cfg.eval_max_samples);
+        let final_mean_model = sim.mean_params();
+        let node_class_sets = data
+            .node_datasets
+            .iter()
+            .map(|d| {
+                d.class_histogram()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, c)| *c > 0)
+                    .map(|(class, _)| class as u32)
+                    .collect()
+            })
+            .collect();
+        drop(observers);
+
+        ExperimentResult {
+            name: cfg.name.clone(),
+            algorithm: cfg.algorithm.name().to_string(),
+            nodes: cfg.nodes,
+            rounds: executed_rounds,
+            test_curve: curve.into_recorder().points().to_vec(),
+            mean_model_curve: mean_model
+                .map(MeanModelObserver::into_curve)
+                .unwrap_or_default(),
+            final_test,
+            final_val_accuracy: final_val.mean_accuracy,
+            total_training_wh: sim.ledger().total_training_wh(),
+            total_comm_wh: sim.ledger().total_comm_wh(),
+            node_train_events,
+            final_mean_model,
+            node_class_sets,
+        }
+    }
+}

@@ -31,7 +31,11 @@ impl Schedule {
     /// learn).
     pub fn new(gamma_train: usize, gamma_sync: usize) -> Self {
         assert!(gamma_train > 0, "Γ_train must be positive");
-        Self { gamma_train, gamma_sync, phase_offset: 0 }
+        Self {
+            gamma_train,
+            gamma_sync,
+            phase_offset: 0,
+        }
     }
 
     /// The same schedule starting `offset` slots into the period (e.g.
@@ -43,7 +47,11 @@ impl Schedule {
 
     /// The D-PSGD schedule: train every round, never sync-only.
     pub fn dpsgd() -> Self {
-        Self { gamma_train: 1, gamma_sync: 0, phase_offset: 0 }
+        Self {
+            gamma_train: 1,
+            gamma_sync: 0,
+            phase_offset: 0,
+        }
     }
 
     /// The paper's tuned schedules per topology degree (§4.3: (4,4) for

@@ -1,6 +1,13 @@
 //! The (Γ_train, Γ_sync) grid search of §4.3 / Figure 3.
+//!
+//! Implemented as a [`Campaign`]: all |Γ|² cells share one materialized
+//! data bundle and run in parallel across worker threads, which is the
+//! single biggest wall-clock win in the harness (the legacy implementation
+//! ran cells serially). Results are deterministic and identical to serial
+//! execution, cell for cell.
 
-use crate::experiment::{run_experiment_on, AlgorithmSpec, ExperimentConfig, ExperimentResult};
+use crate::campaign::Campaign;
+use crate::experiment::{AlgorithmSpec, ExperimentConfig};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
 
@@ -50,14 +57,11 @@ impl SweepResult {
     }
 }
 
-/// Runs the grid search over `gammas × gammas` on a shared dataset built
-/// once from `base`.
-///
-/// The base config's algorithm is replaced by `SkipTrain(Γt, Γs)` per cell.
-pub fn grid_search(base: &ExperimentConfig, gammas: &[usize]) -> SweepResult {
-    assert!(!gammas.is_empty(), "empty gamma grid");
-    let data = base.data.build(base.nodes, base.seed);
-    let mut cells = Vec::with_capacity(gammas.len() * gammas.len());
+/// Builds the campaign behind [`grid_search`]: one run per
+/// `(Γ_sync, Γ_train)` cell in row-major order, every cell sharing the base
+/// config's `(data, nodes, seed)` bundle.
+pub fn grid_campaign(base: &ExperimentConfig, gammas: &[usize]) -> Campaign {
+    let mut configs = Vec::with_capacity(gammas.len() * gammas.len());
     for &gs in gammas {
         for &gt in gammas {
             let mut cfg = base.clone();
@@ -65,17 +69,39 @@ pub fn grid_search(base: &ExperimentConfig, gammas: &[usize]) -> SweepResult {
             cfg.algorithm = AlgorithmSpec::SkipTrain(schedule);
             cfg.name = format!("{}/sweep-gt{gt}-gs{gs}", base.name);
             cfg.eval_every = usize::MAX; // only final evaluation matters
-            let result: ExperimentResult = run_experiment_on(&cfg, &data);
-            cells.push(SweepCell {
-                gamma_train: gt,
-                gamma_sync: gs,
-                val_accuracy: result.final_val_accuracy,
-                test_accuracy: result.final_test.mean_accuracy,
-                training_energy_wh: result.total_training_wh,
-            });
+            configs.push(cfg);
         }
     }
-    SweepResult { cells, gammas: gammas.to_vec() }
+    Campaign::from_configs(configs)
+}
+
+/// Runs the grid search over `gammas × gammas` on a shared dataset built
+/// once from `base`, with cells executing in parallel.
+///
+/// The base config's algorithm is replaced by `SkipTrain(Γt, Γs)` per cell.
+///
+/// # Panics
+/// Panics when `gammas` is empty or the base configuration is invalid.
+pub fn grid_search(base: &ExperimentConfig, gammas: &[usize]) -> SweepResult {
+    assert!(!gammas.is_empty(), "empty gamma grid");
+    let results = grid_campaign(base, gammas)
+        .run()
+        .unwrap_or_else(|e| panic!("invalid sweep configuration: {e}"));
+    let cells = results
+        .iter()
+        .enumerate()
+        .map(|(i, result)| SweepCell {
+            gamma_train: gammas[i % gammas.len()],
+            gamma_sync: gammas[i / gammas.len()],
+            val_accuracy: result.final_val_accuracy,
+            test_accuracy: result.final_test.mean_accuracy,
+            training_energy_wh: result.total_training_wh,
+        })
+        .collect();
+    SweepResult {
+        cells,
+        gammas: gammas.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +137,11 @@ mod tests {
             gammas: vec![1, 2, 3],
         };
         let best = sweep.best();
-        assert_eq!((best.gamma_train, best.gamma_sync), (2, 1), "tie must break toward low energy");
+        assert_eq!(
+            (best.gamma_train, best.gamma_sync),
+            (2, 1),
+            "tie must break toward low energy"
+        );
     }
 
     #[test]

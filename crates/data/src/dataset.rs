@@ -19,13 +19,21 @@ impl Dataset {
     /// # Panics
     /// Panics if row/label counts differ or any label is out of range.
     pub fn new(features: Matrix, labels: Vec<u32>, num_classes: usize) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label count mismatch"
+        );
         assert!(num_classes >= 1, "need at least one class");
         assert!(
             labels.iter().all(|&l| (l as usize) < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Self { features, labels, num_classes }
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
     }
 
     /// An empty dataset with the given feature dimension and class count.
@@ -71,7 +79,11 @@ impl Dataset {
         let mut features = Matrix::zeros(indices.len(), self.feature_dim());
         let mut labels = Vec::with_capacity(indices.len());
         for (r, &i) in indices.iter().enumerate() {
-            assert!(i < self.len(), "subset index {i} out of bounds ({})", self.len());
+            assert!(
+                i < self.len(),
+                "subset index {i} out of bounds ({})",
+                self.len()
+            );
             features.copy_row_from(r, &self.features, i);
             labels.push(self.labels[i]);
         }
@@ -102,7 +114,10 @@ impl Dataset {
         let mut rng = SmallRng::seed_from_u64(seed);
         idx.shuffle(&mut rng);
         let cut = ((self.len() as f64) * frac).round() as usize;
-        let cut = cut.clamp(usize::from(self.len() >= 2), self.len().saturating_sub(1).max(1));
+        let cut = cut.clamp(
+            usize::from(self.len() >= 2),
+            self.len().saturating_sub(1).max(1),
+        );
         (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
     }
 
@@ -161,7 +176,11 @@ impl MinibatchSampler {
     pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
         assert!(n > 0, "cannot sample from an empty dataset");
         assert!(batch_size > 0, "batch size must be positive");
-        Self { rng: SmallRng::seed_from_u64(seed), n, batch_size }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            n,
+            batch_size,
+        }
     }
 
     /// Batch size (capped at the dataset size when gathering).

@@ -164,7 +164,9 @@ fn dirichlet_partition(
     for class_idx in per_class.iter_mut() {
         class_idx.shuffle(&mut rng);
         // Node shares ~ Dirichlet(alpha).
-        let mut shares: Vec<f32> = (0..n_nodes).map(|_| gamma_sample(&mut rng, alpha)).collect();
+        let mut shares: Vec<f32> = (0..n_nodes)
+            .map(|_| gamma_sample(&mut rng, alpha))
+            .collect();
         let total: f32 = shares.iter().sum::<f32>().max(1e-9);
         for s in &mut shares {
             *s /= total;
@@ -175,7 +177,11 @@ fn dirichlet_partition(
         let mut acc = 0.0f32;
         for (node, &share) in shares.iter().enumerate() {
             acc += share;
-            let end = if node + 1 == n_nodes { n } else { ((n as f32) * acc).round() as usize };
+            let end = if node + 1 == n_nodes {
+                n
+            } else {
+                ((n as f32) * acc).round() as usize
+            };
             let end = end.clamp(start, n);
             out[node].extend_from_slice(&class_idx[start..end]);
             start = end;
@@ -225,8 +231,11 @@ mod tests {
         let parts = partition_indices(&d, 20, &Partition::Shards { shards_per_node: 2 }, 7);
         assert_exact_cover(&parts, d.len());
         let sets = materialize(&d, &parts);
-        let avg_distinct: f32 =
-            sets.iter().map(|s| s.distinct_classes() as f32).sum::<f32>() / sets.len() as f32;
+        let avg_distinct: f32 = sets
+            .iter()
+            .map(|s| s.distinct_classes() as f32)
+            .sum::<f32>()
+            / sets.len() as f32;
         assert!(
             avg_distinct <= 4.0,
             "2-shard should induce strong label skew, got avg {avg_distinct} classes"
@@ -256,7 +265,10 @@ mod tests {
         let skewed = partition_indices(&d, 10, &Partition::Dirichlet { alpha: 0.05 }, 9);
         let smooth = partition_indices(&d, 10, &Partition::Dirichlet { alpha: 100.0 }, 9);
         let distinct = |parts: &[Vec<usize>]| -> f32 {
-            materialize(&d, parts).iter().map(|s| s.distinct_classes() as f32).sum::<f32>()
+            materialize(&d, parts)
+                .iter()
+                .map(|s| s.distinct_classes() as f32)
+                .sum::<f32>()
                 / parts.len() as f32
         };
         assert!(
@@ -274,7 +286,10 @@ mod tests {
         for set in materialize(&d, &parts) {
             // each node has 100 samples over 4 classes; expect ~25/class
             for c in set.class_histogram() {
-                assert!((c as f32 - 25.0).abs() < 15.0, "IID class count {c} too skewed");
+                assert!(
+                    (c as f32 - 25.0).abs() < 15.0,
+                    "IID class count {c} too skewed"
+                );
             }
         }
     }

@@ -45,8 +45,12 @@ mod tests {
         assert_eq!(s.validation.len(), 50);
         assert_eq!(s.test.len(), 50);
         // disjoint by construction: every feature row is unique in `pool`
-        let val_ids: std::collections::HashSet<u32> =
-            s.validation.features().rows_iter().map(|r| r[0] as u32).collect();
+        let val_ids: std::collections::HashSet<u32> = s
+            .validation
+            .features()
+            .rows_iter()
+            .map(|r| r[0] as u32)
+            .collect();
         for row in s.test.features().rows_iter() {
             assert!(!val_ids.contains(&(row[0] as u32)), "split leaked a sample");
         }

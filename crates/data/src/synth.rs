@@ -35,13 +35,25 @@ impl MixtureSpec {
     /// The CIFAR-10-like default: 10 classes, moderate overlap so accuracy
     /// plateaus well below 100 % (as CIFAR-10 does for small CNNs).
     pub fn cifar_like(feature_dim: usize) -> Self {
-        Self { num_classes: 10, feature_dim, modes_per_class: 3, separation: 1.0, noise: 0.85 }
+        Self {
+            num_classes: 10,
+            feature_dim,
+            modes_per_class: 3,
+            separation: 1.0,
+            noise: 0.85,
+        }
     }
 
     /// The FEMNIST-like default: 47 classes (digits + letters in the
     /// balanced split), somewhat easier per-class structure.
     pub fn femnist_like(feature_dim: usize) -> Self {
-        Self { num_classes: 47, feature_dim, modes_per_class: 2, separation: 1.3, noise: 0.75 }
+        Self {
+            num_classes: 47,
+            feature_dim,
+            modes_per_class: 2,
+            separation: 1.3,
+            noise: 0.75,
+        }
     }
 }
 
@@ -63,7 +75,10 @@ impl MixtureTask {
     pub fn new(spec: MixtureSpec, seed: u64) -> Self {
         assert!(spec.num_classes >= 2, "need at least two classes");
         assert!(spec.feature_dim >= 1, "need at least one feature");
-        assert!(spec.modes_per_class >= 1, "need at least one mode per class");
+        assert!(
+            spec.modes_per_class >= 1,
+            "need at least one mode per class"
+        );
         let mut g = GaussianSampler::for_stream(seed, 0xC0FFEE);
         let mut centers = Vec::with_capacity(spec.num_classes * spec.modes_per_class);
         for _ in 0..spec.num_classes * spec.modes_per_class {
@@ -77,7 +92,11 @@ impl MixtureTask {
             }
             centers.push(c);
         }
-        Self { spec, centers, seed }
+        Self {
+            spec,
+            centers,
+            seed,
+        }
     }
 
     /// The task spec.
@@ -169,7 +188,12 @@ impl WriterStyle {
 ///
 /// Heterogeneity is *not* applied here — partition the train pool with
 /// [`crate::partition::partition_indices`] (2-shard for the paper setting).
-pub fn cifar_like(spec: &MixtureSpec, train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
+pub fn cifar_like(
+    spec: &MixtureSpec,
+    train_n: usize,
+    test_n: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
     let task = MixtureTask::new(spec.clone(), seed);
     (task.sample(train_n, 1), task.sample(test_n, 2))
 }
@@ -225,7 +249,10 @@ mod tests {
         let task = MixtureTask::new(spec, 3);
         let d = task.sample(5000, 1);
         for count in d.class_histogram() {
-            assert!((count as f64 - 500.0).abs() < 150.0, "class count {count} far from 500");
+            assert!(
+                (count as f64 - 500.0).abs() < 150.0,
+                "class count {count} far from 500"
+            );
         }
     }
 
@@ -299,6 +326,9 @@ mod tests {
     fn styles_differ_across_writers() {
         let spec = MixtureSpec::femnist_like(8);
         let (writers, _) = femnist_like(&spec, 2, 40, 10, 0.8, 4);
-        assert_ne!(writers[0].features().as_slice(), writers[1].features().as_slice());
+        assert_ne!(
+            writers[0].features().as_slice(),
+            writers[1].features().as_slice()
+        );
     }
 }

@@ -17,7 +17,10 @@ pub struct BudgetTracker {
 impl BudgetTracker {
     /// Creates a tracker from per-node budgets τ.
     pub fn new(budgets: Vec<u32>) -> Self {
-        Self { remaining: budgets.clone(), initial: budgets }
+        Self {
+            remaining: budgets.clone(),
+            initial: budgets,
+        }
     }
 
     /// An effectively unlimited tracker (unconstrained setting).

@@ -34,7 +34,10 @@ impl CommEnergyModel {
         // directed messages per round = nodes · degree, each counted once as
         // tx and once as rx: 7 Wh = 25 200 J over 2 · 256 · 1000 · 6 ·
         // 359 400 bytes → 22.8 nJ/B per direction
-        Self { tx_joules_per_byte: 22.8e-9, rx_joules_per_byte: 22.8e-9 }
+        Self {
+            tx_joules_per_byte: 22.8e-9,
+            rx_joules_per_byte: 22.8e-9,
+        }
     }
 
     /// Energy (Wh) for one node to send one model to one neighbor.
@@ -52,8 +55,8 @@ impl CommEnergyModel {
     /// neighbors (each edge carries one message in each direction).
     pub fn round_energy_wh(&self, n: usize, degree: usize, params: usize) -> f64 {
         let bytes = model_message_bytes(params);
-        let per_node = self.tx_energy_wh(bytes) * degree as f64
-            + self.rx_energy_wh(bytes) * degree as f64;
+        let per_node =
+            self.tx_energy_wh(bytes) * degree as f64 + self.rx_energy_wh(bytes) * degree as f64;
         per_node * n as f64
     }
 }
@@ -85,14 +88,23 @@ mod tests {
         use crate::trace::{round_energy_wh, WorkloadSpec};
         let devices = fleet(256);
         let w = WorkloadSpec::cifar10();
-        let train_total: f64 =
-            (0..1000).map(|_| -> f64 {
-                devices.iter().map(|d| round_energy_wh(&d.profile(), &w)).sum()
-            }).sum();
+        let train_total: f64 = (0..1000)
+            .map(|_| -> f64 {
+                devices
+                    .iter()
+                    .map(|d| round_energy_wh(&d.profile(), &w))
+                    .sum()
+            })
+            .sum();
         let m = CommEnergyModel::paper_fit();
-        let comm_total: f64 = (0..1000).map(|_| m.round_energy_wh(256, 6, w.model_params)).sum();
+        let comm_total: f64 = (0..1000)
+            .map(|_| m.round_energy_wh(256, 6, w.model_params))
+            .sum();
         let ratio = train_total / comm_total;
-        assert!(ratio > 200.0, "training/comm ratio {ratio} should exceed 200");
+        assert!(
+            ratio > 200.0,
+            "training/comm ratio {ratio} should exceed 200"
+        );
         // and the training total should be near the paper's 1.51 kWh
         assert!(
             (train_total - 1510.0).abs() < 80.0,

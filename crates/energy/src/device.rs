@@ -78,7 +78,9 @@ impl DeviceKind {
 /// Assigns devices to `n` nodes, evenly distributed over the four types
 /// (§4.2: "we distribute the 256 nodes evenly among the four types").
 pub fn fleet(n: usize) -> Vec<DeviceKind> {
-    (0..n).map(|i| DeviceKind::ALL[i % DeviceKind::ALL.len()]).collect()
+    (0..n)
+        .map(|i| DeviceKind::ALL[i % DeviceKind::ALL.len()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -111,14 +113,24 @@ mod tests {
     fn profiles_have_sane_physics() {
         for kind in DeviceKind::ALL {
             let p = kind.profile();
-            assert!(p.power_w > 1.0 && p.power_w < 20.0, "{}: power {}", p.name, p.power_w);
+            assert!(
+                p.power_w > 1.0 && p.power_w < 20.0,
+                "{}: power {}",
+                p.name,
+                p.power_w
+            );
             assert!(
                 p.mobilenet_inference_ms > 10.0 && p.mobilenet_inference_ms < 500.0,
                 "{}: latency {}",
                 p.name,
                 p.mobilenet_inference_ms
             );
-            assert!(p.battery_wh > 5.0 && p.battery_wh < 30.0, "{}: battery {}", p.name, p.battery_wh);
+            assert!(
+                p.battery_wh > 5.0 && p.battery_wh < 30.0,
+                "{}: battery {}",
+                p.name,
+                p.battery_wh
+            );
         }
     }
 }

@@ -29,12 +29,20 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// The CIFAR-10 workload of Table 1: |x| = 89 834, |ξ| = 32, E = 20.
     pub fn cifar10() -> Self {
-        Self { model_params: 89_834, batch_size: 32, local_steps: 20 }
+        Self {
+            model_params: 89_834,
+            batch_size: 32,
+            local_steps: 20,
+        }
     }
 
     /// The FEMNIST workload of Table 1: |x| = 1 690 046, |ξ| = 16, E = 7.
     pub fn femnist() -> Self {
-        Self { model_params: 1_690_046, batch_size: 16, local_steps: 7 }
+        Self {
+            model_params: 1_690_046,
+            batch_size: 16,
+            local_steps: 7,
+        }
     }
 
     /// Samples processed per training round.
@@ -46,8 +54,8 @@ impl WorkloadSpec {
 /// Wall-clock duration of one training round on `device`, seconds (Δ of
 /// Eq. 2).
 pub fn round_duration_s(device: &DeviceProfile, workload: &WorkloadSpec) -> f64 {
-    let t_model_ms = device.mobilenet_inference_ms * workload.model_params as f64
-        / MOBILENET_V2_PARAMS as f64;
+    let t_model_ms =
+        device.mobilenet_inference_ms * workload.model_params as f64 / MOBILENET_V2_PARAMS as f64;
     FEDSCALE_TRAIN_MULTIPLIER * t_model_ms * 1e-3 * workload.samples_per_round() as f64
 }
 
@@ -136,7 +144,11 @@ mod tests {
             assert_eq!(row.device, name);
             let cifar_err = (row.cifar_mwh - cifar).abs() / cifar;
             let femnist_err = (row.femnist_mwh - femnist).abs() / femnist;
-            assert!(cifar_err < 0.03, "{name} CIFAR: derived {} vs paper {cifar}", row.cifar_mwh);
+            assert!(
+                cifar_err < 0.03,
+                "{name} CIFAR: derived {} vs paper {cifar}",
+                row.cifar_mwh
+            );
             assert!(
                 femnist_err < 0.05,
                 "{name} FEMNIST: derived {} vs paper {femnist}",
@@ -174,8 +186,15 @@ mod tests {
     #[test]
     fn duration_scales_linearly_with_params() {
         let p = DeviceKind::Xiaomi12Pro.profile();
-        let base = WorkloadSpec { model_params: 100_000, batch_size: 8, local_steps: 4 };
-        let double = WorkloadSpec { model_params: 200_000, ..base };
+        let base = WorkloadSpec {
+            model_params: 100_000,
+            batch_size: 8,
+            local_steps: 4,
+        };
+        let double = WorkloadSpec {
+            model_params: 200_000,
+            ..base
+        };
         let r = round_duration_s(&p, &double) / round_duration_s(&p, &base);
         assert!((r - 2.0).abs() < 1e-9);
     }
@@ -183,8 +202,16 @@ mod tests {
     #[test]
     fn duration_scales_with_batch_and_steps() {
         let p = DeviceKind::PocoX3.profile();
-        let base = WorkloadSpec { model_params: 100_000, batch_size: 8, local_steps: 4 };
-        let bigger = WorkloadSpec { batch_size: 16, local_steps: 8, ..base };
+        let base = WorkloadSpec {
+            model_params: 100_000,
+            batch_size: 8,
+            local_steps: 4,
+        };
+        let bigger = WorkloadSpec {
+            batch_size: 16,
+            local_steps: 8,
+            ..base
+        };
         let r = round_duration_s(&p, &bigger) / round_duration_s(&p, &base);
         assert!((r - 4.0).abs() < 1e-9);
     }

@@ -44,7 +44,10 @@ pub fn evaluate_model(
         correct += (skiptrain_nn::loss::accuracy(logits, &y) * chunk.len() as f32).round() as usize;
         loss_sum += loss.loss(logits, &y) as f64 * chunk.len() as f64;
     }
-    (correct as f32 / idx.len() as f32, (loss_sum / idx.len() as f64) as f32)
+    (
+        correct as f32 / idx.len() as f32,
+        (loss_sum / idx.len() as f64) as f32,
+    )
 }
 
 /// A fixed, seed-deterministic subsample of `0..n` of size `max` (or all of
@@ -131,6 +134,9 @@ mod tests {
         let data = task.sample(10, 1);
         let mut model = skiptrain_nn::zoo::mlp(&[4, 10], 1);
         let loss = SoftmaxCrossEntropy::new(10);
-        assert_eq!(evaluate_model(&mut model, &loss, &data, Some(&[])), (0.0, 0.0));
+        assert_eq!(
+            evaluate_model(&mut model, &loss, &data, Some(&[])),
+            (0.0, 0.0)
+        );
     }
 }

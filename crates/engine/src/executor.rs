@@ -11,6 +11,7 @@ use skiptrain_energy::EnergyLedger;
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::{Sequential, SoftmaxCrossEntropy};
 use skiptrain_topology::{Graph, MixingMatrix};
+use std::sync::Arc;
 
 /// What a node does in the local-compute phase of a round.
 ///
@@ -87,7 +88,7 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds a simulation.
+    /// Builds a simulation from owned per-node datasets.
     ///
     /// `models` and `datasets` must have one entry per topology node, and
     /// all models must share one architecture (identical parameter counts).
@@ -101,13 +102,39 @@ impl Simulation {
         mixing: MixingMatrix,
         config: SimulationConfig,
     ) -> Self {
+        Self::with_shared_data(
+            models,
+            datasets.into_iter().map(Arc::new).collect(),
+            graph,
+            mixing,
+            config,
+        )
+    }
+
+    /// Builds a simulation over `Arc`-shared per-node datasets — the
+    /// zero-copy path campaigns use to run many experiments against one
+    /// materialized data bundle.
+    ///
+    /// # Panics
+    /// Panics on any arity or shape mismatch (see [`Simulation::new`]).
+    pub fn with_shared_data(
+        models: Vec<Sequential>,
+        datasets: Vec<Arc<Dataset>>,
+        graph: Graph,
+        mixing: MixingMatrix,
+        config: SimulationConfig,
+    ) -> Self {
         let n = graph.len();
         assert!(n > 0, "empty topology");
         assert_eq!(models.len(), n, "one model per node required");
         assert_eq!(datasets.len(), n, "one dataset per node required");
         assert_eq!(mixing.len(), n, "mixing matrix size mismatch");
         if !config.training_energy_wh.is_empty() {
-            assert_eq!(config.training_energy_wh.len(), n, "per-node energy size mismatch");
+            assert_eq!(
+                config.training_energy_wh.len(),
+                n,
+                "per-node energy size mismatch"
+            );
         }
         let param_count = models[0].param_count();
         assert!(
@@ -167,6 +194,13 @@ impl Simulation {
     /// The communication topology.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Mutable configuration access (crate-internal: tests tweak energy
+    /// accounting mid-run).
+    #[cfg(test)]
+    pub(crate) fn config_mut(&mut self) -> &mut SimulationConfig {
+        &mut self.config
     }
 
     /// The energy ledger.
@@ -244,9 +278,7 @@ impl Simulation {
             .zip(params.par_iter())
             .zip(actions.par_iter())
             .map(|(((node, half_i), params_i), action)| match action {
-                RoundAction::Train => {
-                    Some(node.train_local(params_i, local_steps, half_i))
-                }
+                RoundAction::Train => Some(node.train_local(params_i, local_steps, half_i)),
                 RoundAction::SyncOnly => {
                     half_i.clear();
                     half_i.extend_from_slice(params_i);
@@ -274,7 +306,9 @@ impl Simulation {
                         .enumerate()
                         .map(|(i, model)| {
                             let frame = encode_model(i as u32, round, model);
-                            decode_model(frame).expect("in-process frame must decode").params
+                            decode_model(frame)
+                                .expect("in-process frame must decode")
+                                .params
                         })
                         .collect(),
                 )
@@ -320,11 +354,10 @@ impl Simulation {
     }
 
     fn account_energy(&mut self, actions: &[RoundAction]) {
-        let msg_bytes =
-            model_message_bytes(self.config.nominal_params.unwrap_or(self.param_count));
+        let msg_bytes = model_message_bytes(self.config.nominal_params.unwrap_or(self.param_count));
         let comm = self.config.comm_energy;
-        for i in 0..self.len() {
-            if actions[i] == RoundAction::Train {
+        for (i, action) in actions.iter().enumerate() {
+            if *action == RoundAction::Train {
                 if let Some(&e) = self.config.training_energy_wh.get(i) {
                     self.ledger.record_training(i, e);
                 }
@@ -332,7 +365,11 @@ impl Simulation {
             let degree = self.graph.degree(i);
             let mut delivered_in = 0usize;
             for &j in self.graph.neighbors(i) {
-                if self.config.transport.delivered(self.config.seed, self.round, j as usize, i) {
+                if self
+                    .config
+                    .transport
+                    .delivered(self.config.seed, self.round, j as usize, i)
+                {
                     delivered_in += 1;
                 }
             }
@@ -389,14 +426,18 @@ mod tests {
         let task = MixtureTask::new(spec, 99);
         let datasets: Vec<Dataset> = (0..n).map(|i| task.sample(60, 10 + i as u64)).collect();
         let test = task.sample(200, 5000);
-        let models: Vec<Sequential> =
-            (0..n).map(|i| skiptrain_nn::zoo::mlp(&[6, 12, 4], seed + i as u64)).collect();
+        let models: Vec<Sequential> = (0..n)
+            .map(|i| skiptrain_nn::zoo::mlp(&[6, 12, 4], seed + i as u64))
+            .collect();
         let d = if n > 4 { 4 } else { n - 1 };
         let graph = random_regular(n, d, seed);
         let mixing = MixingMatrix::metropolis_hastings(&graph);
         let mut config = SimulationConfig::minimal(seed, 8, 2, 0.1);
         config.transport = transport;
-        (Simulation::new(models, datasets, graph, mixing, config), test)
+        (
+            Simulation::new(models, datasets, graph, mixing, config),
+            test,
+        )
     }
 
     #[test]
@@ -421,23 +462,29 @@ mod tests {
         let (mut sim, _) = tiny_sim(8, 2, TransportKind::Memory);
         // diversify models with a few training rounds
         for _ in 0..3 {
-            sim.run_round(&vec![RoundAction::Train; 8]);
+            sim.run_round(&[RoundAction::Train; 8]);
         }
         let mean_before = sim.mean_params();
         let d_before = sim.disagreement();
         for _ in 0..10 {
-            sim.run_round(&vec![RoundAction::SyncOnly; 8]);
+            sim.run_round(&[RoundAction::SyncOnly; 8]);
         }
         let d_after = sim.disagreement();
         let mean_after = sim.mean_params();
-        assert!(d_after < d_before * 0.5, "disagreement {d_before} -> {d_after}");
+        assert!(
+            d_after < d_before * 0.5,
+            "disagreement {d_before} -> {d_after}"
+        );
         // doubly stochastic mixing preserves the average model
         let drift: f32 = mean_before
             .iter()
             .zip(&mean_after)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
-        assert!(drift < 1e-4, "sync rounds drifted the mean model by {drift}");
+        assert!(
+            drift < 1e-4,
+            "sync rounds drifted the mean model by {drift}"
+        );
     }
 
     #[test]
@@ -465,11 +512,11 @@ mod tests {
     fn lossy_transport_still_converges_models() {
         let (mut sim, _) = tiny_sim(8, 4, TransportKind::Serialized { drop_prob: 0.3 });
         for _ in 0..3 {
-            sim.run_round(&vec![RoundAction::Train; 8]);
+            sim.run_round(&[RoundAction::Train; 8]);
         }
         let d_before = sim.disagreement();
         for _ in 0..15 {
-            sim.run_round(&vec![RoundAction::SyncOnly; 8]);
+            sim.run_round(&[RoundAction::SyncOnly; 8]);
         }
         assert!(
             sim.disagreement() < d_before * 0.5,
@@ -483,11 +530,20 @@ mod tests {
             let (mut sim, test) = tiny_sim(6, 7, TransportKind::Memory);
             for r in 0..6 {
                 let actions: Vec<RoundAction> = (0..6)
-                    .map(|i| if (r + i) % 2 == 0 { RoundAction::Train } else { RoundAction::SyncOnly })
+                    .map(|i| {
+                        if (r + i) % 2 == 0 {
+                            RoundAction::Train
+                        } else {
+                            RoundAction::SyncOnly
+                        }
+                    })
                     .collect();
                 sim.run_round(&actions);
             }
-            (sim.node_params(3).to_vec(), sim.evaluate(&test, 100).mean_accuracy)
+            (
+                sim.node_params(3).to_vec(),
+                sim.evaluate(&test, 100).mean_accuracy,
+            )
         };
         let (p1, a1) = run();
         let (p2, a2) = run();

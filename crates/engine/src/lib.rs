@@ -17,13 +17,26 @@
 //! executes [`RoundAction`](executor::RoundAction)s. Nodes execute in
 //! parallel with rayon; all randomness is derived from per-node seeded
 //! streams so results are independent of the thread count.
+//!
+//! Drivers hook into the round loop through
+//! [`RoundObserver`](observer::RoundObserver) callbacks (round start/end,
+//! periodic evaluation) — curve recording, energy streaming, and early
+//! stopping are [`observer`] implementations rather than executor
+//! concerns. Per-node datasets sit behind `Arc` so many simulations can
+//! share one materialized dataset (see
+//! [`Simulation::with_shared_data`](executor::Simulation::with_shared_data)).
 
 pub mod eval;
 pub mod executor;
 pub mod metrics;
 pub mod node;
+pub mod observer;
 pub mod transport;
 
 pub use executor::{RoundAction, Simulation, SimulationConfig};
 pub use metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
+pub use observer::{
+    CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
+    RoundObserver, RoundReport,
+};
 pub use transport::TransportKind;

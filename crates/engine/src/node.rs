@@ -4,13 +4,18 @@ use skiptrain_data::{Dataset, MinibatchSampler};
 use skiptrain_linalg::Matrix;
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
+use std::sync::Arc;
 
 /// A simulated node: its model replica, private dataset, optimizer state
 /// and reusable minibatch buffers.
+///
+/// The dataset sits behind an `Arc` so that many simulations (e.g. every
+/// run of a [`Campaign`](https://docs.rs/skiptrain-core)) share one
+/// materialized copy instead of deep-cloning per run.
 pub struct Node {
     id: usize,
     model: Sequential,
-    dataset: Dataset,
+    dataset: Arc<Dataset>,
     sampler: MinibatchSampler,
     sgd: Sgd,
     loss: SoftmaxCrossEntropy,
@@ -30,11 +35,12 @@ impl Node {
     pub fn new(
         id: usize,
         model: Sequential,
-        dataset: Dataset,
+        dataset: impl Into<Arc<Dataset>>,
         batch_size: usize,
         sgd: SgdConfig,
         seed: u64,
     ) -> Self {
+        let dataset = dataset.into();
         assert!(!dataset.is_empty(), "node {id}: empty dataset");
         assert_eq!(
             dataset.feature_dim(),
@@ -89,11 +95,13 @@ impl Node {
         let mut loss_sum = 0.0f64;
         for _ in 0..local_steps {
             self.sampler.sample_into(&mut self.batch_idx);
-            self.dataset.gather_batch(&self.batch_idx, &mut self.batch_x, &mut self.batch_y);
+            self.dataset
+                .gather_batch(&self.batch_idx, &mut self.batch_x, &mut self.batch_y);
             self.model.zero_grads();
             let loss_value = {
                 let logits = self.model.forward(&self.batch_x, true);
-                self.loss.loss_and_grad(logits, &self.batch_y, &mut self.grad_logits)
+                self.loss
+                    .loss_and_grad(logits, &self.batch_y, &mut self.grad_logits)
             };
             self.model.backward(&self.grad_logits);
             self.sgd.step(&mut self.model);
@@ -104,12 +112,7 @@ impl Node {
     }
 
     /// Evaluates accuracy and loss of `params` on the given samples.
-    pub fn evaluate(
-        &mut self,
-        params: &[f32],
-        features: &Matrix,
-        labels: &[u32],
-    ) -> (f32, f32) {
+    pub fn evaluate(&mut self, params: &[f32], features: &Matrix, labels: &[u32]) -> (f32, f32) {
         self.model.load_params(params);
         let logits = self.model.forward(features, false);
         let acc = skiptrain_nn::loss::accuracy(logits, labels);
@@ -135,7 +138,10 @@ mod tests {
         let data = task.sample(120, 1);
         let model = skiptrain_nn::zoo::mlp(&[8, 16, 3], seed);
         let params = model.flat_params();
-        (Node::new(0, model, data, 16, SgdConfig::plain(0.1), seed), params)
+        (
+            Node::new(0, model, data, 16, SgdConfig::plain(0.1), seed),
+            params,
+        )
     }
 
     #[test]
@@ -145,7 +151,10 @@ mod tests {
         let first_loss = node.train_local(&params, 5, &mut out1);
         let mut out2 = Vec::new();
         let later_loss = node.train_local(&out1, 25, &mut out2);
-        assert!(later_loss < first_loss, "loss did not go down: {first_loss} -> {later_loss}");
+        assert!(
+            later_loss < first_loss,
+            "loss did not go down: {first_loss} -> {later_loss}"
+        );
     }
 
     #[test]

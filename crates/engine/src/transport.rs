@@ -21,9 +21,10 @@ use skiptrain_linalg::rng::derive_seed;
 const MAGIC: u32 = 0x5354524E;
 
 /// Transport selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TransportKind {
     /// Zero-copy shared-memory exchange (default).
+    #[default]
     Memory,
     /// Serialize/decode every message; drop each directed message
     /// independently with probability `drop_prob`.
@@ -31,12 +32,6 @@ pub enum TransportKind {
         /// Per-message drop probability in `[0, 1)`.
         drop_prob: f64,
     },
-}
-
-impl Default for TransportKind {
-    fn default() -> Self {
-        TransportKind::Memory
-    }
 }
 
 impl TransportKind {
@@ -130,7 +125,11 @@ pub fn decode_model(mut frame: Bytes) -> Result<DecodedModel, DecodeError> {
     if checksum != expected {
         return Err(DecodeError::BadChecksum);
     }
-    Ok(DecodedModel { sender, round, params })
+    Ok(DecodedModel {
+        sender,
+        round,
+        params,
+    })
 }
 
 #[cfg(test)]
@@ -168,7 +167,10 @@ mod tests {
         let short = frame.slice(0..10);
         assert_eq!(decode_model(short).unwrap_err(), DecodeError::Truncated);
         let clipped = frame.slice(0..frame.len() - 4);
-        assert_eq!(decode_model(clipped).unwrap_err(), DecodeError::LengthMismatch);
+        assert_eq!(
+            decode_model(clipped).unwrap_err(),
+            DecodeError::LengthMismatch
+        );
     }
 
     #[test]
@@ -176,7 +178,10 @@ mod tests {
         let frame = encode_model(1, 2, &[1.0]);
         let mut bytes = frame.to_vec();
         bytes[0] = 0;
-        assert_eq!(decode_model(Bytes::from(bytes)).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode_model(Bytes::from(bytes)).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]

@@ -144,7 +144,11 @@ pub fn lerp_assign(t: f32, x: &[f32], y: &mut [f32]) {
 /// Panics if `weights.len() != inputs.len()`, or if any input length differs
 /// from `out.len()`.
 pub fn weighted_sum_into(out: &mut [f32], inputs: &[&[f32]], weights: &[f32]) {
-    assert_eq!(inputs.len(), weights.len(), "weighted_sum_into arity mismatch");
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "weighted_sum_into arity mismatch"
+    );
     match inputs.first() {
         None => out.fill(0.0),
         Some(first) => {

@@ -38,12 +38,18 @@ pub struct GaussianSampler {
 impl GaussianSampler {
     /// Creates a sampler from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed), spare: None }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// Creates a sampler on a derived stream (see [`derive_seed`]).
     pub fn for_stream(seed: u64, stream: u64) -> Self {
-        Self { rng: stream_rng(seed, stream), spare: None }
+        Self {
+            rng: stream_rng(seed, stream),
+            spare: None,
+        }
     }
 
     /// Draws one sample from `N(0, 1)`.
@@ -100,14 +106,17 @@ mod tests {
         let mut g = GaussianSampler::new(7);
         let xs: Vec<f32> = (0..20_000).map(|_| g.sample()).collect();
         assert!(mean(&xs).abs() < 0.03, "mean {} too far from 0", mean(&xs));
-        assert!((std_dev(&xs) - 1.0).abs() < 0.03, "std {} too far from 1", std_dev(&xs));
+        assert!(
+            (std_dev(&xs) - 1.0).abs() < 0.03,
+            "std {} too far from 1",
+            std_dev(&xs)
+        );
     }
 
     #[test]
     fn gaussian_tail_mass_is_bounded() {
         let mut g = GaussianSampler::new(11);
-        let beyond_3: usize =
-            (0..50_000).filter(|_| g.sample().abs() > 3.0).count();
+        let beyond_3: usize = (0..50_000).filter(|_| g.sample().abs() > 3.0).count();
         // P(|Z| > 3) ≈ 0.27%; allow generous slack.
         assert!(beyond_3 < 500, "too many 3-sigma outliers: {beyond_3}");
     }

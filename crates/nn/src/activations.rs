@@ -15,7 +15,10 @@ pub struct Relu {
 impl Relu {
     /// Creates a ReLU over `dim` features.
     pub fn new(dim: usize) -> Self {
-        Self { dim, cached_output_mask: Vec::new() }
+        Self {
+            dim,
+            cached_output_mask: Vec::new(),
+        }
     }
 }
 
@@ -78,7 +81,10 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh over `dim` features.
     pub fn new(dim: usize) -> Self {
-        Self { dim, cached_output: Vec::new() }
+        Self {
+            dim,
+            cached_output: Vec::new(),
+        }
     }
 }
 

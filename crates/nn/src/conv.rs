@@ -23,7 +23,11 @@ pub struct Shape2d {
 impl Shape2d {
     /// Creates a shape.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Flattened feature count.
@@ -72,7 +76,10 @@ impl Conv2d {
         padding: usize,
         init: &mut crate::zoo::InitRng,
     ) -> Self {
-        assert!(kernel >= 1 && stride >= 1, "conv2d: degenerate kernel/stride");
+        assert!(
+            kernel >= 1 && stride >= 1,
+            "conv2d: degenerate kernel/stride"
+        );
         assert!(
             input.height + 2 * padding >= kernel && input.width + 2 * padding >= kernel,
             "conv2d: kernel larger than padded input"
@@ -200,7 +207,11 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.input_dim(), "conv2d forward: input dim mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "conv2d forward: input dim mismatch"
+        );
         ensure_shape(output, batch, self.output_dim());
 
         let ckk = self.ckk();
@@ -228,13 +239,19 @@ impl Layer for Conv2d {
         if train {
             let in_dim = self.input_dim();
             ensure_shape(&mut self.cached_input, batch, in_dim);
-            self.cached_input.as_mut_slice().copy_from_slice(input.as_slice());
+            self.cached_input
+                .as_mut_slice()
+                .copy_from_slice(input.as_slice());
         }
     }
 
     fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         let batch = grad_out.rows();
-        assert_eq!(grad_out.cols(), self.output_dim(), "conv2d backward: grad dim mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.output_dim(),
+            "conv2d backward: grad dim mismatch"
+        );
         assert_eq!(
             self.cached_input.rows(),
             batch,
@@ -270,7 +287,14 @@ impl Layer for Conv2d {
             }
             // dcols = Wᵀ · dY : accumulate kernel needs zeroed target
             self.dcols.fill(0.0);
-            gemm_at_b_into(ckk, self.out_channels, l, &self.params[..wlen], dy, &mut self.dcols);
+            gemm_at_b_into(
+                ckk,
+                self.out_channels,
+                l,
+                &self.params[..wlen],
+                dy,
+                &mut self.dcols,
+            );
             self.col2im(grad_in.row_mut(s));
         }
     }
@@ -319,7 +343,13 @@ impl MaxPool2d {
         );
         let out_h = input.height / window;
         let out_w = input.width / window;
-        Self { input, window, out_h, out_w, cached_argmax: Vec::new() }
+        Self {
+            input,
+            window,
+            out_h,
+            out_w,
+            cached_argmax: Vec::new(),
+        }
     }
 
     /// Output spatial shape.
@@ -343,7 +373,11 @@ impl Layer for MaxPool2d {
 
     fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.input_dim(), "maxpool forward: input dim mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "maxpool forward: input dim mismatch"
+        );
         ensure_shape(output, batch, self.output_dim());
         if train {
             self.cached_argmax.clear();

@@ -59,7 +59,11 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Matrix, output: &mut Matrix, train: bool) {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.input_dim, "dense forward: input dim mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim,
+            "dense forward: input dim mismatch"
+        );
         ensure_shape(output, batch, self.output_dim);
 
         let (w, bias) = self.params.split_at(self.weight_len());
@@ -81,13 +85,19 @@ impl Layer for Dense {
 
         if train {
             ensure_shape(&mut self.cached_input, batch, self.input_dim);
-            self.cached_input.as_mut_slice().copy_from_slice(input.as_slice());
+            self.cached_input
+                .as_mut_slice()
+                .copy_from_slice(input.as_slice());
         }
     }
 
     fn backward(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         let batch = grad_out.rows();
-        assert_eq!(grad_out.cols(), self.output_dim, "dense backward: grad dim mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.output_dim,
+            "dense backward: grad dim mismatch"
+        );
         assert_eq!(
             self.cached_input.rows(),
             batch,
@@ -159,7 +169,8 @@ mod tests {
     fn forward_matches_manual_computation() {
         let mut d = fixed_dense(2, 3);
         // W = [[1,2,3],[4,5,6]], b = [.1,.2,.3]
-        d.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.1, 0.2, 0.3]);
+        d.params_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.1, 0.2, 0.3]);
         let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
         let mut y = Matrix::zeros(0, 0);
         d.forward(&x, &mut y, false);
@@ -174,7 +185,8 @@ mod tests {
     fn input_gradient_matches_manual() {
         let mut d = fixed_dense(2, 2);
         // W = [[1,2],[3,4]], b = 0
-        d.params_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        d.params_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
         let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
         let mut y = Matrix::zeros(0, 0);
         d.forward(&x, &mut y, true);

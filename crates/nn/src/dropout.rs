@@ -24,8 +24,17 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 <= p < 1`.
     pub fn new(dim: usize, p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Self { dim, p, seed, calls: 0, mask: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Self {
+            dim,
+            p,
+            seed,
+            calls: 0,
+            mask: Vec::new(),
+        }
     }
 
     /// The drop probability.
@@ -79,8 +88,11 @@ impl Layer for Dropout {
             "dropout backward: no cached forward for this batch"
         );
         ensure_shape(grad_in, grad_out.rows(), self.dim);
-        for ((gi, &go), &m) in
-            grad_in.as_mut_slice().iter_mut().zip(grad_out.as_slice()).zip(&self.mask)
+        for ((gi, &go), &m) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(&self.mask)
         {
             *gi = go * m;
         }
@@ -107,7 +119,10 @@ mod tests {
         let mut y = Matrix::zeros(0, 0);
         d.forward(&x, &mut y, true);
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        assert!((zeros as f32 / 1000.0 - 0.3).abs() < 0.06, "zeroed {zeros}/1000");
+        assert!(
+            (zeros as f32 / 1000.0 - 0.3).abs() < 0.06,
+            "zeroed {zeros}/1000"
+        );
         // survivors are scaled by 1/(1-p)
         let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
         assert!((survivor - 1.0 / 0.7).abs() < 1e-5);

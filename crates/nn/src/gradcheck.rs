@@ -103,9 +103,9 @@ pub fn check_gradients(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activations::{Relu, Tanh};
     use crate::conv::{Conv2d, MaxPool2d, Shape2d};
     use crate::dense::Dense;
-    use crate::activations::{Relu, Tanh};
     use crate::zoo::InitRng;
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};
@@ -113,7 +113,9 @@ mod tests {
     fn random_batch(batch: usize, dim: usize, classes: usize, seed: u64) -> (Matrix, Vec<u32>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let x = Matrix::from_fn(batch, dim, |_, _| rng.random_range(-1.0f32..1.0));
-        let labels = (0..batch).map(|_| rng.random_range(0..classes) as u32).collect();
+        let labels = (0..batch)
+            .map(|_| rng.random_range(0..classes) as u32)
+            .collect();
         (x, labels)
     }
 
@@ -123,11 +125,7 @@ mod tests {
         let loss = SoftmaxCrossEntropy::new(4);
         let (x, y) = random_batch(5, 6, 4, 1);
         let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 120);
-        assert!(
-            report.passes(2e-2),
-            "mlp gradcheck failed: {:?}",
-            report
-        );
+        assert!(report.passes(2e-2), "mlp gradcheck failed: {:?}", report);
     }
 
     #[test]
@@ -136,7 +134,11 @@ mod tests {
         let loss = SoftmaxCrossEntropy::new(3);
         let (x, y) = random_batch(7, 8, 3, 2);
         let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 60);
-        assert!(report.passes(2e-2), "logistic gradcheck failed: {:?}", report);
+        assert!(
+            report.passes(2e-2),
+            "logistic gradcheck failed: {:?}",
+            report
+        );
     }
 
     #[test]
@@ -181,11 +183,18 @@ mod tests {
         let c1 = Conv2d::new(s0, 2, 3, 2, 0, &mut init);
         let s1 = c1.output_shape();
         let fc = Dense::new(s1.len(), 3, &mut init);
-        let mut model =
-            Sequential::new(vec![Box::new(c1), Box::new(Relu::new(s1.len())), Box::new(fc)]);
+        let mut model = Sequential::new(vec![
+            Box::new(c1),
+            Box::new(Relu::new(s1.len())),
+            Box::new(fc),
+        ]);
         let loss = SoftmaxCrossEntropy::new(3);
         let (x, y) = random_batch(2, s0.len(), 3, 5);
         let report = check_gradients(&mut model, &loss, &x, &y, 1e-2, 100);
-        assert!(report.passes(3e-2), "strided conv gradcheck failed: {:?}", report);
+        assert!(
+            report.passes(3e-2),
+            "strided conv gradcheck failed: {:?}",
+            report
+        );
     }
 }

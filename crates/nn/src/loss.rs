@@ -33,16 +33,20 @@ impl SoftmaxCrossEntropy {
     /// Panics on shape mismatch or an out-of-range label.
     pub fn loss_and_grad(&self, logits: &Matrix, labels: &[u32], grad: &mut Matrix) -> f32 {
         let batch = logits.rows();
-        assert_eq!(logits.cols(), self.num_classes, "logit width != num_classes");
+        assert_eq!(
+            logits.cols(),
+            self.num_classes,
+            "logit width != num_classes"
+        );
         assert_eq!(labels.len(), batch, "labels length != batch");
         assert!(batch > 0, "empty batch");
         crate::layer::ensure_shape(grad, batch, self.num_classes);
 
         let inv_b = 1.0 / batch as f32;
         let mut total = 0.0f64;
-        for r in 0..batch {
+        for (r, &raw_label) in labels.iter().enumerate() {
             let row = logits.row(r);
-            let label = labels[r] as usize;
+            let label = raw_label as usize;
             assert!(label < self.num_classes, "label {label} out of range");
             let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let mut sum_exp = 0.0f32;
@@ -66,13 +70,17 @@ impl SoftmaxCrossEntropy {
     /// Mean loss only (no gradient), for evaluation.
     pub fn loss(&self, logits: &Matrix, labels: &[u32]) -> f32 {
         let batch = logits.rows();
-        assert_eq!(logits.cols(), self.num_classes, "logit width != num_classes");
+        assert_eq!(
+            logits.cols(),
+            self.num_classes,
+            "logit width != num_classes"
+        );
         assert_eq!(labels.len(), batch, "labels length != batch");
         assert!(batch > 0, "empty batch");
         let mut total = 0.0f64;
-        for r in 0..batch {
+        for (r, &raw_label) in labels.iter().enumerate() {
             let row = logits.row(r);
-            let label = labels[r] as usize;
+            let label = raw_label as usize;
             let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             let sum_exp: f32 = row.iter().map(|&v| (v - max).exp()).sum();
             total += -((row[label] - max) as f64 - (sum_exp as f64).ln());
@@ -171,8 +179,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 5.0, 1.0, 1.5]);
+        let logits = Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 5.0, 1.0, 1.5]);
         assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
     }

@@ -42,7 +42,13 @@ impl Sequential {
         }
         let acts = layers.iter().map(|_| Matrix::zeros(0, 0)).collect();
         let param_count = layers.iter().map(|l| l.param_count()).sum();
-        Self { layers, acts, gbuf_a: Matrix::zeros(0, 0), gbuf_b: Matrix::zeros(0, 0), param_count }
+        Self {
+            layers,
+            acts,
+            gbuf_a: Matrix::zeros(0, 0),
+            gbuf_b: Matrix::zeros(0, 0),
+            param_count,
+        }
     }
 
     /// Number of input features per sample.
@@ -69,7 +75,11 @@ impl Sequential {
     ///
     /// With `train = true`, layers cache what the backward pass needs.
     pub fn forward(&mut self, input: &Matrix, train: bool) -> &Matrix {
-        assert_eq!(input.cols(), self.input_dim(), "model forward: input dim mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "model forward: input dim mismatch"
+        );
         let mut src: &Matrix = input;
         for (layer, act) in self.layers.iter_mut().zip(self.acts.iter_mut()) {
             layer.forward(src, act, train);
@@ -83,7 +93,13 @@ impl Sequential {
     ///
     /// Must follow a `forward(.., train = true)` on the same batch.
     pub fn backward(&mut self, grad_logits: &Matrix) {
-        let Self { layers, acts, gbuf_a, gbuf_b, .. } = self;
+        let Self {
+            layers,
+            acts,
+            gbuf_a,
+            gbuf_b,
+            ..
+        } = self;
         let n = layers.len();
         debug_assert_eq!(acts.len(), n);
         // `cur` receives the gradient w.r.t. the current layer's input;
@@ -138,7 +154,11 @@ impl Sequential {
     /// # Panics
     /// Panics if `flat.len() != self.param_count()`.
     pub fn load_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count, "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count,
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             let p = layer.params_mut();
@@ -220,7 +240,10 @@ mod tests {
         let ya2 = a.forward(&x, false).clone();
         let yb = b.forward(&x, false).clone();
         assert!(ya.max_abs_diff(&ya2) > 1e-6, "loading params had no effect");
-        assert!(ya2.max_abs_diff(&yb) < 1e-6, "same params must predict identically");
+        assert!(
+            ya2.max_abs_diff(&yb) < 1e-6,
+            "same params must predict identically"
+        );
     }
 
     #[test]
@@ -232,7 +255,10 @@ mod tests {
         m.backward(&g);
         let mut grads = Vec::new();
         m.copy_grads_to(&mut grads);
-        assert!(grads.iter().any(|&v| v != 0.0), "backward produced no gradient");
+        assert!(
+            grads.iter().any(|&v| v != 0.0),
+            "backward produced no gradient"
+        );
         m.zero_grads();
         m.copy_grads_to(&mut grads);
         assert!(grads.iter().all(|&v| v == 0.0));

@@ -20,7 +20,11 @@ pub struct SgdConfig {
 impl SgdConfig {
     /// Plain SGD at learning rate `lr` — the paper's optimizer.
     pub fn plain(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0 }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -42,9 +46,18 @@ impl Sgd {
     /// Creates an optimizer.
     pub fn new(config: SgdConfig) -> Self {
         assert!(config.lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&config.momentum), "momentum must be in [0, 1)");
-        assert!(config.weight_decay >= 0.0, "weight decay must be non-negative");
-        Self { config, velocity: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum must be in [0, 1)"
+        );
+        assert!(
+            config.weight_decay >= 0.0,
+            "weight decay must be non-negative"
+        );
+        Self {
+            config,
+            velocity: Vec::new(),
+        }
     }
 
     /// The configuration.
@@ -141,7 +154,11 @@ mod tests {
         // zero gradients: step should purely decay
         model.zero_grads();
         let before = model.flat_params();
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
         opt.step(&mut model);
         for (b, a) in before.iter().zip(model.flat_params()) {
             assert!((a - b * (1.0 - 0.05)).abs() < 1e-6);
@@ -153,7 +170,11 @@ mod tests {
         let mut plain_model = one_layer();
         let mut mom_model = one_layer();
         let mut plain = Sgd::new(SgdConfig::plain(0.1));
-        let mut mom = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut mom = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         let start = plain_model.flat_params();
         for _ in 0..5 {
             plain_model.zero_grads();
@@ -173,7 +194,10 @@ mod tests {
             .zip(mom_model.flat_params())
             .map(|(s, w)| (s - w).abs())
             .sum();
-        assert!(d_mom > d_plain, "momentum should travel farther: {d_mom} vs {d_plain}");
+        assert!(
+            d_mom > d_plain,
+            "momentum should travel farther: {d_mom} vs {d_plain}"
+        );
     }
 
     #[test]

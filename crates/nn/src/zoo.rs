@@ -26,7 +26,9 @@ pub struct InitRng {
 impl InitRng {
     /// Creates an initializer stream from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -54,7 +56,9 @@ impl ModelKind {
     pub fn build(&self, seed: u64) -> Sequential {
         match self {
             ModelKind::Mlp { dims } => mlp(dims, seed),
-            ModelKind::Logistic { input_dim, classes } => logistic_regression(*input_dim, *classes, seed),
+            ModelKind::Logistic { input_dim, classes } => {
+                logistic_regression(*input_dim, *classes, seed)
+            }
             ModelKind::CifarCnn => cifar_cnn(seed),
             ModelKind::FemnistCnn => femnist_cnn(seed),
         }
@@ -182,7 +186,11 @@ mod tests {
         let m = cifar_cnn(0);
         let rel = (m.param_count() as f64 - PAPER_CIFAR10_PARAMS as f64).abs()
             / PAPER_CIFAR10_PARAMS as f64;
-        assert!(rel < 0.06, "cifar cnn params {} too far from Table 1", m.param_count());
+        assert!(
+            rel < 0.06,
+            "cifar cnn params {} too far from Table 1",
+            m.param_count()
+        );
     }
 
     #[test]
@@ -203,8 +211,13 @@ mod tests {
     #[test]
     fn model_kind_builds_consistent_shapes() {
         for kind in [
-            ModelKind::Mlp { dims: vec![6, 12, 5] },
-            ModelKind::Logistic { input_dim: 6, classes: 5 },
+            ModelKind::Mlp {
+                dims: vec![6, 12, 5],
+            },
+            ModelKind::Logistic {
+                input_dim: 6,
+                classes: 5,
+            },
         ] {
             let m = kind.build(3);
             assert_eq!(m.input_dim(), kind.input_dim());

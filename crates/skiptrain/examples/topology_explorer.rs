@@ -1,0 +1,73 @@
+//! Topology explorer: how graph structure drives gossip mixing speed and,
+//! through it, SkipTrain's optimal Γ_sync (the §4.3 intuition).
+//!
+//! For each topology this example reports the spectral gap of the
+//! Metropolis–Hastings matrix, the predicted number of gossip rounds to
+//! shrink disagreement 10×, and the measured consensus error of an actual
+//! parameter-mixing simulation.
+//!
+//! ```sh
+//! cargo run --release --example topology_explorer
+//! ```
+
+use skiptrain::prelude::*;
+use skiptrain_topology::erdos::gnp_connected;
+use skiptrain_topology::regular::{circulant, random_regular};
+use skiptrain_topology::spectral::{rounds_to_contract, second_eigenvalue};
+
+fn consensus_error_after(mixing: &MixingMatrix, rounds: usize) -> f64 {
+    // Scalar consensus: node i starts with value i; track max deviation
+    // from the average after `rounds` gossip steps.
+    let n = mixing.len();
+    let mut x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mean = x.iter().sum::<f64>() / n as f64;
+    for _ in 0..rounds {
+        x = mixing.apply_scalar(&x);
+    }
+    x.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max)
+}
+
+fn main() {
+    let n = 64usize;
+    let seed = 11u64;
+
+    let topologies: Vec<(String, Graph)> = vec![
+        ("ring".into(), Graph::ring(n)),
+        ("circulant d=6".into(), circulant(n, 6)),
+        ("random 6-regular".into(), random_regular(n, 6, seed)),
+        ("random 8-regular".into(), random_regular(n, 8, seed)),
+        ("random 10-regular".into(), random_regular(n, 10, seed)),
+        (
+            "Erdős–Rényi p=0.15".into(),
+            gnp_connected(n, 0.15, seed, 32).expect("connected sample"),
+        ),
+        ("complete".into(), Graph::complete(n)),
+    ];
+
+    println!(
+        "{:<20} {:>6} {:>9} {:>12} {:>14} {:>16}",
+        "topology", "edges", "diameter", "spectral gap", "rounds to 10x", "err @ 8 rounds"
+    );
+    for (name, graph) in topologies {
+        let mixing = MixingMatrix::metropolis_hastings(&graph);
+        let est = second_eigenvalue(&mixing, 600, seed);
+        println!(
+            "{:<20} {:>6} {:>9} {:>12.4} {:>14} {:>16.2e}",
+            name,
+            graph.edge_count(),
+            graph
+                .diameter()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            est.gap,
+            rounds_to_contract(est.lambda2, 10.0),
+            consensus_error_after(&mixing, 8),
+        );
+    }
+
+    println!(
+        "\nreading: a larger spectral gap means faster mixing, so denser topologies\n\
+         need fewer synchronization rounds — the paper's Figure 3 finds Γ_sync = 4\n\
+         optimal at degree 6 but only 2 at degree 10."
+    );
+}

@@ -1,0 +1,172 @@
+//! Equivalence guarantees for the redesigned experiment layer: the
+//! builder/`Experiment`/`Campaign` path must reproduce the legacy
+//! `run_experiment` results byte for byte, and the parallel `grid_search`
+//! must match serial per-cell execution exactly.
+
+use skiptrain::prelude::*;
+use skiptrain_core::sweep::grid_search;
+use skiptrain_core::ExperimentBuilder;
+
+fn quick(seed: u64) -> ExperimentConfig {
+    let mut cfg = cifar_config(Scale::Quick, seed);
+    cfg.nodes = 10;
+    cfg.rounds = 12;
+    cfg.eval_every = 4;
+    cfg.eval_max_samples = 150;
+    cfg.data = DataSpec::CifarLike {
+        feature_dim: 12,
+        samples_per_node: 40,
+        test_samples: 400,
+        shards_per_node: 2,
+        separation: 1.2,
+        noise: 0.8,
+        modes_per_class: 2,
+    };
+    cfg.hidden_dim = 12;
+    cfg.local_steps = 4;
+    cfg.record_mean_model = true;
+    cfg
+}
+
+#[test]
+fn builder_and_campaign_reproduce_legacy_results_byte_identically() {
+    let cfg = quick(3);
+
+    #[allow(deprecated)]
+    let legacy = run_experiment(&cfg);
+
+    let via_experiment = Experiment::from_config(cfg.clone()).expect("valid").run();
+
+    let via_builder = ExperimentBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid")
+        .run();
+
+    let via_campaign = Campaign::new().push(cfg).run().expect("valid").remove(0);
+
+    let reference = serde_json::to_string(&legacy).unwrap();
+    for (label, result) in [
+        ("Experiment::run", &via_experiment),
+        ("ExperimentBuilder", &via_builder),
+        ("Campaign", &via_campaign),
+    ] {
+        let serialized = serde_json::to_string(result).unwrap();
+        assert_eq!(
+            serialized, reference,
+            "{label} diverged from the legacy runner"
+        );
+    }
+}
+
+#[test]
+fn parallel_grid_search_matches_serial_baseline_cell_for_cell() {
+    let base = quick(7);
+    let gammas = [1usize, 2];
+
+    // Serial baseline: the seed implementation — one shared bundle, cells
+    // run one after another in row-major (Γ_sync, Γ_train) order.
+    let data = base.data.build(base.nodes, base.seed);
+    let mut serial = Vec::new();
+    for &gs in &gammas {
+        for &gt in &gammas {
+            let mut cfg = base.clone();
+            cfg.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(gt, gs));
+            cfg.name = format!("{}/sweep-gt{gt}-gs{gs}", base.name);
+            cfg.eval_every = usize::MAX;
+            let result = cfg.run_on(&data);
+            serial.push((gt, gs, result));
+        }
+    }
+
+    // Parallel path: grid_search runs the same cells through a Campaign.
+    let sweep = grid_search(&base, &gammas);
+    assert_eq!(sweep.cells.len(), serial.len());
+
+    for ((gt, gs, reference), cell) in serial.iter().zip(&sweep.cells) {
+        assert_eq!(
+            (cell.gamma_train, cell.gamma_sync),
+            (*gt, *gs),
+            "cell order changed"
+        );
+        assert_eq!(
+            cell.val_accuracy.to_bits(),
+            reference.final_val_accuracy.to_bits(),
+            "validation accuracy diverged at ({gt}, {gs})"
+        );
+        assert_eq!(
+            cell.test_accuracy.to_bits(),
+            reference.final_test.mean_accuracy.to_bits(),
+            "test accuracy diverged at ({gt}, {gs})"
+        );
+        assert_eq!(
+            cell.training_energy_wh.to_bits(),
+            reference.total_training_wh.to_bits(),
+            "training energy diverged at ({gt}, {gs})"
+        );
+    }
+}
+
+#[test]
+fn campaign_worker_count_does_not_change_results() {
+    let configs: Vec<ExperimentConfig> = (0..3)
+        .map(|i| {
+            let mut cfg = quick(11);
+            cfg.name = format!("w{i}");
+            cfg.seed = 100 + i as u64;
+            cfg
+        })
+        .collect();
+    let serial = Campaign::from_configs(configs.clone())
+        .threads(1)
+        .run()
+        .unwrap();
+    let parallel = Campaign::from_configs(configs).threads(8).run().unwrap();
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap(),
+            "thread count changed a result"
+        );
+    }
+}
+
+#[test]
+fn early_stop_observer_truncates_the_run() {
+    let cfg = quick(13);
+    let experiment = Experiment::from_config(cfg).expect("valid");
+    let data = experiment.build_data();
+
+    let mut stop = EarlyStop::at_accuracy(0.0); // first evaluation triggers
+    let result = experiment
+        .run_observed(&data, &mut [&mut stop])
+        .expect("valid run");
+    // eval_every = 4 -> the first evaluation happens after round 4 and
+    // stops the run there.
+    assert_eq!(stop.triggered_at(), Some(4));
+    assert_eq!(result.rounds, 4);
+    assert_eq!(result.test_curve.len(), 1);
+
+    // Without the observer the same experiment runs to completion.
+    let full = experiment.run_on(&data).expect("valid run");
+    assert_eq!(full.rounds, 12);
+}
+
+#[test]
+fn energy_trace_observer_matches_ledger_totals() {
+    let cfg = quick(17);
+    let experiment = Experiment::from_config(cfg.clone()).expect("valid");
+    let data = experiment.build_data();
+
+    let mut trace = EnergyTraceObserver::new();
+    let result = experiment
+        .run_observed(&data, &mut [&mut trace])
+        .expect("valid run");
+
+    assert_eq!(trace.rows().len(), cfg.rounds);
+    assert!(
+        (trace.total_training_wh() - result.total_training_wh).abs() < 1e-9,
+        "per-round stream must sum to the end-of-run total"
+    );
+    let streamed_events: u64 = trace.rows().iter().map(|r| r.trained_nodes as u64).sum();
+    assert_eq!(streamed_events, result.node_train_events);
+}

@@ -1,0 +1,72 @@
+//! Reproducibility: results are bit-identical across runs and across rayon
+//! thread counts (all randomness lives in per-node derived streams).
+
+use skiptrain::prelude::*;
+
+fn config(seed: u64) -> ExperimentConfig {
+    let mut cfg = cifar_config(Scale::Quick, seed);
+    cfg.nodes = 12;
+    cfg.rounds = 16;
+    cfg.eval_every = 8;
+    cfg.eval_max_samples = 200;
+    cfg.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(2, 2));
+    cfg
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let a = config(11).run();
+    let b = config(11).run();
+    assert_eq!(
+        a.final_test.mean_accuracy.to_bits(),
+        b.final_test.mean_accuracy.to_bits()
+    );
+    assert_eq!(a.node_train_events, b.node_train_events);
+    assert_eq!(a.total_training_wh.to_bits(), b.total_training_wh.to_bits());
+    for (pa, pb) in a.test_curve.iter().zip(&b.test_curve) {
+        assert_eq!(pa.mean_accuracy.to_bits(), pb.mean_accuracy.to_bits());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = config(11).run();
+    let b = config(12).run();
+    assert_ne!(
+        a.final_test.mean_accuracy.to_bits(),
+        b.final_test.mean_accuracy.to_bits()
+    );
+}
+
+#[test]
+fn results_independent_of_thread_count() {
+    let run_with_threads = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| config(13).run())
+    };
+    let single = run_with_threads(1);
+    let multi = run_with_threads(8);
+    assert_eq!(
+        single.final_test.mean_accuracy.to_bits(),
+        multi.final_test.mean_accuracy.to_bits(),
+        "thread count changed the result"
+    );
+    assert_eq!(single.node_train_events, multi.node_train_events);
+}
+
+#[test]
+fn constrained_policy_is_deterministic_end_to_end() {
+    let mut cfg = config(14);
+    cfg.energy = EnergySpec::cifar10_constrained().scaled_for_rounds(cfg.rounds, 1000);
+    cfg.algorithm = AlgorithmSpec::SkipTrainConstrained(Schedule::new(2, 2));
+    let a = cfg.run();
+    let b = cfg.run();
+    assert_eq!(a.node_train_events, b.node_train_events);
+    assert_eq!(
+        a.final_test.mean_accuracy.to_bits(),
+        b.final_test.mean_accuracy.to_bits()
+    );
+}

@@ -1,0 +1,71 @@
+//! Transport fidelity: the zero-copy in-memory exchange and the full
+//! serialize/decode path must produce bit-identical experiments when no
+//! messages are dropped.
+
+use skiptrain::prelude::*;
+
+fn config(seed: u64, transport: TransportKind) -> ExperimentConfig {
+    let mut cfg = cifar_config(Scale::Quick, seed);
+    cfg.nodes = 10;
+    cfg.rounds = 12;
+    cfg.eval_every = 6;
+    cfg.eval_max_samples = 200;
+    cfg.transport = transport;
+    cfg.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(2, 1));
+    cfg
+}
+
+#[test]
+fn serialized_lossless_is_bit_identical_to_memory() {
+    let mem = config(1, TransportKind::Memory).run();
+    let ser = config(1, TransportKind::Serialized { drop_prob: 0.0 }).run();
+    assert_eq!(
+        mem.final_test.mean_accuracy.to_bits(),
+        ser.final_test.mean_accuracy.to_bits(),
+        "transports diverged"
+    );
+    for (a, b) in mem.test_curve.iter().zip(&ser.test_curve) {
+        assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
+    }
+    assert_eq!(mem.node_train_events, ser.node_train_events);
+}
+
+#[test]
+fn lossy_transport_changes_results_but_still_learns() {
+    let lossless = config(2, TransportKind::Memory).run();
+    let lossy = config(2, TransportKind::Serialized { drop_prob: 0.3 }).run();
+    assert_ne!(
+        lossless.final_test.mean_accuracy.to_bits(),
+        lossy.final_test.mean_accuracy.to_bits(),
+        "dropping 30% of messages should perturb results"
+    );
+    assert!(
+        lossy.final_test.mean_accuracy > 0.25,
+        "lossy run collapsed: {}",
+        lossy.final_test.mean_accuracy
+    );
+}
+
+#[test]
+fn lossy_transport_reports_less_rx_energy() {
+    let lossless = config(3, TransportKind::Serialized { drop_prob: 0.0 }).run();
+    let lossy = config(3, TransportKind::Serialized { drop_prob: 0.5 }).run();
+    assert!(
+        lossy.total_comm_wh < lossless.total_comm_wh,
+        "dropped messages must not be charged at the receiver: {} vs {}",
+        lossy.total_comm_wh,
+        lossless.total_comm_wh
+    );
+}
+
+#[test]
+fn heavy_loss_increases_node_disagreement() {
+    let lossless = config(4, TransportKind::Memory).run();
+    let lossy = config(4, TransportKind::Serialized { drop_prob: 0.6 }).run();
+    assert!(
+        lossy.final_test.std_accuracy >= lossless.final_test.std_accuracy,
+        "loss should not tighten consensus: {} vs {}",
+        lossy.final_test.std_accuracy,
+        lossless.final_test.std_accuracy
+    );
+}

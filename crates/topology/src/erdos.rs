@@ -11,7 +11,10 @@ use rand::{RngExt, SeedableRng};
 /// # Panics
 /// Panics unless `0.0 <= p <= 1.0`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = Graph::empty(n);
     for i in 0..n {
@@ -54,7 +57,10 @@ mod tests {
         let g = gnp(60, 0.3, 5);
         let expected = 0.3 * (60.0 * 59.0 / 2.0);
         let got = g.edge_count() as f64;
-        assert!((got - expected).abs() < expected * 0.25, "edges {got} vs expected {expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "edges {got} vs expected {expected}"
+        );
         g.validate().unwrap();
     }
 

@@ -15,7 +15,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an edgeless graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Self { n, adj: vec![Vec::new(); n] }
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list (duplicates and self-loops are
@@ -36,7 +39,10 @@ impl Graph {
     /// # Panics
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn add_edge(&mut self, a: u32, b: u32) {
-        assert!((a as usize) < self.n && (b as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         let insert = |adj: &mut Vec<u32>, v: u32| match adj.binary_search(&v) {
             Ok(_) => panic!("duplicate edge ({v})"),

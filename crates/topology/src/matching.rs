@@ -51,7 +51,10 @@ mod tests {
         let m = random_maximal_matching(&g, 7);
         let mut seen = std::collections::HashSet::new();
         for &(a, b) in &m {
-            assert!(g.has_edge(a as usize, b as usize), "({a},{b}) is not an edge");
+            assert!(
+                g.has_edge(a as usize, b as usize),
+                "({a},{b}) is not an edge"
+            );
             assert!(seen.insert(a), "node {a} matched twice");
             assert!(seen.insert(b), "node {b} matched twice");
         }

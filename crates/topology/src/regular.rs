@@ -31,7 +31,11 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     // Re-randomize (in smaller batches) while the graph is disconnected;
     // bounded so a pathological case degrades to the connected circulant.
     for round in 0..8 {
-        let swaps = if round == 0 { target_swaps } else { target_swaps / 4 };
+        let swaps = if round == 0 {
+            target_swaps
+        } else {
+            target_swaps / 4
+        };
         perform_swaps(&mut g, swaps, &mut rng);
         if g.is_connected() {
             return g;
@@ -84,7 +88,10 @@ fn perform_swaps(g: &mut Graph, count: usize, rng: &mut SmallRng) {
 pub fn circulant(n: usize, d: usize) -> Graph {
     assert!(d > 0, "degree must be positive");
     assert!(d < n, "degree must be below node count");
-    assert!((n * d) % 2 == 0, "n·d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a d-regular graph"
+    );
 
     let mut g = Graph::empty(n);
     let half = d / 2;

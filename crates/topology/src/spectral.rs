@@ -50,7 +50,11 @@ pub fn second_eigenvalue(w: &MixingMatrix, iterations: usize, seed: u64) -> Spec
             *xi = yi / norm;
         }
     }
-    SpectralEstimate { lambda2: lambda, gap: 1.0 - lambda, iterations: done }
+    SpectralEstimate {
+        lambda2: lambda,
+        gap: 1.0 - lambda,
+        iterations: done,
+    }
 }
 
 /// Number of gossip rounds needed to shrink disagreement by `factor`

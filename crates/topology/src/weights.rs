@@ -71,8 +71,7 @@ impl MixingMatrix {
     /// Panics on out-of-range or non-disjoint pairs.
     pub fn pairwise(n: usize, pairs: &[(u32, u32)]) -> Self {
         assert!(n > 0, "empty mixing matrix");
-        let mut rows: Vec<Vec<(u32, f32)>> =
-            (0..n as u32).map(|i| vec![(i, 1.0f32)]).collect();
+        let mut rows: Vec<Vec<(u32, f32)>> = (0..n as u32).map(|i| vec![(i, 1.0f32)]).collect();
         let mut matched = vec![false; n];
         for &(a, b) in pairs {
             let (ai, bi) = (a as usize, b as usize);
@@ -249,14 +248,19 @@ mod tests {
         let x: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
         let before: f64 = x.iter().sum();
         let after: f64 = w.apply_scalar(&x).iter().sum();
-        assert!((before - after).abs() < 1e-6, "doubly stochastic mixing must preserve the sum");
+        assert!(
+            (before - after).abs() < 1e-6,
+            "doubly stochastic mixing must preserve the sum"
+        );
     }
 
     #[test]
     fn mixing_contracts_variance() {
         let g = random_regular(32, 4, 4);
         let w = MixingMatrix::metropolis_hastings(&g);
-        let x: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             v.iter().map(|a| (a - m).powi(2)).sum::<f64>() / v.len() as f64

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds without network access, so the handful of external
+//! crates it uses are vendored as API-compatible subsets. This one covers
+//! exactly what `skiptrain-engine`'s transport needs: cheaply cloneable
+//! immutable byte buffers ([`Bytes`]), a growable builder ([`BytesMut`]),
+//! and big/little-endian u32 cursor reads and writes ([`Buf`] / [`BufMut`]).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable immutable byte buffer with an internal
+/// read cursor (the [`Buf`] methods consume from the front).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Remaining (unread) length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the unread bytes into a new `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-range of the unread bytes, sharing the same backing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Cursor-style reads from the front of a buffer.
+pub trait Buf {
+    /// Reads a big-endian `u32`, advancing the cursor.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+    /// Unread bytes remaining.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for Bytes {
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A growable byte builder.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        self.buf.into()
+    }
+}
+
+/// Appends to the back of a buffer.
+pub trait BufMut {
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Writes raw bytes.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEADBEEF);
+        b.put_u32_le(7);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        let mut cursor = frozen.clone();
+        assert_eq!(cursor.get_u32(), 0xDEADBEEF);
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.remaining(), 0);
+        let tail = frozen.slice(4..8);
+        assert_eq!(tail.to_vec(), 7u32.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b: Bytes = vec![1u8, 2].into();
+        let _ = b.get_u32();
+    }
+}

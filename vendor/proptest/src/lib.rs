@@ -1,0 +1,200 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with `arg in range` strategies over numeric ranges,
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and
+//! [`prop_assert!`] / [`prop_assert_eq!`]. Cases are sampled from a
+//! deterministic per-test seed (derived from the test name), so failures
+//! reproduce exactly; there is no shrinking.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SampleUniform, SeedableRng};
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` sampled cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of sampled values for one test case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG for case `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5EED)))
+    }
+}
+
+/// Something values can be sampled from (numeric ranges here).
+pub trait Strategy {
+    /// Sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.0.random_range(self.start..self.end)
+    }
+}
+
+/// Property-test harness macro (see crate docs for the supported grammar).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(#[test] fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut prop_rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut prop_rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed on case {case} with ({}): {err}",
+                            stringify!($name),
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Skips the current case when its sampled inputs do not satisfy a
+/// precondition (real proptest resamples; this shim just moves on).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// `assert_eq!` flavor of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(n in 3usize..17, x in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn eq_assertion_works(a in 0u32..100) {
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let ra = (0u64..4)
+            .map(|_| (0usize..100).sample(&mut a))
+            .collect::<Vec<_>>();
+        let rb = (0u64..4)
+            .map(|_| (0usize..100).sample(&mut b))
+            .collect::<Vec<_>>();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_report_args() {
+        // Re-enter the macro machinery manually for a failing property.
+        fn failing_inner() {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[test]
+                fn failing(v in 0u32..8) {
+                    prop_assert!(v > 100, "v was {}", v);
+                }
+            }
+            failing();
+        }
+        failing_inner();
+    }
+}

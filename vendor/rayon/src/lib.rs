@@ -1,0 +1,622 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice-oriented subset the workspace uses — `par_iter`,
+//! `par_iter_mut`, `par_chunks_exact(_mut)`, `zip`, `map`, `enumerate`,
+//! `for_each`, `collect` — with genuine data parallelism over
+//! `std::thread::scope`. Iterators are *indexed*: every adaptor preserves
+//! length and order, so `collect` returns results in input order and all
+//! outcomes are independent of the worker count (the workspace's
+//! determinism requirement).
+//!
+//! Scheduling is deliberately simple: a terminal operation splits its
+//! iterator into one contiguous chunk per worker and joins them. Instead
+//! of rayon's work-stealing, nesting is governed by a *thread budget*: a
+//! terminal op that spawns W workers hands each worker `budget / W`
+//! threads for its own nested parallel ops. An outer loop that saturates
+//! the machine makes inner loops sequential (the common case), while e.g.
+//! a 2-run campaign on a 16-core machine leaves each run 8 threads of
+//! node-level parallelism.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+thread_local! {
+    /// Thread budget for parallel ops started from this thread. `None` on
+    /// root threads (resolved from the pool override or the machine);
+    /// worker threads carry an explicit share of their parent's budget.
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_budget() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(|| {
+        let configured = POOL_THREADS.with(|t| t.get());
+        if configured > 0 {
+            configured
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    })
+}
+
+fn effective_workers(len: usize) -> usize {
+    if len < 2 {
+        1
+    } else {
+        current_budget().min(len)
+    }
+}
+
+/// An indexed, splittable parallel iterator.
+///
+/// `split_at` must preserve order: the left part holds items `0..index`,
+/// the right part the rest. `drive` consumes the iterator sequentially in
+/// order.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+
+    /// Splits into `(items 0..index, items index..len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequentially feeds every item, in order, to `f`.
+    fn drive(self, f: &mut dyn FnMut(Self::Item));
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pairs items with another equal-length parallel iterator.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs items with their index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let workers = effective_workers(self.par_len());
+        if workers <= 1 {
+            self.drive(&mut |item| f(item));
+            return;
+        }
+        let share = (current_budget() / workers).max(1);
+        let chunks = split_even(self, workers);
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                let f = &f;
+                scope.spawn(move || {
+                    BUDGET.with(|b| b.set(Some(share)));
+                    chunk.drive(&mut |item| f(item));
+                });
+            }
+        });
+    }
+
+    /// Collects all items, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Splits `iter` into `parts` contiguous chunks of near-equal length.
+fn split_even<I: ParallelIterator>(iter: I, parts: usize) -> Vec<I> {
+    let len = iter.par_len();
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = iter;
+    let mut remaining_items = len;
+    let mut remaining_parts = parts;
+    while remaining_parts > 1 {
+        let take = remaining_items.div_ceil(remaining_parts);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining_items -= take;
+        remaining_parts -= 1;
+    }
+    out.push(rest);
+    out
+}
+
+/// Collection from a parallel iterator (order-preserving).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        let len = iter.par_len();
+        let workers = effective_workers(len);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(len);
+            iter.drive(&mut |item| out.push(item));
+            return out;
+        }
+        let share = (current_budget() / workers).max(1);
+        let chunks = split_even(iter, workers);
+        let mut out = Vec::with_capacity(len);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        BUDGET.with(|b| b.set(Some(share)));
+                        let mut part = Vec::with_capacity(chunk.par_len());
+                        chunk.drive(&mut |item| part.push(item));
+                        part
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("parallel worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Shared-reference iterator over a slice.
+pub struct ParIter<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (ParIter(l), ParIter(r))
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        for item in self.0 {
+            f(item);
+        }
+    }
+}
+
+/// Mutable-reference iterator over a slice.
+pub struct ParIterMut<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (ParIterMut(l), ParIterMut(r))
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        for item in self.0 {
+            f(item);
+        }
+    }
+}
+
+/// Iterator over complete `chunk_size`-sized sub-slices (remainder ignored,
+/// like `slice::chunks_exact`).
+pub struct ParChunksExact<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunksExact<'a, T> {
+    type Item = &'a [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len() / self.chunk
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index * self.chunk);
+        (
+            ParChunksExact {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunksExact {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice.chunks_exact(self.chunk) {
+            f(item);
+        }
+    }
+}
+
+/// Mutable variant of [`ParChunksExact`].
+pub struct ParChunksExactMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksExactMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len() / self.chunk
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index * self.chunk);
+        (
+            ParChunksExactMut {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ParChunksExactMut {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice.chunks_exact_mut(self.chunk) {
+            f(item);
+        }
+    }
+}
+
+/// Map adaptor (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        let map_fn = self.f;
+        self.base.drive(&mut |item| f(map_fn(item)));
+    }
+}
+
+/// Zip adaptor (see [`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        // Pull-based pairing: buffer one side's chunk is unnecessary since
+        // both sides are indexed; drive the shorter length via explicit
+        // sequential splitting.
+        let len = self.par_len();
+        let (a, _) = self.a.split_at(len);
+        let (b, _) = self.b.split_at(len);
+        let mut bs = Vec::with_capacity(len);
+        b.drive(&mut |item| bs.push(item));
+        let mut bs = bs.into_iter();
+        a.drive(&mut |item| {
+            let other = bs.next().expect("zip length mismatch");
+            f((item, other));
+        });
+    }
+}
+
+/// Enumerate adaptor (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn drive(self, f: &mut dyn FnMut(Self::Item)) {
+        let mut i = self.offset;
+        self.base.drive(&mut |item| {
+            f((i, item));
+            i += 1;
+        });
+    }
+}
+
+/// `par_iter` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    /// Shared-reference item type.
+    type Iter: ParallelIterator;
+
+    /// A parallel iterator over shared references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter(self)
+    }
+}
+
+/// `par_iter_mut` entry point.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutable-reference item type.
+    type Iter: ParallelIterator;
+
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut(self)
+    }
+}
+
+/// `par_chunks_exact` entry point.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over complete `chunk_size` sub-slices.
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksExact {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_exact_mut` entry point.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over complete mutable `chunk_size` sub-slices.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksExactMut {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (worker-count control only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A default builder (worker count from `available_parallelism`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the worker count used inside [`ThreadPool::install`].
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count configuration. Parallel operations executed inside
+/// [`install`](ThreadPool::install) use at most the configured number of
+/// workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count in force on the calling
+    /// thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut xs = vec![0u64; 4096];
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64 + 1);
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn nested_zip_matches_sequential() {
+        let a: Vec<i64> = (0..257).collect();
+        let mut b: Vec<i64> = (0..257).map(|x| x * 10).collect();
+        let c: Vec<i64> = (0..257).map(|x| x * 100).collect();
+        let sums: Vec<i64> = b
+            .par_iter_mut()
+            .zip(a.par_iter())
+            .zip(c.par_iter())
+            .map(|((b, &a), &c)| {
+                *b += 1;
+                a + *b + c
+            })
+            .collect();
+        let expect: Vec<i64> = (0..257).map(|x| x + (x * 10 + 1) + x * 100).collect();
+        assert_eq!(sums, expect);
+        assert_eq!(b[3], 31);
+    }
+
+    #[test]
+    fn chunks_exact_ignores_remainder() {
+        let xs: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = xs.par_chunks_exact(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21]);
+        let mut ys = vec![1u32; 10];
+        ys.par_chunks_exact_mut(4).for_each(|c| c.fill(7));
+        assert_eq!(ys, vec![7, 7, 7, 7, 7, 7, 7, 7, 1, 1]);
+    }
+
+    #[test]
+    fn nested_ops_split_the_thread_budget() {
+        // An outer loop of 2 on a budget of 8 leaves each worker 4 threads
+        // for nested parallelism; a further nested op drops to 1.
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let budgets: Vec<(usize, usize)> = pool.install(|| {
+            let items = [0usize, 1];
+            items
+                .par_iter()
+                .map(|_| {
+                    let inner = super::current_budget();
+                    let nested: Vec<usize> = [0usize, 1, 2, 3]
+                        .par_iter()
+                        .map(|_| super::current_budget())
+                        .collect();
+                    (inner, nested[0])
+                })
+                .collect()
+        });
+        assert_eq!(budgets, vec![(4, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn install_bounds_workers_without_changing_results() {
+        let xs: Vec<usize> = (0..513).collect();
+        let serial: Vec<usize> = {
+            let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            pool.install(|| xs.par_iter().map(|&x| x * x).collect())
+        };
+        let wide: Vec<usize> = {
+            let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+            pool.install(|| xs.par_iter().map(|&x| x * x).collect())
+        };
+        assert_eq!(serial, wide);
+    }
+}

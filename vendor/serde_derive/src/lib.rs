@@ -1,0 +1,441 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` shim's [`Serialize`]/[`Deserialize`] traits
+//! (value-tree based, JSON-oriented) for the shapes this workspace uses:
+//!
+//! * structs with named fields (honoring `#[serde(default)]` per field),
+//! * enums with unit, newtype, and struct variants, serialized with serde's
+//!   external tagging (`"Variant"` / `{"Variant": ...}`).
+//!
+//! The input is parsed directly from the `proc_macro` token stream — no
+//! `syn`/`quote` — which is possible because the supported grammar is small.
+//! Unsupported shapes (generics, tuple structs, multi-field tuple variants)
+//! fail the build with a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape).parse().expect("derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+/// Consumes leading attributes; returns whether any was `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if attr_is_serde_default(&g.stream()) {
+                    has_default = true;
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+fn attr_is_serde_default(attr: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(id) => id.to_string() == "default",
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` prefix.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive on `{name}`: generic types are not supported"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "derive on `{name}`: tuple structs are not supported"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "expected `{{ ... }}` body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct {
+            name,
+            fields: parse_fields(body)?,
+        }),
+        "enum" => Ok(Shape::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, default) = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: scan to the next comma at angle-bracket depth 0.
+        // Parenthesized/bracketed types are single groups, so only `<`/`>`
+        // need depth tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = count_top_level_commas(&inner);
+                if commas > 0 {
+                    return Err(format!(
+                        "variant `{name}`: only newtype tuple variants are supported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) — not used here — then
+        // the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Counts commas at angle-bracket depth 0 (groups are atomic tokens).
+fn count_top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma (e.g. `V(T,)`) does not separate two fields.
+    if count > 0 {
+        if let Some(TokenTree::Punct(p)) = tokens.last() {
+            if p.as_char() == ',' {
+                count -= 1;
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Serialize for {name} {{
+                    fn to_json_value(&self) -> ::serde::Value {{
+                        let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =
+                            ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(fields)
+                    }}
+                }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(inner) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_json_value(inner))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push(({:?}.to_string(), ::serde::Serialize::to_json_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{
+                                let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =
+                                    ::std::vec::Vec::new();
+                                {pushes}
+                                ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(fields))])
+                            }},\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Serialize for {name} {{
+                    fn to_json_value(&self) -> ::serde::Value {{
+                        match self {{
+                            {arms}
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_struct_body(type_name: &str, path: &str, fields: &[Field], source: &str) -> String {
+    // Builds `Path { field: ..., ... }` reading from the object entries
+    // bound to `source`.
+    let mut inits = String::new();
+    for f in fields {
+        if f.default {
+            inits.push_str(&format!(
+                "{}: match ::serde::find_field({source}, {:?}) {{
+                    Some(v) => ::serde::Deserialize::from_json_value(v)?,
+                    None => ::std::default::Default::default(),
+                }},\n",
+                f.name, f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{}: match ::serde::find_field({source}, {:?}) {{
+                    Some(v) => ::serde::Deserialize::from_json_value(v)?,
+                    None => return Err(::serde::Error::missing_field({:?}, {:?})),
+                }},\n",
+                f.name, f.name, f.name, type_name
+            ));
+        }
+    }
+    format!("{path} {{ {inits} }}")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = gen_struct_body(name, name, fields, "entries");
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Deserialize for {name} {{
+                    fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let entries = value
+                            .as_object()
+                            .ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;
+                        Ok({body})
+                    }}
+                }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let body =
+                            gen_struct_body(name, &format!("{name}::{vn}"), fields, "entries");
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{
+                                let entries = inner
+                                    .as_object()
+                                    .ok_or_else(|| ::serde::Error::expected(\"object\", {vn:?}))?;
+                                return Ok({body});
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Deserialize for {name} {{
+                    fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        match value {{
+                            ::serde::Value::String(tag) => match tag.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::Error::unknown_variant(other, {name:?})),
+                            }},
+                            ::serde::Value::Object(entries) if entries.len() == 1 => {{
+                                let (tag, inner) = &entries[0];
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    other => Err(::serde::Error::unknown_variant(other, {name:?})),
+                                }}
+                            }}
+                            _ => Err(::serde::Error::expected(\"externally tagged variant\", {name:?})),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
