@@ -1,0 +1,41 @@
+//! Codec throughput: encode + decode cost per codec at the paper's
+//! CIFAR-10 model size, plus the in-memory transform shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skiptrain_engine::transport::{decode_message, encode_message, ModelCodec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_codecs(c: &mut Criterion) {
+    let params: Vec<f32> = (0..89_834).map(|i| (i as f32 * 0.1).sin()).collect();
+    let codecs = [
+        ModelCodec::DenseF32,
+        ModelCodec::QuantizedU8,
+        ModelCodec::QuantizedU16,
+        ModelCodec::TopK { k: 89_834 / 10 },
+    ];
+
+    let mut group = c.benchmark_group("model_codec");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for codec in codecs {
+        group.throughput(criterion::Throughput::Bytes(
+            codec.message_bytes(params.len()),
+        ));
+        group.bench_function(BenchmarkId::new("encode", codec.name()), |b| {
+            b.iter(|| black_box(encode_message(codec, 1, 2, &params)))
+        });
+        let frame = encode_message(codec, 1, 2, &params);
+        group.bench_function(BenchmarkId::new("decode", codec.name()), |b| {
+            b.iter(|| black_box(decode_message(frame.clone()).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("transform", codec.name()), |b| {
+            b.iter(|| black_box(codec.transform(&params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Compression-scenario extension: the accuracy-vs-communication-energy
+//! frontier across model codecs.
+//!
+//! Energy-aware FL work (DEAL, Sustainable Federated Learning) treats
+//! message compression as a first-class energy knob next to training
+//! skips. This harness runs the same experiment under every codec —
+//! lossless dense f32, 16/8-bit affine quantization, and top-k magnitude
+//! sparsification — and reports where each lands on the
+//! (comm energy, accuracy) plane. Because the engine charges energy per
+//! effective edge from the codec's actual wire bytes, the comm column
+//! shrinks monotonically with the codec's bytes/message while accuracy
+//! degrades gracefully with the reconstruction error.
+
+use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
+use skiptrain_core::presets::cifar_config;
+use skiptrain_core::{AlgorithmSpec, Campaign, ModelCodec, Schedule};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut base = cifar_config(args.scale, args.seed);
+    args.apply(&mut base);
+    base.algorithm = AlgorithmSpec::SkipTrain(Schedule::new(4, 4));
+    base.eval_every = 8;
+
+    // Top-k fractions are relative to the *simulated* model (energy
+    // accounting charges the same fraction of the nominal model). Only
+    // fractions below 1/8 transmit fewer bytes than 8-bit quantization
+    // (8 bytes per kept parameter vs 1 per parameter).
+    let sim_params = base.model_kind().build(0).param_count();
+    let codecs = [
+        ModelCodec::DenseF32,
+        ModelCodec::QuantizedU16,
+        ModelCodec::QuantizedU8,
+        ModelCodec::TopK {
+            k: (sim_params / 16).max(1),
+        },
+        ModelCodec::TopK {
+            k: (sim_params / 64).max(1),
+        },
+    ];
+
+    banner(&format!(
+        "codec frontier: accuracy vs comm energy ({} nodes, {} rounds, skiptrain(4,4))",
+        base.nodes, base.rounds
+    ));
+
+    let mut campaign = Campaign::new();
+    for codec in codecs {
+        let mut cfg = base.clone();
+        cfg.codec = codec;
+        cfg.name = format!("{}/{}", base.name, label(codec, sim_params));
+        campaign = campaign.push(cfg);
+    }
+    let results = campaign.run().expect("valid codec configs");
+
+    let nominal = base.energy.workload.model_params;
+    let rows: Vec<Vec<String>> = codecs
+        .iter()
+        .zip(&results)
+        .map(|(codec, r)| {
+            vec![
+                label(*codec, sim_params),
+                codec.charged_message_bytes(sim_params, nominal).to_string(),
+                pct(r.final_test.mean_accuracy),
+                pct(r.final_test.std_accuracy),
+                format!("{:.4}", r.total_comm_wh),
+                format!("{:.2}", r.total_training_wh),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "codec",
+                "bytes/msg",
+                "final acc%",
+                "std",
+                "comm Wh",
+                "train Wh"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nreading: every codec shares the identical training trajectory knobs; only\n\
+         the share-phase representation differs. Quantized-u8 cuts comm energy ~4x\n\
+         below dense at near-identical accuracy; top-k (8 bytes per kept param,\n\
+         charged at the same kept fraction of the nominal model) trades accuracy\n\
+         for further energy cuts as k shrinks — the compression frontier."
+    );
+
+    args.maybe_write_json(&serde_json::json!({
+        "experiment": "ext_compression",
+        "sim_params": sim_params,
+        "nominal_params": nominal,
+        "codecs": codecs
+            .iter()
+            .map(|c| label(*c, sim_params))
+            .collect::<Vec<_>>(),
+        "results": results,
+    }));
+}
+
+fn label(codec: ModelCodec, sim_params: usize) -> String {
+    match codec {
+        ModelCodec::TopK { k } => format!("top-k {:.0}%", 100.0 * k as f64 / sim_params as f64),
+        other => other.name().to_string(),
+    }
+}

@@ -30,8 +30,14 @@ use skiptrain_topology::MixingMatrix;
 ///
 /// `activation_prob` is the per-node, per-tick training probability `q`.
 /// Communication happens over random maximal matchings of the configured
-/// topology; communication energy is accounted per actual matched pair
-/// (each firing edge carries one message each way).
+/// topology; communication energy is accounted per actual matched pair —
+/// the engine charges one tx/rx event pair per firing edge of the round's
+/// pairwise mixing matrix (`Simulation::run_round_with_mixing` derives the
+/// effective edge set from the override, not the static topology), so a
+/// tick that matches `m` pairs costs exactly `2m` messages. Earlier
+/// versions charged the full static degree (`n·d` messages) every tick,
+/// overstating async-gossip comm energy by orders of magnitude; the engine
+/// pins a regression test against that.
 pub fn run_async_gossip(
     cfg: &ExperimentConfig,
     data: &DataBundle,
@@ -55,6 +61,7 @@ pub fn run_async_gossip(
         local_steps: cfg.local_steps,
         sgd: SgdConfig::plain(cfg.learning_rate),
         transport: cfg.transport,
+        codec: cfg.codec,
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),
@@ -190,6 +197,29 @@ mod tests {
         let result = run_async_gossip(&cfg, &data, 0.0);
         assert_eq!(result.node_train_events, 0);
         assert_eq!(result.total_training_wh, 0.0);
+    }
+
+    #[test]
+    fn comm_energy_charges_matched_pairs_not_static_degree() {
+        // The over-charging bug: every tick used to cost the full static
+        // 6-regular degree (n·6 messages). A maximal matching fires at
+        // most n/2 pairs = n messages per tick, so correct accounting is
+        // bounded by 1/6 of the legacy figure.
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let r = run_async_gossip(&cfg, &data, 0.5);
+        let comm = skiptrain_energy::comm::CommEnergyModel::paper_fit();
+        let bytes =
+            skiptrain_engine::ModelCodec::DenseF32.message_bytes(cfg.energy.workload.model_params);
+        let legacy_degree_charge = (cfg.nodes * 6 * cfg.rounds) as f64
+            * (comm.tx_energy_wh(bytes) + comm.rx_energy_wh(bytes));
+        assert!(r.total_comm_wh > 0.0, "matched pairs must cost something");
+        assert!(
+            r.total_comm_wh <= legacy_degree_charge / 6.0 + 1e-12,
+            "comm {} Wh exceeds the matching bound {} Wh",
+            r.total_comm_wh,
+            legacy_degree_charge / 6.0
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::experiment::{
 };
 use crate::runner;
 use skiptrain_engine::observer::RoundObserver;
-use skiptrain_engine::TransportKind;
+use skiptrain_engine::{ModelCodec, TransportKind};
 
 /// Fluent builder for [`ExperimentConfig`] (see the module docs).
 #[derive(Debug, Clone)]
@@ -105,6 +105,13 @@ impl ExperimentBuilder {
         transport: TransportKind,
         /// Enables/disables the averaged-model curve of Figure 1.
         record_mean_model: bool,
+    }
+
+    /// Sets the model-compression codec for the share phase (quantization
+    /// or top-k sparsification trade accuracy for communication energy).
+    pub fn compression(mut self, codec: ModelCodec) -> Self {
+        self.config.codec = codec;
+        self
     }
 
     /// Validates and builds the raw configuration.
@@ -254,6 +261,29 @@ mod tests {
                 nodes: 7
             }
         );
+    }
+
+    #[test]
+    fn zero_top_k_compression_is_a_typed_error() {
+        let err = Experiment::builder()
+            .compression(ModelCodec::TopK { k: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTopK);
+        let ok = Experiment::builder()
+            .compression(ModelCodec::TopK { k: 64 })
+            .build()
+            .expect("positive k validates");
+        assert_eq!(ok.config().codec, ModelCodec::TopK { k: 64 });
+    }
+
+    #[test]
+    fn compression_knob_reaches_the_config() {
+        let experiment = Experiment::builder()
+            .compression(ModelCodec::QuantizedU8)
+            .build()
+            .unwrap();
+        assert_eq!(experiment.config().codec, ModelCodec::QuantizedU8);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum ConfigError {
         /// Configured node count.
         nodes: usize,
     },
+    /// A top-k compression codec with `k == 0` would transmit no
+    /// parameters at all.
+    ZeroTopK,
     /// The dataset spec would generate no training samples per node.
     EmptyNodeData,
     /// The dataset spec would generate no evaluation samples.
@@ -87,6 +90,9 @@ impl std::fmt::Display for ConfigError {
                 "a {degree}-regular graph on {nodes} nodes does not exist \
                  (nodes x degree must be even)"
             ),
+            ConfigError::ZeroTopK => {
+                write!(f, "top-k compression needs k >= 1 kept parameters")
+            }
             ConfigError::EmptyNodeData => {
                 write!(f, "dataset spec generates zero training samples per node")
             }

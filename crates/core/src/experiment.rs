@@ -19,7 +19,7 @@ use skiptrain_data::{Dataset, Partition};
 use skiptrain_energy::device::fleet;
 use skiptrain_energy::trace::{round_energy_wh, training_budget_rounds, WorkloadSpec};
 use skiptrain_engine::metrics::{AccuracyPoint, EvalStats};
-use skiptrain_engine::TransportKind;
+use skiptrain_engine::{ModelCodec, TransportKind};
 use skiptrain_linalg::rng::derive_seed;
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_topology::regular::random_regular;
@@ -405,6 +405,10 @@ pub struct ExperimentConfig {
     pub energy: EnergySpec,
     /// Message transport.
     pub transport: TransportKind,
+    /// Model-compression codec for the share phase (defaults to lossless
+    /// dense f32; `#[serde(default)]` keeps older JSON configs loadable).
+    #[serde(default)]
+    pub codec: ModelCodec,
     /// Also record the accuracy of the averaged (all-reduced) model at each
     /// evaluation point — the hypothetical curve of Figure 1.
     pub record_mean_model: bool,
@@ -505,6 +509,9 @@ impl ExperimentConfig {
             if !(fraction > 0.0 && fraction <= 1.0) {
                 return Err(ConfigError::InvalidBatteryFraction);
             }
+        }
+        if matches!(self.codec, ModelCodec::TopK { k: 0 }) {
+            return Err(ConfigError::ZeroTopK);
         }
         let needs_budget = matches!(
             self.algorithm,

@@ -86,4 +86,5 @@ pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, Skip
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};
 pub use runner::run_with_observers;
 pub use schedule::Schedule;
+pub use skiptrain_engine::{ModelCodec, TransportKind};
 pub use sweep::{grid_campaign, grid_search, SweepResult};

@@ -8,7 +8,7 @@
 use crate::experiment::{AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig, TopologySpec};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
-use skiptrain_engine::TransportKind;
+use skiptrain_engine::{ModelCodec, TransportKind};
 
 /// Simulation scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +83,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         eval_max_samples: eval_cap,
         energy: EnergySpec::cifar10(),
         transport: TransportKind::Memory,
+        codec: ModelCodec::DenseF32,
         record_mean_model: false,
     }
 }
@@ -121,6 +122,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         eval_max_samples: eval_cap,
         energy: EnergySpec::femnist(),
         transport: TransportKind::Memory,
+        codec: ModelCodec::DenseF32,
         record_mean_model: false,
     }
 }

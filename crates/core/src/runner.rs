@@ -64,6 +64,7 @@ pub(crate) fn execute(
         local_steps: cfg.local_steps,
         sgd: SgdConfig::plain(cfg.learning_rate),
         transport: cfg.transport,
+        codec: cfg.codec,
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),

@@ -9,11 +9,17 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Bytes on the wire for a model of `params` f32 parameters (plus a small
-/// framing header).
+/// Fixed framing overhead of a model message on the wire: magic, codec id,
+/// sender id, round, length, checksum (4 bytes each). Kept in sync with the
+/// engine's frame layout (`skiptrain-engine::transport`), which asserts the
+/// equality in its tests.
+pub const FRAME_OVERHEAD_BYTES: u64 = 24;
+
+/// Bytes on the wire for an *uncompressed* (dense f32) model of `params`
+/// parameters, including the framing overhead. Compressed codecs have their
+/// own per-message sizes — see `ModelCodec::message_bytes` in the engine.
 pub fn model_message_bytes(params: usize) -> u64 {
-    const HEADER_BYTES: u64 = 64; // sender id, round, length, checksum
-    params as u64 * 4 + HEADER_BYTES
+    params as u64 * 4 + FRAME_OVERHEAD_BYTES
 }
 
 /// Energy cost of moving bytes on a smartphone radio.
@@ -33,7 +39,7 @@ impl CommEnergyModel {
     pub fn paper_fit() -> Self {
         // directed messages per round = nodes · degree, each counted once as
         // tx and once as rx: 7 Wh = 25 200 J over 2 · 256 · 1000 · 6 ·
-        // 359 400 bytes → 22.8 nJ/B per direction
+        // ≈359 400 bytes → 22.8 nJ/B per direction
         Self {
             tx_joules_per_byte: 22.8e-9,
             rx_joules_per_byte: 22.8e-9,
@@ -114,8 +120,11 @@ mod tests {
 
     #[test]
     fn message_bytes_dominated_by_params() {
-        assert_eq!(model_message_bytes(0), 64);
-        assert_eq!(model_message_bytes(89_834), 89_834 * 4 + 64);
+        assert_eq!(model_message_bytes(0), FRAME_OVERHEAD_BYTES);
+        assert_eq!(
+            model_message_bytes(89_834),
+            89_834 * 4 + FRAME_OVERHEAD_BYTES
+        );
     }
 
     #[test]

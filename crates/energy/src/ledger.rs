@@ -1,10 +1,15 @@
 //! Per-node energy accounting (Eq. 2 and Eq. 3).
 //!
 //! The ledger accumulates training and communication energy per node and
-//! per round; Eq. 3's total is the sum over both axes. The engine records
-//! into the ledger after each round, and the bench harness reads the series
-//! out for the accuracy-vs-energy plots (Figures 5 and 6).
+//! per round; Eq. 3's total is the sum over both axes. Communication energy
+//! is recorded as *per-message events* ([`EnergyLedger::record_tx`] /
+//! [`EnergyLedger::record_rx`]) carrying the actual wire bytes of each
+//! message, so the ledger also exposes byte counters — the engine charges
+//! exactly the edges that fired in a round, not an analytic degree formula.
+//! The bench harness reads the series out for the accuracy-vs-energy plots
+//! (Figures 5 and 6).
 
+use crate::comm::CommEnergyModel;
 use serde::{Deserialize, Serialize};
 
 /// Accumulated energy per node, split by cause.
@@ -12,6 +17,10 @@ use serde::{Deserialize, Serialize};
 pub struct EnergyLedger {
     training_wh: Vec<f64>,
     comm_wh: Vec<f64>,
+    /// Bytes transmitted per node (attempted sends).
+    tx_bytes: Vec<u64>,
+    /// Bytes received per node (delivered messages only).
+    rx_bytes: Vec<u64>,
     /// Cumulative total (training + comm) after each closed round.
     round_totals_wh: Vec<f64>,
     /// Energy recorded in the currently open round.
@@ -24,6 +33,8 @@ impl EnergyLedger {
         Self {
             training_wh: vec![0.0; n],
             comm_wh: vec![0.0; n],
+            tx_bytes: vec![0; n],
+            rx_bytes: vec![0; n],
             round_totals_wh: Vec::new(),
             open_round_wh: 0.0,
         }
@@ -51,6 +62,43 @@ impl EnergyLedger {
         debug_assert!(wh >= 0.0, "negative energy");
         self.comm_wh[node] += wh;
         self.open_round_wh += wh;
+    }
+
+    /// Records one transmitted message of `bytes` wire bytes: charges
+    /// `node` the radio's per-byte transmit energy and bumps its byte
+    /// counter. Transmission is charged per *attempt* — a dropped message
+    /// still cost its sender the radio energy.
+    pub fn record_tx(&mut self, node: usize, bytes: u64, comm: &CommEnergyModel) {
+        self.tx_bytes[node] += bytes;
+        self.record_comm(node, comm.tx_energy_wh(bytes));
+    }
+
+    /// Records one received (delivered) message of `bytes` wire bytes:
+    /// charges `node` the radio's per-byte receive energy and bumps its
+    /// byte counter.
+    pub fn record_rx(&mut self, node: usize, bytes: u64, comm: &CommEnergyModel) {
+        self.rx_bytes[node] += bytes;
+        self.record_comm(node, comm.rx_energy_wh(bytes));
+    }
+
+    /// Bytes transmitted by `node` so far (attempted sends).
+    pub fn node_tx_bytes(&self, node: usize) -> u64 {
+        self.tx_bytes[node]
+    }
+
+    /// Bytes received by `node` so far (delivered messages).
+    pub fn node_rx_bytes(&self, node: usize) -> u64 {
+        self.rx_bytes[node]
+    }
+
+    /// Total bytes transmitted over all nodes.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.tx_bytes.iter().sum()
+    }
+
+    /// Total bytes received (delivered) over all nodes.
+    pub fn total_rx_bytes(&self) -> u64 {
+        self.rx_bytes.iter().sum()
     }
 
     /// Closes the current round, pushing the cumulative total onto the
@@ -109,6 +157,12 @@ impl EnergyLedger {
         for (a, b) in self.comm_wh.iter_mut().zip(&other.comm_wh) {
             *a += b;
         }
+        for (a, b) in self.tx_bytes.iter_mut().zip(&other.tx_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.rx_bytes.iter_mut().zip(&other.rx_bytes) {
+            *a += b;
+        }
     }
 }
 
@@ -151,6 +205,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.node_training_wh(0), 3.0);
         assert_eq!(a.node_comm_wh(1), 3.0);
+    }
+
+    #[test]
+    fn tx_rx_events_accumulate_bytes_and_energy() {
+        let comm = CommEnergyModel::paper_fit();
+        let mut l = EnergyLedger::new(2);
+        l.record_tx(0, 1000, &comm);
+        l.record_tx(0, 500, &comm);
+        l.record_rx(1, 1000, &comm);
+        assert_eq!(l.node_tx_bytes(0), 1500);
+        assert_eq!(l.node_rx_bytes(0), 0);
+        assert_eq!(l.node_rx_bytes(1), 1000);
+        assert_eq!(l.total_tx_bytes(), 1500);
+        assert_eq!(l.total_rx_bytes(), 1000);
+        let expected = comm.tx_energy_wh(1000) + comm.tx_energy_wh(500) + comm.rx_energy_wh(1000);
+        assert!((l.total_comm_wh() - expected).abs() < 1e-18);
+        assert_eq!(l.total_training_wh(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_byte_counters() {
+        let comm = CommEnergyModel::paper_fit();
+        let mut a = EnergyLedger::new(2);
+        a.record_tx(0, 10, &comm);
+        let mut b = EnergyLedger::new(2);
+        b.record_tx(0, 5, &comm);
+        b.record_rx(1, 7, &comm);
+        a.merge(&b);
+        assert_eq!(a.node_tx_bytes(0), 15);
+        assert_eq!(a.node_rx_bytes(1), 7);
     }
 
     #[test]

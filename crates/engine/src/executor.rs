@@ -3,11 +3,12 @@
 use crate::eval::{evaluate_model, fixed_subsample};
 use crate::metrics::EvalStats;
 use crate::node::Node;
-use crate::transport::{decode_model, encode_model, TransportKind};
+use crate::transport::{decode_message, encode_message, ModelCodec, Payload, TransportKind};
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
-use skiptrain_energy::comm::{model_message_bytes, CommEnergyModel};
+use skiptrain_energy::comm::CommEnergyModel;
 use skiptrain_energy::EnergyLedger;
+use skiptrain_linalg::compress::sparse_blend_axpy;
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::{Sequential, SoftmaxCrossEntropy};
 use skiptrain_topology::{Graph, MixingMatrix};
@@ -38,6 +39,11 @@ pub struct SimulationConfig {
     pub sgd: SgdConfig,
     /// Message transport.
     pub transport: TransportKind,
+    /// Model-compression codec for the share phase. Lossy codecs feed
+    /// their reconstruction into the aggregation (compression error
+    /// genuinely propagates through training) and shrink the per-message
+    /// bytes the energy ledger charges.
+    pub codec: ModelCodec,
     /// Per-node training energy per round (Wh); empty disables training
     /// energy accounting.
     pub training_energy_wh: Vec<f64>,
@@ -59,10 +65,51 @@ impl SimulationConfig {
             local_steps,
             sgd: SgdConfig::plain(lr),
             transport: TransportKind::Memory,
+            codec: ModelCodec::DenseF32,
             training_energy_wh: Vec::new(),
             comm_energy: CommEnergyModel::paper_fit(),
             nominal_params: None,
         }
+    }
+}
+
+/// What the share phase produced for the aggregation to read.
+enum Shared {
+    /// Zero-copy: read half-step models directly (Memory + DenseF32).
+    Direct,
+    /// One dense (possibly lossily reconstructed) model per sender;
+    /// non-senders hold an empty vector and are never read.
+    Dense(Vec<Vec<f32>>),
+    /// One sparse top-k `(indices, values)` message per sender.
+    Sparse(Vec<(Vec<u32>, Vec<f32>)>),
+}
+
+/// Collects per-sender payloads into the codec's aggregation shape.
+/// `None` entries are non-senders (no off-diagonal mixing weight anywhere).
+fn pack_payloads(codec: ModelCodec, payloads: Vec<Option<Payload>>) -> Shared {
+    match codec {
+        ModelCodec::TopK { .. } => Shared::Sparse(
+            payloads
+                .into_iter()
+                .map(|p| match p {
+                    Some(Payload::Sparse { indices, values }) => (indices, values),
+                    None => (Vec::new(), Vec::new()),
+                    Some(Payload::Dense(_)) => unreachable!("top-k codec produced dense payload"),
+                })
+                .collect(),
+        ),
+        _ => Shared::Dense(
+            payloads
+                .into_iter()
+                .map(|p| match p {
+                    Some(Payload::Dense(model)) => model,
+                    None => Vec::new(),
+                    Some(Payload::Sparse { .. }) => {
+                        unreachable!("dense codec produced sparse payload")
+                    }
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -293,22 +340,61 @@ impl Simulation {
             Some(train_losses.iter().sum::<f32>() / train_losses.len() as f32)
         };
 
+        // The effective mixing for this round decides who talks to whom:
+        // a pairwise-matching override replaces the static topology for
+        // both aggregation *and* energy accounting.
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        let n = self.len();
+
+        // Effective senders: nodes appearing off-diagonal in any row.
+        // Computed only on the paths that materialize payloads — the
+        // Memory + DenseF32 fast path never reads it.
+        let sender_flags = || {
+            let mut is_sender = vec![false; n];
+            for i in 0..n {
+                for &(j, _) in mixing.row(i) {
+                    if j as usize != i {
+                        is_sender[j as usize] = true;
+                    }
+                }
+            }
+            is_sender
+        };
+
         // Phase 2: share. The serialized transport actually encodes/decodes
-        // every model and may drop messages; the in-memory transport reads
-        // half-step models directly.
-        let decoded: Option<Vec<Vec<f32>>> = match self.config.transport {
-            TransportKind::Memory => None,
-            TransportKind::Serialized { .. } => {
-                let round = self.round as u32;
-                Some(
+        // every sender's model and may drop messages; the in-memory
+        // transport reads half-step models directly (applying the codec's
+        // lossy transform when one is configured — bit-identical to the
+        // wire round trip).
+        let codec = self.config.codec;
+        let shared: Shared = match (self.config.transport, codec) {
+            (TransportKind::Memory, ModelCodec::DenseF32) => Shared::Direct,
+            (TransportKind::Memory, _) => {
+                let is_sender = sender_flags();
+                pack_payloads(
+                    codec,
                     self.half
                         .par_iter()
                         .enumerate()
-                        .map(|(i, model)| {
-                            let frame = encode_model(i as u32, round, model);
-                            decode_model(frame)
-                                .expect("in-process frame must decode")
-                                .params
+                        .map(|(j, model)| is_sender[j].then(|| codec.transform(model)))
+                        .collect(),
+                )
+            }
+            (TransportKind::Serialized { .. }, _) => {
+                let is_sender = sender_flags();
+                let round = self.round as u32;
+                pack_payloads(
+                    codec,
+                    self.half
+                        .par_iter()
+                        .enumerate()
+                        .map(|(j, model)| {
+                            is_sender[j].then(|| {
+                                let frame = encode_message(codec, j as u32, round, model);
+                                decode_message(frame)
+                                    .expect("in-process frame must decode")
+                                    .payload
+                            })
                         })
                         .collect(),
                 )
@@ -316,45 +402,92 @@ impl Simulation {
         };
 
         // Phase 3: aggregate x^t = Σ_j W_ji x_j^{t−½} (parallel over nodes),
-        // renormalizing dropped neighbors into the self weight.
+        // renormalizing dropped neighbors into the self weight. Sparse
+        // (top-k) messages use masked aggregation: coordinates the sender
+        // did not transmit fall back to the receiver's own value, so the
+        // row stays stochastic per coordinate.
         let half = &self.half;
-        let mixing = mixing_override.unwrap_or(&self.mixing);
         let transport = self.config.transport;
         let seed = self.config.seed;
         let round = self.round;
-        let sources: &[Vec<f32>] = decoded.as_deref().unwrap_or(half);
         self.next.par_iter_mut().enumerate().for_each(|(i, out)| {
             let row = mixing.row(i);
-            let mut inputs: Vec<&[f32]> = Vec::with_capacity(row.len());
-            let mut weights: Vec<f32> = Vec::with_capacity(row.len());
-            let mut dropped_weight = 0.0f32;
-            let mut self_pos = usize::MAX;
-            for &(j, w) in row {
-                let j = j as usize;
-                if j == i {
-                    self_pos = inputs.len();
-                    inputs.push(&half[i]);
-                    weights.push(w);
-                } else if transport.delivered(seed, round, j, i) {
-                    inputs.push(&sources[j]);
-                    weights.push(w);
-                } else {
-                    dropped_weight += w;
+            match &shared {
+                Shared::Sparse(msgs) => {
+                    let base: &[f32] = &half[i];
+                    let row_sum: f32 = row.iter().map(|&(_, w)| w).sum();
+                    skiptrain_linalg::ops::scaled_copy(row_sum, base, out);
+                    for &(j, w) in row {
+                        let j = j as usize;
+                        if j != i && transport.delivered(seed, round, j, i) {
+                            let (indices, values) = &msgs[j];
+                            sparse_blend_axpy(out, base, indices, values, w);
+                        }
+                        // dropped neighbor weight is already on `base`
+                    }
+                }
+                dense => {
+                    let source = |j: usize| -> &[f32] {
+                        match dense {
+                            Shared::Direct => &half[j],
+                            Shared::Dense(models) => &models[j],
+                            Shared::Sparse(_) => unreachable!("sparse handled above"),
+                        }
+                    };
+                    let mut inputs: Vec<&[f32]> = Vec::with_capacity(row.len());
+                    let mut weights: Vec<f32> = Vec::with_capacity(row.len());
+                    let mut dropped_weight = 0.0f32;
+                    let mut self_pos = usize::MAX;
+                    for &(j, w) in row {
+                        let j = j as usize;
+                        if j == i {
+                            self_pos = inputs.len();
+                            inputs.push(&half[i]);
+                            weights.push(w);
+                        } else if transport.delivered(seed, round, j, i) {
+                            inputs.push(source(j));
+                            weights.push(w);
+                        } else {
+                            dropped_weight += w;
+                        }
+                    }
+                    // Fold dropped-neighbor weight back into the self
+                    // weight; a row carrying no explicit self entry gets
+                    // one appended instead of indexing out of bounds.
+                    if self_pos != usize::MAX {
+                        weights[self_pos] += dropped_weight;
+                    } else if dropped_weight > 0.0 {
+                        inputs.push(&half[i]);
+                        weights.push(dropped_weight);
+                    }
+                    skiptrain_linalg::ops::weighted_sum_into(out, &inputs, &weights);
                 }
             }
-            debug_assert!(self_pos != usize::MAX, "mixing row missing self weight");
-            weights[self_pos] += dropped_weight;
-            skiptrain_linalg::ops::weighted_sum_into(out, &inputs, &weights);
         });
         std::mem::swap(&mut self.params, &mut self.next);
 
-        // Phase 4: energy accounting.
-        self.account_energy(actions);
+        // Phase 4: energy accounting over the edges that actually fired.
+        self.account_energy(actions, mixing_override);
         self.round += 1;
     }
 
-    fn account_energy(&mut self, actions: &[RoundAction]) {
-        let msg_bytes = model_message_bytes(self.config.nominal_params.unwrap_or(self.param_count));
+    /// Records this round's energy from per-message events.
+    ///
+    /// Communication derives from the *effective* edge set — every
+    /// off-diagonal entry of the mixing rows actually used this round (the
+    /// pairwise override when one was supplied, the static topology
+    /// otherwise). Each directed edge `j → i` charges the sender one
+    /// transmit event (attempts cost radio energy even when the network
+    /// drops the message) and, when delivered, charges the receiver one
+    /// receive event. Message bytes come from the configured codec's wire
+    /// format at the nominal parameter count (top-k scales its kept
+    /// fraction to the nominal model — see
+    /// [`ModelCodec::charged_message_bytes`]).
+    fn account_energy(&mut self, actions: &[RoundAction], mixing_override: Option<&MixingMatrix>) {
+        let msg_bytes = self.config.codec.charged_message_bytes(
+            self.param_count,
+            self.config.nominal_params.unwrap_or(self.param_count),
+        );
         let comm = self.config.comm_energy;
         for (i, action) in actions.iter().enumerate() {
             if *action == RoundAction::Train {
@@ -362,20 +495,23 @@ impl Simulation {
                     self.ledger.record_training(i, e);
                 }
             }
-            let degree = self.graph.degree(i);
-            let mut delivered_in = 0usize;
-            for &j in self.graph.neighbors(i) {
+        }
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        for i in 0..mixing.len() {
+            for &(j, _) in mixing.row(i) {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                self.ledger.record_tx(j, msg_bytes, &comm);
                 if self
                     .config
                     .transport
-                    .delivered(self.config.seed, self.round, j as usize, i)
+                    .delivered(self.config.seed, self.round, j, i)
                 {
-                    delivered_in += 1;
+                    self.ledger.record_rx(i, msg_bytes, &comm);
                 }
             }
-            let wh = comm.tx_energy_wh(msg_bytes) * degree as f64
-                + comm.rx_energy_wh(msg_bytes) * delivered_in as f64;
-            self.ledger.record_comm(i, wh);
         }
         self.ledger.end_round();
     }
@@ -415,7 +551,13 @@ mod tests {
     use skiptrain_data::synth::{MixtureSpec, MixtureTask};
     use skiptrain_topology::regular::random_regular;
 
-    fn tiny_sim(n: usize, seed: u64, transport: TransportKind) -> (Simulation, Dataset) {
+    fn tiny_sim_full(
+        n: usize,
+        seed: u64,
+        transport: TransportKind,
+        codec: ModelCodec,
+        degree: usize,
+    ) -> (Simulation, Dataset) {
         let spec = MixtureSpec {
             num_classes: 4,
             feature_dim: 6,
@@ -429,15 +571,20 @@ mod tests {
         let models: Vec<Sequential> = (0..n)
             .map(|i| skiptrain_nn::zoo::mlp(&[6, 12, 4], seed + i as u64))
             .collect();
-        let d = if n > 4 { 4 } else { n - 1 };
-        let graph = random_regular(n, d, seed);
+        let graph = random_regular(n, degree, seed);
         let mixing = MixingMatrix::metropolis_hastings(&graph);
         let mut config = SimulationConfig::minimal(seed, 8, 2, 0.1);
         config.transport = transport;
+        config.codec = codec;
         (
             Simulation::new(models, datasets, graph, mixing, config),
             test,
         )
+    }
+
+    fn tiny_sim(n: usize, seed: u64, transport: TransportKind) -> (Simulation, Dataset) {
+        let d = if n > 4 { 4 } else { n - 1 };
+        tiny_sim_full(n, seed, transport, ModelCodec::DenseF32, d)
     }
 
     #[test]
@@ -561,7 +708,7 @@ mod tests {
         // nodes 0..3 trained: 2 + 3 + 5 Wh
         assert!((sim.ledger().total_training_wh() - 10.0).abs() < 1e-9);
         // comm energy: every node tx+rx over its degree
-        let msg = model_message_bytes(sim.param_count());
+        let msg = ModelCodec::DenseF32.message_bytes(sim.param_count());
         let expected_comm: f64 = (0..4)
             .map(|i| {
                 let d = sim.graph().degree(i) as f64;
@@ -571,6 +718,250 @@ mod tests {
             .sum();
         assert!((sim.ledger().total_comm_wh() - expected_comm).abs() < 1e-12);
         assert_eq!(sim.ledger().rounds(), 1);
+        // byte counters agree with the analytic edge count
+        assert_eq!(sim.ledger().total_tx_bytes(), 4 * 3 * msg);
+        assert_eq!(sim.ledger().total_rx_bytes(), 4 * 3 * msg);
+    }
+
+    #[test]
+    fn pairwise_mixing_charges_only_matched_pair() {
+        // Regression for the async-gossip over-charging bug: a round run
+        // with a 1-pair mixing override on a 6-regular graph must charge
+        // exactly 2 messages (one each way), not n·6.
+        let n = 12;
+        let (mut sim, _) = tiny_sim_full(n, 11, TransportKind::Memory, ModelCodec::DenseF32, 6);
+        let mixing = MixingMatrix::pairwise(n, &[(2, 7)]);
+        sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing);
+
+        let bytes = ModelCodec::DenseF32.message_bytes(sim.param_count());
+        assert_eq!(sim.ledger().total_tx_bytes(), 2 * bytes);
+        assert_eq!(sim.ledger().total_rx_bytes(), 2 * bytes);
+        assert_eq!(sim.ledger().node_tx_bytes(2), bytes);
+        assert_eq!(sim.ledger().node_rx_bytes(2), bytes);
+        assert_eq!(sim.ledger().node_tx_bytes(7), bytes);
+        assert_eq!(sim.ledger().node_tx_bytes(0), 0);
+
+        let comm = sim.config.comm_energy;
+        let expected = 2.0 * (comm.tx_energy_wh(bytes) + comm.rx_energy_wh(bytes));
+        assert!((sim.ledger().total_comm_wh() - expected).abs() < 1e-15);
+        // the legacy degree formula would have charged 36× more
+        let legacy = n as f64 * 6.0 * (comm.tx_energy_wh(bytes) + comm.rx_energy_wh(bytes));
+        assert!(sim.ledger().total_comm_wh() < legacy / 30.0);
+    }
+
+    #[test]
+    fn per_edge_accounting_reproduces_legacy_analytic_totals() {
+        // On a static topology the per-edge event stream must reproduce
+        // the legacy analytic formula (tx·degree + rx·delivered): exactly,
+        // when replayed in event order, and to float tolerance against the
+        // closed form.
+        let n = 6;
+        let rounds = 4;
+        let (mut sim, _) = tiny_sim(n, 21, TransportKind::Serialized { drop_prob: 0.25 });
+        let actions = vec![RoundAction::Train; n];
+        for _ in 0..rounds {
+            sim.run_round(&actions);
+        }
+
+        let bytes = ModelCodec::DenseF32.message_bytes(sim.param_count());
+        let comm = sim.config.comm_energy;
+        let transport = sim.config.transport;
+        let seed = sim.config.seed;
+        let mixing = MixingMatrix::metropolis_hastings(sim.graph());
+
+        // exact replay of the per-edge event stream
+        let mut replay = vec![0.0f64; n];
+        // legacy closed form, one record per node per round
+        let mut legacy = vec![0.0f64; n];
+        for r in 0..rounds {
+            for i in 0..n {
+                for &(j, _) in mixing.row(i) {
+                    let j = j as usize;
+                    if j == i {
+                        continue;
+                    }
+                    replay[j] += comm.tx_energy_wh(bytes);
+                    if transport.delivered(seed, r, j, i) {
+                        replay[i] += comm.rx_energy_wh(bytes);
+                    }
+                }
+            }
+            for (i, node_legacy) in legacy.iter_mut().enumerate() {
+                let degree = sim.graph().degree(i);
+                let delivered_in = sim
+                    .graph()
+                    .neighbors(i)
+                    .iter()
+                    .filter(|&&j| transport.delivered(seed, r, j as usize, i))
+                    .count();
+                *node_legacy += comm.tx_energy_wh(bytes) * degree as f64
+                    + comm.rx_energy_wh(bytes) * delivered_in as f64;
+            }
+        }
+        for i in 0..n {
+            assert_eq!(
+                sim.ledger().node_comm_wh(i).to_bits(),
+                replay[i].to_bits(),
+                "node {i}: event replay must be bit-identical"
+            );
+            assert!(
+                (sim.ledger().node_comm_wh(i) - legacy[i]).abs() < 1e-15,
+                "node {i}: {} vs legacy {}",
+                sim.ledger().node_comm_wh(i),
+                legacy[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_mixing_round_counts_delivered_edges() {
+        // run_round_with_mixing + lossy Serialized transport: rx charges
+        // must match the delivered() decisions over exactly the matched
+        // edges, tx charges the attempts.
+        let n = 8;
+        let (mut sim, _) = tiny_sim_full(
+            n,
+            17,
+            TransportKind::Serialized { drop_prob: 0.5 },
+            ModelCodec::DenseF32,
+            4,
+        );
+        let pairs = [(0u32, 3u32), (1, 6), (2, 5)];
+        let mixing = MixingMatrix::pairwise(n, &pairs);
+        let rounds = 9;
+        for _ in 0..rounds {
+            sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing);
+        }
+        let transport = sim.config.transport;
+        let seed = sim.config.seed;
+        let bytes = ModelCodec::DenseF32.message_bytes(sim.param_count());
+        let mut expected_rx = vec![0u64; n];
+        for r in 0..rounds {
+            for &(a, b) in &pairs {
+                for (src, dst) in [(a as usize, b as usize), (b as usize, a as usize)] {
+                    if transport.delivered(seed, r, src, dst) {
+                        expected_rx[dst] += bytes;
+                    }
+                }
+            }
+        }
+        for (i, &rx) in expected_rx.iter().enumerate() {
+            let expected_tx = if pairs
+                .iter()
+                .any(|&(a, b)| a as usize == i || b as usize == i)
+            {
+                rounds as u64 * bytes
+            } else {
+                0
+            };
+            assert_eq!(sim.ledger().node_tx_bytes(i), expected_tx, "tx node {i}");
+            assert_eq!(sim.ledger().node_rx_bytes(i), rx, "rx node {i}");
+        }
+        // with 50% drops, some messages must actually have been dropped
+        assert!(sim.ledger().total_rx_bytes() < sim.ledger().total_tx_bytes());
+    }
+
+    #[test]
+    fn row_without_self_weight_aggregates_gracefully() {
+        // A mixing row with no self entry is legal (e.g. a swap matrix):
+        // on a lossless transport it must apply exactly, and under drops
+        // the dropped weight must fall back to the node's own model
+        // instead of panicking (the old code indexed weights[usize::MAX]).
+        let swap: MixingMatrix =
+            serde_json::from_str(r#"{"n":2,"rows":[[[1,1.0]],[[0,1.0]]]}"#).unwrap();
+
+        let (mut sim, _) = tiny_sim(2, 33, TransportKind::Memory);
+        let before0 = sim.node_params(0).to_vec();
+        let before1 = sim.node_params(1).to_vec();
+        sim.run_round_with_mixing(&[RoundAction::SyncOnly; 2], &swap);
+        assert_eq!(sim.node_params(0), &before1[..], "swap row must apply");
+        assert_eq!(sim.node_params(1), &before0[..]);
+
+        let (mut lossy, _) = tiny_sim(2, 34, TransportKind::Serialized { drop_prob: 0.8 });
+        for _ in 0..12 {
+            lossy.run_round_with_mixing(&[RoundAction::SyncOnly; 2], &swap);
+        }
+        for i in 0..2 {
+            assert!(
+                lossy.node_params(i).iter().all(|v| v.is_finite()),
+                "node {i} produced non-finite parameters"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_codecs_identical_across_transports() {
+        // Memory-transport codec transforms must equal the full wire
+        // round trip, so large experiments can stay on the fast path.
+        for codec in [
+            ModelCodec::QuantizedU8,
+            ModelCodec::QuantizedU16,
+            ModelCodec::TopK { k: 40 },
+        ] {
+            let (mut mem, _) = tiny_sim_full(6, 31, TransportKind::Memory, codec, 4);
+            let (mut ser, _) = tiny_sim_full(
+                6,
+                31,
+                TransportKind::Serialized { drop_prob: 0.0 },
+                codec,
+                4,
+            );
+            let actions = vec![RoundAction::Train; 6];
+            for _ in 0..3 {
+                mem.run_round(&actions);
+                ser.run_round(&actions);
+            }
+            for i in 0..6 {
+                assert_eq!(
+                    mem.node_params(i),
+                    ser.node_params(i),
+                    "{codec:?}: node {i} diverged between transports"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_sync_still_contracts_disagreement() {
+        let (mut sim, _) = tiny_sim_full(8, 41, TransportKind::Memory, ModelCodec::QuantizedU16, 4);
+        for _ in 0..3 {
+            sim.run_round(&[RoundAction::Train; 8]);
+        }
+        let d_before = sim.disagreement();
+        for _ in 0..10 {
+            sim.run_round(&[RoundAction::SyncOnly; 8]);
+        }
+        assert!(
+            sim.disagreement() < d_before * 0.6,
+            "quantized sync failed to contract: {} -> {}",
+            d_before,
+            sim.disagreement()
+        );
+    }
+
+    #[test]
+    fn compressed_codecs_charge_monotonically_fewer_bytes() {
+        let mut totals = Vec::new();
+        for codec in [
+            ModelCodec::DenseF32,
+            ModelCodec::QuantizedU16,
+            ModelCodec::QuantizedU8,
+            ModelCodec::TopK { k: 10 },
+        ] {
+            let (mut sim, _) = tiny_sim_full(6, 51, TransportKind::Memory, codec, 4);
+            sim.run_round(&[RoundAction::SyncOnly; 6]);
+            totals.push((codec, sim.ledger().total_tx_bytes()));
+        }
+        for pair in totals.windows(2) {
+            assert!(
+                pair[1].1 < pair[0].1,
+                "{:?} ({} B) should beat {:?} ({} B)",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1
+            );
+        }
     }
 
     #[test]

@@ -6,11 +6,18 @@
 //! 1. **local compute** — each node either trains `E` local SGD steps on its
 //!    private dataset (a *training* round) or leaves its model untouched
 //!    (a *synchronization* round), producing the half-step model `x^{t−½}`;
-//! 2. **share** — every node sends `x^{t−½}` to its topology neighbors
-//!    through a [`transport`](transport::TransportKind) (zero-copy in-memory
-//!    or full serialize/decode with byte accounting and optional loss);
+//! 2. **share** — every node on an effective communication edge (an
+//!    off-diagonal entry of the round's mixing matrix, which may be a
+//!    pairwise-gossip override) sends `x^{t−½}` through a
+//!    [`transport`](transport::TransportKind) (zero-copy in-memory or full
+//!    serialize/decode with optional loss), compressed by the configured
+//!    [`ModelCodec`](transport::ModelCodec);
 //! 3. **aggregate** — every node computes `x^t = Σ_j W_ji · x_j^{t−½}`
-//!    with its Metropolis–Hastings row.
+//!    with its Metropolis–Hastings row, over the lossily reconstructed
+//!    neighbor models;
+//! 4. **account** — the energy ledger records one tx event per attempted
+//!    message and one rx event per delivered message, at the codec's
+//!    actual wire bytes, over exactly the edges that fired.
 //!
 //! Which of train/sync each node performs per round is decided by the
 //! *policies* in `skiptrain-core`; the engine is policy-agnostic and simply
@@ -39,4 +46,4 @@ pub use observer::{
     CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
     RoundObserver, RoundReport,
 };
-pub use transport::TransportKind;
+pub use transport::{ModelCodec, TransportKind};

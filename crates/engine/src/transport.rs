@@ -1,24 +1,67 @@
-//! Model exchange between neighbors.
+//! Model exchange between neighbors: transports and compression codecs.
 //!
-//! The simulator supports two transports:
+//! # Transports
 //!
 //! * [`TransportKind::Memory`] — neighbors read each other's half-step
-//!   models directly (zero copies). This is the fast path used for large
-//!   experiments; message sizes are still accounted analytically so energy
-//!   numbers are transport-independent.
+//!   models directly (zero copies when the codec is lossless). This is the
+//!   fast path used for large experiments; message sizes are still
+//!   accounted per effective edge so energy numbers are
+//!   transport-independent.
 //! * [`TransportKind::Serialized`] — every message is actually encoded to a
 //!   length-prefixed, checksummed byte frame (via the `bytes` crate),
 //!   optionally dropped with a seeded probability, and decoded at the
 //!   receiver. This path exists to (a) validate that the fidelity of the
 //!   in-memory shortcut is exact, (b) exercise lossy-network behavior, and
 //!   (c) measure serialization overhead in the benches.
+//!
+//! # Codecs and the wire format
+//!
+//! A [`ModelCodec`] decides how a flat `f32` model is represented in a
+//! message. All codecs share one frame layout (all integers big-endian
+//! except the payload words, which are little-endian):
+//!
+//! ```text
+//! [magic  u32]  0x5354524E ("STRN")
+//! [codec  u32]  0 = DenseF32, 1 = QuantizedU8, 2 = QuantizedU16, 3 = TopK
+//! [sender u32]
+//! [round  u32]
+//! [count  u32]  original (dense) parameter count
+//! --- codec-specific payload -------------------------------------------
+//! DenseF32:     count × f32 LE
+//! QuantizedU8:  min f32 LE, scale f32 LE, count × u8
+//! QuantizedU16: min f32 LE, scale f32 LE, count × u16 LE
+//! TopK:         k u32, k × (index u32 LE), k × (value f32 LE)
+//! ----------------------------------------------------------------------
+//! [checksum u32]  rotate-xor over the payload bytes
+//! ```
+//!
+//! The fixed overhead (magic + codec + sender + round + count + checksum)
+//! is 24 bytes and matches
+//! [`skiptrain_energy::comm::FRAME_OVERHEAD_BYTES`]; per-codec message
+//! sizes come from [`ModelCodec::message_bytes`] and feed the per-edge
+//! energy ledger.
+//!
+//! Quantized payloads dequantize at decode, so the values entering the
+//! receiver's aggregation carry genuine quantization error. Top-k payloads
+//! stay sparse: the aggregation substitutes the receiver's own parameters
+//! for untransmitted coordinates (see the executor), so sparsification
+//! error propagates through training too.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+use skiptrain_linalg::compress::{
+    dequantize_one, dequantize_u16, dequantize_u8, gather, quantize_u16, quantize_u8,
+    top_k_indices, AffineParams,
+};
 use skiptrain_linalg::rng::derive_seed;
 
 /// Frame magic marker ("STRN").
 const MAGIC: u32 = 0x5354524E;
+
+/// Fixed per-frame overhead in bytes: magic, codec, sender, round, count,
+/// checksum (4 bytes each). Defined by the energy crate's analytic helper
+/// so the wire layout and energy accounting cannot drift apart.
+pub const FRAME_OVERHEAD: u64 = skiptrain_energy::comm::FRAME_OVERHEAD_BYTES;
 
 /// Transport selection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -37,6 +80,13 @@ pub enum TransportKind {
 impl TransportKind {
     /// Whether the directed message `src → dst` in `round` is delivered.
     /// Deterministic in `(seed, round, src, dst)`.
+    ///
+    /// The decision stream is derived by chaining [`derive_seed`] over the
+    /// round, source, and destination, so every `(round, src, dst)` triple
+    /// gets an independent avalanche-mixed stream. (An earlier linear
+    /// combination `round·c + (src << 20) + dst` aliased distinct triples
+    /// onto one stream at scale, correlating drop decisions across node
+    /// pairs.)
     pub fn delivered(&self, seed: u64, round: usize, src: usize, dst: usize) -> bool {
         match self {
             TransportKind::Memory => true,
@@ -44,11 +94,10 @@ impl TransportKind {
                 if *drop_prob <= 0.0 {
                     return true;
                 }
-                let stream = (round as u64)
-                    .wrapping_mul(0x1_0000_0001)
-                    .wrapping_add((src as u64) << 20)
-                    .wrapping_add(dst as u64);
-                let h = derive_seed(seed ^ 0xD50F, stream);
+                let h = derive_seed(
+                    derive_seed(derive_seed(seed ^ 0xD50F, round as u64), src as u64),
+                    dst as u64,
+                );
                 // map to [0, 1)
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
                 u >= *drop_prob
@@ -57,22 +106,124 @@ impl TransportKind {
     }
 }
 
-/// Encodes a flat model into a framed message:
-/// `[magic | sender | round | len | payload… | checksum]`.
-pub fn encode_model(sender: u32, round: u32, params: &[f32]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + params.len() * 4 + 4);
-    buf.put_u32(MAGIC);
-    buf.put_u32(sender);
-    buf.put_u32(round);
-    buf.put_u32(params.len() as u32);
-    let mut checksum = 0u32;
-    for &p in params {
-        let bits = p.to_bits();
-        checksum = checksum.rotate_left(1) ^ bits;
-        buf.put_u32_le(bits);
+/// How a model is represented inside a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ModelCodec {
+    /// Bit-exact dense `f32` payload (lossless, 4 bytes/param).
+    #[default]
+    DenseF32,
+    /// Per-tensor affine quantization to 8-bit codes (1 byte/param).
+    QuantizedU8,
+    /// Per-tensor affine quantization to 16-bit codes (2 bytes/param).
+    QuantizedU16,
+    /// Magnitude sparsification: only the `k` largest-|value| parameters
+    /// travel, as (index, value) pairs (8 bytes each).
+    TopK {
+        /// Number of parameters to keep (clamped to the model size).
+        k: usize,
+    },
+}
+
+impl ModelCodec {
+    /// Wire discriminant.
+    fn id(&self) -> u32 {
+        match self {
+            ModelCodec::DenseF32 => 0,
+            ModelCodec::QuantizedU8 => 1,
+            ModelCodec::QuantizedU16 => 2,
+            ModelCodec::TopK { .. } => 3,
+        }
     }
-    buf.put_u32(checksum);
-    buf.freeze()
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelCodec::DenseF32 => "dense-f32",
+            ModelCodec::QuantizedU8 => "quantized-u8",
+            ModelCodec::QuantizedU16 => "quantized-u16",
+            ModelCodec::TopK { .. } => "top-k",
+        }
+    }
+
+    /// True when decode reproduces the encoded model bit-for-bit.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, ModelCodec::DenseF32)
+    }
+
+    /// Exact wire bytes of one message carrying a model of `params`
+    /// parameters under this codec (frame overhead included). This is the
+    /// quantity the energy ledger charges per effective edge.
+    pub fn message_bytes(&self, params: usize) -> u64 {
+        let p = params as u64;
+        FRAME_OVERHEAD
+            + match self {
+                ModelCodec::DenseF32 => 4 * p,
+                ModelCodec::QuantizedU8 => 8 + p,
+                ModelCodec::QuantizedU16 => 8 + 2 * p,
+                ModelCodec::TopK { k } => 4 + 8 * (*k as u64).min(p),
+            }
+    }
+
+    /// Wire bytes to charge when the energy model accounts at a *nominal*
+    /// parameter count different from the simulated model's (the engine's
+    /// `nominal_params` decoupling). Fixed-rate codecs scale per parameter
+    /// automatically; top-k keeps its *fraction* `k / sim_params` so the
+    /// charged bytes stay consistent with the sparsification level the
+    /// simulation actually applied (charging an absolute `k` sized for a
+    /// small simulated model against a large nominal model would wildly
+    /// understate top-k communication energy).
+    pub fn charged_message_bytes(&self, sim_params: usize, charged_params: usize) -> u64 {
+        match self {
+            ModelCodec::TopK { k } if sim_params > 0 && charged_params != sim_params => {
+                let kept = (*k).min(sim_params) as u128;
+                let scaled = (kept * charged_params as u128 / sim_params as u128) as usize;
+                ModelCodec::TopK { k: scaled.max(1) }.message_bytes(charged_params)
+            }
+            _ => self.message_bytes(charged_params),
+        }
+    }
+
+    /// Applies the codec's lossy transform in memory, without framing —
+    /// the `Memory`-transport equivalent of an encode/decode round trip.
+    /// Returns exactly what [`decode_message`] would produce for a frame
+    /// encoded from `params` (asserted by tests).
+    pub fn transform(&self, params: &[f32]) -> Payload {
+        match self {
+            ModelCodec::DenseF32 => Payload::Dense(params.to_vec()),
+            ModelCodec::QuantizedU8 => {
+                let (p, codes) = quantize_u8(params);
+                let mut back = Vec::new();
+                dequantize_u8(p, &codes, &mut back);
+                Payload::Dense(back)
+            }
+            ModelCodec::QuantizedU16 => {
+                let (p, codes) = quantize_u16(params);
+                let mut back = Vec::new();
+                dequantize_u16(p, &codes, &mut back);
+                Payload::Dense(back)
+            }
+            ModelCodec::TopK { k } => {
+                let indices = top_k_indices(params, *k);
+                let values = gather(params, &indices);
+                Payload::Sparse { indices, values }
+            }
+        }
+    }
+}
+
+/// Decoded model payload, after dequantization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A full (possibly lossily reconstructed) parameter vector.
+    Dense(Vec<f32>),
+    /// Top-k sparsified parameters: ascending indices with their values.
+    /// Coordinates not listed were never transmitted.
+    Sparse {
+        /// Ascending parameter indices present in the message.
+        indices: Vec<u32>,
+        /// Parameter values at `indices`.
+        values: Vec<f32>,
+    },
 }
 
 /// Decode error taxonomy.
@@ -82,13 +233,181 @@ pub enum DecodeError {
     Truncated,
     /// Magic marker mismatch.
     BadMagic,
+    /// Unknown codec discriminant.
+    UnknownCodec,
     /// Payload length disagrees with the header.
     LengthMismatch,
+    /// A top-k index points outside the declared parameter count, or the
+    /// index list is not strictly ascending (duplicates would double-apply
+    /// in the aggregation scatter).
+    IndexOutOfRange,
     /// Checksum mismatch (corrupted payload).
     BadChecksum,
 }
 
 /// Decoded message header + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedMessage {
+    /// Sender node id.
+    pub sender: u32,
+    /// Round the model was produced in.
+    pub round: u32,
+    /// Dense parameter count of the original model.
+    pub param_count: usize,
+    /// The (lossily) reconstructed model.
+    pub payload: Payload,
+}
+
+fn checksum_of(payload: &[u8]) -> u32 {
+    let mut c = 0u32;
+    for &b in payload {
+        c = c.rotate_left(5) ^ b as u32;
+    }
+    c
+}
+
+/// Encodes a flat model into a framed message under `codec` (see the
+/// module docs for the wire layout).
+pub fn encode_message(codec: ModelCodec, sender: u32, round: u32, params: &[f32]) -> Bytes {
+    let cap = codec.message_bytes(params.len()) as usize;
+    let mut buf = BytesMut::with_capacity(cap);
+    buf.put_u32(MAGIC);
+    buf.put_u32(codec.id());
+    buf.put_u32(sender);
+    buf.put_u32(round);
+    buf.put_u32(params.len() as u32);
+    let payload_start = buf.len();
+    match codec {
+        ModelCodec::DenseF32 => {
+            for &p in params {
+                buf.put_u32_le(p.to_bits());
+            }
+        }
+        ModelCodec::QuantizedU8 => {
+            let (p, codes) = quantize_u8(params);
+            buf.put_u32_le(p.min.to_bits());
+            buf.put_u32_le(p.scale.to_bits());
+            buf.put_slice(&codes);
+        }
+        ModelCodec::QuantizedU16 => {
+            let (p, codes) = quantize_u16(params);
+            buf.put_u32_le(p.min.to_bits());
+            buf.put_u32_le(p.scale.to_bits());
+            for c in codes {
+                buf.put_u16_le(c);
+            }
+        }
+        ModelCodec::TopK { k } => {
+            let indices = top_k_indices(params, k);
+            buf.put_u32(indices.len() as u32);
+            for &i in &indices {
+                buf.put_u32_le(i);
+            }
+            for &i in &indices {
+                buf.put_u32_le(params[i as usize].to_bits());
+            }
+        }
+    }
+    let checksum = checksum_of(&buf.as_slice()[payload_start..]);
+    buf.put_u32(checksum);
+    debug_assert_eq!(buf.len() as u64, codec.message_bytes(params.len()));
+    buf.freeze()
+}
+
+/// Decodes a frame produced by [`encode_message`], dequantizing lossy
+/// payloads into the values the receiver will aggregate.
+pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
+    if frame.len() < FRAME_OVERHEAD as usize {
+        return Err(DecodeError::Truncated);
+    }
+    if frame.get_u32() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let codec_id = frame.get_u32();
+    let sender = frame.get_u32();
+    let round = frame.get_u32();
+    let count = frame.get_u32() as usize;
+    // All that remains is payload + 4-byte checksum. Verify the checksum
+    // *before* parsing: corruption then deterministically reports
+    // `BadChecksum`, and corrupt payloads are never allocated or
+    // dequantized.
+    let body_len = frame.len();
+    if body_len < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let payload_len = body_len - 4;
+    let body = frame.as_slice();
+    let expected = u32::from_be_bytes(body[payload_len..].try_into().expect("4 trailing bytes"));
+    if checksum_of(&body[..payload_len]) != expected {
+        return Err(DecodeError::BadChecksum);
+    }
+    let payload = match codec_id {
+        0 => {
+            if payload_len != count * 4 {
+                return Err(DecodeError::LengthMismatch);
+            }
+            let mut params = Vec::with_capacity(count);
+            for _ in 0..count {
+                params.push(f32::from_bits(frame.get_u32_le()));
+            }
+            Payload::Dense(params)
+        }
+        1 | 2 => {
+            let width = if codec_id == 1 { 1 } else { 2 };
+            if payload_len != 8 + count * width {
+                return Err(DecodeError::LengthMismatch);
+            }
+            let p = AffineParams {
+                min: f32::from_bits(frame.get_u32_le()),
+                scale: f32::from_bits(frame.get_u32_le()),
+            };
+            let mut params = Vec::with_capacity(count);
+            if codec_id == 1 {
+                for _ in 0..count {
+                    params.push(dequantize_one(p, frame.get_u8() as u32));
+                }
+            } else {
+                for _ in 0..count {
+                    params.push(dequantize_one(p, frame.get_u16_le() as u32));
+                }
+            }
+            Payload::Dense(params)
+        }
+        3 => {
+            if payload_len < 4 {
+                return Err(DecodeError::LengthMismatch);
+            }
+            let k = frame.get_u32() as usize;
+            if payload_len != 4 + 8 * k {
+                return Err(DecodeError::LengthMismatch);
+            }
+            let mut indices = Vec::with_capacity(k);
+            for _ in 0..k {
+                let idx = frame.get_u32_le();
+                // strictly ascending: rejects out-of-range *and* duplicate
+                // indices, which would double-apply in the scatter kernels
+                if idx as usize >= count || indices.last().is_some_and(|&prev| prev >= idx) {
+                    return Err(DecodeError::IndexOutOfRange);
+                }
+                indices.push(idx);
+            }
+            let mut values = Vec::with_capacity(k);
+            for _ in 0..k {
+                values.push(f32::from_bits(frame.get_u32_le()));
+            }
+            Payload::Sparse { indices, values }
+        }
+        _ => return Err(DecodeError::UnknownCodec),
+    };
+    Ok(DecodedMessage {
+        sender,
+        round,
+        param_count: count,
+        payload,
+    })
+}
+
+/// Decoded dense message (legacy shape kept for tests and benches).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedModel {
     /// Sender node id.
@@ -99,35 +418,29 @@ pub struct DecodedModel {
     pub params: Vec<f32>,
 }
 
-/// Decodes a frame produced by [`encode_model`].
-pub fn decode_model(mut frame: Bytes) -> Result<DecodedModel, DecodeError> {
-    if frame.len() < 20 {
-        return Err(DecodeError::Truncated);
-    }
-    let magic = frame.get_u32();
-    if magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let sender = frame.get_u32();
-    let round = frame.get_u32();
-    let len = frame.get_u32() as usize;
-    if frame.len() != len * 4 + 4 {
-        return Err(DecodeError::LengthMismatch);
-    }
-    let mut params = Vec::with_capacity(len);
-    let mut checksum = 0u32;
-    for _ in 0..len {
-        let bits = frame.get_u32_le();
-        checksum = checksum.rotate_left(1) ^ bits;
-        params.push(f32::from_bits(bits));
-    }
-    let expected = frame.get_u32();
-    if checksum != expected {
-        return Err(DecodeError::BadChecksum);
-    }
+/// Encodes a flat model with the lossless [`ModelCodec::DenseF32`] codec.
+pub fn encode_model(sender: u32, round: u32, params: &[f32]) -> Bytes {
+    encode_message(ModelCodec::DenseF32, sender, round, params)
+}
+
+/// Decodes a dense frame produced by [`encode_model`]. Sparse (top-k)
+/// frames are reconstructed with zeros at untransmitted coordinates; use
+/// [`decode_message`] when the sparse structure matters.
+pub fn decode_model(frame: Bytes) -> Result<DecodedModel, DecodeError> {
+    let msg = decode_message(frame)?;
+    let params = match msg.payload {
+        Payload::Dense(params) => params,
+        Payload::Sparse { indices, values } => {
+            let mut params = vec![0.0f32; msg.param_count];
+            for (&i, &v) in indices.iter().zip(&values) {
+                params[i as usize] = v;
+            }
+            params
+        }
+    };
     Ok(DecodedModel {
-        sender,
-        round,
+        sender: msg.sender,
+        round: msg.round,
         params,
     })
 }
@@ -135,6 +448,13 @@ pub fn decode_model(mut frame: Bytes) -> Result<DecodedModel, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALL_CODECS: [ModelCodec; 4] = [
+        ModelCodec::DenseF32,
+        ModelCodec::QuantizedU8,
+        ModelCodec::QuantizedU16,
+        ModelCodec::TopK { k: 3 },
+    ];
 
     #[test]
     fn roundtrip_preserves_bits() {
@@ -153,34 +473,182 @@ mod tests {
     }
 
     #[test]
+    fn frame_lengths_match_message_bytes() {
+        let params: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        for codec in ALL_CODECS {
+            let frame = encode_message(codec, 1, 2, &params);
+            assert_eq!(
+                frame.len() as u64,
+                codec.message_bytes(params.len()),
+                "{codec:?}"
+            );
+        }
+        assert_eq!(
+            ModelCodec::DenseF32.message_bytes(100),
+            skiptrain_energy::comm::model_message_bytes(100),
+            "dense wire size must match the energy crate's analytic helper"
+        );
+        assert_eq!(FRAME_OVERHEAD, skiptrain_energy::comm::FRAME_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn top_k_message_bytes_clamps_k() {
+        assert_eq!(
+            ModelCodec::TopK { k: 1000 }.message_bytes(10),
+            ModelCodec::TopK { k: 10 }.message_bytes(10)
+        );
+    }
+
+    #[test]
+    fn charged_bytes_scale_top_k_fraction_to_nominal_model() {
+        // keeping 50% of a 1,000-param simulated model must charge 50% of
+        // the nominal model, not an absolute 500 params
+        let codec = ModelCodec::TopK { k: 500 };
+        assert_eq!(
+            codec.charged_message_bytes(1000, 90_000),
+            ModelCodec::TopK { k: 45_000 }.message_bytes(90_000)
+        );
+        // same scale → identity
+        assert_eq!(
+            codec.charged_message_bytes(1000, 1000),
+            codec.message_bytes(1000)
+        );
+        // fixed-rate codecs are ratio-preserving already
+        assert_eq!(
+            ModelCodec::QuantizedU8.charged_message_bytes(1000, 90_000),
+            ModelCodec::QuantizedU8.message_bytes(90_000)
+        );
+        // a tiny fraction never rounds to zero kept parameters
+        assert_eq!(
+            ModelCodec::TopK { k: 1 }.charged_message_bytes(1_000_000, 10),
+            ModelCodec::TopK { k: 1 }.message_bytes(10)
+        );
+    }
+
+    #[test]
+    fn transform_matches_wire_roundtrip_for_all_codecs() {
+        let params: Vec<f32> = (0..200)
+            .map(|i| ((i * 13 % 29) as f32 - 14.0) / 3.0)
+            .collect();
+        for codec in ALL_CODECS {
+            let wire = decode_message(encode_message(codec, 0, 0, &params))
+                .unwrap()
+                .payload;
+            assert_eq!(wire, codec.transform(&params), "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_decode_error_is_bounded() {
+        let params: Vec<f32> = (0..512).map(|i| (i as f32 * 0.11).sin() * 2.0).collect();
+        let decoded = decode_model(encode_message(ModelCodec::QuantizedU8, 0, 0, &params)).unwrap();
+        let step = (4.0f32) / 255.0; // range [-2, 2] over 255 steps
+        for (a, b) in params.iter().zip(&decoded.params) {
+            assert!(
+                (a - b).abs() <= step,
+                "error {} > step {step}",
+                (a - b).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_payload_is_sorted_and_maximal() {
+        let params = [0.1f32, -9.0, 0.2, 5.0, -0.3];
+        let msg = decode_message(encode_message(ModelCodec::TopK { k: 2 }, 0, 0, &params)).unwrap();
+        assert_eq!(msg.param_count, 5);
+        match msg.payload {
+            Payload::Sparse { indices, values } => {
+                assert_eq!(indices, vec![1, 3]);
+                assert_eq!(values, vec![-9.0, 5.0]);
+            }
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corruption_is_detected() {
-        let frame = encode_model(1, 2, &[1.0, 2.0, 3.0]);
-        let mut bytes = frame.to_vec();
-        bytes[18] ^= 0xFF; // flip a payload byte
-        let err = decode_model(Bytes::from(bytes)).unwrap_err();
-        assert_eq!(err, DecodeError::BadChecksum);
+        // checksum is verified before parsing, so a flipped payload byte
+        // reports BadChecksum deterministically for every codec
+        for codec in ALL_CODECS {
+            let frame = encode_message(codec, 1, 2, &[1.0, 2.0, 3.0, -4.0]);
+            let mut bytes = frame.to_vec();
+            let mid = FRAME_OVERHEAD as usize / 2 + 12; // inside the payload
+            bytes[mid] ^= 0xFF;
+            let err = decode_message(Bytes::from(bytes)).unwrap_err();
+            assert_eq!(err, DecodeError::BadChecksum, "{codec:?}");
+        }
     }
 
     #[test]
     fn truncation_is_detected() {
         let frame = encode_model(1, 2, &[1.0]);
         let short = frame.slice(0..10);
-        assert_eq!(decode_model(short).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(decode_message(short).unwrap_err(), DecodeError::Truncated);
+        // clipping shifts payload bytes into the checksum slot, which the
+        // up-front checksum verification catches before any length logic
         let clipped = frame.slice(0..frame.len() - 4);
         assert_eq!(
-            decode_model(clipped).unwrap_err(),
+            decode_message(clipped).unwrap_err(),
+            DecodeError::BadChecksum
+        );
+        // a length lie with a *valid* checksum is what LengthMismatch is for
+        let lied = retamper(frame, |bytes| bytes[19] = 2); // count 1 -> 2
+        assert_eq!(
+            decode_message(lied).unwrap_err(),
             DecodeError::LengthMismatch
         );
     }
 
     #[test]
-    fn bad_magic_is_detected() {
+    fn bad_magic_and_unknown_codec_are_detected() {
         let frame = encode_model(1, 2, &[1.0]);
         let mut bytes = frame.to_vec();
         bytes[0] = 0;
         assert_eq!(
-            decode_model(Bytes::from(bytes)).unwrap_err(),
+            decode_message(Bytes::from(bytes)).unwrap_err(),
             DecodeError::BadMagic
+        );
+        let mut bytes = frame.to_vec();
+        bytes[7] = 99; // codec discriminant (big-endian u32 at offset 4)
+        assert_eq!(
+            decode_message(Bytes::from(bytes)).unwrap_err(),
+            DecodeError::UnknownCodec
+        );
+    }
+
+    /// Tampers with a frame's payload and rewrites a valid trailing
+    /// checksum, so decode exercises the semantic checks behind it.
+    fn retamper(frame: Bytes, patch: impl FnOnce(&mut [u8])) -> Bytes {
+        let mut bytes = frame.to_vec();
+        let payload_end = bytes.len() - 4;
+        patch(&mut bytes);
+        let checksum = checksum_of(&bytes[20..payload_end]);
+        bytes[payload_end..].copy_from_slice(&checksum.to_be_bytes());
+        Bytes::from(bytes)
+    }
+
+    #[test]
+    fn out_of_range_sparse_index_is_rejected() {
+        let params = [1.0f32, 2.0, 3.0];
+        let frame = encode_message(ModelCodec::TopK { k: 2 }, 0, 0, &params);
+        // first index is at header 20 + k field 4 = offset 24, LE
+        let bad = retamper(frame, |bytes| bytes[24] = 200);
+        assert_eq!(
+            decode_message(bad).unwrap_err(),
+            DecodeError::IndexOutOfRange
+        );
+    }
+
+    #[test]
+    fn duplicate_sparse_indices_are_rejected() {
+        let params = [5.0f32, 4.0, 3.0];
+        let frame = encode_message(ModelCodec::TopK { k: 2 }, 0, 0, &params);
+        // encoded indices are [0, 1]; duplicate the first (offsets 24, 28)
+        let dup = retamper(frame, |bytes| bytes[28] = bytes[24]);
+        assert_eq!(
+            decode_message(dup).unwrap_err(),
+            DecodeError::IndexOutOfRange
         );
     }
 
@@ -218,5 +686,47 @@ mod tests {
     fn zero_drop_prob_delivers_everything() {
         let t = TransportKind::Serialized { drop_prob: 0.0 };
         assert!((0..1000).all(|r| t.delivered(1, r, 0, 1)));
+    }
+
+    #[test]
+    fn drop_streams_have_no_pairwise_collisions() {
+        // The legacy stream `round·0x1_0000_0001 + (src << 20) + dst`
+        // aliased distinct (round, src, dst) triples; the chained
+        // derive_seed construction must give every triple its own stream.
+        use std::collections::HashSet;
+        let mut streams = HashSet::new();
+        for round in 0..64usize {
+            for src in 0..32usize {
+                for dst in 0..32usize {
+                    if src == dst {
+                        continue;
+                    }
+                    let h = derive_seed(
+                        derive_seed(derive_seed(7 ^ 0xD50F, round as u64), src as u64),
+                        dst as u64,
+                    );
+                    assert!(
+                        streams.insert(h),
+                        "stream collision at ({round}, {src}, {dst})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_directions_decide_independently() {
+        // src→dst and dst→src must look like independent coins: for
+        // p = 0.5 they agree about half the time, never always.
+        let t = TransportKind::Serialized { drop_prob: 0.5 };
+        let total = 20_000;
+        let agree = (0..total)
+            .filter(|&r| t.delivered(3, r, 1, 2) == t.delivered(3, r, 2, 1))
+            .count();
+        let rate = agree as f64 / total as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.03,
+            "directional agreement {rate} far from independent 0.5"
+        );
     }
 }

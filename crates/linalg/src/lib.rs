@@ -17,6 +17,7 @@
 //! This crate deliberately supports only what the reproduction needs: it is a
 //! substrate, not a general-purpose BLAS.
 
+pub mod compress;
 pub mod gemm;
 pub mod matrix;
 pub mod ops;

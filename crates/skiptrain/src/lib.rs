@@ -76,7 +76,9 @@ pub mod prelude {
         CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
         RoundObserver, RoundReport,
     };
-    pub use skiptrain_engine::{RoundAction, Simulation, SimulationConfig, TransportKind};
+    pub use skiptrain_engine::{
+        ModelCodec, RoundAction, Simulation, SimulationConfig, TransportKind,
+    };
     pub use skiptrain_nn::zoo::ModelKind;
     pub use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
     pub use skiptrain_topology::{Graph, MixingMatrix};

@@ -1,0 +1,135 @@
+//! Cross-crate compression scenarios: codec choice must trade communication
+//! energy against accuracy monotonically, without touching the training
+//! energy axis, and the lossless codec must reproduce the uncompressed
+//! baseline bit-for-bit.
+
+use skiptrain::prelude::*;
+
+fn tiny(seed: u64) -> ExperimentConfig {
+    let mut cfg = cifar_config(Scale::Quick, seed);
+    cfg.nodes = 12;
+    cfg.rounds = 24;
+    cfg.eval_every = 24;
+    cfg.eval_max_samples = 200;
+    cfg
+}
+
+fn sim_params(cfg: &ExperimentConfig) -> usize {
+    cfg.model_kind().build(0).param_count()
+}
+
+#[test]
+fn dense_codec_is_a_bitwise_noop() {
+    let base = tiny(1);
+    let mut explicit = base.clone();
+    explicit.codec = ModelCodec::DenseF32;
+    let a = base.run();
+    let b = explicit.run();
+    assert_eq!(
+        a.final_test.mean_accuracy.to_bits(),
+        b.final_test.mean_accuracy.to_bits()
+    );
+    assert_eq!(a.total_comm_wh.to_bits(), b.total_comm_wh.to_bits());
+    assert_eq!(a.final_mean_model, b.final_mean_model);
+}
+
+#[test]
+fn frontier_comm_energy_drops_monotonically_with_bounded_accuracy_loss() {
+    let base = tiny(2);
+    // top-k costs 8 bytes per kept parameter (charged at the same kept
+    // fraction of the nominal model), so only fractions below 1/8 undercut
+    // 8-bit quantization on the wire
+    let k = sim_params(&base) / 16;
+    let codecs = [
+        ModelCodec::DenseF32,
+        ModelCodec::QuantizedU16,
+        ModelCodec::QuantizedU8,
+        ModelCodec::TopK { k },
+    ];
+    let data = base.data.build(base.nodes, base.seed);
+    let results: Vec<ExperimentResult> = codecs
+        .iter()
+        .map(|&codec| {
+            let mut cfg = base.clone();
+            cfg.codec = codec;
+            cfg.run_on(&data)
+        })
+        .collect();
+
+    let dense_acc = results[0].final_test.mean_accuracy;
+    for w in results.windows(2) {
+        assert!(
+            w[1].total_comm_wh < w[0].total_comm_wh,
+            "comm energy must drop: {} -> {}",
+            w[0].total_comm_wh,
+            w[1].total_comm_wh
+        );
+    }
+    for (codec, r) in codecs.iter().zip(&results).skip(1) {
+        // Quantization error is tiny → near-dense accuracy. Aggressive
+        // top-k (6% kept, no error feedback) pays a real consensus price
+        // on this hard non-IID task, but must still clearly beat 10-class
+        // chance (0.1).
+        let floor = match codec {
+            ModelCodec::TopK { .. } => 0.15,
+            _ => dense_acc - 0.1,
+        };
+        assert!(
+            r.final_test.mean_accuracy > floor,
+            "{codec:?}: accuracy loss too large ({} vs dense {dense_acc})",
+            r.final_test.mean_accuracy
+        );
+        assert!(
+            (r.total_training_wh - results[0].total_training_wh).abs() < 1e-9,
+            "compression must not touch training energy"
+        );
+    }
+}
+
+#[test]
+fn quantized_comm_energy_matches_codec_bytes_analytically() {
+    // 6-regular static topology: comm Wh = rounds · n · 6 · (tx + rx) at
+    // the codec's per-message bytes for the nominal model size.
+    let mut cfg = tiny(3);
+    cfg.codec = ModelCodec::QuantizedU8;
+    let result = cfg.run();
+    let comm = skiptrain::energy::comm::CommEnergyModel::paper_fit();
+    let bytes = ModelCodec::QuantizedU8.message_bytes(cfg.energy.workload.model_params);
+    let expected =
+        (cfg.rounds * cfg.nodes * 6) as f64 * (comm.tx_energy_wh(bytes) + comm.rx_energy_wh(bytes));
+    assert!(
+        (result.total_comm_wh - expected).abs() < 1e-9,
+        "measured {} vs expected {expected}",
+        result.total_comm_wh
+    );
+}
+
+#[test]
+fn compressed_experiments_are_deterministic() {
+    for codec in [ModelCodec::QuantizedU8, ModelCodec::TopK { k: 200 }] {
+        let mut cfg = tiny(4);
+        cfg.codec = codec;
+        let a = cfg.run();
+        let b = cfg.run();
+        assert_eq!(
+            a.final_test.mean_accuracy.to_bits(),
+            b.final_test.mean_accuracy.to_bits(),
+            "{codec:?} run not deterministic"
+        );
+        assert_eq!(a.total_comm_wh.to_bits(), b.total_comm_wh.to_bits());
+    }
+}
+
+#[test]
+fn builder_compression_knob_runs_end_to_end() {
+    let result = Experiment::builder()
+        .name("compressed")
+        .nodes(8)
+        .rounds(6)
+        .compression(ModelCodec::QuantizedU16)
+        .build()
+        .expect("valid compressed config")
+        .run();
+    assert_eq!(result.rounds, 6);
+    assert!(result.total_comm_wh > 0.0);
+}

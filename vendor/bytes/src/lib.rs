@@ -92,6 +92,10 @@ impl AsRef<[u8]> for Bytes {
 
 /// Cursor-style reads from the front of a buffer.
 pub trait Buf {
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`, advancing the cursor.
+    fn get_u16_le(&mut self) -> u16;
     /// Reads a big-endian `u32`, advancing the cursor.
     fn get_u32(&mut self) -> u32;
     /// Reads a little-endian `u32`, advancing the cursor.
@@ -101,6 +105,14 @@ pub trait Buf {
 }
 
 impl Buf for Bytes {
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
     fn get_u32(&mut self) -> u32 {
         u32::from_be_bytes(self.take(4).try_into().unwrap())
     }
@@ -142,10 +154,19 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         self.buf.into()
     }
+
+    /// The bytes written so far as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
 }
 
 /// Appends to the back of a buffer.
 pub trait BufMut {
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Writes a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
     /// Writes a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
     /// Writes a little-endian `u32`.
@@ -155,6 +176,14 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
