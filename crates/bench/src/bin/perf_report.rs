@@ -1,0 +1,287 @@
+//! Perf-gate harness: runs the round-loop / SGD / codec scenarios at
+//! pinned configurations and emits the machine-readable
+//! `BENCH_round_loop.json` perf trajectory (schema documented in
+//! `skiptrain_bench::perf`).
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH]
+//!
+//! --quick   CI smoke mode: few iterations per scenario (same pinned
+//!           configs, noisier numbers) so the schema gate stays cheap
+//! --out     report path (default: BENCH_round_loop.json)
+//! ```
+//!
+//! The binary always validates the report it just wrote against the
+//! schema and exits non-zero on any violation, so the CI step doubles as
+//! the schema gate.
+
+use serde_json::Value;
+use skiptrain_bench::perf::{
+    allocated_bytes, build_report, json_object, measure, validate_report, CountingAllocator,
+    ScenarioMeasurement,
+};
+use skiptrain_data::synth::{MixtureSpec, MixtureTask};
+use skiptrain_engine::transport::{decode_frame, encode_message_into};
+use skiptrain_engine::{ModelCodec, RoundAction, Simulation, SimulationConfig};
+use skiptrain_linalg::Matrix;
+use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_nn::zoo::ModelKind;
+use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
+use skiptrain_topology::regular::random_regular;
+use skiptrain_topology::MixingMatrix;
+use std::hint::black_box;
+use std::process::Command;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+struct Args {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_round_loop.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag '{other}'; usage: perf_report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One SGD step (forward + backward + update) on a synthetic batch.
+fn sgd_step_scenario(
+    name: &str,
+    mut model: Sequential,
+    batch: usize,
+    classes: usize,
+    config: Value,
+    warmup: usize,
+    iters: usize,
+) -> ScenarioMeasurement {
+    let loss = SoftmaxCrossEntropy::new(classes);
+    let mut opt = Sgd::new(SgdConfig::plain(0.1));
+    let x = Matrix::from_fn(batch, model.input_dim(), |r, c| {
+        ((r * 31 + c) as f32).sin() * 0.3
+    });
+    let y: Vec<u32> = (0..batch).map(|i| (i % classes) as u32).collect();
+    let mut grad = Matrix::zeros(0, 0);
+    measure(name, config, warmup, iters, || {
+        model.zero_grads();
+        let value = {
+            let logits = model.forward(&x, true);
+            loss.loss_and_grad(logits, &y, &mut grad)
+        };
+        model.backward(&grad);
+        opt.step(&mut model);
+        black_box(value);
+    })
+}
+
+/// The pinned 64-node mixture-MLP simulation the `round_scaling` bench
+/// also uses — the whole-round hot path (train + share + aggregate).
+fn build_round_sim(n: usize, seed: u64) -> Simulation {
+    let task = MixtureTask::new(
+        MixtureSpec {
+            num_classes: 10,
+            feature_dim: 32,
+            modes_per_class: 2,
+            separation: 1.0,
+            noise: 0.9,
+        },
+        seed,
+    );
+    let datasets = (0..n).map(|i| task.sample(60, i as u64)).collect();
+    let models = (0..n)
+        .map(|i| {
+            ModelKind::Mlp {
+                dims: vec![32, 24, 10],
+            }
+            .build(seed + i as u64)
+        })
+        .collect();
+    let graph = random_regular(n, 6, seed);
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+    Simulation::new(
+        models,
+        datasets,
+        graph,
+        mixing,
+        SimulationConfig::minimal(seed, 16, 5, 0.5),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.quick { "quick" } else { "full" };
+    // (warmup, iters) per scenario family, scaled down in quick mode
+    let scale = |warmup: usize, iters: usize| {
+        if args.quick {
+            (warmup.div_ceil(4), iters.div_ceil(10).max(2))
+        } else {
+            (warmup, iters)
+        }
+    };
+    let mut scenarios: Vec<ScenarioMeasurement> = Vec::new();
+
+    // --- SGD step scenarios -------------------------------------------
+    let (warmup, iters) = scale(10, 300);
+    scenarios.push(sgd_step_scenario(
+        "sgd_step_mlp_medium_90k",
+        skiptrain_nn::zoo::mlp(&[128, 512, 128, 10], 1),
+        32,
+        10,
+        json_object(vec![
+            ("model", Value::String("mlp-128-512-128-10".into())),
+            ("batch", Value::UInt(32)),
+            ("mode", Value::String(mode.into())),
+        ]),
+        warmup,
+        iters,
+    ));
+    let (warmup, iters) = scale(2, 20);
+    scenarios.push(sgd_step_scenario(
+        "sgd_step_cnn_femnist",
+        skiptrain_nn::zoo::femnist_cnn(1),
+        16,
+        62,
+        json_object(vec![
+            ("model", Value::String("femnist-leaf-cnn".into())),
+            ("batch", Value::UInt(16)),
+            ("mode", Value::String(mode.into())),
+        ]),
+        warmup,
+        iters,
+    ));
+
+    // --- round-loop scenarios -----------------------------------------
+    let (warmup, iters) = scale(4, 40);
+    {
+        let mut sim = build_round_sim(64, 1);
+        let actions = vec![RoundAction::Train; 64];
+        scenarios.push(measure(
+            "round_loop_train_64",
+            json_object(vec![
+                ("nodes", Value::UInt(64)),
+                ("degree", Value::UInt(6)),
+                ("model", Value::String("mlp-32-24-10".into())),
+                ("batch", Value::UInt(16)),
+                ("local_steps", Value::UInt(5)),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                sim.run_round(black_box(&actions));
+            },
+        ));
+    }
+    let (warmup, iters) = scale(10, 150);
+    {
+        let mut sim = build_round_sim(256, 2);
+        let actions = vec![RoundAction::SyncOnly; 256];
+        scenarios.push(measure(
+            "round_loop_sync_256",
+            json_object(vec![
+                ("nodes", Value::UInt(256)),
+                ("degree", Value::UInt(6)),
+                ("model", Value::String("mlp-32-24-10".into())),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                sim.run_round(black_box(&actions));
+            },
+        ));
+    }
+
+    // --- codec scenarios ----------------------------------------------
+    // CIFAR-10 model size from Table 1, the share-phase payload
+    let params: Vec<f32> = (0..89_834).map(|i| ((i as f32) * 0.11).sin()).collect();
+    for (name, codec) in [
+        ("codec_dense_roundtrip", ModelCodec::DenseF32),
+        ("codec_quantized_u16_roundtrip", ModelCodec::QuantizedU16),
+    ] {
+        let (warmup, iters) = scale(5, 100);
+        let mut frame: Vec<u8> = Vec::new();
+        scenarios.push(measure(
+            name,
+            json_object(vec![
+                ("codec", Value::String(codec.name().into())),
+                ("params", Value::UInt(params.len() as u64)),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                encode_message_into(codec, 3, 7, &params, &mut frame);
+                let decoded = decode_frame(&frame).expect("frame must decode");
+                black_box(&decoded);
+            },
+        ));
+    }
+
+    // --- report --------------------------------------------------------
+    let report = build_report(&git_rev(), &scenarios);
+    println!(
+        "{:<34} {:>14} {:>16} {:>18}",
+        "scenario", "rounds/sec", "ns/step", "bytes-alloc/step"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<34} {:>14.2} {:>16.0} {:>18}",
+            s.name, s.rounds_per_sec, s.ns_per_step, s.bytes_allocated_proxy
+        );
+    }
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+
+    // the written artifact is what future tooling consumes — re-read and
+    // validate that exact file so the gate cannot silently rot
+    let written = std::fs::read_to_string(&args.out).expect("just-written report is readable");
+    let parsed: Value = serde_json::from_str(&written).unwrap_or_else(|e| {
+        eprintln!("emitted report is not valid JSON: {e:?}");
+        std::process::exit(1);
+    });
+    if let Err(msg) = validate_report(&parsed) {
+        eprintln!("perf report failed schema validation: {msg}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({} scenarios, git {}; total heap allocated {} MiB)",
+        args.out,
+        scenarios.len(),
+        git_rev(),
+        allocated_bytes() / (1 << 20)
+    );
+}

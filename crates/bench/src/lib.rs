@@ -20,6 +20,7 @@ use skiptrain_core::ExperimentConfig;
 use std::path::PathBuf;
 
 pub mod paper;
+pub mod perf;
 
 /// Parsed command-line arguments shared by all harness binaries.
 #[derive(Debug, Clone)]

@@ -1,0 +1,273 @@
+//! Machine-readable perf-gate reporting.
+//!
+//! The `perf_report` binary runs the round-loop / SGD / codec scenarios at
+//! pinned configurations and emits `BENCH_round_loop.json`, giving CI and
+//! future PRs a measured performance trajectory instead of asserted
+//! claims. This module holds the pieces that are unit-testable outside
+//! the binary: the measurement loop, the report schema builder, the
+//! schema validator the CI smoke step relies on, and the
+//! allocation-counting global allocator behind the `bytes_allocated_proxy`
+//! column.
+//!
+//! # Report schema
+//!
+//! The report is one JSON object mapping scenario name →
+//!
+//! ```json
+//! {
+//!   "rounds_per_sec": 123.4,          // iterations per second (finite, > 0)
+//!   "ns_per_step": 8100.0,            // nanoseconds per iteration (finite, > 0)
+//!   "bytes_allocated_proxy": 4096,    // heap bytes allocated per iteration
+//!   "config": { ... },                // pinned scenario configuration
+//!   "git_rev": "abc1234"              // toolchain-independent provenance
+//! }
+//! ```
+//!
+//! [`validate_report`] enforces exactly this shape so the perf gate cannot
+//! silently rot: missing fields, non-finite or non-positive rates, or a
+//! missing config/revision all fail validation (and the binary exits
+//! non-zero).
+
+use serde_json::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed global allocator that counts every heap byte
+/// requested (allocations and growth; frees are not subtracted, so the
+/// counter is a monotone *allocation pressure* proxy, not live memory).
+///
+/// Install it in a binary with
+/// `#[global_allocator] static A: CountingAllocator = CountingAllocator;`
+/// and read deltas via [`allocated_bytes`].
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOCATED_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total heap bytes requested so far through [`CountingAllocator`]
+/// (zero when the counting allocator is not installed).
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// One measured scenario, ready to be placed into the report.
+#[derive(Debug, Clone)]
+pub struct ScenarioMeasurement {
+    /// Scenario key in the report object.
+    pub name: String,
+    /// Iterations per second (a "round" is whatever one iteration does:
+    /// a simulation round, an SGD step, a codec round trip).
+    pub rounds_per_sec: f64,
+    /// Nanoseconds per iteration.
+    pub ns_per_step: f64,
+    /// Heap bytes allocated per iteration (allocation-pressure proxy).
+    pub bytes_allocated_proxy: u64,
+    /// The pinned configuration this scenario ran at.
+    pub config: Value,
+}
+
+/// Runs `f` `iters` times after `warmup` unmeasured runs, recording wall
+/// time and the allocation delta across the measured window.
+pub fn measure(
+    name: &str,
+    config: Value,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> ScenarioMeasurement {
+    assert!(iters > 0, "measure: need at least one iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let alloc_before = allocated_bytes();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let alloc_delta = allocated_bytes().saturating_sub(alloc_before);
+    let ns_per_step = (elapsed.as_nanos() as f64 / iters as f64).max(1.0);
+    ScenarioMeasurement {
+        name: name.to_string(),
+        rounds_per_sec: 1e9 / ns_per_step,
+        ns_per_step,
+        bytes_allocated_proxy: alloc_delta / iters as u64,
+        config,
+    }
+}
+
+/// Assembles the report object: scenario name → measurement entry.
+pub fn build_report(git_rev: &str, scenarios: &[ScenarioMeasurement]) -> Value {
+    Value::Object(
+        scenarios
+            .iter()
+            .map(|s| {
+                let entry = vec![
+                    ("rounds_per_sec".to_string(), Value::Float(s.rounds_per_sec)),
+                    ("ns_per_step".to_string(), Value::Float(s.ns_per_step)),
+                    (
+                        "bytes_allocated_proxy".to_string(),
+                        Value::UInt(s.bytes_allocated_proxy),
+                    ),
+                    ("config".to_string(), s.config.clone()),
+                    ("git_rev".to_string(), Value::String(git_rev.to_string())),
+                ];
+                (s.name.clone(), Value::Object(entry))
+            })
+            .collect(),
+    )
+}
+
+/// Validates a perf report against the schema documented at module level:
+/// a non-empty object whose entries carry finite, positive
+/// `rounds_per_sec`/`ns_per_step`, an unsigned `bytes_allocated_proxy`, an
+/// object-valued `config`, and a non-empty `git_rev` string.
+pub fn validate_report(report: &Value) -> Result<(), String> {
+    let entries = report
+        .as_object()
+        .ok_or_else(|| "report must be a JSON object".to_string())?;
+    if entries.is_empty() {
+        return Err("report contains no scenarios".to_string());
+    }
+    for (name, entry) in entries {
+        let fields = entry
+            .as_object()
+            .ok_or_else(|| format!("scenario '{name}' is not an object"))?;
+        let get = |key: &str| -> Result<&Value, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("scenario '{name}' is missing field '{key}'"))
+        };
+        for key in ["rounds_per_sec", "ns_per_step"] {
+            let v = get(key)?
+                .as_f64()
+                .ok_or_else(|| format!("scenario '{name}': '{key}' is not numeric"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "scenario '{name}': '{key}' must be finite and positive, got {v}"
+                ));
+            }
+        }
+        get("bytes_allocated_proxy")?
+            .as_u64()
+            .ok_or_else(|| format!("scenario '{name}': 'bytes_allocated_proxy' is not a u64"))?;
+        get("config")?
+            .as_object()
+            .ok_or_else(|| format!("scenario '{name}': 'config' is not an object"))?;
+        let rev = get("git_rev")?
+            .as_str()
+            .ok_or_else(|| format!("scenario '{name}': 'git_rev' is not a string"))?;
+        if rev.is_empty() {
+            return Err(format!("scenario '{name}': 'git_rev' is empty"));
+        }
+    }
+    Ok(())
+}
+
+/// Builds a JSON object from `(key, value)` pairs (insertion order kept).
+pub fn json_object(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement(name: &str) -> ScenarioMeasurement {
+        ScenarioMeasurement {
+            name: name.to_string(),
+            rounds_per_sec: 120.5,
+            ns_per_step: 8.3e6,
+            bytes_allocated_proxy: 4096,
+            config: json_object(vec![("nodes", Value::UInt(64))]),
+        }
+    }
+
+    #[test]
+    fn built_report_round_trips_and_validates() {
+        let report = build_report("abc1234", &[sample_measurement("round_loop")]);
+        validate_report(&report).expect("fresh report must validate");
+        // survive a serialize/parse round trip (what CI actually checks)
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        validate_report(&parsed).expect("parsed report must validate");
+    }
+
+    #[test]
+    fn empty_report_is_rejected() {
+        let report = build_report("abc1234", &[]);
+        assert!(validate_report(&report).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let report = Value::Object(vec![(
+            "scenario".to_string(),
+            json_object(vec![("rounds_per_sec", Value::Float(1.0))]),
+        )]);
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("ns_per_step"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_rates_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let mut m = sample_measurement("s");
+            m.rounds_per_sec = bad;
+            let report = build_report("rev", &[m]);
+            assert!(
+                validate_report(&report).is_err(),
+                "rounds_per_sec {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_git_rev_is_rejected() {
+        let report = build_report("", &[sample_measurement("s")]);
+        assert!(validate_report(&report).is_err());
+    }
+
+    #[test]
+    fn measure_reports_positive_rates() {
+        let mut acc = 0u64;
+        let m = measure(
+            "spin",
+            json_object(vec![("iters", Value::UInt(64))]),
+            1,
+            5,
+            || {
+                for i in 0..64u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+            },
+        );
+        assert!(m.rounds_per_sec.is_finite() && m.rounds_per_sec > 0.0);
+        assert!(m.ns_per_step.is_finite() && m.ns_per_step > 0.0);
+        let report = build_report("deadbee", &[m]);
+        validate_report(&report).expect("measured scenario must validate");
+    }
+}

@@ -1,9 +1,9 @@
 //! The synchronous round executor.
 
-use crate::eval::{evaluate_model, fixed_subsample};
+use crate::eval::{evaluate_model, fixed_subsample, EVAL_CHUNK};
 use crate::metrics::EvalStats;
 use crate::node::Node;
-use crate::transport::{decode_message, encode_message, ModelCodec, Payload, TransportKind};
+use crate::transport::{decode_frame, encode_message_into, ModelCodec, Payload, TransportKind};
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
 use skiptrain_energy::comm::CommEnergyModel;
@@ -132,6 +132,16 @@ pub struct Simulation {
     loss_fn: SoftmaxCrossEntropy,
     /// Mean training loss over the training nodes of the last round.
     last_train_loss: Option<f32>,
+    /// Reusable phase-2 sender bitmap (who appears off-diagonal anywhere).
+    sender_flags: Vec<bool>,
+    /// Reusable per-node wire-frame buffers for the serialized transport.
+    encode_scratch: Vec<Vec<u8>>,
+    /// Reusable per-node phase-3 neighbor-index scratch.
+    agg_indices: Vec<Vec<u32>>,
+    /// Reusable per-node phase-3 mixing-weight scratch.
+    agg_weights: Vec<Vec<f32>>,
+    /// Reusable mean-model buffer for [`Simulation::evaluate_mean_model`].
+    mean_scratch: Vec<f32>,
 }
 
 impl Simulation {
@@ -214,6 +224,11 @@ impl Simulation {
             param_count,
             loss_fn: SoftmaxCrossEntropy::new(num_classes),
             last_train_loss: None,
+            sender_flags: vec![false; n],
+            encode_scratch: vec![Vec::new(); n],
+            agg_indices: vec![Vec::new(); n],
+            agg_weights: vec![Vec::new(); n],
+            mean_scratch: Vec::new(),
             config,
         }
     }
@@ -273,12 +288,22 @@ impl Simulation {
 
     /// Element-wise mean of all node models.
     pub fn mean_params(&self) -> Vec<f32> {
-        let mut mean = vec![0.0f32; self.param_count];
+        let mut mean = Vec::new();
+        self.mean_params_into(&mut mean);
+        mean
+    }
+
+    /// Accumulates the element-wise mean of all node models into `out`
+    /// (resized to the parameter count) — the allocation-free form
+    /// behind [`Simulation::mean_params`] and the reusable mean buffer of
+    /// [`Simulation::evaluate_mean_model`].
+    fn mean_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.param_count, 0.0);
         let scale = 1.0 / self.len() as f32;
         for p in &self.params {
-            skiptrain_linalg::ops::axpy(scale, p, &mut mean);
+            skiptrain_linalg::ops::axpy(scale, p, out);
         }
-        mean
     }
 
     /// Mean squared distance of node models to the mean model, normalized by
@@ -347,30 +372,33 @@ impl Simulation {
         let n = self.len();
 
         // Effective senders: nodes appearing off-diagonal in any row.
-        // Computed only on the paths that materialize payloads — the
-        // Memory + DenseF32 fast path never reads it.
-        let sender_flags = || {
-            let mut is_sender = vec![false; n];
+        // Computed into a reusable bitmap, and only on the paths that
+        // materialize payloads — the Memory + DenseF32 fast path never
+        // reads it.
+        let codec = self.config.codec;
+        let needs_sender_flags = !matches!(self.config.transport, TransportKind::Memory)
+            || codec != ModelCodec::DenseF32;
+        if needs_sender_flags {
+            let flags = &mut self.sender_flags;
+            flags.fill(false);
             for i in 0..n {
                 for &(j, _) in mixing.row(i) {
                     if j as usize != i {
-                        is_sender[j as usize] = true;
+                        flags[j as usize] = true;
                     }
                 }
             }
-            is_sender
-        };
+        }
 
         // Phase 2: share. The serialized transport actually encodes/decodes
-        // every sender's model and may drop messages; the in-memory
-        // transport reads half-step models directly (applying the codec's
-        // lossy transform when one is configured — bit-identical to the
-        // wire round trip).
-        let codec = self.config.codec;
+        // every sender's model (into per-node reusable frame buffers) and
+        // may drop messages; the in-memory transport reads half-step models
+        // directly (applying the codec's lossy transform when one is
+        // configured — bit-identical to the wire round trip).
         let shared: Shared = match (self.config.transport, codec) {
             (TransportKind::Memory, ModelCodec::DenseF32) => Shared::Direct,
             (TransportKind::Memory, _) => {
-                let is_sender = sender_flags();
+                let is_sender = &self.sender_flags;
                 pack_payloads(
                     codec,
                     self.half
@@ -381,17 +409,18 @@ impl Simulation {
                 )
             }
             (TransportKind::Serialized { .. }, _) => {
-                let is_sender = sender_flags();
+                let is_sender = &self.sender_flags;
                 let round = self.round as u32;
                 pack_payloads(
                     codec,
                     self.half
                         .par_iter()
+                        .zip(self.encode_scratch.par_iter_mut())
                         .enumerate()
-                        .map(|(j, model)| {
+                        .map(|(j, (model, frame))| {
                             is_sender[j].then(|| {
-                                let frame = encode_message(codec, j as u32, round, model);
-                                decode_message(frame)
+                                encode_message_into(codec, j as u32, round, model, frame);
+                                decode_frame(frame)
                                     .expect("in-process frame must decode")
                                     .payload
                             })
@@ -405,65 +434,77 @@ impl Simulation {
         // renormalizing dropped neighbors into the self weight. Sparse
         // (top-k) messages use masked aggregation: coordinates the sender
         // did not transmit fall back to the receiver's own value, so the
-        // row stays stochastic per coordinate.
+        // row stays stochastic per coordinate. The dense paths aggregate
+        // through per-node reusable (index, weight) scratch and the
+        // indexed weighted-sum kernel — no allocation per node per round.
         let half = &self.half;
         let transport = self.config.transport;
         let seed = self.config.seed;
         let round = self.round;
-        self.next.par_iter_mut().enumerate().for_each(|(i, out)| {
-            let row = mixing.row(i);
-            match &shared {
-                Shared::Sparse(msgs) => {
-                    let base: &[f32] = &half[i];
-                    let row_sum: f32 = row.iter().map(|&(_, w)| w).sum();
-                    skiptrain_linalg::ops::scaled_copy(row_sum, base, out);
-                    for &(j, w) in row {
-                        let j = j as usize;
-                        if j != i && transport.delivered(seed, round, j, i) {
-                            let (indices, values) = &msgs[j];
-                            sparse_blend_axpy(out, base, indices, values, w);
+        self.next
+            .par_iter_mut()
+            .zip(self.agg_indices.par_iter_mut())
+            .zip(self.agg_weights.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, ((out, indices), weights))| {
+                let row = mixing.row(i);
+                match &shared {
+                    Shared::Sparse(msgs) => {
+                        let base: &[f32] = &half[i];
+                        let row_sum: f32 = row.iter().map(|&(_, w)| w).sum();
+                        skiptrain_linalg::ops::scaled_copy(row_sum, base, out);
+                        for &(j, w) in row {
+                            let j = j as usize;
+                            if j != i && transport.delivered(seed, round, j, i) {
+                                let (indices, values) = &msgs[j];
+                                sparse_blend_axpy(out, base, indices, values, w);
+                            }
+                            // dropped neighbor weight is already on `base`
                         }
-                        // dropped neighbor weight is already on `base`
+                    }
+                    dense => {
+                        let fetch = |j: u32| -> &[f32] {
+                            let j = j as usize;
+                            if j == i {
+                                return &half[i];
+                            }
+                            match dense {
+                                Shared::Direct => &half[j],
+                                Shared::Dense(models) => &models[j],
+                                Shared::Sparse(_) => unreachable!("sparse handled above"),
+                            }
+                        };
+                        indices.clear();
+                        weights.clear();
+                        let mut dropped_weight = 0.0f32;
+                        let mut self_pos = usize::MAX;
+                        for &(j, w) in row {
+                            if j as usize == i {
+                                self_pos = indices.len();
+                                indices.push(j);
+                                weights.push(w);
+                            } else if transport.delivered(seed, round, j as usize, i) {
+                                indices.push(j);
+                                weights.push(w);
+                            } else {
+                                dropped_weight += w;
+                            }
+                        }
+                        // Fold dropped-neighbor weight back into the self
+                        // weight; a row carrying no explicit self entry gets
+                        // one appended instead of indexing out of bounds.
+                        if self_pos != usize::MAX {
+                            weights[self_pos] += dropped_weight;
+                        } else if dropped_weight > 0.0 {
+                            indices.push(i as u32);
+                            weights.push(dropped_weight);
+                        }
+                        skiptrain_linalg::ops::weighted_sum_indexed_into(
+                            out, indices, weights, fetch,
+                        );
                     }
                 }
-                dense => {
-                    let source = |j: usize| -> &[f32] {
-                        match dense {
-                            Shared::Direct => &half[j],
-                            Shared::Dense(models) => &models[j],
-                            Shared::Sparse(_) => unreachable!("sparse handled above"),
-                        }
-                    };
-                    let mut inputs: Vec<&[f32]> = Vec::with_capacity(row.len());
-                    let mut weights: Vec<f32> = Vec::with_capacity(row.len());
-                    let mut dropped_weight = 0.0f32;
-                    let mut self_pos = usize::MAX;
-                    for &(j, w) in row {
-                        let j = j as usize;
-                        if j == i {
-                            self_pos = inputs.len();
-                            inputs.push(&half[i]);
-                            weights.push(w);
-                        } else if transport.delivered(seed, round, j, i) {
-                            inputs.push(source(j));
-                            weights.push(w);
-                        } else {
-                            dropped_weight += w;
-                        }
-                    }
-                    // Fold dropped-neighbor weight back into the self
-                    // weight; a row carrying no explicit self entry gets
-                    // one appended instead of indexing out of bounds.
-                    if self_pos != usize::MAX {
-                        weights[self_pos] += dropped_weight;
-                    } else if dropped_weight > 0.0 {
-                        inputs.push(&half[i]);
-                        weights.push(dropped_weight);
-                    }
-                    skiptrain_linalg::ops::weighted_sum_into(out, &inputs, &weights);
-                }
-            }
-        });
+            });
         std::mem::swap(&mut self.params, &mut self.next);
 
         // Phase 4: energy accounting over the edges that actually fired.
@@ -536,12 +577,54 @@ impl Simulation {
 
     /// Evaluates the *average* of all node models (the Figure-1 all-reduce
     /// curve evaluates this quantity).
+    ///
+    /// The forward pass is parallelized the same way [`Simulation::evaluate`]
+    /// is: the evaluation subsample is split into [`EVAL_CHUNK`]-sized
+    /// spans, each loaded onto a different node's model replica (all
+    /// replicas get the same mean parameters) and evaluated concurrently.
+    /// The mean itself is accumulated into a reusable buffer rather than a
+    /// fresh allocation per call.
     pub fn evaluate_mean_model(&mut self, dataset: &Dataset, max_samples: usize) -> (f32, f32) {
         let indices = fixed_subsample(dataset.len(), max_samples, self.config.seed);
-        let mean = self.mean_params();
-        let node = &mut self.nodes[0];
-        node.model_mut().load_params(&mean);
-        evaluate_model(node.model_mut(), &self.loss_fn, dataset, Some(&indices))
+        if indices.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut mean_scratch = std::mem::take(&mut self.mean_scratch);
+        self.mean_params_into(&mut mean_scratch);
+        self.mean_scratch = mean_scratch;
+
+        // One contiguous index span per participating replica; chunks are
+        // at least EVAL_CHUNK samples so small evaluations stay on one
+        // replica (one load_params) like before.
+        let chunk = EVAL_CHUNK.max(indices.len().div_ceil(self.nodes.len()));
+        let spans: Vec<(usize, usize)> = (0..indices.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(indices.len())))
+            .collect();
+        let mean = &self.mean_scratch;
+        let loss_fn = &self.loss_fn;
+        let indices = &indices;
+        let results: Vec<(f32, f32, usize)> = self.nodes[..spans.len()]
+            .par_iter_mut()
+            .zip(spans.par_iter())
+            .map(|(node, &(s, e))| {
+                node.model_mut().load_params(mean);
+                let (acc, loss) =
+                    evaluate_model(node.model_mut(), loss_fn, dataset, Some(&indices[s..e]));
+                (acc, loss, e - s)
+            })
+            .collect();
+
+        // Recombine the per-span (accuracy, loss) pairs exactly the way
+        // evaluate_model combines its internal chunks: by sample counts.
+        let total = indices.len() as f64;
+        let mut correct = 0.0f64;
+        let mut loss_sum = 0.0f64;
+        for (acc, loss, len) in results {
+            correct += (acc as f64 * len as f64).round();
+            loss_sum += loss as f64 * len as f64;
+        }
+        ((correct / total) as f32, (loss_sum / total) as f32)
     }
 }
 

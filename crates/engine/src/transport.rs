@@ -47,7 +47,7 @@
 //! for untransmitted coordinates (see the executor), so sparsification
 //! error propagates through training too.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use skiptrain_linalg::compress::{
     dequantize_one, dequantize_u16, dequantize_u8, gather, quantize_u16, quantize_u8,
@@ -266,77 +266,134 @@ fn checksum_of(payload: &[u8]) -> u32 {
     c
 }
 
-/// Encodes a flat model into a framed message under `codec` (see the
-/// module docs for the wire layout).
-pub fn encode_message(codec: ModelCodec, sender: u32, round: u32, params: &[f32]) -> Bytes {
-    let cap = codec.message_bytes(params.len()) as usize;
-    let mut buf = BytesMut::with_capacity(cap);
-    buf.put_u32(MAGIC);
-    buf.put_u32(codec.id());
-    buf.put_u32(sender);
-    buf.put_u32(round);
-    buf.put_u32(params.len() as u32);
+/// Encodes a flat model into a framed message under `codec`, writing into
+/// a reusable buffer (cleared first; capacity is retained across calls).
+/// This is the allocation-free path the executor's round loop uses — the
+/// dense codec writes straight into `buf` with no intermediate
+/// allocations at all.
+pub fn encode_message_into(
+    codec: ModelCodec,
+    sender: u32,
+    round: u32,
+    params: &[f32],
+    buf: &mut Vec<u8>,
+) {
+    #[inline]
+    fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+    #[inline]
+    fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    buf.clear();
+    buf.reserve(codec.message_bytes(params.len()) as usize);
+    put_u32(buf, MAGIC);
+    put_u32(buf, codec.id());
+    put_u32(buf, sender);
+    put_u32(buf, round);
+    put_u32(buf, params.len() as u32);
     let payload_start = buf.len();
     match codec {
         ModelCodec::DenseF32 => {
             for &p in params {
-                buf.put_u32_le(p.to_bits());
+                put_u32_le(buf, p.to_bits());
             }
         }
         ModelCodec::QuantizedU8 => {
             let (p, codes) = quantize_u8(params);
-            buf.put_u32_le(p.min.to_bits());
-            buf.put_u32_le(p.scale.to_bits());
-            buf.put_slice(&codes);
+            put_u32_le(buf, p.min.to_bits());
+            put_u32_le(buf, p.scale.to_bits());
+            buf.extend_from_slice(&codes);
         }
         ModelCodec::QuantizedU16 => {
             let (p, codes) = quantize_u16(params);
-            buf.put_u32_le(p.min.to_bits());
-            buf.put_u32_le(p.scale.to_bits());
+            put_u32_le(buf, p.min.to_bits());
+            put_u32_le(buf, p.scale.to_bits());
             for c in codes {
-                buf.put_u16_le(c);
+                buf.extend_from_slice(&c.to_le_bytes());
             }
         }
         ModelCodec::TopK { k } => {
             let indices = top_k_indices(params, k);
-            buf.put_u32(indices.len() as u32);
+            put_u32(buf, indices.len() as u32);
             for &i in &indices {
-                buf.put_u32_le(i);
+                put_u32_le(buf, i);
             }
             for &i in &indices {
-                buf.put_u32_le(params[i as usize].to_bits());
+                put_u32_le(buf, params[i as usize].to_bits());
             }
         }
     }
-    let checksum = checksum_of(&buf.as_slice()[payload_start..]);
-    buf.put_u32(checksum);
+    let checksum = checksum_of(&buf[payload_start..]);
+    put_u32(buf, checksum);
     debug_assert_eq!(buf.len() as u64, codec.message_bytes(params.len()));
-    buf.freeze()
 }
 
-/// Decodes a frame produced by [`encode_message`], dequantizing lossy
-/// payloads into the values the receiver will aggregate.
-pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
+/// Encodes a flat model into a framed message under `codec` (see the
+/// module docs for the wire layout).
+pub fn encode_message(codec: ModelCodec, sender: u32, round: u32, params: &[f32]) -> Bytes {
+    let mut buf = Vec::new();
+    encode_message_into(codec, sender, round, params, &mut buf);
+    Bytes::from(buf)
+}
+
+/// Byte-slice cursor used by [`decode_frame`]; bounds were validated
+/// against the header before parsing starts.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+}
+
+/// Decodes a frame produced by [`encode_message`] from a borrowed byte
+/// slice, dequantizing lossy payloads into the values the receiver will
+/// aggregate. [`decode_message`] is the owned-`Bytes` wrapper.
+pub fn decode_frame(frame: &[u8]) -> Result<DecodedMessage, DecodeError> {
     if frame.len() < FRAME_OVERHEAD as usize {
         return Err(DecodeError::Truncated);
     }
-    if frame.get_u32() != MAGIC {
+    let mut r = Reader { buf: frame, pos: 0 };
+    if r.get_u32() != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let codec_id = frame.get_u32();
-    let sender = frame.get_u32();
-    let round = frame.get_u32();
-    let count = frame.get_u32() as usize;
+    let codec_id = r.get_u32();
+    let sender = r.get_u32();
+    let round = r.get_u32();
+    let count = r.get_u32() as usize;
     // All that remains is payload + 4-byte checksum. Verify the checksum
     // *before* parsing: corruption then deterministically reports
     // `BadChecksum`, and corrupt payloads are never allocated or
     // dequantized.
-    let body_len = frame.len();
-    if body_len < 4 {
+    let body = &frame[r.pos..];
+    if body.len() < 4 {
         return Err(DecodeError::Truncated);
     }
-    let payload_len = body_len - 4;
-    let body = frame.as_slice();
+    let payload_len = body.len() - 4;
     let expected = u32::from_be_bytes(body[payload_len..].try_into().expect("4 trailing bytes"));
     if checksum_of(&body[..payload_len]) != expected {
         return Err(DecodeError::BadChecksum);
@@ -348,7 +405,7 @@ pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
             }
             let mut params = Vec::with_capacity(count);
             for _ in 0..count {
-                params.push(f32::from_bits(frame.get_u32_le()));
+                params.push(f32::from_bits(r.get_u32_le()));
             }
             Payload::Dense(params)
         }
@@ -358,17 +415,17 @@ pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
                 return Err(DecodeError::LengthMismatch);
             }
             let p = AffineParams {
-                min: f32::from_bits(frame.get_u32_le()),
-                scale: f32::from_bits(frame.get_u32_le()),
+                min: f32::from_bits(r.get_u32_le()),
+                scale: f32::from_bits(r.get_u32_le()),
             };
             let mut params = Vec::with_capacity(count);
             if codec_id == 1 {
                 for _ in 0..count {
-                    params.push(dequantize_one(p, frame.get_u8() as u32));
+                    params.push(dequantize_one(p, r.get_u8() as u32));
                 }
             } else {
                 for _ in 0..count {
-                    params.push(dequantize_one(p, frame.get_u16_le() as u32));
+                    params.push(dequantize_one(p, r.get_u16_le() as u32));
                 }
             }
             Payload::Dense(params)
@@ -377,13 +434,13 @@ pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
             if payload_len < 4 {
                 return Err(DecodeError::LengthMismatch);
             }
-            let k = frame.get_u32() as usize;
+            let k = r.get_u32() as usize;
             if payload_len != 4 + 8 * k {
                 return Err(DecodeError::LengthMismatch);
             }
             let mut indices = Vec::with_capacity(k);
             for _ in 0..k {
-                let idx = frame.get_u32_le();
+                let idx = r.get_u32_le();
                 // strictly ascending: rejects out-of-range *and* duplicate
                 // indices, which would double-apply in the scatter kernels
                 if idx as usize >= count || indices.last().is_some_and(|&prev| prev >= idx) {
@@ -393,7 +450,7 @@ pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
             }
             let mut values = Vec::with_capacity(k);
             for _ in 0..k {
-                values.push(f32::from_bits(frame.get_u32_le()));
+                values.push(f32::from_bits(r.get_u32_le()));
             }
             Payload::Sparse { indices, values }
         }
@@ -405,6 +462,12 @@ pub fn decode_message(mut frame: Bytes) -> Result<DecodedMessage, DecodeError> {
         param_count: count,
         payload,
     })
+}
+
+/// Decodes a frame produced by [`encode_message`], dequantizing lossy
+/// payloads into the values the receiver will aggregate.
+pub fn decode_message(frame: Bytes) -> Result<DecodedMessage, DecodeError> {
+    decode_frame(frame.as_slice())
 }
 
 /// Decoded dense message (legacy shape kept for tests and benches).

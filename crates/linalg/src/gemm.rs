@@ -6,24 +6,320 @@
 //! * `C = Aᵀ · B`      — weight gradients (inputs × output gradients),
 //! * `C = A · Bᵀ`      — input gradients (output gradients × weights).
 //!
-//! Each has a dedicated kernel so no explicit transpose materialization is
-//! needed. The primitive kernels operate on plain row-major slices
-//! ([`gemm_into`], [`gemm_at_b_into`], [`gemm_a_bt_into`]) so that callers
-//! storing parameters in packed buffers (the NN layers) multiply without any
-//! copies; [`Matrix`] wrappers are provided on top. All kernels use an
-//! accumulation order whose inner loop runs over contiguous memory of both
-//! the source and the destination, which lets LLVM vectorize them. Multiplies
-//! with at least [`PAR_THRESHOLD`] output elements are parallelized over
-//! output row blocks with rayon.
+//! Each has a dedicated entry point so no explicit transpose is ever
+//! materialized by callers. The primitive kernels operate on plain
+//! row-major slices ([`gemm_into`], [`gemm_at_b_into`], [`gemm_a_bt_into`])
+//! so that callers storing parameters in packed buffers (the NN layers)
+//! multiply without any copies; [`Matrix`] wrappers are provided on top.
+//!
+//! # Blocked kernel design
+//!
+//! All three shapes funnel into one cache-blocked, register-tiled driver:
+//!
+//! 1. **Pack once per multiply.** `B` is packed into [`NR`]-wide column
+//!    panels (`k × NR` contiguous, zero-padded tail panel) and `A` into
+//!    [`MR`]-row tiles (`k × MR` contiguous, zero-padded tail tile). The
+//!    packed buffers live in thread-local scratch on the calling thread
+//!    (workers only read them), so steady-state multiplies allocate
+//!    nothing as long as the caller thread persists — true for serial
+//!    callers and the main thread, but a multiply issued from inside a
+//!    parallel region of the vendored spawn-per-op rayon runs on a fresh
+//!    worker whose scratch starts empty (see ROADMAP: persistent worker
+//!    pool). Packing normalizes both storage layouts (`Aᵀ·B` reads `A`
+//!    columns, `A·Bᵀ` reads `B` rows), which is why one micro-kernel
+//!    serves all three shapes.
+//! 2. **4×8 register micro-kernel.** For each (row tile, column panel)
+//!    pair, an `MR × NR` accumulator array is carried in registers across
+//!    the whole `k` loop: per step, `MR` contiguous `A` values and `NR`
+//!    contiguous `B` values feed `MR·NR` multiply–adds. `C` is written
+//!    exactly once per element.
+//! 3. **Deterministic accumulation.** Every output element is a single
+//!    scalar chain over `p = 0..k` in order, so results are bit-identical
+//!    regardless of tiling, thread count, or which parallel split ran —
+//!    the workspace's determinism requirement.
+//! 4. **Rayon over row blocks** for all three shapes once a multiply
+//!    reaches [`PAR_FLOP_THRESHOLD`] multiply–adds. Skinny products
+//!    (`m == 1`, e.g. single-sample inference over a huge weight matrix)
+//!    parallelize over column panels instead, so FLOP-heavy multiplies
+//!    are never serialized just because `m` is small.
+//!
+//! Multiplies under [`SMALL_FLOP_THRESHOLD`] skip packing entirely and run
+//! simple streaming loops — at that size the pack traffic costs more than
+//! register tiling saves.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Minimum number of output elements before a multiply is parallelized.
+/// Rows per register tile of the micro-kernel.
+pub const MR: usize = 4;
+
+/// Columns per register tile (and per packed `B` panel).
+pub const NR: usize = 8;
+
+/// Minimum multiply–add count (`m·n·k`) before a multiply is parallelized.
 ///
-/// Below this, rayon's scheduling overhead outweighs the parallel speedup
-/// (measured with the `sgd_step` criterion bench).
-pub const PAR_THRESHOLD: usize = 64 * 1024;
+/// Below this, thread spawn/join overhead outweighs the parallel speedup
+/// (measured with the `sgd_step` criterion bench). Gating on FLOPs rather
+/// than output elements means a `1 × N` product over a huge inner
+/// dimension still parallelizes (over column panels).
+pub const PAR_FLOP_THRESHOLD: usize = 2 * 1024 * 1024;
+
+/// Below this multiply–add count the packed path's pack traffic and
+/// dispatch overhead beat its register-tiling gains; plain streaming loops
+/// are used instead.
+const SMALL_FLOP_THRESHOLD: usize = 8 * 1024;
+
+thread_local! {
+    /// Reusable pack buffer for `A` tiles (tile-major `k × MR` blocks).
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable pack buffer for `B` panels (panel-major `k × NR` blocks).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Storage layout of the left operand.
+#[derive(Clone, Copy)]
+enum AStore<'a> {
+    /// `m × k` row-major: C row `i` reads A row `i`.
+    Rows(&'a [f32]),
+    /// `k × m` row-major, logically transposed: C row `i` reads A column `i`.
+    Cols(&'a [f32]),
+}
+
+/// Storage layout of the right operand.
+#[derive(Clone, Copy)]
+enum BStore<'a> {
+    /// `k × n` row-major.
+    Rows(&'a [f32]),
+    /// `n × k` row-major, logically transposed.
+    Cols(&'a [f32]),
+}
+
+/// Packs `A` into tile-major layout: tile `t` holds rows
+/// `t·MR .. t·MR+MR` as `k` groups of `MR` contiguous values
+/// (zero-padded when `m` is not a tile multiple).
+fn pack_a(m: usize, k: usize, a: AStore, out: &mut Vec<f32>) {
+    let tiles = m.div_ceil(MR);
+    out.resize(tiles * k * MR, 0.0);
+    for t in 0..tiles {
+        let i0 = t * MR;
+        let rows = MR.min(m - i0);
+        let tile = &mut out[t * k * MR..(t + 1) * k * MR];
+        match a {
+            AStore::Rows(a) => {
+                for ii in 0..rows {
+                    let row = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+                    for (p, &v) in row.iter().enumerate() {
+                        tile[p * MR + ii] = v;
+                    }
+                }
+            }
+            AStore::Cols(a) => {
+                for (p, dst) in tile.chunks_exact_mut(MR).enumerate() {
+                    dst[..rows].copy_from_slice(&a[p * m + i0..p * m + i0 + rows]);
+                }
+            }
+        }
+        if rows < MR {
+            for dst in tile.chunks_exact_mut(MR) {
+                dst[rows..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Packs `B` into panel-major layout: panel `jp` holds columns
+/// `jp·NR .. jp·NR+NR` as `k` groups of `NR` contiguous values
+/// (zero-padded when `n` is not a panel multiple).
+fn pack_b(k: usize, n: usize, b: BStore, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        match b {
+            BStore::Rows(b) => {
+                for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    dst[..cols].copy_from_slice(&b[p * n + j0..p * n + j0 + cols]);
+                }
+            }
+            BStore::Cols(b) => {
+                for jj in 0..cols {
+                    let row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in row.iter().enumerate() {
+                        panel[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+        if cols < NR {
+            for dst in panel.chunks_exact_mut(NR) {
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// The 4×8 register micro-kernel: full-`k` product of one packed `A` tile
+/// with one packed `B` panel. Each accumulator is one scalar chain over
+/// `p = 0..k` in order (deterministic regardless of tiling or threads).
+#[inline(always)]
+fn micro_4x8(tile_a: &[f32], panel_b: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (pa, pb) in tile_a.chunks_exact(MR).zip(panel_b.chunks_exact(NR)) {
+        for (acc_row, &a) in acc.iter_mut().zip(pa) {
+            for (c, &b) in acc_row.iter_mut().zip(pb) {
+                *c += a * b;
+            }
+        }
+    }
+    acc
+}
+
+/// Multiplies one packed `A` row tile against every `B` panel, writing (or
+/// accumulating into) `rows` valid rows of `c_rows` (`rows × n`).
+fn tile_row(
+    k: usize,
+    n: usize,
+    tile_a: &[f32],
+    bpack: &[f32],
+    c_rows: &mut [f32],
+    rows: usize,
+    accumulate: bool,
+) {
+    for (jp, panel_b) in bpack.chunks_exact(k * NR).enumerate() {
+        let acc = micro_4x8(tile_a, panel_b);
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+            let dst = &mut c_rows[ii * n + j0..ii * n + j0 + cols];
+            if accumulate {
+                for (d, &v) in dst.iter_mut().zip(acc_row) {
+                    *d += v;
+                }
+            } else {
+                dst.copy_from_slice(&acc_row[..cols]);
+            }
+        }
+    }
+}
+
+/// Skinny 1×8 variant for `m == 1`: the single `A` row is contiguous in
+/// both layouts, so no `A` packing is needed, and parallelism goes over
+/// column panels (each worker owns disjoint `C` columns).
+fn gemv_row(
+    k: usize,
+    n: usize,
+    a_row: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    parallel: bool,
+) {
+    let kernel = |panel_b: &[f32], dst: &mut [f32]| {
+        let mut acc = [0.0f32; NR];
+        for (&a, pb) in a_row.iter().zip(panel_b.chunks_exact(NR)) {
+            for (c, &b) in acc.iter_mut().zip(pb) {
+                *c += a * b;
+            }
+        }
+        if accumulate {
+            for (d, &v) in dst.iter_mut().zip(&acc) {
+                *d += v;
+            }
+        } else {
+            let cols = dst.len();
+            dst.copy_from_slice(&acc[..cols]);
+        }
+    };
+    let full = (n / NR) * NR;
+    let (c_main, c_tail) = c.split_at_mut(full);
+    if parallel && full > NR {
+        c_main
+            .par_chunks_exact_mut(NR)
+            .zip(bpack.par_chunks_exact(k * NR))
+            .for_each(|(dst, panel)| kernel(panel, dst));
+    } else {
+        for (dst, panel) in c_main.chunks_exact_mut(NR).zip(bpack.chunks_exact(k * NR)) {
+            kernel(panel, dst);
+        }
+    }
+    if n > full {
+        kernel(&bpack[(n / NR) * k * NR..], c_tail);
+    }
+}
+
+/// The blocked driver behind all three public kernels: packs both
+/// operands, then runs the micro-kernel over row tiles — in parallel over
+/// row blocks (or column panels when `m == 1`) once the multiply crosses
+/// [`PAR_FLOP_THRESHOLD`].
+fn blocked_gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: AStore<'_>,
+    b: BStore<'_>,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let parallel = m * n * k >= PAR_FLOP_THRESHOLD;
+    PACK_B.with(|pb| {
+        let mut bpack = pb.borrow_mut();
+        pack_b(k, n, b, &mut bpack);
+        if m == 1 {
+            let a_row = match a {
+                AStore::Rows(a) => &a[..k],
+                AStore::Cols(a) => &a[..k], // k×1 storage is also contiguous
+            };
+            gemv_row(k, n, a_row, &bpack, c, accumulate, parallel);
+            return;
+        }
+        PACK_A.with(|pa| {
+            let mut apack = pa.borrow_mut();
+            pack_a(m, k, a, &mut apack);
+            let tiles = m / MR;
+            let (c_full, c_tail) = c.split_at_mut(tiles * MR * n);
+            let bpack: &[f32] = &bpack;
+            if parallel && tiles > 1 {
+                c_full
+                    .par_chunks_exact_mut(MR * n)
+                    .zip(apack.par_chunks_exact(k * MR))
+                    .for_each(|(c_rows, tile_a)| {
+                        tile_row(k, n, tile_a, bpack, c_rows, MR, accumulate)
+                    });
+            } else {
+                for (c_rows, tile_a) in c_full
+                    .chunks_exact_mut(MR * n)
+                    .zip(apack.chunks_exact(k * MR))
+                {
+                    tile_row(k, n, tile_a, bpack, c_rows, MR, accumulate);
+                }
+            }
+            let tail_rows = m % MR;
+            if tail_rows > 0 {
+                tile_row(
+                    k,
+                    n,
+                    &apack[tiles * k * MR..],
+                    bpack,
+                    c_tail,
+                    tail_rows,
+                    accumulate,
+                );
+            }
+        });
+    });
+}
 
 /// `C = A · B` on row-major slices: `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
 ///
@@ -34,28 +330,22 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     assert_eq!(b.len(), k * n, "gemm_into: B length mismatch");
     assert_eq!(c.len(), m * n, "gemm_into: C length mismatch");
 
-    let kernel = |a_row: &[f32], c_row: &mut [f32]| {
-        c_row.fill(0.0);
+    if m * n * k <= SMALL_FLOP_THRESHOLD {
         // ikj order: for each a[i][p], stream b row p into c row i.
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        c.par_chunks_exact_mut(n)
-            .zip(a.par_chunks_exact(k))
-            .for_each(|(c_row, a_row)| kernel(a_row, c_row));
-    } else {
         for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
-            kernel(a_row, c_row);
+            c_row.fill(0.0);
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_ip * b_v;
+                }
+            }
         }
+    } else {
+        blocked_gemm(m, k, n, AStore::Rows(a), BStore::Rows(b), c, false);
     }
 }
 
@@ -70,26 +360,27 @@ pub fn gemm_at_b_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     assert_eq!(b.len(), k * n, "gemm_at_b_into: B length mismatch");
     assert_eq!(c.len(), m * n, "gemm_at_b_into: C length mismatch");
 
-    // For every sample p: c[i][j] += a[p][i] * b[p][j]. Row p of both inputs
-    // is contiguous, and c rows are streamed in the inner loop.
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_pi * b_v;
+    if m * n * k <= SMALL_FLOP_THRESHOLD {
+        // For every sample p: c[i][j] += a[p][i] * b[p][j].
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_pi * b_v;
+                }
             }
         }
+    } else {
+        blocked_gemm(m, k, n, AStore::Cols(a), BStore::Rows(b), c, true);
     }
 }
 
 /// `C = A · Bᵀ` on row-major slices: `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
-///
-/// The inner loop is a dot product of two contiguous rows.
 ///
 /// # Panics
 /// Panics if any slice length does not match its shape.
@@ -98,20 +389,14 @@ pub fn gemm_a_bt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     assert_eq!(b.len(), n * k, "gemm_a_bt_into: B length mismatch");
     assert_eq!(c.len(), m * n, "gemm_a_bt_into: C length mismatch");
 
-    let kernel = |a_row: &[f32], c_row: &mut [f32]| {
-        for (j, c_v) in c_row.iter_mut().enumerate() {
-            *c_v = crate::ops::dot(a_row, &b[j * k..(j + 1) * k]);
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        c.par_chunks_exact_mut(n)
-            .zip(a.par_chunks_exact(k))
-            .for_each(|(c_row, a_row)| kernel(a_row, c_row));
-    } else {
+    if m * n * k <= SMALL_FLOP_THRESHOLD {
         for (c_row, a_row) in c.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
-            kernel(a_row, c_row);
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                *c_v = crate::ops::dot(a_row, &b[j * k..(j + 1) * k]);
+            }
         }
+    } else {
+        blocked_gemm(m, k, n, AStore::Rows(a), BStore::Cols(b), c, false);
     }
 }
 
@@ -214,7 +499,7 @@ mod tests {
 
     #[test]
     fn matmul_parallel_path_matches_reference() {
-        // Large enough to cross PAR_THRESHOLD.
+        // Large enough to cross PAR_FLOP_THRESHOLD.
         let a = rand_matrix(300, 40, 3);
         let b = rand_matrix(40, 300, 4);
         let mut c = Matrix::zeros(300, 300);
@@ -245,6 +530,37 @@ mod tests {
     }
 
     #[test]
+    fn blocked_at_b_accumulates() {
+        // Same accumulation contract on the blocked path (k·m·n above the
+        // small-multiply threshold).
+        let a = rand_matrix(40, 24, 13);
+        let b = rand_matrix(40, 24, 14);
+        let reference = matmul_reference(&a.transposed(), &b);
+        let mut c = vec![0.0f32; 24 * 24];
+        blocked_gemm(
+            24,
+            40,
+            24,
+            AStore::Cols(a.as_slice()),
+            BStore::Rows(b.as_slice()),
+            &mut c,
+            true,
+        );
+        blocked_gemm(
+            24,
+            40,
+            24,
+            AStore::Cols(a.as_slice()),
+            BStore::Rows(b.as_slice()),
+            &mut c,
+            true,
+        );
+        for (got, want) in c.iter().zip(reference.as_slice()) {
+            assert!((got - 2.0 * want).abs() < 1e-3, "accumulation failed");
+        }
+    }
+
+    #[test]
     fn a_bt_matches_explicit_transpose() {
         let a = rand_matrix(8, 5, 7);
         let b = rand_matrix(3, 5, 8);
@@ -260,6 +576,161 @@ mod tests {
         let b = Matrix::zeros(2, 3);
         let mut c = Matrix::zeros(2, 3);
         matmul(&a, &b, &mut c);
+    }
+
+    /// Runs the blocked driver (bypassing the small-multiply fallback) for
+    /// all three shapes and compares against the naive reference.
+    fn check_blocked_all_shapes(m: usize, k: usize, n: usize, seed: u64) {
+        let tol = 1e-3 * (1.0 + k as f32 / 8.0);
+
+        // C = A·B
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(k, n, seed.wrapping_add(1));
+        let mut c = vec![0.0f32; m * n];
+        blocked_gemm(
+            m,
+            k,
+            n,
+            AStore::Rows(a.as_slice()),
+            BStore::Rows(b.as_slice()),
+            &mut c,
+            false,
+        );
+        let reference = matmul_reference(&a, &b);
+        for (got, want) in c.iter().zip(reference.as_slice()) {
+            assert!(
+                (got - want).abs() < tol,
+                "gemm {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+
+        // C = Aᵀ·B (A stored k×m)
+        let at = rand_matrix(k, m, seed.wrapping_add(2));
+        let mut c = vec![0.0f32; m * n];
+        blocked_gemm(
+            m,
+            k,
+            n,
+            AStore::Cols(at.as_slice()),
+            BStore::Rows(b.as_slice()),
+            &mut c,
+            true,
+        );
+        let reference = matmul_reference(&at.transposed(), &b);
+        for (got, want) in c.iter().zip(reference.as_slice()) {
+            assert!(
+                (got - want).abs() < tol,
+                "at_b {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+
+        // C = A·Bᵀ (B stored n×k)
+        let bt = rand_matrix(n, k, seed.wrapping_add(3));
+        let mut c = vec![0.0f32; m * n];
+        blocked_gemm(
+            m,
+            k,
+            n,
+            AStore::Rows(a.as_slice()),
+            BStore::Cols(bt.as_slice()),
+            &mut c,
+            false,
+        );
+        let reference = matmul_reference(&a, &bt.transposed());
+        for (got, want) in c.iter().zip(reference.as_slice()) {
+            assert!(
+                (got - want).abs() < tol,
+                "a_bt {m}x{k}x{n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_cover_tile_boundaries() {
+        // Every combination of m/k/n straddling the MR (4) and NR (8) tile
+        // edges, plus the degenerate size-1 axes.
+        let edges = [1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1];
+        for (s, &m) in edges.iter().enumerate() {
+            for &k in &edges {
+                for &n in &edges {
+                    check_blocked_all_shapes(m, k, n, 100 + s as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_parallel_is_bit_stable_across_thread_counts() {
+        // 96·96·300 ≈ 2.8M flops crosses PAR_FLOP_THRESHOLD, so the row
+        // blocks genuinely run under different split counts here; the fixed
+        // per-element accumulation order must make every thread count
+        // produce bit-identical output.
+        let (m, k, n) = (96usize, 300usize, 96usize);
+        assert!(m * n * k >= PAR_FLOP_THRESHOLD);
+        let a = rand_matrix(m, k, 51);
+        let b = rand_matrix(k, n, 52);
+        let at = rand_matrix(k, m, 53);
+        let bt = rand_matrix(n, k, 54);
+        // skinny operands: 1×(k·m) by (k·m)×96 ≈ 2.8M flops, parallel too
+        let b_skinny = rand_matrix(k * m, 96, 55);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut c1 = vec![0.0f32; m * n];
+                gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut c1);
+                let mut c2 = vec![0.0f32; m * n];
+                gemm_at_b_into(m, k, n, at.as_slice(), b.as_slice(), &mut c2);
+                let mut c3 = vec![0.0f32; m * n];
+                gemm_a_bt_into(m, k, n, a.as_slice(), bt.as_slice(), &mut c3);
+                // skinny shape: column-panel parallelism
+                let mut c4 = vec![0.0f32; 96];
+                gemm_into(1, k * m, 96, at.as_slice(), b_skinny.as_slice(), &mut c4);
+                (c1, c2, c3, c4)
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 7] {
+            let got = run(threads);
+            assert!(
+                bits(&reference.0) == bits(&got.0)
+                    && bits(&reference.1) == bits(&got.1)
+                    && bits(&reference.2) == bits(&got.2)
+                    && bits(&reference.3) == bits(&got.3),
+                "thread count {threads} changed kernel output bits"
+            );
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn skinny_row_parallelizes_over_columns() {
+        // The PAR_THRESHOLD regression: a 1×N product over a huge inner
+        // dimension must take the parallel column-panel path and still
+        // match the reference.
+        let k = 60_000usize;
+        let n = 64usize;
+        assert!(k * n >= PAR_FLOP_THRESHOLD);
+        let a = rand_matrix(1, k, 61);
+        let b = rand_matrix(k, n, 62);
+        let mut c = Matrix::zeros(1, n);
+        matmul(&a, &b, &mut c);
+        // block-summed reference in f64 to keep the tolerance meaningful
+        for j in 0..n {
+            let want: f64 = (0..k)
+                .map(|p| a.as_slice()[p] as f64 * b[(p, j)] as f64)
+                .sum();
+            assert!(
+                (c[(0, j)] as f64 - want).abs() < 0.3,
+                "col {j}: {} vs {want}",
+                c[(0, j)]
+            );
+        }
     }
 
     proptest! {
@@ -299,6 +770,14 @@ mod tests {
             let mut c = Matrix::zeros(m, n);
             matmul_a_bt(&a, &b, &mut c);
             prop_assert!(c.max_abs_diff(&matmul_reference(&a, &b.transposed())) < 1e-3);
+        }
+
+        #[test]
+        fn prop_blocked_path_matches_reference_at_tile_edges(
+            mi in 0usize..7, ki in 0usize..7, ni in 0usize..7, seed in 0u64..500
+        ) {
+            let edges = [1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1];
+            check_blocked_all_shapes(edges[mi], edges[ki], edges[ni], seed);
         }
     }
 }

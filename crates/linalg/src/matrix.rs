@@ -161,6 +161,18 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshapes to `rows × cols` with all elements zeroed, reusing the
+    /// existing storage when its capacity suffices — the
+    /// allocation-free way to recycle one scratch matrix across shapes
+    /// (the NN backward pass cycles two gradient buffers through every
+    /// layer width each step).
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
         for v in &mut self.data {

@@ -41,17 +41,99 @@ impl Shape2d {
     }
 }
 
-/// 2-D convolution with square kernels.
-///
-/// Parameters are packed as `[W (out_c × in_c·k·k) | b (out_c)]`.
-pub struct Conv2d {
+/// The `Copy` unfold geometry of a convolution, split out of [`Conv2d`] so
+/// the im2col/col2im kernels can run against borrowed sample slices (the
+/// cached forward input) while the column scratch buffers are mutably
+/// borrowed from the same layer — no per-sample copies.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
     input: Shape2d,
-    out_channels: usize,
     kernel: usize,
     stride: usize,
     padding: usize,
     out_h: usize,
     out_w: usize,
+}
+
+impl ConvGeom {
+    #[inline]
+    fn out_len(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Unfolds one sample (`in_c·h·w` flat) into `cols`
+    /// (`ckk × out_h·out_w`, row-major).
+    fn im2col(&self, sample: &[f32], cols: &mut [f32]) {
+        let (h, w) = (self.input.height, self.input.width);
+        let l = self.out_len();
+        cols.fill(0.0);
+        let mut row = 0usize;
+        for c in 0..self.input.channels {
+            let plane = &sample[c * h * w..(c + 1) * h * w];
+            for ky in 0..self.kernel {
+                for kx in 0..self.kernel {
+                    let dst = &mut cols[row * l..(row + 1) * l];
+                    let mut idx = 0usize;
+                    for oy in 0..self.out_h {
+                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            idx += self.out_w;
+                            continue;
+                        }
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        for ox in 0..self.out_w {
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if ix >= 0 && ix < w as isize {
+                                dst[idx] = src_row[ix as usize];
+                            }
+                            idx += 1;
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    /// Scatter-adds `dcols` back into one sample gradient.
+    fn col2im(&self, dcols: &[f32], grad_sample: &mut [f32]) {
+        let (h, w) = (self.input.height, self.input.width);
+        let l = self.out_len();
+        let mut row = 0usize;
+        for c in 0..self.input.channels {
+            let plane_base = c * h * w;
+            for ky in 0..self.kernel {
+                for kx in 0..self.kernel {
+                    let src = &dcols[row * l..(row + 1) * l];
+                    let mut idx = 0usize;
+                    for oy in 0..self.out_h {
+                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            idx += self.out_w;
+                            continue;
+                        }
+                        let row_base = plane_base + iy as usize * w;
+                        for ox in 0..self.out_w {
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if ix >= 0 && ix < w as isize {
+                                grad_sample[row_base + ix as usize] += src[idx];
+                            }
+                            idx += 1;
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution with square kernels.
+///
+/// Parameters are packed as `[W (out_c × in_c·k·k) | b (out_c)]`.
+pub struct Conv2d {
+    geom: ConvGeom,
+    out_channels: usize,
     params: Vec<f32>,
     grads: Vec<f32>,
     cached_input: Matrix,
@@ -94,13 +176,15 @@ impl Conv2d {
             *w = init.uniform(-bound, bound);
         }
         Self {
-            input,
+            geom: ConvGeom {
+                input,
+                kernel,
+                stride,
+                padding,
+                out_h,
+                out_w,
+            },
             out_channels,
-            kernel,
-            stride,
-            padding,
-            out_h,
-            out_w,
             params,
             grads: vec![0.0f32; n],
             cached_input: Matrix::zeros(0, 0),
@@ -112,83 +196,18 @@ impl Conv2d {
 
     /// Output spatial shape.
     pub fn output_shape(&self) -> Shape2d {
-        Shape2d::new(self.out_channels, self.out_h, self.out_w)
+        Shape2d::new(self.out_channels, self.geom.out_h, self.geom.out_w)
     }
 
     #[inline]
     fn ckk(&self) -> usize {
-        self.input.channels * self.kernel * self.kernel
+        let g = &self.geom;
+        g.input.channels * g.kernel * g.kernel
     }
 
     #[inline]
     fn out_len(&self) -> usize {
-        self.out_h * self.out_w
-    }
-
-    /// Unfolds one sample (`in_c·h·w` flat) into `self.cols`
-    /// (`ckk × out_h·out_w`, row-major).
-    fn im2col(&mut self, sample: &[f32]) {
-        let (h, w) = (self.input.height, self.input.width);
-        let l = self.out_len();
-        self.cols.fill(0.0);
-        let mut row = 0usize;
-        for c in 0..self.input.channels {
-            let plane = &sample[c * h * w..(c + 1) * h * w];
-            for ky in 0..self.kernel {
-                for kx in 0..self.kernel {
-                    let dst = &mut self.cols[row * l..(row + 1) * l];
-                    let mut idx = 0usize;
-                    for oy in 0..self.out_h {
-                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            idx += self.out_w;
-                            continue;
-                        }
-                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                        for ox in 0..self.out_w {
-                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if ix >= 0 && ix < w as isize {
-                                dst[idx] = src_row[ix as usize];
-                            }
-                            idx += 1;
-                        }
-                    }
-                    row += 1;
-                }
-            }
-        }
-    }
-
-    /// Scatter-adds `self.dcols` back into one sample gradient.
-    fn col2im(&self, grad_sample: &mut [f32]) {
-        let (h, w) = (self.input.height, self.input.width);
-        let l = self.out_len();
-        let mut row = 0usize;
-        for c in 0..self.input.channels {
-            let plane_base = c * h * w;
-            for ky in 0..self.kernel {
-                for kx in 0..self.kernel {
-                    let src = &self.dcols[row * l..(row + 1) * l];
-                    let mut idx = 0usize;
-                    for oy in 0..self.out_h {
-                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            idx += self.out_w;
-                            continue;
-                        }
-                        let row_base = plane_base + iy as usize * w;
-                        for ox in 0..self.out_w {
-                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if ix >= 0 && ix < w as isize {
-                                grad_sample[row_base + ix as usize] += src[idx];
-                            }
-                            idx += 1;
-                        }
-                    }
-                    row += 1;
-                }
-            }
-        }
+        self.geom.out_len()
     }
 }
 
@@ -198,7 +217,7 @@ impl Layer for Conv2d {
     }
 
     fn input_dim(&self) -> usize {
-        self.input.len()
+        self.geom.input.len()
     }
 
     fn output_dim(&self) -> usize {
@@ -214,16 +233,16 @@ impl Layer for Conv2d {
         );
         ensure_shape(output, batch, self.output_dim());
 
+        let geom = self.geom;
+        let in_dim = self.input_dim();
         let ckk = self.ckk();
         let l = self.out_len();
         for s in 0..batch {
-            // Borrow-splitting: copy the row reference data via raw indexing
-            // through a local to satisfy the borrow checker (im2col takes
-            // &mut self).
-            let sample_start = s * self.input_dim();
-            let sample_end = sample_start + self.input_dim();
-            let sample: Vec<f32> = input.as_slice()[sample_start..sample_end].to_vec();
-            self.im2col(&sample);
+            // unfold straight out of the caller's batch row — no copy
+            geom.im2col(
+                &input.as_slice()[s * in_dim..(s + 1) * in_dim],
+                &mut self.cols,
+            );
             let (w, bias) = self.params.split_at(self.out_channels * ckk);
             let out_row = output.row_mut(s);
             // out (out_c × L) = W (out_c × ckk) · cols (ckk × L)
@@ -237,7 +256,6 @@ impl Layer for Conv2d {
         }
 
         if train {
-            let in_dim = self.input_dim();
             ensure_shape(&mut self.cached_input, batch, in_dim);
             self.cached_input
                 .as_mut_slice()
@@ -260,12 +278,14 @@ impl Layer for Conv2d {
         ensure_shape(grad_in, batch, self.input_dim());
         grad_in.fill_zero();
 
+        let geom = self.geom;
         let ckk = self.ckk();
         let l = self.out_len();
         let wlen = self.out_channels * ckk;
         for s in 0..batch {
-            let sample: Vec<f32> = self.cached_input.row(s).to_vec();
-            self.im2col(&sample); // recompute unfold (memory-cheap backward)
+            // recompute the unfold from the cached input, sliced in place
+            // (memory-cheap backward, no per-sample copy)
+            geom.im2col(self.cached_input.row(s), &mut self.cols);
             let dy = grad_out.row(s);
 
             // dW += dY · colsᵀ : A=dY (out_c×L), B=cols (ckk×L) → A·Bᵀ (out_c×ckk)
@@ -295,7 +315,7 @@ impl Layer for Conv2d {
                 dy,
                 &mut self.dcols,
             );
-            self.col2im(grad_in.row_mut(s));
+            geom.col2im(&self.dcols, grad_in.row_mut(s));
         }
     }
 

@@ -73,7 +73,10 @@ pub trait Layer: Send {
 /// total element count already matches.
 pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
     if m.shape() != (rows, cols) {
-        *m = Matrix::zeros(rows, cols);
+        // capacity-preserving: a scratch matrix cycled across layer widths
+        // (e.g. the model's two backward gradient buffers) stops
+        // reallocating once it has seen the largest shape
+        m.resize_zeroed(rows, cols);
     }
 }
 

@@ -171,6 +171,7 @@ impl Bencher {
             return;
         }
         let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let median = median_of(&self.samples_ns);
         let min = self
             .samples_ns
             .iter()
@@ -178,18 +179,31 @@ impl Bencher {
             .fold(f64::INFINITY, f64::min);
         let rate = throughput.map(|t| match t {
             Throughput::Bytes(n) => {
-                format!(", {:.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+                format!(", {:.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
             }
-            Throughput::Elements(n) => format!(", {:.2} Melem/s", n as f64 / mean * 1e9 / 1e6),
+            Throughput::Elements(n) => format!(", {:.2} Melem/s", n as f64 / median * 1e9 / 1e6),
         });
         println!(
-            "{label:<50} mean {:>12} min {:>12} ({} samples x {} iters{})",
+            "{label:<50} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters{})",
+            format_ns(median),
             format_ns(mean),
             format_ns(min),
             self.samples_ns.len(),
             self.iters_per_sample,
             rate.unwrap_or_default(),
         );
+    }
+}
+
+/// Median of a non-empty sample set (mean of the middle pair for even n).
+fn median_of(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
     }
 }
 
