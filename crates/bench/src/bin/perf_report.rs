@@ -17,12 +17,13 @@
 
 use serde_json::Value;
 use skiptrain_bench::perf::{
-    allocated_bytes, build_report, json_object, measure, validate_report, CountingAllocator,
-    ScenarioMeasurement,
+    allocated_bytes, build_report, json_object, measure, validate_report,
+    validate_required_scenarios, CountingAllocator, ScenarioMeasurement, REQUIRED_SCENARIOS,
 };
 use skiptrain_data::synth::{MixtureSpec, MixtureTask};
 use skiptrain_engine::transport::{decode_frame, encode_message_into};
 use skiptrain_engine::{ModelCodec, RoundAction, Simulation, SimulationConfig};
+use skiptrain_linalg::compress::{compress_with_feedback_top_k, FeedbackScratch};
 use skiptrain_linalg::Matrix;
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::zoo::ModelKind;
@@ -248,6 +249,53 @@ fn main() {
         ));
     }
 
+    // --- error-feedback compression scenario ---------------------------
+    // The per-link hot path of CHOCO-SGD error feedback at the pinned
+    // CIFAR-10 model size and the ext_compression default kept fraction
+    // (1/16): residual accumulation + top-k selection over the residual +
+    // replica fold-back, through reusable buffers (allocation-free at
+    // steady state — the proxy column pins that too).
+    {
+        let k = params.len() / 16;
+        let (warmup, iters) = scale(5, 100);
+        let mut replica = vec![0.0f32; params.len()];
+        let mut model = params.clone();
+        let mut scratch = FeedbackScratch::default();
+        let (mut indices, mut values) = (Vec::new(), Vec::new());
+        let mut round = 0usize;
+        scenarios.push(measure(
+            "topk_feedback",
+            json_object(vec![
+                ("codec", Value::String("top-k".into())),
+                ("params", Value::UInt(params.len() as u64)),
+                ("k", Value::UInt(k as u64)),
+                ("beta", Value::Float(1.0)),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                // drift a rotating handful of coordinates in place so the
+                // residual never collapses to zero across iterations
+                round = round.wrapping_add(1);
+                let len = model.len();
+                for d in 0..8 {
+                    model[(round * 97 + d * 131) % len] += 1e-3;
+                }
+                compress_with_feedback_top_k(
+                    &model,
+                    &mut replica,
+                    1.0,
+                    k,
+                    &mut scratch,
+                    &mut indices,
+                    &mut values,
+                );
+                black_box((&replica, &indices, &values));
+            },
+        ));
+    }
+
     // --- report --------------------------------------------------------
     let report = build_report(&git_rev(), &scenarios);
     println!(
@@ -275,6 +323,10 @@ fn main() {
     });
     if let Err(msg) = validate_report(&parsed) {
         eprintln!("perf report failed schema validation: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(msg) = validate_required_scenarios(&parsed, REQUIRED_SCENARIOS) {
+        eprintln!("perf report failed required-scenario validation: {msg}");
         std::process::exit(1);
     }
     println!(

@@ -186,6 +186,33 @@ pub fn validate_report(report: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Scenario keys every emitted `BENCH_round_loop.json` must contain.
+/// These are the pinned hot paths the perf gate tracks across PRs — a
+/// report missing one of them (e.g. a scenario silently deleted from the
+/// binary) fails validation in CI. `topk_feedback` pins the error-feedback
+/// compression hot path added with the CHOCO-SGD subsystem.
+pub const REQUIRED_SCENARIOS: &[&str] = &[
+    "sgd_step_mlp_medium_90k",
+    "round_loop_train_64",
+    "round_loop_sync_256",
+    "codec_dense_roundtrip",
+    "topk_feedback",
+];
+
+/// Checks that `report` contains every key in `required` (shape is
+/// checked separately by [`validate_report`]).
+pub fn validate_required_scenarios(report: &Value, required: &[&str]) -> Result<(), String> {
+    let entries = report
+        .as_object()
+        .ok_or_else(|| "report must be a JSON object".to_string())?;
+    for key in required {
+        if !entries.iter().any(|(k, _)| k == key) {
+            return Err(format!("report is missing required scenario '{key}'"));
+        }
+    }
+    Ok(())
+}
+
 /// Builds a JSON object from `(key, value)` pairs (insertion order kept).
 pub fn json_object(pairs: Vec<(&str, Value)>) -> Value {
     Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -248,6 +275,29 @@ mod tests {
     fn empty_git_rev_is_rejected() {
         let report = build_report("", &[sample_measurement("s")]);
         assert!(validate_report(&report).is_err());
+    }
+
+    #[test]
+    fn required_scenarios_are_enforced() {
+        let full: Vec<ScenarioMeasurement> = REQUIRED_SCENARIOS
+            .iter()
+            .map(|name| sample_measurement(name))
+            .collect();
+        let report = build_report("rev", &full);
+        validate_required_scenarios(&report, REQUIRED_SCENARIOS)
+            .expect("complete report must pass");
+        // dropping any one required scenario fails with its name
+        for (i, name) in REQUIRED_SCENARIOS.iter().enumerate() {
+            let mut partial = full.clone();
+            partial.remove(i);
+            let report = build_report("rev", &partial);
+            let err = validate_required_scenarios(&report, REQUIRED_SCENARIOS).unwrap_err();
+            assert!(err.contains(name), "error '{err}' should name '{name}'");
+        }
+        assert!(
+            REQUIRED_SCENARIOS.contains(&"topk_feedback"),
+            "the error-feedback hot path must stay pinned"
+        );
     }
 
     #[test]

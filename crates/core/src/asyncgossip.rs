@@ -18,6 +18,7 @@
 //! just with slower mixing per tick (one partner instead of d neighbors).
 
 use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
+use crate::schedule::Schedule;
 use rand::RngExt;
 use skiptrain_engine::metrics::MetricsRecorder;
 use skiptrain_engine::{RoundAction, Simulation, SimulationConfig};
@@ -47,6 +48,68 @@ pub fn run_async_gossip(
         (0.0..=1.0).contains(&activation_prob),
         "activation probability in [0,1]"
     );
+    let seed = cfg.seed;
+    run_async_gossip_inner(
+        cfg,
+        data,
+        format!("{}/async-q{activation_prob}", cfg.name),
+        move |t, actions| {
+            // independent per-node activation draws
+            for (i, slot) in actions.iter_mut().enumerate() {
+                let mut rng = stream_rng(seed ^ 0xA57C, (t as u64) << 24 | i as u64);
+                *slot = if rng.random::<f64>() < activation_prob {
+                    RoundAction::Train
+                } else {
+                    RoundAction::SyncOnly
+                };
+            }
+        },
+    )
+}
+
+/// Runs asynchronous pairwise gossip with *coordinated* intermittent
+/// training: every node trains in tick `t` iff
+/// [`Schedule::is_train_round`] says so (the SkipTrain schedule without
+/// the synchronous all-neighbor barrier — gossip still happens over
+/// random maximal matchings). [`Schedule::with_offset`] shifts the
+/// activation *phase*: tick `t` behaves like tick `t + offset` of the
+/// base schedule, and the first partial period executes shifted rather
+/// than being dropped — pinned by a test counting training events against
+/// [`Schedule::count_train_rounds`] and by a property test in the
+/// schedule module.
+pub fn run_async_gossip_scheduled(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    schedule: Schedule,
+) -> ExperimentResult {
+    run_async_gossip_inner(
+        cfg,
+        data,
+        format!(
+            "{}/async-sched({},{})+{}",
+            cfg.name, schedule.gamma_train, schedule.gamma_sync, schedule.phase_offset
+        ),
+        move |t, actions| {
+            let action = if schedule.is_train_round(t) {
+                RoundAction::Train
+            } else {
+                RoundAction::SyncOnly
+            };
+            actions.fill(action);
+        },
+    )
+}
+
+/// The shared async-gossip loop: `decide` fills each tick's per-node
+/// actions (i.i.d. draws or a coordinated schedule); everything else —
+/// matchings, pairwise mixing, per-pair energy accounting, evaluation
+/// cadence — is identical between the variants.
+fn run_async_gossip_inner(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    name: String,
+    mut decide: impl FnMut(usize, &mut [RoundAction]),
+) -> ExperimentResult {
     let kind = cfg.model_kind();
     let models: Vec<_> = (0..cfg.nodes)
         .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
@@ -62,6 +125,7 @@ pub fn run_async_gossip(
         sgd: SgdConfig::plain(cfg.learning_rate),
         transport: cfg.transport,
         codec: cfg.codec,
+        feedback_beta: cfg.feedback_beta,
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),
@@ -81,15 +145,7 @@ pub fn run_async_gossip(
     let mut node_train_events = 0u64;
 
     for t in 0..cfg.rounds {
-        // independent per-node activation draws
-        for (i, slot) in actions.iter_mut().enumerate() {
-            let mut rng = stream_rng(cfg.seed ^ 0xA57C, (t as u64) << 24 | i as u64);
-            *slot = if rng.random::<f64>() < activation_prob {
-                RoundAction::Train
-            } else {
-                RoundAction::SyncOnly
-            };
-        }
+        decide(t, &mut actions);
         node_train_events += actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
 
         let pairs = random_maximal_matching(
@@ -131,7 +187,7 @@ pub fn run_async_gossip(
         .collect();
 
     ExperimentResult {
-        name: format!("{}/async-q{activation_prob}", cfg.name),
+        name,
         algorithm: "async-gossip".to_string(),
         nodes: cfg.nodes,
         rounds: cfg.rounds,
@@ -219,6 +275,61 @@ mod tests {
             "comm {} Wh exceeds the matching bound {} Wh",
             r.total_comm_wh,
             legacy_degree_charge / 6.0
+        );
+    }
+
+    #[test]
+    fn scheduled_offsets_shift_activation_phase_not_drop_partial_periods() {
+        // Issue-4 satellite: the scheduled async variant must execute
+        // exactly nodes · count_train_rounds training events at *every*
+        // phase offset — a bug that dropped the first partial period
+        // (e.g. skipping until the first full period boundary) would
+        // undercount at nonzero offsets. rounds = 22 is deliberately not
+        // a multiple of the (4, 4) period so partial periods matter.
+        let mut cfg = tiny();
+        cfg.rounds = 22;
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        for offset in [0usize, 1, 4, 7] {
+            let schedule = Schedule::new(4, 4).with_offset(offset);
+            let r = run_async_gossip_scheduled(&cfg, &data, schedule);
+            let expected = cfg.nodes as u64 * schedule.count_train_rounds(cfg.rounds) as u64;
+            assert_eq!(
+                r.node_train_events, expected,
+                "offset {offset}: scheduled activations must match the \
+                 shifted schedule exactly"
+            );
+        }
+        // sync-first (offset = Γ_train) and train-first disagree on the
+        // partial window, proving the offset actually shifts the phase
+        let train_first = run_async_gossip_scheduled(&cfg, &data, Schedule::new(4, 4));
+        let sync_first =
+            run_async_gossip_scheduled(&cfg, &data, Schedule::new(4, 4).with_offset(4));
+        assert_ne!(train_first.node_train_events, sync_first.node_train_events);
+    }
+
+    #[test]
+    fn async_gossip_composes_with_error_feedback() {
+        // Per-round matchings exercise the lazy per-link replica
+        // allocation: feedback must stay stable and deterministic when
+        // every tick fires a different edge set.
+        let mut cfg = tiny();
+        cfg.codec = skiptrain_engine::ModelCodec::TopK { k: 256 };
+        cfg.feedback_beta = Some(1.0);
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let a = run_async_gossip(&cfg, &data, 0.5);
+        assert!(
+            a.final_mean_model.iter().all(|v| v.is_finite()),
+            "feedback under per-round matchings must stay finite"
+        );
+        assert!(
+            a.final_test.mean_accuracy > 0.25,
+            "async gossip with top-k feedback failed to learn: {}",
+            a.final_test.mean_accuracy
+        );
+        let b = run_async_gossip(&cfg, &data, 0.5);
+        assert_eq!(
+            a.final_test.mean_accuracy.to_bits(),
+            b.final_test.mean_accuracy.to_bits()
         );
     }
 

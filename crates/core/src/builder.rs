@@ -114,6 +114,18 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables CHOCO-SGD-style error-feedback compression with residual
+    /// retention `beta ∈ (0, 1]` (`1.0` = full error feedback). Each
+    /// directed link accumulates what its codec discarded and re-injects
+    /// `beta ·` that residual next round, recovering most of the accuracy
+    /// an aggressive top-k would otherwise lose — at zero extra wire
+    /// bytes. Validation rejects `beta` outside `(0, 1]` with
+    /// [`ConfigError::InvalidFeedbackBeta`].
+    pub fn compression_feedback(mut self, beta: f32) -> Self {
+        self.config.feedback_beta = Some(beta);
+        self
+    }
+
     /// Validates and builds the raw configuration.
     pub fn build_config(self) -> Result<ExperimentConfig, ConfigError> {
         self.config.validate()?;
@@ -275,6 +287,48 @@ mod tests {
             .build()
             .expect("positive k validates");
         assert_eq!(ok.config().codec, ModelCodec::TopK { k: 64 });
+    }
+
+    #[test]
+    fn out_of_range_feedback_beta_is_a_typed_error() {
+        for bad in [0.0f32, -0.5, 1.5, f32::NAN, f32::INFINITY] {
+            let err = Experiment::builder()
+                .compression(ModelCodec::TopK { k: 64 })
+                .compression_feedback(bad)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::InvalidFeedbackBeta, "beta {bad}");
+        }
+        for good in [1.0f32, 0.5, 1e-3] {
+            let ok = Experiment::builder()
+                .compression(ModelCodec::TopK { k: 64 })
+                .compression_feedback(good)
+                .build()
+                .expect("beta in (0,1] validates");
+            assert_eq!(ok.config().feedback_beta, Some(good));
+        }
+    }
+
+    #[test]
+    fn configs_without_feedback_field_stay_loadable() {
+        // serde-default bit-compatibility: a pre-feedback JSON config
+        // (no `feedback_beta` key) must deserialize with feedback off and
+        // produce the same validated config as before.
+        let base = crate::presets::cifar_config(crate::presets::Scale::Quick, 3);
+        let mut json = serde_json::to_value(&base);
+        match &mut json {
+            serde_json::Value::Object(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "feedback_beta");
+                assert_eq!(entries.len(), before - 1, "field must serialize by default");
+            }
+            other => panic!("config must serialize to an object, got {other:?}"),
+        }
+        let legacy: crate::ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert_eq!(legacy.feedback_beta, None);
+        legacy.validate().expect("legacy config still validates");
+        assert_eq!(legacy.nodes, base.nodes);
     }
 
     #[test]

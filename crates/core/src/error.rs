@@ -46,6 +46,9 @@ pub enum ConfigError {
     /// A top-k compression codec with `k == 0` would transmit no
     /// parameters at all.
     ZeroTopK,
+    /// The error-feedback residual retention factor is outside `(0, 1]`
+    /// (or not finite).
+    InvalidFeedbackBeta,
     /// The dataset spec would generate no training samples per node.
     EmptyNodeData,
     /// The dataset spec would generate no evaluation samples.
@@ -92,6 +95,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroTopK => {
                 write!(f, "top-k compression needs k >= 1 kept parameters")
+            }
+            ConfigError::InvalidFeedbackBeta => {
+                write!(f, "compression feedback beta must lie in (0, 1]")
             }
             ConfigError::EmptyNodeData => {
                 write!(f, "dataset spec generates zero training samples per node")

@@ -409,6 +409,14 @@ pub struct ExperimentConfig {
     /// dense f32; `#[serde(default)]` keeps older JSON configs loadable).
     #[serde(default)]
     pub codec: ModelCodec,
+    /// `Some(β)` enables CHOCO-SGD-style error-feedback compression: each
+    /// directed link accumulates the residual its codec discarded and
+    /// re-injects `β ·` that residual into its next payload (`β ∈ (0, 1]`).
+    /// Sender-local state, zero extra wire bytes; a no-op for the lossless
+    /// dense codec. `#[serde(default)]` keeps older JSON configs
+    /// bit-compatible (absent field = feedback off).
+    #[serde(default)]
+    pub feedback_beta: Option<f32>,
     /// Also record the accuracy of the averaged (all-reduced) model at each
     /// evaluation point — the hypothetical curve of Figure 1.
     pub record_mean_model: bool,
@@ -512,6 +520,11 @@ impl ExperimentConfig {
         }
         if matches!(self.codec, ModelCodec::TopK { k: 0 }) {
             return Err(ConfigError::ZeroTopK);
+        }
+        if let Some(beta) = self.feedback_beta {
+            if !(beta.is_finite() && beta > 0.0 && beta <= 1.0) {
+                return Err(ConfigError::InvalidFeedbackBeta);
+            }
         }
         let needs_budget = matches!(
             self.algorithm,

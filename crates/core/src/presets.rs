@@ -84,6 +84,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         energy: EnergySpec::cifar10(),
         transport: TransportKind::Memory,
         codec: ModelCodec::DenseF32,
+        feedback_beta: None,
         record_mean_model: false,
     }
 }
@@ -123,6 +124,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         energy: EnergySpec::femnist(),
         transport: TransportKind::Memory,
         codec: ModelCodec::DenseF32,
+        feedback_beta: None,
         record_mean_model: false,
     }
 }

@@ -65,6 +65,7 @@ pub(crate) fn execute(
         sgd: SgdConfig::plain(cfg.learning_rate),
         transport: cfg.transport,
         codec: cfg.codec,
+        feedback_beta: cfg.feedback_beta,
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),

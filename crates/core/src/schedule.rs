@@ -197,5 +197,36 @@ mod tests {
             // the real-valued Eq. 4 is within one period of the exact count
             prop_assert!((exact - s.t_train(total)).abs() <= s.gamma_train as f64);
         }
+
+        #[test]
+        fn prop_offset_shifts_phase_without_dropping_partial_periods(
+            gt in 1usize..6, gs in 0usize..6, offset in 0usize..16, total in 0usize..120
+        ) {
+            // Issue-4 satellite: `with_offset` must *shift* the activation
+            // phase — round t of the offset schedule behaves like round
+            // t + offset of the base schedule — and the first (partial)
+            // period stays fully populated rather than being dropped.
+            let base = Schedule::new(gt, gs);
+            let shifted = base.with_offset(offset);
+            for t in 0..total {
+                prop_assert_eq!(
+                    shifted.is_train_round(t),
+                    base.is_train_round(t + offset),
+                    "round {} with offset {}", t, offset
+                );
+            }
+            // count_train_rounds' full-period shortcut must agree with
+            // brute enumeration at every offset (a dropped first partial
+            // period would show up here)
+            let brute = (0..total).filter(|&t| shifted.is_train_round(t)).count();
+            prop_assert_eq!(shifted.count_train_rounds(total), brute);
+            // any full-period window contains exactly gamma_train training
+            // rounds regardless of phase
+            let period = base.period();
+            if total >= period {
+                let window = (0..period).filter(|&t| shifted.is_train_round(t)).count();
+                prop_assert_eq!(window, gt);
+            }
+        }
     }
 }

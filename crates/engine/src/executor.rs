@@ -3,12 +3,17 @@
 use crate::eval::{evaluate_model, fixed_subsample, EVAL_CHUNK};
 use crate::metrics::EvalStats;
 use crate::node::Node;
-use crate::transport::{decode_frame, encode_message_into, ModelCodec, Payload, TransportKind};
+use crate::transport::{
+    decode_frame, encode_message_into, ErrorFeedbackState, ModelCodec, Payload, TransportKind,
+};
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
 use skiptrain_energy::comm::CommEnergyModel;
 use skiptrain_energy::EnergyLedger;
-use skiptrain_linalg::compress::sparse_blend_axpy;
+use skiptrain_linalg::compress::{
+    accumulate_delta, compress_with_feedback_top_k, compress_with_feedback_u16,
+    compress_with_feedback_u8, scatter_axpy, sparse_blend_axpy, FeedbackScratch,
+};
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::{Sequential, SoftmaxCrossEntropy};
 use skiptrain_topology::{Graph, MixingMatrix};
@@ -44,6 +49,17 @@ pub struct SimulationConfig {
     /// genuinely propagates through training) and shrink the per-message
     /// bytes the energy ledger charges.
     pub codec: ModelCodec,
+    /// `Some(β)` enables CHOCO-SGD-style error-feedback compression:
+    /// every directed link tracks a replica of the sender's model,
+    /// compresses the accumulated residual `model − replica` instead of
+    /// the raw model, and folds the delivered part back (`β ∈ (0, 1]`,
+    /// `1.0` = full error feedback). What the codec failed to deliver
+    /// stays in the next residual, so aggressive sparsification stops
+    /// starving low-magnitude coordinates. Link-local state — message
+    /// bytes and energy charges are unchanged. A no-op for the lossless
+    /// [`ModelCodec::DenseF32`] (the residual would stay zero), which
+    /// keeps its zero-copy fast path.
+    pub feedback_beta: Option<f32>,
     /// Per-node training energy per round (Wh); empty disables training
     /// energy accounting.
     pub training_energy_wh: Vec<f64>,
@@ -66,6 +82,7 @@ impl SimulationConfig {
             sgd: SgdConfig::plain(lr),
             transport: TransportKind::Memory,
             codec: ModelCodec::DenseF32,
+            feedback_beta: None,
             training_energy_wh: Vec::new(),
             comm_energy: CommEnergyModel::paper_fit(),
             nominal_params: None,
@@ -82,6 +99,29 @@ enum Shared {
     Dense(Vec<Vec<f32>>),
     /// One sparse top-k `(indices, values)` message per sender.
     Sparse(Vec<(Vec<u32>, Vec<f32>)>),
+}
+
+/// Per-receiver reusable buffers for the error-feedback share path, which
+/// compresses each directed edge separately (the per-link replicas make
+/// every link's payload unique). All buffers retain capacity across
+/// rounds, keeping the feedback path allocation-free at steady state on
+/// the in-memory transport.
+#[derive(Debug, Clone, Default)]
+struct EdgeScratch {
+    /// Residual accumulation scratch (`model − replica`).
+    fb: FeedbackScratch,
+    /// Top-k payload indices.
+    indices: Vec<u32>,
+    /// Top-k payload values.
+    values: Vec<f32>,
+    /// Dense reconstruction (quantized codecs).
+    recon: Vec<f32>,
+    /// u8 quantization codes.
+    codes8: Vec<u8>,
+    /// u16 quantization codes.
+    codes16: Vec<u16>,
+    /// Wire-frame buffer (serialized transport).
+    frame: Vec<u8>,
 }
 
 /// Collects per-sender payloads into the codec's aggregation shape.
@@ -142,6 +182,10 @@ pub struct Simulation {
     agg_weights: Vec<Vec<f32>>,
     /// Reusable mean-model buffer for [`Simulation::evaluate_mean_model`].
     mean_scratch: Vec<f32>,
+    /// Per-directed-link error-feedback replicas, when enabled.
+    feedback: Option<ErrorFeedbackState>,
+    /// Per-receiver reusable buffers for the per-edge feedback share path.
+    edge_scratch: Vec<EdgeScratch>,
 }
 
 impl Simulation {
@@ -229,6 +273,10 @@ impl Simulation {
             agg_indices: vec![Vec::new(); n],
             agg_weights: vec![Vec::new(); n],
             mean_scratch: Vec::new(),
+            feedback: config
+                .feedback_beta
+                .map(|beta| ErrorFeedbackState::new(n, beta)),
+            edge_scratch: vec![EdgeScratch::default(); n],
             config,
         }
     }
@@ -268,6 +316,11 @@ impl Simulation {
     /// The energy ledger.
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// The per-link error-feedback state, when feedback is enabled.
+    pub fn feedback(&self) -> Option<&ErrorFeedbackState> {
+        self.feedback.as_ref()
     }
 
     /// Current committed model of `node`.
@@ -374,10 +427,13 @@ impl Simulation {
         // Effective senders: nodes appearing off-diagonal in any row.
         // Computed into a reusable bitmap, and only on the paths that
         // materialize payloads — the Memory + DenseF32 fast path never
-        // reads it.
+        // reads it, and the error-feedback path compresses per directed
+        // edge instead of per sender.
         let codec = self.config.codec;
-        let needs_sender_flags = !matches!(self.config.transport, TransportKind::Memory)
-            || codec != ModelCodec::DenseF32;
+        let feedback_on = codec != ModelCodec::DenseF32 && self.feedback.is_some();
+        let needs_sender_flags = !feedback_on
+            && (!matches!(self.config.transport, TransportKind::Memory)
+                || codec != ModelCodec::DenseF32);
         if needs_sender_flags {
             let flags = &mut self.sender_flags;
             flags.fill(false);
@@ -388,6 +444,14 @@ impl Simulation {
                     }
                 }
             }
+        }
+
+        if feedback_on {
+            self.share_aggregate_with_feedback(mixing_override, codec);
+            std::mem::swap(&mut self.params, &mut self.next);
+            self.account_energy(actions, mixing_override);
+            self.round += 1;
+            return;
         }
 
         // Phase 2: share. The serialized transport actually encodes/decodes
@@ -510,6 +574,132 @@ impl Simulation {
         // Phase 4: energy accounting over the edges that actually fired.
         self.account_energy(actions, mixing_override);
         self.round += 1;
+    }
+
+    /// Fused share + aggregate for error-feedback compression.
+    ///
+    /// The per-link replicas make every directed edge's payload unique,
+    /// so this path compresses per edge `j → i` instead of per sender:
+    /// the receiver-parallel loop walks each node's mixing row and, for
+    /// every delivering in-edge, compresses the link residual
+    /// `x_j^{t−½} − x̂_{j→i}` (via the in-memory kernels, or a genuine
+    /// encode/decode round trip on the serialized transport —
+    /// bit-identical by the codec contract), folds the payload back into
+    /// the replica, and aggregates the *replica* in place of the raw
+    /// neighbor model. A replica's first delivery seeds it with the
+    /// receiver's own pre-mixing model, so never-delivered coordinates
+    /// fall back to the receiver's values exactly like the plain masked
+    /// blend — and to the link's last-delivered estimate afterwards.
+    ///
+    /// The simulation models an *acknowledged* link: a dropped message
+    /// leaves the replica untouched (the sender's view only advances on
+    /// delivery) and the edge weight falls back onto the receiver's own
+    /// model, exactly like the dense drop path. Energy is unaffected —
+    /// transmission attempts are charged in phase 4 regardless. Each
+    /// link's replica lives in the receiver's slot of
+    /// [`ErrorFeedbackState`], so the parallel loop mutates disjoint
+    /// state; everything runs through per-receiver reusable buffers
+    /// (allocation-free at steady state on the Memory transport).
+    fn share_aggregate_with_feedback(
+        &mut self,
+        mixing_override: Option<&MixingMatrix>,
+        codec: ModelCodec,
+    ) {
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        let fb = self
+            .feedback
+            .as_mut()
+            .expect("feedback path requires state");
+        let beta = fb.beta();
+        let half = &self.half;
+        let transport = self.config.transport;
+        let seed = self.config.seed;
+        let round = self.round;
+        let round_u32 = self.round as u32;
+        self.next
+            .par_iter_mut()
+            .zip(fb.incoming_mut().par_iter_mut())
+            .zip(self.edge_scratch.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, ((out, links), scratch))| {
+                let row = mixing.row(i);
+                out.fill(0.0);
+                // self weight plus every dropped neighbor's weight falls
+                // back onto the receiver's own model, applied last in a
+                // fixed order for determinism
+                let mut self_weight = 0.0f32;
+                for &(j, w) in row {
+                    let src = j as usize;
+                    if src == i {
+                        self_weight += w;
+                        continue;
+                    }
+                    if !transport.delivered(seed, round, src, i) {
+                        self_weight += w;
+                        continue;
+                    }
+                    let replica = links.entry(j).or_insert_with(|| half[i].clone());
+                    if matches!(transport, TransportKind::Memory) {
+                        match codec {
+                            ModelCodec::TopK { k } => compress_with_feedback_top_k(
+                                &half[src],
+                                replica,
+                                beta,
+                                k,
+                                &mut scratch.fb,
+                                &mut scratch.indices,
+                                &mut scratch.values,
+                            ),
+                            ModelCodec::QuantizedU8 => {
+                                compress_with_feedback_u8(
+                                    &half[src],
+                                    replica,
+                                    beta,
+                                    &mut scratch.fb,
+                                    &mut scratch.codes8,
+                                    &mut scratch.recon,
+                                );
+                            }
+                            ModelCodec::QuantizedU16 => {
+                                compress_with_feedback_u16(
+                                    &half[src],
+                                    replica,
+                                    beta,
+                                    &mut scratch.fb,
+                                    &mut scratch.codes16,
+                                    &mut scratch.recon,
+                                );
+                            }
+                            ModelCodec::DenseF32 => {
+                                unreachable!("feedback path requires a lossy codec")
+                            }
+                        }
+                    } else {
+                        // the wire carries the compressed *delta* under the
+                        // unchanged frame layout; both ends advance the
+                        // replica from the decoded payload
+                        accumulate_delta(&half[src], replica, &mut scratch.fb.delta);
+                        encode_message_into(
+                            codec,
+                            j,
+                            round_u32,
+                            &scratch.fb.delta,
+                            &mut scratch.frame,
+                        );
+                        let msg = decode_frame(&scratch.frame).expect("in-process frame decodes");
+                        match msg.payload {
+                            Payload::Sparse { indices, values } => {
+                                scatter_axpy(replica, &indices, &values, beta);
+                            }
+                            Payload::Dense(recon) => {
+                                skiptrain_linalg::ops::axpy(beta, &recon, replica);
+                            }
+                        }
+                    }
+                    skiptrain_linalg::ops::axpy(w, replica, out);
+                }
+                skiptrain_linalg::ops::axpy(self_weight, &half[i], out);
+            });
     }
 
     /// Records this round's energy from per-message events.
@@ -668,6 +858,20 @@ mod tests {
     fn tiny_sim(n: usize, seed: u64, transport: TransportKind) -> (Simulation, Dataset) {
         let d = if n > 4 { 4 } else { n - 1 };
         tiny_sim_full(n, seed, transport, ModelCodec::DenseF32, d)
+    }
+
+    fn tiny_sim_feedback(
+        n: usize,
+        seed: u64,
+        transport: TransportKind,
+        codec: ModelCodec,
+        degree: usize,
+        beta: f32,
+    ) -> Simulation {
+        let (mut sim, _) = tiny_sim_full(n, seed, transport, codec, degree);
+        sim.config.feedback_beta = Some(beta);
+        sim.feedback = Some(ErrorFeedbackState::new(n, beta));
+        sim
     }
 
     #[test]
@@ -1002,6 +1206,225 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn top_k_masked_aggregation_blends_against_pre_mixing_model() {
+        // Regression (issue 4, satellite 1): when several top-k messages
+        // arrive in one round and hit the *same* coordinate, each blend
+        // must substitute the receiver's pre-mixing half-step model, not
+        // the partially-updated aggregation buffer. Nodes 1 and 2 both
+        // send coordinate 1, so a partial-buffer bug would double-apply.
+        let (mut sim, _) =
+            tiny_sim_full(3, 77, TransportKind::Memory, ModelCodec::TopK { k: 1 }, 2);
+        let p = sim.param_count();
+        let mut x0 = vec![0.0f32; p];
+        x0[0] = 1.0;
+        let mut x1 = vec![0.0f32; p];
+        x1[1] = 5.0;
+        let mut x2 = vec![0.0f32; p];
+        x2[1] = 7.0;
+        sim.set_node_params(0, &x0);
+        sim.set_node_params(1, &x1);
+        sim.set_node_params(2, &x2);
+        let before = [x0.clone(), x1.clone(), x2.clone()];
+
+        let mixing = MixingMatrix::metropolis_hastings(sim.graph());
+        sim.run_round(&[RoundAction::SyncOnly; 3]);
+
+        // independent reimplementation of the masked blend, base fixed to
+        // the pre-mixing model for every incoming message
+        let sent: Vec<(u32, f32)> = vec![(0, 1.0), (1, 5.0), (1, 7.0)];
+        for (i, base) in before.iter().enumerate() {
+            let row = mixing.row(i);
+            let row_sum: f32 = row.iter().map(|&(_, w)| w).sum();
+            let mut expected: Vec<f32> = base.iter().map(|v| v * row_sum).collect();
+            for &(j, w) in row {
+                if j as usize != i {
+                    let (coord, val) = sent[j as usize];
+                    let c = coord as usize;
+                    expected[c] += w * (val - base[c]);
+                }
+            }
+            assert_eq!(
+                sim.node_params(i),
+                &expected[..],
+                "node {i}: masked blend must use the pre-mixing base"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_codecs_identical_across_transports() {
+        for codec in [
+            ModelCodec::QuantizedU8,
+            ModelCodec::QuantizedU16,
+            ModelCodec::TopK { k: 40 },
+        ] {
+            for beta in [1.0f32, 0.5] {
+                let mut mem = tiny_sim_feedback(6, 61, TransportKind::Memory, codec, 4, beta);
+                let mut ser = tiny_sim_feedback(
+                    6,
+                    61,
+                    TransportKind::Serialized { drop_prob: 0.0 },
+                    codec,
+                    4,
+                    beta,
+                );
+                let actions = vec![RoundAction::Train; 6];
+                for _ in 0..3 {
+                    mem.run_round(&actions);
+                    ser.run_round(&actions);
+                }
+                for i in 0..6 {
+                    assert_eq!(
+                        mem.node_params(i),
+                        ser.node_params(i),
+                        "{codec:?} β={beta}: node {i} diverged between transports"
+                    );
+                }
+                // the sender-local residuals must match too
+                for dst in 0..6 {
+                    for src in 0..6 {
+                        assert_eq!(
+                            mem.feedback().unwrap().replica(src, dst),
+                            ser.feedback().unwrap().replica(src, dst),
+                            "{codec:?} β={beta}: replica {src}->{dst} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_reduces_top_k_consensus_bias() {
+        // Aggressive top-k without memory parks gossip at a biased
+        // disagreement floor; error feedback keeps draining the deferred
+        // coordinates, so sync rounds contract much further.
+        let run = |beta: Option<f32>| {
+            let codec = ModelCodec::TopK { k: 8 };
+            let mut sim = match beta {
+                Some(b) => tiny_sim_feedback(8, 83, TransportKind::Memory, codec, 4, b),
+                None => tiny_sim_full(8, 83, TransportKind::Memory, codec, 4).0,
+            };
+            for _ in 0..3 {
+                sim.run_round(&[RoundAction::Train; 8]);
+            }
+            for _ in 0..20 {
+                sim.run_round(&[RoundAction::SyncOnly; 8]);
+            }
+            sim.disagreement()
+        };
+        let plain = run(None);
+        let with_feedback = run(Some(1.0));
+        assert!(
+            with_feedback < plain * 0.5,
+            "feedback should at least halve the top-k disagreement floor: \
+             plain {plain} vs feedback {with_feedback}"
+        );
+    }
+
+    #[test]
+    fn feedback_links_allocate_lazily_per_fired_edge() {
+        let n = 8;
+        let mut sim = tiny_sim_feedback(
+            n,
+            91,
+            TransportKind::Memory,
+            ModelCodec::TopK { k: 10 },
+            4,
+            1.0,
+        );
+        assert_eq!(sim.feedback().unwrap().active_links(), 0);
+        let mixing = MixingMatrix::pairwise(n, &[(1, 4)]);
+        sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing);
+        assert_eq!(
+            sim.feedback().unwrap().active_links(),
+            2,
+            "one matched pair fires exactly two directed links"
+        );
+        assert!(sim.feedback().unwrap().replica(1, 4).is_some());
+        assert!(sim.feedback().unwrap().replica(4, 1).is_some());
+        assert!(sim.feedback().unwrap().replica(0, 1).is_none());
+        // a second, different matching adds exactly two more links and
+        // leaves the first pair's residuals in place
+        let mixing2 = MixingMatrix::pairwise(n, &[(2, 6)]);
+        sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing2);
+        assert_eq!(sim.feedback().unwrap().active_links(), 4);
+        assert!(sim.feedback().unwrap().replica(1, 4).is_some());
+    }
+
+    #[test]
+    fn feedback_with_dense_codec_is_a_bitwise_noop() {
+        let (mut plain, _) = tiny_sim(6, 44, TransportKind::Memory);
+        let mut fb = tiny_sim_feedback(6, 44, TransportKind::Memory, ModelCodec::DenseF32, 4, 1.0);
+        let actions = vec![RoundAction::Train; 6];
+        for _ in 0..4 {
+            plain.run_round(&actions);
+            fb.run_round(&actions);
+        }
+        for i in 0..6 {
+            assert_eq!(plain.node_params(i), fb.node_params(i));
+        }
+        assert_eq!(
+            fb.feedback().unwrap().active_links(),
+            0,
+            "lossless codec must never materialize feedback links"
+        );
+    }
+
+    #[test]
+    fn feedback_charges_identical_energy_to_plain_compression() {
+        let codec = ModelCodec::TopK { k: 10 };
+        let (mut plain, _) = tiny_sim_full(6, 52, TransportKind::Memory, codec, 4);
+        let mut fb = tiny_sim_feedback(6, 52, TransportKind::Memory, codec, 4, 1.0);
+        let actions = vec![RoundAction::SyncOnly; 6];
+        for _ in 0..3 {
+            plain.run_round(&actions);
+            fb.run_round(&actions);
+        }
+        assert_eq!(
+            plain.ledger().total_tx_bytes(),
+            fb.ledger().total_tx_bytes()
+        );
+        assert_eq!(
+            plain.ledger().total_rx_bytes(),
+            fb.ledger().total_rx_bytes()
+        );
+        assert_eq!(
+            plain.ledger().total_comm_wh().to_bits(),
+            fb.ledger().total_comm_wh().to_bits(),
+            "feedback is sender-local state: zero extra bytes, identical energy"
+        );
+    }
+
+    #[test]
+    fn feedback_rounds_are_deterministic() {
+        let run = || {
+            let mut sim = tiny_sim_feedback(
+                6,
+                73,
+                TransportKind::Memory,
+                ModelCodec::TopK { k: 12 },
+                4,
+                1.0,
+            );
+            for r in 0..5 {
+                let actions: Vec<RoundAction> = (0..6)
+                    .map(|i| {
+                        if (r + i) % 2 == 0 {
+                            RoundAction::Train
+                        } else {
+                            RoundAction::SyncOnly
+                        }
+                    })
+                    .collect();
+                sim.run_round(&actions);
+            }
+            sim.node_params(2).to_vec()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!    pairwise-gossip override) sends `x^{t−½}` through a
 //!    [`transport`](transport::TransportKind) (zero-copy in-memory or full
 //!    serialize/decode with optional loss), compressed by the configured
-//!    [`ModelCodec`](transport::ModelCodec);
+//!    [`ModelCodec`](transport::ModelCodec) — optionally with per-link
+//!    CHOCO-SGD error feedback
+//!    ([`ErrorFeedbackState`](transport::ErrorFeedbackState)), which
+//!    compresses each directed edge's accumulated residual against a link
+//!    replica instead of the raw model at identical wire bytes;
 //! 3. **aggregate** — every node computes `x^t = Σ_j W_ji · x_j^{t−½}`
 //!    with its Metropolis–Hastings row, over the lossily reconstructed
 //!    neighbor models;
@@ -46,4 +50,4 @@ pub use observer::{
     CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
     RoundObserver, RoundReport,
 };
-pub use transport::{ModelCodec, TransportKind};
+pub use transport::{ErrorFeedbackState, ModelCodec, TransportKind};

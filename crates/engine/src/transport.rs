@@ -46,6 +46,22 @@
 //! stay sparse: the aggregation substitutes the receiver's own parameters
 //! for untransmitted coordinates (see the executor), so sparsification
 //! error propagates through training too.
+//!
+//! # Error feedback
+//!
+//! [`ErrorFeedbackState`] holds the per-directed-link accumulators of
+//! CHOCO-SGD-style error-feedback compression (see
+//! `skiptrain_linalg::compress`): when feedback is enabled, each directed
+//! link `j → i` carries a *replica* `x̂_{j→i}` — the receiver's
+//! last-delivered estimate of the sender's model — and each firing
+//! compresses the accumulated residual `x_j^{t−½} − x̂_{j→i}` instead of
+//! the raw model, folding the delivered part back into the replica.
+//! Whatever the codec failed to deliver stays in the next residual, so
+//! aggressive sparsification no longer starves low-magnitude
+//! coordinates. The state is **link-local** — it never travels on the
+//! wire, so the frame layout above and every per-message byte count are
+//! unchanged by feedback (a top-k frame simply carries delta values
+//! instead of absolute ones).
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -208,6 +224,69 @@ impl ModelCodec {
                 Payload::Sparse { indices, values }
             }
         }
+    }
+}
+
+/// Per-directed-link error-feedback accumulators (CHOCO-SGD style; see
+/// the module docs).
+///
+/// Each active link `src → dst` owns one replica vector `x̂_{src→dst}`;
+/// the accumulated residual the link will compress next is
+/// `x_src − x̂_{src→dst}`. The state is stored receiver-indexed
+/// (`incoming[dst]` maps sender → replica) so the receiver-parallel
+/// aggregation loop mutates disjoint link sets without locks. Links are
+/// allocated lazily the first round their directed edge delivers —
+/// static topology rows, per-round pairwise matchings, and async-gossip
+/// activations alike — and persist unchanged across rounds in which the
+/// link stays silent, so deferred discrepancies are merged correctly
+/// under time-varying mixing.
+#[derive(Debug, Clone)]
+pub struct ErrorFeedbackState {
+    beta: f32,
+    incoming: Vec<std::collections::HashMap<u32, Vec<f32>>>,
+}
+
+impl ErrorFeedbackState {
+    /// Creates empty feedback state for `n` nodes with replica step
+    /// `beta ∈ (0, 1]` (`1.0` = full CHOCO-SGD error feedback; smaller
+    /// values damp the replica tracking).
+    ///
+    /// # Panics
+    /// Panics if `beta` is not a finite value in `(0, 1]`.
+    pub fn new(n: usize, beta: f32) -> Self {
+        assert!(
+            beta.is_finite() && beta > 0.0 && beta <= 1.0,
+            "feedback beta must lie in (0, 1], got {beta}"
+        );
+        Self {
+            beta,
+            incoming: vec![std::collections::HashMap::new(); n],
+        }
+    }
+
+    /// The replica step / residual retention factor β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// Number of directed links that have delivered at least once.
+    pub fn active_links(&self) -> usize {
+        self.incoming.iter().map(|m| m.len()).sum()
+    }
+
+    /// The replica of directed link `src → dst` (the receiver's current
+    /// estimate of the sender's model), if the link ever delivered.
+    pub fn replica(&self, src: usize, dst: usize) -> Option<&[f32]> {
+        self.incoming
+            .get(dst)
+            .and_then(|m| m.get(&(src as u32)))
+            .map(Vec::as_slice)
+    }
+
+    /// Mutable receiver-indexed link maps (the aggregation loop zips over
+    /// these in parallel with the per-receiver output buffers).
+    pub(crate) fn incoming_mut(&mut self) -> &mut [std::collections::HashMap<u32, Vec<f32>>] {
+        &mut self.incoming
     }
 }
 
@@ -713,6 +792,24 @@ mod tests {
             decode_message(dup).unwrap_err(),
             DecodeError::IndexOutOfRange
         );
+    }
+
+    #[test]
+    fn feedback_state_allocates_links_lazily() {
+        let mut fb = ErrorFeedbackState::new(4, 1.0);
+        assert_eq!(fb.active_links(), 0);
+        assert!(fb.replica(0, 1).is_none());
+        fb.incoming_mut()[1].insert(0, vec![0.5, -0.5]);
+        assert_eq!(fb.active_links(), 1);
+        assert_eq!(fb.replica(0, 1), Some(&[0.5, -0.5][..]));
+        assert!(fb.replica(1, 0).is_none(), "links are directed");
+        assert_eq!(fb.beta(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback beta")]
+    fn feedback_state_rejects_out_of_range_beta() {
+        let _ = ErrorFeedbackState::new(2, 1.5);
     }
 
     #[test]
