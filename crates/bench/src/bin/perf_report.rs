@@ -29,7 +29,7 @@ use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
 use skiptrain_topology::regular::random_regular;
-use skiptrain_topology::MixingMatrix;
+use skiptrain_topology::{MixingMatrix, ScheduledTopology, TopologySchedule};
 use std::hint::black_box;
 use std::process::Command;
 
@@ -108,6 +108,19 @@ fn sgd_step_scenario(
 /// The pinned 64-node mixture-MLP simulation the `round_scaling` bench
 /// also uses — the whole-round hot path (train + share + aggregate).
 fn build_round_sim(n: usize, seed: u64) -> Simulation {
+    let graph = random_regular(n, 6, seed);
+    build_sim_on(graph, seed, SimulationConfig::minimal(seed, 16, 5, 0.5))
+}
+
+/// The pinned mixture-MLP fleet on an explicit graph and config (the
+/// dynamic-topology scenario supplies a dense base graph and a
+/// feedback-compressed config).
+fn build_sim_on(
+    graph: skiptrain_topology::Graph,
+    seed: u64,
+    config: SimulationConfig,
+) -> Simulation {
+    let n = graph.len();
     let task = MixtureTask::new(
         MixtureSpec {
             num_classes: 10,
@@ -127,15 +140,8 @@ fn build_round_sim(n: usize, seed: u64) -> Simulation {
             .build(seed + i as u64)
         })
         .collect();
-    let graph = random_regular(n, 6, seed);
     let mixing = MixingMatrix::metropolis_hastings(&graph);
-    Simulation::new(
-        models,
-        datasets,
-        graph,
-        mixing,
-        SimulationConfig::minimal(seed, 16, 5, 0.5),
-    )
+    Simulation::new(models, datasets, graph, mixing, config)
 }
 
 fn main() {
@@ -292,6 +298,51 @@ fn main() {
                     &mut values,
                 );
                 black_box((&replica, &indices, &values));
+            },
+        ));
+    }
+
+    // --- dynamic-topology scenario --------------------------------------
+    // The scheduled-round loop under churn: a 24-node *complete* base
+    // graph with 70% per-round edge dropout cycles through all 552
+    // directed links, while top-k error feedback runs with a deliberately
+    // tight replica cap (4 per receiver). This is the regression gate for
+    // the replica leak: the pre-cap state allocated one model-sized
+    // replica per distinct link forever, so its allocation proxy grew
+    // with the link census; the capped state evicts the stalest link and
+    // recycles its buffer, keeping the per-round proxy flat (what remains
+    // is the per-round graph + MH-matrix generation, which is constant).
+    {
+        let n = 24;
+        let cap = 4;
+        let base = skiptrain_topology::Graph::complete(n);
+        let mut config = SimulationConfig::minimal(5, 16, 5, 0.5);
+        config.codec = ModelCodec::TopK { k: 64 };
+        config.feedback_beta = Some(1.0);
+        config.feedback_replica_cap = Some(cap);
+        let mut sim = build_sim_on(base.clone(), 5, config);
+        let mut sched =
+            ScheduledTopology::new(base, TopologySchedule::EdgeDropout { p: 0.7, seed: 11 });
+        let actions = vec![RoundAction::SyncOnly; n];
+        let (warmup, iters) = scale(10, 200);
+        scenarios.push(measure(
+            "dynamic_topology_round",
+            json_object(vec![
+                ("nodes", Value::UInt(n as u64)),
+                ("base", Value::String("complete".into())),
+                ("schedule", Value::String("edge-dropout p=0.7".into())),
+                ("codec", Value::String("top-k".into())),
+                ("k", Value::UInt(64)),
+                ("beta", Value::Float(1.0)),
+                ("replica_cap", Value::UInt(cap as u64)),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                let mixing = sched.mixing_for_round(sim.round());
+                sim.try_run_round_with_mixing(black_box(&actions), mixing)
+                    .expect("scheduled graph matches the fleet");
             },
         ));
     }

@@ -190,13 +190,18 @@ pub fn validate_report(report: &Value) -> Result<(), String> {
 /// These are the pinned hot paths the perf gate tracks across PRs — a
 /// report missing one of them (e.g. a scenario silently deleted from the
 /// binary) fails validation in CI. `topk_feedback` pins the error-feedback
-/// compression hot path added with the CHOCO-SGD subsystem.
+/// compression hot path added with the CHOCO-SGD subsystem;
+/// `dynamic_topology_round` pins the scheduled-round loop (per-round graph
+/// generation + MH mixing + capped error-feedback replicas), whose
+/// allocation proxy is the regression gate for the replica leak — it must
+/// stay bounded while the schedule cycles links forever.
 pub const REQUIRED_SCENARIOS: &[&str] = &[
     "sgd_step_mlp_medium_90k",
     "round_loop_train_64",
     "round_loop_sync_256",
     "codec_dense_roundtrip",
     "topk_feedback",
+    "dynamic_topology_round",
 ];
 
 /// Checks that `report` contains every key in `required` (shape is
@@ -297,6 +302,10 @@ mod tests {
         assert!(
             REQUIRED_SCENARIOS.contains(&"topk_feedback"),
             "the error-feedback hot path must stay pinned"
+        );
+        assert!(
+            REQUIRED_SCENARIOS.contains(&"dynamic_topology_round"),
+            "the scheduled-round replica-leak gate must stay pinned"
         );
     }
 

@@ -25,7 +25,16 @@ use skiptrain_engine::{RoundAction, Simulation, SimulationConfig};
 use skiptrain_linalg::rng::{derive_seed, stream_rng};
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_topology::matching::random_maximal_matching;
+use skiptrain_topology::schedule::round_seed;
 use skiptrain_topology::MixingMatrix;
+
+/// Schedule-id slot for the async-gossip matching stream in the chained
+/// [`round_seed`] derivation (distinct from every [`TopologySchedule`]
+/// variant id, so gossip matchings and a configured topology schedule
+/// never share a stream).
+///
+/// [`TopologySchedule`]: skiptrain_topology::TopologySchedule
+const GOSSIP_MATCHING_STREAM: u64 = 16;
 
 /// Runs the asynchronous pairwise-gossip variant on a pre-built data bundle.
 ///
@@ -126,10 +135,19 @@ fn run_async_gossip_inner(
         transport: cfg.transport,
         codec: cfg.codec,
         feedback_beta: cfg.feedback_beta,
+        feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
+            cfg.feedback_replica_cap,
+            &graph,
+            &cfg.topology_schedule,
+        )),
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),
     };
+    // Gossip matchings compose with a configured topology schedule: each
+    // tick matches the *scheduled* round graph (the base graph under the
+    // static default), so duty-cycled links constrain who can pair up.
+    let scheduled = cfg.topology_schedule.bind(&graph, cfg.seed);
     let graph_for_matching = graph.clone();
     let mut sim = Simulation::with_shared_data(
         models,
@@ -148,10 +166,17 @@ fn run_async_gossip_inner(
         decide(t, &mut actions);
         node_train_events += actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
 
-        let pairs = random_maximal_matching(
-            &graph_for_matching,
-            derive_seed(cfg.seed, 0x3A7C + t as u64),
-        );
+        // Per-tick matching seeds are chained over (schedule id, round)
+        // like every other per-round stream. The legacy
+        // `derive_seed(seed, 0x3A7C + t)` construction walked the *stream
+        // index* linearly, so at scale tick streams aliased unrelated
+        // derivation constants (e.g. tick 0x584 + i collided with the
+        // model-init stream 0x4000 + i).
+        let matching_seed = round_seed(cfg.seed ^ 0x3A7C, GOSSIP_MATCHING_STREAM, t);
+        let pairs = match &scheduled {
+            None => random_maximal_matching(&graph_for_matching, matching_seed),
+            Some(sched) => random_maximal_matching(&sched.graph_for_round(t), matching_seed),
+        };
         let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
         sim.run_round_with_mixing(&actions, &round_mixing);
 
@@ -330,6 +355,37 @@ mod tests {
         assert_eq!(
             a.final_test.mean_accuracy.to_bits(),
             b.final_test.mean_accuracy.to_bits()
+        );
+    }
+
+    #[test]
+    fn async_gossip_respects_the_topology_schedule() {
+        // Under an aggressive edge-dropout schedule, each tick's matching
+        // can only pair nodes over surviving edges, so communication
+        // energy must fall strictly below the static-schedule run while
+        // the result stays deterministic.
+        let cfg = tiny();
+        let data = cfg.data.build(cfg.nodes, cfg.seed);
+        let static_run = run_async_gossip(&cfg, &data, 0.5);
+
+        let mut dropped_cfg = cfg.clone();
+        dropped_cfg.topology_schedule = crate::TopologyScheduleSpec::EdgeDropout { p: 0.8 };
+        let dropped = run_async_gossip(&dropped_cfg, &data, 0.5);
+        assert!(
+            dropped.total_comm_wh < static_run.total_comm_wh,
+            "dropping 80% of edges must shrink matchings: {} vs {}",
+            dropped.total_comm_wh,
+            static_run.total_comm_wh
+        );
+        assert!(dropped.total_comm_wh > 0.0, "some pairs must still fire");
+        let again = run_async_gossip(&dropped_cfg, &data, 0.5);
+        assert_eq!(
+            dropped.final_test.mean_accuracy.to_bits(),
+            again.final_test.mean_accuracy.to_bits()
+        );
+        assert_eq!(
+            dropped.total_comm_wh.to_bits(),
+            again.total_comm_wh.to_bits()
         );
     }
 

@@ -25,7 +25,7 @@
 use crate::error::ConfigError;
 use crate::experiment::{
     AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-    TopologySpec,
+    TopologyScheduleSpec, TopologySpec,
 };
 use crate::runner;
 use skiptrain_engine::observer::RoundObserver;
@@ -107,10 +107,36 @@ impl ExperimentBuilder {
         record_mean_model: bool,
     }
 
+    /// Sets the round→graph topology schedule (time-varying topologies).
+    /// Non-static schedules regenerate doubly stochastic
+    /// Metropolis–Hastings weights per scheduled round and charge energy
+    /// only for the edges that fired. Validation rejects out-of-range
+    /// dropout probabilities ([`ConfigError::InvalidEdgeDropout`]) and
+    /// cycles that are empty or mis-sized for the node count
+    /// ([`ConfigError::EmptyTopologyCycle`],
+    /// [`ConfigError::TopologyCycleSizeMismatch`]).
+    pub fn topology_schedule(mut self, schedule: TopologyScheduleSpec) -> Self {
+        self.config.topology_schedule = schedule;
+        self
+    }
+
     /// Sets the model-compression codec for the share phase (quantization
     /// or top-k sparsification trade accuracy for communication energy).
     pub fn compression(mut self, codec: ModelCodec) -> Self {
         self.config.codec = codec;
+        self
+    }
+
+    /// Caps the per-receiver error-feedback replica count (bounds
+    /// feedback memory at `nodes × cap` model vectors under time-varying
+    /// topologies; the stalest link is evicted and restarts cold). The
+    /// unset default adapts to the base graph (`max(max degree, 16)`)
+    /// and never evicts; an explicit cap below the in-degree trades
+    /// residual memory for a hard bound — at the extreme, feedback
+    /// degrades toward plain masked compression. Validation rejects
+    /// `cap == 0` with [`ConfigError::ZeroReplicaCap`].
+    pub fn feedback_replica_cap(mut self, cap: usize) -> Self {
+        self.config.feedback_replica_cap = Some(cap);
         self
     }
 
@@ -307,6 +333,137 @@ mod tests {
                 .expect("beta in (0,1] validates");
             assert_eq!(ok.config().feedback_beta, Some(good));
         }
+    }
+
+    #[test]
+    fn bad_topology_schedules_are_typed_errors() {
+        use crate::experiment::TopologyScheduleSpec;
+        use skiptrain_topology::Graph;
+
+        for bad_p in [1.0f64, 1.5, -0.1, f64::NAN] {
+            let err = Experiment::builder()
+                .topology_schedule(TopologyScheduleSpec::EdgeDropout { p: bad_p })
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::InvalidEdgeDropout, "p = {bad_p}");
+        }
+        let err = Experiment::builder()
+            .topology_schedule(TopologyScheduleSpec::Cycle(vec![]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyTopologyCycle);
+
+        let err = Experiment::builder()
+            .nodes(16)
+            .topology_schedule(TopologyScheduleSpec::Cycle(vec![
+                Graph::ring(16),
+                Graph::ring(12),
+            ]))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TopologyCycleSizeMismatch {
+                index: 1,
+                expected: 16,
+                got: 12
+            }
+        );
+
+        let ok = Experiment::builder()
+            .nodes(16)
+            .topology_schedule(TopologyScheduleSpec::EdgeDropout { p: 0.5 })
+            .build()
+            .expect("valid dropout schedule");
+        assert_eq!(
+            ok.config().topology_schedule,
+            TopologyScheduleSpec::EdgeDropout { p: 0.5 }
+        );
+    }
+
+    #[test]
+    fn zero_replica_cap_is_a_typed_error() {
+        let err = Experiment::builder()
+            .compression(ModelCodec::TopK { k: 64 })
+            .compression_feedback(1.0)
+            .feedback_replica_cap(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroReplicaCap);
+        let ok = Experiment::builder()
+            .compression(ModelCodec::TopK { k: 64 })
+            .compression_feedback(1.0)
+            .feedback_replica_cap(4)
+            .build()
+            .expect("positive cap validates");
+        assert_eq!(ok.config().feedback_replica_cap, Some(4));
+    }
+
+    #[test]
+    fn default_replica_cap_adapts_to_the_base_graph_and_cycle() {
+        use crate::experiment::{effective_replica_cap, TopologyScheduleSpec};
+        use skiptrain_topology::Graph;
+        let sched = TopologyScheduleSpec::Static;
+        // dense graph: the default must cover the in-degree so an
+        // unconfigured run never evicts (a sub-degree cap silently
+        // degrades feedback toward plain masked compression)
+        let dense = Graph::complete(40);
+        assert_eq!(effective_replica_cap(None, &dense, &sched), 39);
+        // sparse graph: floored at the engine default
+        let sparse = Graph::ring(10);
+        assert_eq!(
+            effective_replica_cap(None, &sparse, &sched),
+            skiptrain_engine::DEFAULT_REPLICA_CAP
+        );
+        // a cycle graph denser than the base must raise the default too
+        let cycle = TopologyScheduleSpec::Cycle(vec![Graph::ring(40), Graph::complete(40)]);
+        assert_eq!(effective_replica_cap(None, &sparse, &cycle), 39);
+        // explicit settings are taken verbatim — the memory/accuracy
+        // trade-off is the user's call
+        assert_eq!(effective_replica_cap(Some(3), &dense, &sched), 3);
+    }
+
+    #[test]
+    fn engine_default_cap_never_evicts_on_dense_static_graphs() {
+        // Direct-engine users with an unset cap must keep full residual
+        // memory on their own topology, even above DEFAULT_REPLICA_CAP
+        // in-degrees — the adaptive default covers the graph.
+        let mut cfg = crate::presets::cifar_config(crate::presets::Scale::Quick, 5);
+        cfg.nodes = 20;
+        cfg.rounds = 3;
+        cfg.eval_max_samples = 50;
+        cfg.topology = TopologySpec::Complete; // in-degree 19 > 16
+        cfg.codec = ModelCodec::TopK { k: 32 };
+        cfg.feedback_beta = Some(1.0);
+        let result = cfg.run();
+        assert_eq!(result.rounds, 3);
+        assert!(result.final_mean_model.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn configs_without_schedule_fields_stay_loadable() {
+        // serde-default bit-compatibility: a pre-schedule JSON config
+        // (no `topology_schedule` / `feedback_replica_cap` keys) must
+        // deserialize to the static schedule with the default cap.
+        let base = crate::presets::cifar_config(crate::presets::Scale::Quick, 3);
+        let mut json = serde_json::to_value(&base);
+        match &mut json {
+            serde_json::Value::Object(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "topology_schedule" && k != "feedback_replica_cap");
+                assert_eq!(
+                    entries.len(),
+                    before - 2,
+                    "both fields must serialize by default"
+                );
+            }
+            other => panic!("config must serialize to an object, got {other:?}"),
+        }
+        let legacy: crate::ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(legacy.topology_schedule.is_static());
+        assert_eq!(legacy.feedback_replica_cap, None);
+        legacy.validate().expect("legacy config still validates");
     }
 
     #[test]

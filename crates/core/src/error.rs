@@ -46,6 +46,25 @@ pub enum ConfigError {
     /// A top-k compression codec with `k == 0` would transmit no
     /// parameters at all.
     ZeroTopK,
+    /// An edge-dropout topology schedule's drop probability is outside
+    /// `[0, 1)` (or not finite) — `p = 1` would disconnect every round.
+    InvalidEdgeDropout,
+    /// A cycling topology schedule with no graphs has no round topology
+    /// to offer.
+    EmptyTopologyCycle,
+    /// A cycling topology schedule contains a graph whose node count
+    /// differs from the experiment's.
+    TopologyCycleSizeMismatch {
+        /// Index of the offending graph in the cycle.
+        index: usize,
+        /// Node count the experiment requires.
+        expected: usize,
+        /// Node count the graph has.
+        got: usize,
+    },
+    /// The error-feedback replica cap is zero (no link could ever hold a
+    /// replica).
+    ZeroReplicaCap,
     /// The error-feedback residual retention factor is outside `(0, 1]`
     /// (or not finite).
     InvalidFeedbackBeta,
@@ -95,6 +114,23 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroTopK => {
                 write!(f, "top-k compression needs k >= 1 kept parameters")
+            }
+            ConfigError::InvalidEdgeDropout => {
+                write!(f, "edge-dropout probability must lie in [0, 1)")
+            }
+            ConfigError::EmptyTopologyCycle => {
+                write!(f, "a cycling topology schedule needs at least one graph")
+            }
+            ConfigError::TopologyCycleSizeMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cycle graph #{index} has {got} nodes, experiment has {expected}"
+            ),
+            ConfigError::ZeroReplicaCap => {
+                write!(f, "error-feedback replica cap must be at least 1")
             }
             ConfigError::InvalidFeedbackBeta => {
                 write!(f, "compression feedback beta must lie in (0, 1]")

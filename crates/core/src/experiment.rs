@@ -77,6 +77,151 @@ impl TopologySpec {
     }
 }
 
+/// Time-varying topology schedule, in serializable configuration form.
+///
+/// This is the experiment-layer face of
+/// [`TopologySchedule`](skiptrain_topology::TopologySchedule): every
+/// variant here maps onto the topology-layer enum with per-schedule seeds
+/// chained from the experiment's master seed ([`derive_seed`]), so two
+/// schedules in one experiment never share a random stream. The
+/// programmatic `Custom` generator (a trait object) deliberately has no
+/// configuration form — drive it through the engine API directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum TopologyScheduleSpec {
+    /// The configured topology every round (the paper's static setting,
+    /// and the serde default — legacy JSON configs load unchanged).
+    #[default]
+    Static,
+    /// Cycle through an explicit list of graphs: round `t` uses
+    /// `graphs[t % len]`.
+    Cycle(Vec<Graph>),
+    /// Drop every edge of the round's base graph independently with
+    /// probability `p` each round (duty-cycled radios).
+    EdgeDropout {
+        /// Per-edge, per-round drop probability in `[0, 1)`.
+        p: f64,
+    },
+    /// A random maximal matching of the base graph fires each round
+    /// (pairwise gossip as a graph schedule).
+    PairwiseMatching,
+}
+
+impl TopologyScheduleSpec {
+    /// True for the static schedule (the runner keeps the legacy
+    /// byte-compatible fast path).
+    pub fn is_static(&self) -> bool {
+        matches!(self, TopologyScheduleSpec::Static)
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyScheduleSpec::Static => "static",
+            TopologyScheduleSpec::Cycle(_) => "cycle",
+            TopologyScheduleSpec::EdgeDropout { .. } => "edge-dropout",
+            TopologyScheduleSpec::PairwiseMatching => "pairwise-matching",
+        }
+    }
+
+    /// Checks schedule invariants against the experiment's node count.
+    pub fn validate(&self, nodes: usize) -> Result<(), ConfigError> {
+        match self {
+            TopologyScheduleSpec::Static | TopologyScheduleSpec::PairwiseMatching => Ok(()),
+            TopologyScheduleSpec::EdgeDropout { p } => {
+                if p.is_finite() && (0.0..1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(ConfigError::InvalidEdgeDropout)
+                }
+            }
+            TopologyScheduleSpec::Cycle(graphs) => {
+                if graphs.is_empty() {
+                    return Err(ConfigError::EmptyTopologyCycle);
+                }
+                for (index, g) in graphs.iter().enumerate() {
+                    if g.len() != nodes {
+                        return Err(ConfigError::TopologyCycleSizeMismatch {
+                            index,
+                            expected: nodes,
+                            got: g.len(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers the spec onto the topology layer, deriving per-schedule
+    /// seeds from the experiment's master seed.
+    pub fn build(&self, master_seed: u64) -> skiptrain_topology::TopologySchedule {
+        use skiptrain_topology::TopologySchedule;
+        match self {
+            TopologyScheduleSpec::Static => TopologySchedule::Static,
+            TopologyScheduleSpec::Cycle(graphs) => TopologySchedule::Cycle(graphs.clone()),
+            TopologyScheduleSpec::EdgeDropout { p } => TopologySchedule::EdgeDropout {
+                p: *p,
+                seed: derive_seed(master_seed, 0x7D70),
+            },
+            TopologyScheduleSpec::PairwiseMatching => TopologySchedule::PairwiseMatching {
+                seed: derive_seed(master_seed, 0x7D71),
+            },
+        }
+    }
+
+    /// Binds the schedule to a built base graph — the driver the runner
+    /// (and async gossip) steps each round. Returns `None` for the static
+    /// schedule, whose rounds take the engine's fast path.
+    ///
+    /// # Panics
+    /// Panics with the schedule's own diagnosis (e.g. a mis-sized cycle
+    /// graph) when the spec does not fit `base` — run
+    /// [`TopologyScheduleSpec::validate`] first (the runner and campaign
+    /// paths do) to get the typed [`ConfigError`] instead.
+    pub fn bind(
+        &self,
+        base: &Graph,
+        master_seed: u64,
+    ) -> Option<skiptrain_topology::ScheduledTopology> {
+        if self.is_static() {
+            return None;
+        }
+        Some(
+            skiptrain_topology::ScheduledTopology::try_new(base.clone(), self.build(master_seed))
+                .unwrap_or_else(|e| panic!("invalid topology schedule: {e}")),
+        )
+    }
+}
+
+/// The error-feedback replica cap an experiment runs with: the explicit
+/// setting when given, else a default sized to the base graph — enough
+/// links per receiver for its maximum degree (a static or base-subset
+/// schedule then never evicts, since the replica census is already
+/// bounded by the actual links), floored at
+/// [`skiptrain_engine::DEFAULT_REPLICA_CAP`]. A cap *below* the
+/// in-degree silently downgrades error feedback toward plain masked
+/// compression (most links restart cold every round), so that trade-off
+/// is reserved for explicit `feedback_replica_cap` settings.
+pub(crate) fn effective_replica_cap(
+    explicit: Option<usize>,
+    base: &Graph,
+    schedule: &TopologyScheduleSpec,
+) -> usize {
+    explicit.unwrap_or_else(|| {
+        // The in-degree bound must cover every graph the schedule can put
+        // in effect: the base graph for Static/EdgeDropout/PairwiseMatching
+        // (whose round graphs are subsets of it), plus each cycle graph —
+        // a cycle may legally be denser than the base topology.
+        let mut degree = base.degree_range().1;
+        if let TopologyScheduleSpec::Cycle(graphs) = schedule {
+            for g in graphs {
+                degree = degree.max(g.degree_range().1);
+            }
+        }
+        degree.max(skiptrain_engine::DEFAULT_REPLICA_CAP)
+    })
+}
+
 /// Synthetic dataset family (see `skiptrain-data` for the substitution
 /// rationale).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -385,6 +530,14 @@ pub struct ExperimentConfig {
     pub algorithm: AlgorithmSpec,
     /// Communication topology.
     pub topology: TopologySpec,
+    /// Round→graph schedule over the topology (defaults to the paper's
+    /// static setting; `#[serde(default)]` keeps legacy JSON configs
+    /// loadable unchanged). Non-static schedules regenerate
+    /// Metropolis–Hastings mixing weights per scheduled round, so every
+    /// effective round stays symmetric and doubly stochastic, and the
+    /// energy ledger charges only the edges that actually fired.
+    #[serde(default)]
+    pub topology_schedule: TopologyScheduleSpec,
     /// Dataset family and scale.
     pub data: DataSpec,
     /// Hidden width of the per-node MLP (0 = softmax regression).
@@ -417,6 +570,18 @@ pub struct ExperimentConfig {
     /// bit-compatible (absent field = feedback off).
     #[serde(default)]
     pub feedback_beta: Option<f32>,
+    /// Per-receiver replica cap for error feedback: bounds feedback
+    /// memory at `nodes × cap` model vectors under time-varying
+    /// topologies by evicting the stalest link (which restarts cold on
+    /// its next delivery). `None` derives a never-evicting default from
+    /// the base graph — `max(max degree,`
+    /// [`skiptrain_engine::DEFAULT_REPLICA_CAP`]`)` — because a cap
+    /// below the in-degree silently degrades feedback toward plain
+    /// masked compression; set it explicitly to trade residual memory
+    /// for a hard bound. `#[serde(default)]` keeps older JSON configs
+    /// bit-compatible.
+    #[serde(default)]
+    pub feedback_replica_cap: Option<usize>,
     /// Also record the accuracy of the averaged (all-reduced) model at each
     /// evaluation point — the hypothetical curve of Figure 1.
     pub record_mean_model: bool,
@@ -526,6 +691,10 @@ impl ExperimentConfig {
                 return Err(ConfigError::InvalidFeedbackBeta);
             }
         }
+        if self.feedback_replica_cap == Some(0) {
+            return Err(ConfigError::ZeroReplicaCap);
+        }
+        self.topology_schedule.validate(self.nodes)?;
         let needs_budget = matches!(
             self.algorithm,
             AlgorithmSpec::SkipTrainConstrained(_) | AlgorithmSpec::Greedy

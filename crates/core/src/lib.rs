@@ -80,7 +80,7 @@ pub use error::{CampaignError, ConfigError};
 pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
     AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-    TopologySpec,
+    TopologyScheduleSpec, TopologySpec,
 };
 pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};

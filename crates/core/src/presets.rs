@@ -5,7 +5,9 @@
 //! figure suite regenerates on a laptop in minutes while preserving the
 //! qualitative shapes. Every bench binary accepts `--scale`.
 
-use crate::experiment::{AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig, TopologySpec};
+use crate::experiment::{
+    AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig, TopologyScheduleSpec, TopologySpec,
+};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
 use skiptrain_engine::{ModelCodec, TransportKind};
@@ -65,6 +67,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         rounds,
         algorithm: AlgorithmSpec::DPsgd,
         topology: TopologySpec::Regular { degree: 6 },
+        topology_schedule: TopologyScheduleSpec::default(),
         data: DataSpec::CifarLike {
             feature_dim: dim,
             samples_per_node: spn,
@@ -85,6 +88,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         transport: TransportKind::Memory,
         codec: ModelCodec::DenseF32,
         feedback_beta: None,
+        feedback_replica_cap: None,
         record_mean_model: false,
     }
 }
@@ -105,6 +109,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         rounds,
         algorithm: AlgorithmSpec::DPsgd,
         topology: TopologySpec::Regular { degree: 6 },
+        topology_schedule: TopologyScheduleSpec::default(),
         data: DataSpec::FemnistLike {
             feature_dim: dim,
             samples_per_node: spn,
@@ -125,6 +130,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         transport: TransportKind::Memory,
         codec: ModelCodec::DenseF32,
         feedback_beta: None,
+        feedback_replica_cap: None,
         record_mean_model: false,
     }
 }

@@ -66,10 +66,19 @@ pub(crate) fn execute(
         transport: cfg.transport,
         codec: cfg.codec,
         feedback_beta: cfg.feedback_beta,
+        feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
+            cfg.feedback_replica_cap,
+            &graph,
+            &cfg.topology_schedule,
+        )),
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
         comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
         nominal_params: Some(cfg.energy.workload.model_params),
     };
+    // A non-static topology schedule regenerates (cached) doubly
+    // stochastic mixing per round; the static default keeps the legacy
+    // byte-compatible fast path through `run_round`.
+    let mut schedule = cfg.topology_schedule.bind(&graph, cfg.seed);
     let mut sim = Simulation::with_shared_data(
         models,
         data.node_datasets.clone(),
@@ -117,7 +126,17 @@ pub(crate) fn execute(
                 }
             }
 
-            sim.run_round(&actions);
+            match schedule.as_mut() {
+                None => sim.run_round(&actions),
+                Some(sched) => {
+                    let mixing = sched.mixing_for_round(t);
+                    // Sizes were validated with the config; a mismatch here
+                    // would be an internal scheduling bug, reported with the
+                    // typed engine error's diagnosis.
+                    sim.try_run_round_with_mixing(&actions, mixing)
+                        .unwrap_or_else(|e| panic!("scheduled round {t}: {e}"));
+                }
+            }
             executed_rounds = t + 1;
 
             let training_wh = sim.ledger().total_training_wh();

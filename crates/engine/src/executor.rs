@@ -1,5 +1,6 @@
 //! The synchronous round executor.
 
+use crate::error::EngineError;
 use crate::eval::{evaluate_model, fixed_subsample, EVAL_CHUNK};
 use crate::metrics::EvalStats;
 use crate::node::Node;
@@ -60,6 +61,19 @@ pub struct SimulationConfig {
     /// [`ModelCodec::DenseF32`] (the residual would stay zero), which
     /// keeps its zero-copy fast path.
     pub feedback_beta: Option<f32>,
+    /// Per-receiver replica cap for error feedback: at most this many
+    /// in-links per node keep a replica; the stalest link (oldest
+    /// delivery) is evicted when a new one would exceed the cap and
+    /// restarts cold on its next delivery. Bounds feedback memory at
+    /// `nodes × cap` model vectors under time-varying topologies (the
+    /// uncapped state grew one replica per distinct directed link,
+    /// forever). `None` derives a never-evicting default from the
+    /// simulation's graph — `max(max degree,`
+    /// [`DEFAULT_REPLICA_CAP`](crate::transport::DEFAULT_REPLICA_CAP)`)`
+    /// — since an explicit cap below the in-degree trades residual
+    /// memory for feedback quality (links restart cold). Ignored unless
+    /// `feedback_beta` is set.
+    pub feedback_replica_cap: Option<usize>,
     /// Per-node training energy per round (Wh); empty disables training
     /// energy accounting.
     pub training_energy_wh: Vec<f64>,
@@ -83,6 +97,7 @@ impl SimulationConfig {
             transport: TransportKind::Memory,
             codec: ModelCodec::DenseF32,
             feedback_beta: None,
+            feedback_replica_cap: None,
             training_energy_wh: Vec::new(),
             comm_energy: CommEnergyModel::paper_fit(),
             nominal_params: None,
@@ -256,6 +271,20 @@ impl Simulation {
             })
             .collect();
 
+        // The unset default never evicts on this simulation's own graph
+        // (lazy allocation already bounds replicas at the actual link
+        // census there); only an explicit sub-degree cap trades residual
+        // memory for cold restarts.
+        let feedback = config.feedback_beta.map(|beta| {
+            let cap = config.feedback_replica_cap.unwrap_or_else(|| {
+                graph
+                    .degree_range()
+                    .1
+                    .max(crate::transport::DEFAULT_REPLICA_CAP)
+            });
+            ErrorFeedbackState::with_cap(n, beta, cap)
+        });
+
         Self {
             nodes,
             graph,
@@ -273,9 +302,7 @@ impl Simulation {
             agg_indices: vec![Vec::new(); n],
             agg_weights: vec![Vec::new(); n],
             mean_scratch: Vec::new(),
-            feedback: config
-                .feedback_beta
-                .map(|beta| ErrorFeedbackState::new(n, beta)),
+            feedback,
             edge_scratch: vec![EdgeScratch::default(); n],
             config,
         }
@@ -374,9 +401,17 @@ impl Simulation {
     /// share + aggregate, then energy accounting.
     ///
     /// # Panics
-    /// Panics if `actions.len() != self.len()`.
+    /// Panics if `actions.len() != self.len()`; see
+    /// [`Simulation::try_run_round`] for the typed-error form.
     pub fn run_round(&mut self, actions: &[RoundAction]) {
-        self.run_round_inner(actions, None);
+        self.try_run_round(actions)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Simulation::run_round`]: a mismatched action
+    /// slice is an [`EngineError`] instead of a panic.
+    pub fn try_run_round(&mut self, actions: &[RoundAction]) -> Result<(), EngineError> {
+        self.try_run_round_inner(actions, None)
     }
 
     /// Executes one round aggregating with an externally supplied mixing
@@ -384,14 +419,41 @@ impl Simulation {
     /// topologies and asynchronous pairwise gossip (§5.3 of the paper).
     ///
     /// # Panics
-    /// Panics if `actions.len() != self.len()` or the matrix size differs.
+    /// Panics if `actions.len() != self.len()` or the matrix size
+    /// differs; see [`Simulation::try_run_round_with_mixing`] for the
+    /// typed-error form campaign drivers use (one bad scheduled graph
+    /// fails one cell, not the process).
     pub fn run_round_with_mixing(&mut self, actions: &[RoundAction], mixing: &MixingMatrix) {
-        assert_eq!(mixing.len(), self.len(), "mixing matrix size mismatch");
-        self.run_round_inner(actions, Some(mixing));
+        self.try_run_round_with_mixing(actions, mixing)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn run_round_inner(&mut self, actions: &[RoundAction], mixing_override: Option<&MixingMatrix>) {
-        assert_eq!(actions.len(), self.len(), "one action per node required");
+    /// Fallible form of [`Simulation::run_round_with_mixing`].
+    pub fn try_run_round_with_mixing(
+        &mut self,
+        actions: &[RoundAction],
+        mixing: &MixingMatrix,
+    ) -> Result<(), EngineError> {
+        if mixing.len() != self.len() {
+            return Err(EngineError::MixingSizeMismatch {
+                expected: self.len(),
+                got: mixing.len(),
+            });
+        }
+        self.try_run_round_inner(actions, Some(mixing))
+    }
+
+    fn try_run_round_inner(
+        &mut self,
+        actions: &[RoundAction],
+        mixing_override: Option<&MixingMatrix>,
+    ) -> Result<(), EngineError> {
+        if actions.len() != self.len() {
+            return Err(EngineError::ActionArityMismatch {
+                expected: self.len(),
+                got: actions.len(),
+            });
+        }
         let local_steps = self.config.local_steps;
 
         // Phase 1: local compute (parallel over nodes).
@@ -451,7 +513,7 @@ impl Simulation {
             std::mem::swap(&mut self.params, &mut self.next);
             self.account_energy(actions, mixing_override);
             self.round += 1;
-            return;
+            return Ok(());
         }
 
         // Phase 2: share. The serialized transport actually encodes/decodes
@@ -574,6 +636,7 @@ impl Simulation {
         // Phase 4: energy accounting over the edges that actually fired.
         self.account_energy(actions, mixing_override);
         self.round += 1;
+        Ok(())
     }
 
     /// Fused share + aggregate for error-feedback compression.
@@ -611,6 +674,7 @@ impl Simulation {
             .as_mut()
             .expect("feedback path requires state");
         let beta = fb.beta();
+        let cap = fb.cap();
         let half = &self.half;
         let transport = self.config.transport;
         let seed = self.config.seed;
@@ -638,7 +702,15 @@ impl Simulation {
                         self_weight += w;
                         continue;
                     }
-                    let replica = links.entry(j).or_insert_with(|| half[i].clone());
+                    // Get-or-insert under the replica cap: a cold link
+                    // (first contact, or re-established after a staleness
+                    // eviction) seeds from the receiver's own pre-mixing
+                    // model, so untransmitted coordinates fall back to the
+                    // receiver's values exactly like the plain masked blend.
+                    let replica = links.replica_mut(j, round as u64, cap, |buf| {
+                        buf.clear();
+                        buf.extend_from_slice(&half[i]);
+                    });
                     if matches!(transport, TransportKind::Memory) {
                         match codec {
                             ModelCodec::TopK { k } => compress_with_feedback_top_k(
@@ -870,7 +942,13 @@ mod tests {
     ) -> Simulation {
         let (mut sim, _) = tiny_sim_full(n, seed, transport, codec, degree);
         sim.config.feedback_beta = Some(beta);
-        sim.feedback = Some(ErrorFeedbackState::new(n, beta));
+        // mirror the constructor's unset-cap default: adaptive to the graph
+        let cap = sim
+            .graph()
+            .degree_range()
+            .1
+            .max(crate::transport::DEFAULT_REPLICA_CAP);
+        sim.feedback = Some(ErrorFeedbackState::with_cap(n, beta, cap));
         sim
     }
 
@@ -1353,6 +1431,122 @@ mod tests {
         sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing2);
         assert_eq!(sim.feedback().unwrap().active_links(), 4);
         assert!(sim.feedback().unwrap().replica(1, 4).is_some());
+    }
+
+    #[test]
+    fn mismatched_mixing_and_actions_are_typed_errors() {
+        let (mut sim, _) = tiny_sim(6, 13, TransportKind::Memory);
+        let wrong_mixing = MixingMatrix::identity(4);
+        assert_eq!(
+            sim.try_run_round_with_mixing(&[RoundAction::SyncOnly; 6], &wrong_mixing),
+            Err(crate::error::EngineError::MixingSizeMismatch {
+                expected: 6,
+                got: 4
+            })
+        );
+        assert_eq!(
+            sim.try_run_round(&[RoundAction::SyncOnly; 3]),
+            Err(crate::error::EngineError::ActionArityMismatch {
+                expected: 6,
+                got: 3
+            })
+        );
+        // failed rounds must leave the simulation untouched
+        assert_eq!(sim.round(), 0);
+        sim.try_run_round(&[RoundAction::SyncOnly; 6])
+            .expect("well-formed round runs");
+        assert_eq!(sim.round(), 1);
+    }
+
+    #[test]
+    fn feedback_replica_cap_bounds_links_under_changing_matchings() {
+        // Cycle through every edge of a complete graph via per-round
+        // 1-pair matchings: the uncapped state would accumulate one
+        // replica per directed pair; the cap must hold it at n × cap
+        // while every round still executes correctly.
+        let n = 8;
+        let cap = 2;
+        let (mut sim, _) = tiny_sim_full(
+            n,
+            19,
+            TransportKind::Memory,
+            ModelCodec::TopK { k: 10 },
+            n - 2,
+        );
+        sim.config.feedback_beta = Some(1.0);
+        sim.config.feedback_replica_cap = Some(cap);
+        sim.feedback = Some(ErrorFeedbackState::with_cap(n, 1.0, cap));
+        for pair in 0..40usize {
+            let a = (pair % n) as u32;
+            let b = ((pair + 1 + pair / n) % n) as u32;
+            if a == b || !sim.graph().has_edge(a as usize, b as usize) {
+                continue;
+            }
+            let mixing = MixingMatrix::pairwise(n, &[(a, b)]);
+            sim.run_round_with_mixing(&vec![RoundAction::SyncOnly; n], &mixing);
+        }
+        let fb = sim.feedback().unwrap();
+        assert!(
+            fb.active_links() <= n * cap,
+            "cap breached: {} links > {}",
+            fb.active_links(),
+            n * cap
+        );
+        assert!(
+            fb.total_evictions() > 0,
+            "cycling matchings over a dense graph must evict"
+        );
+        for i in 0..n {
+            assert!(
+                sim.node_params(i).iter().all(|v| v.is_finite()),
+                "node {i} produced non-finite parameters after evictions"
+            );
+        }
+    }
+
+    #[test]
+    fn unset_replica_cap_adapts_to_dense_graphs_and_never_evicts() {
+        // A 19-in-degree static graph exceeds DEFAULT_REPLICA_CAP; the
+        // unset default must size itself to the graph so direct engine
+        // users keep full residual memory (no silent cold restarts).
+        let n = 20;
+        let mut sim = tiny_sim_feedback(
+            n,
+            29,
+            TransportKind::Memory,
+            ModelCodec::TopK { k: 10 },
+            n - 1,
+            1.0,
+        );
+        assert_eq!(sim.feedback().unwrap().cap(), n - 1);
+        for _ in 0..3 {
+            sim.run_round(&vec![RoundAction::SyncOnly; n]);
+        }
+        let fb = sim.feedback().unwrap();
+        assert_eq!(fb.total_evictions(), 0, "adaptive default must not evict");
+        assert_eq!(fb.active_links(), n * (n - 1), "every link keeps a replica");
+    }
+
+    #[test]
+    fn capped_feedback_on_static_topology_is_identical_to_uncapped() {
+        // The default cap exceeds the paper's degrees, so static-topology
+        // runs must be bit-identical whether the cap is the default or
+        // effectively unbounded — the cap only changes behavior when a
+        // schedule actually cycles beyond it.
+        let codec = ModelCodec::TopK { k: 12 };
+        let mut capped = tiny_sim_feedback(8, 67, TransportKind::Memory, codec, 4, 1.0);
+        let mut unbounded = tiny_sim_feedback(8, 67, TransportKind::Memory, codec, 4, 1.0);
+        unbounded.config.feedback_replica_cap = Some(usize::MAX);
+        unbounded.feedback = Some(ErrorFeedbackState::with_cap(8, 1.0, usize::MAX));
+        let actions = vec![RoundAction::Train; 8];
+        for _ in 0..6 {
+            capped.run_round(&actions);
+            unbounded.run_round(&actions);
+        }
+        for i in 0..8 {
+            assert_eq!(capped.node_params(i), unbounded.node_params(i));
+        }
+        assert_eq!(capped.feedback().unwrap().total_evictions(), 0);
     }
 
     #[test]

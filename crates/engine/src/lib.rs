@@ -37,6 +37,7 @@
 //! share one materialized dataset (see
 //! [`Simulation::with_shared_data`](executor::Simulation::with_shared_data)).
 
+pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod metrics;
@@ -44,10 +45,11 @@ pub mod node;
 pub mod observer;
 pub mod transport;
 
+pub use error::EngineError;
 pub use executor::{RoundAction, Simulation, SimulationConfig};
 pub use metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
 pub use observer::{
     CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
     RoundObserver, RoundReport,
 };
-pub use transport::{ErrorFeedbackState, ModelCodec, TransportKind};
+pub use transport::{ErrorFeedbackState, ModelCodec, TransportKind, DEFAULT_REPLICA_CAP};

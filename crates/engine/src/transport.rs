@@ -227,40 +227,184 @@ impl ModelCodec {
     }
 }
 
+/// Default per-receiver replica cap for [`ErrorFeedbackState`]: how many
+/// distinct in-links a receiver keeps replicas for before the
+/// stalest one is evicted. Static topologies at the paper's degrees
+/// (6–10) and per-round subsets of them never touch the cap; schedules
+/// that cycle through many distinct graphs are bounded by it at
+/// `nodes × cap` replica vectors total.
+pub const DEFAULT_REPLICA_CAP: usize = 16;
+
+/// One receiver's replica links, sorted by sender id.
+///
+/// The map is bounded: inserting beyond the cap evicts the link with the
+/// oldest delivery round (ties broken by smallest sender id — fully
+/// deterministic, independent of insertion order) and *recycles its
+/// buffer* for the incoming link, so a schedule cycling through many
+/// graphs neither grows replica memory without bound (the pre-cap bug)
+/// nor re-allocates a model-sized vector per eviction.
+#[derive(Debug, Clone, Default)]
+pub struct LinkMap {
+    /// Sorted by `sender`.
+    entries: Vec<LinkEntry>,
+    /// Evicted-link counter (staleness telemetry).
+    evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LinkEntry {
+    sender: u32,
+    /// Round of the most recent delivery over this link.
+    last_delivery: u64,
+    replica: Vec<f32>,
+}
+
+impl LinkMap {
+    /// Number of live links.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no link has delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The replica for `sender`, if that link is live.
+    pub fn get(&self, sender: u32) -> Option<&[f32]> {
+        self.entries
+            .binary_search_by_key(&sender, |e| e.sender)
+            .ok()
+            .map(|i| self.entries[i].replica.as_slice())
+    }
+
+    /// Round of the most recent delivery for `sender`'s link.
+    pub fn last_delivery(&self, sender: u32) -> Option<u64> {
+        self.entries
+            .binary_search_by_key(&sender, |e| e.sender)
+            .ok()
+            .map(|i| self.entries[i].last_delivery)
+    }
+
+    /// Links evicted from this receiver so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Get-or-insert the replica for `sender`, stamping `round` as its
+    /// latest delivery. A cold link (fresh, or re-established after
+    /// eviction) is initialized by `init` before being returned; when the
+    /// map is at `cap`, the entry with the oldest delivery round is
+    /// evicted first and its allocation reused.
+    pub fn replica_mut(
+        &mut self,
+        sender: u32,
+        round: u64,
+        cap: usize,
+        init: impl FnOnce(&mut Vec<f32>),
+    ) -> &mut Vec<f32> {
+        debug_assert!(cap > 0, "replica cap must be positive");
+        match self.entries.binary_search_by_key(&sender, |e| e.sender) {
+            Ok(i) => {
+                self.entries[i].last_delivery = round;
+                &mut self.entries[i].replica
+            }
+            Err(_) => {
+                let mut replica = if self.entries.len() >= cap {
+                    // Evict the stalest link: oldest delivery round,
+                    // smallest sender on ties. The sorted scan makes the
+                    // choice deterministic for any history.
+                    let stalest = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.last_delivery, e.sender))
+                        .map(|(i, _)| i)
+                        .expect("cap > 0 so the map is non-empty");
+                    self.evictions += 1;
+                    self.entries.remove(stalest).replica
+                } else {
+                    Vec::new()
+                };
+                init(&mut replica);
+                // the eviction above may have shifted positions; re-derive
+                let pos = self
+                    .entries
+                    .binary_search_by_key(&sender, |e| e.sender)
+                    .expect_err("sender was absent");
+                self.entries.insert(
+                    pos,
+                    LinkEntry {
+                        sender,
+                        last_delivery: round,
+                        replica,
+                    },
+                );
+                &mut self.entries[pos].replica
+            }
+        }
+    }
+}
+
 /// Per-directed-link error-feedback accumulators (CHOCO-SGD style; see
 /// the module docs).
 ///
 /// Each active link `src → dst` owns one replica vector `x̂_{src→dst}`;
 /// the accumulated residual the link will compress next is
 /// `x_src − x̂_{src→dst}`. The state is stored receiver-indexed
-/// (`incoming[dst]` maps sender → replica) so the receiver-parallel
-/// aggregation loop mutates disjoint link sets without locks. Links are
-/// allocated lazily the first round their directed edge delivers —
-/// static topology rows, per-round pairwise matchings, and async-gossip
-/// activations alike — and persist unchanged across rounds in which the
-/// link stays silent, so deferred discrepancies are merged correctly
-/// under time-varying mixing.
+/// (`incoming[dst]` is a [`LinkMap`] over senders) so the
+/// receiver-parallel aggregation loop mutates disjoint link sets without
+/// locks. Links are allocated lazily the first round their directed edge
+/// delivers — static topology rows, per-round pairwise matchings,
+/// scheduled time-varying graphs, and async-gossip activations alike —
+/// and persist unchanged across rounds in which the link stays silent, so
+/// deferred discrepancies are merged correctly under time-varying mixing.
+///
+/// Replica memory is **bounded**: each receiver keeps at most
+/// [`cap`](ErrorFeedbackState::cap) links ([`DEFAULT_REPLICA_CAP`] unless
+/// configured), evicting the stalest (oldest last delivery) when a new
+/// link would exceed it. An evicted link restarts cold on its next
+/// delivery — its replica re-seeds from the receiver's own pre-mixing
+/// model, exactly like a first contact — which preserves the
+/// masked-substitution aggregation semantics; only the link's deferred
+/// residual is forgotten. (Before the cap existed, a schedule cycling
+/// through many graphs grew one model-sized replica per distinct directed
+/// link, without bound, and long-dormant links compressed against
+/// arbitrarily stale replicas.)
 #[derive(Debug, Clone)]
 pub struct ErrorFeedbackState {
     beta: f32,
-    incoming: Vec<std::collections::HashMap<u32, Vec<f32>>>,
+    cap: usize,
+    incoming: Vec<LinkMap>,
 }
 
 impl ErrorFeedbackState {
     /// Creates empty feedback state for `n` nodes with replica step
     /// `beta ∈ (0, 1]` (`1.0` = full CHOCO-SGD error feedback; smaller
-    /// values damp the replica tracking).
+    /// values damp the replica tracking) and the default per-receiver
+    /// replica cap ([`DEFAULT_REPLICA_CAP`]).
     ///
     /// # Panics
     /// Panics if `beta` is not a finite value in `(0, 1]`.
     pub fn new(n: usize, beta: f32) -> Self {
+        Self::with_cap(n, beta, DEFAULT_REPLICA_CAP)
+    }
+
+    /// Creates empty feedback state with an explicit per-receiver replica
+    /// cap (total replica memory is bounded by `n × cap` model vectors).
+    ///
+    /// # Panics
+    /// Panics if `beta` is not a finite value in `(0, 1]` or `cap == 0`.
+    pub fn with_cap(n: usize, beta: f32, cap: usize) -> Self {
         assert!(
             beta.is_finite() && beta > 0.0 && beta <= 1.0,
             "feedback beta must lie in (0, 1], got {beta}"
         );
+        assert!(cap > 0, "replica cap must be positive");
         Self {
             beta,
-            incoming: vec![std::collections::HashMap::new(); n],
+            cap,
+            incoming: vec![LinkMap::default(); n],
         }
     }
 
@@ -269,23 +413,31 @@ impl ErrorFeedbackState {
         self.beta
     }
 
-    /// Number of directed links that have delivered at least once.
+    /// The per-receiver replica cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of directed links currently holding a replica (bounded by
+    /// `nodes × cap`).
     pub fn active_links(&self) -> usize {
-        self.incoming.iter().map(|m| m.len()).sum()
+        self.incoming.iter().map(LinkMap::len).sum()
+    }
+
+    /// Total links evicted so far across all receivers.
+    pub fn total_evictions(&self) -> u64 {
+        self.incoming.iter().map(LinkMap::evictions).sum()
     }
 
     /// The replica of directed link `src → dst` (the receiver's current
-    /// estimate of the sender's model), if the link ever delivered.
+    /// estimate of the sender's model), if the link is live.
     pub fn replica(&self, src: usize, dst: usize) -> Option<&[f32]> {
-        self.incoming
-            .get(dst)
-            .and_then(|m| m.get(&(src as u32)))
-            .map(Vec::as_slice)
+        self.incoming.get(dst).and_then(|m| m.get(src as u32))
     }
 
     /// Mutable receiver-indexed link maps (the aggregation loop zips over
     /// these in parallel with the per-receiver output buffers).
-    pub(crate) fn incoming_mut(&mut self) -> &mut [std::collections::HashMap<u32, Vec<f32>>] {
+    pub(crate) fn incoming_mut(&mut self) -> &mut [LinkMap] {
         &mut self.incoming
     }
 }
@@ -799,17 +951,107 @@ mod tests {
         let mut fb = ErrorFeedbackState::new(4, 1.0);
         assert_eq!(fb.active_links(), 0);
         assert!(fb.replica(0, 1).is_none());
-        fb.incoming_mut()[1].insert(0, vec![0.5, -0.5]);
+        fb.incoming_mut()[1].replica_mut(0, 0, DEFAULT_REPLICA_CAP, |r| {
+            r.extend_from_slice(&[0.5, -0.5]);
+        });
         assert_eq!(fb.active_links(), 1);
         assert_eq!(fb.replica(0, 1), Some(&[0.5, -0.5][..]));
         assert!(fb.replica(1, 0).is_none(), "links are directed");
         assert_eq!(fb.beta(), 1.0);
+        assert_eq!(fb.cap(), DEFAULT_REPLICA_CAP);
     }
 
     #[test]
     #[should_panic(expected = "feedback beta")]
     fn feedback_state_rejects_out_of_range_beta() {
         let _ = ErrorFeedbackState::new(2, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica cap")]
+    fn feedback_state_rejects_zero_cap() {
+        let _ = ErrorFeedbackState::with_cap(2, 1.0, 0);
+    }
+
+    #[test]
+    fn link_map_caps_and_evicts_the_stalest_link() {
+        let mut m = LinkMap::default();
+        // deliveries: sender 5 @ round 0, sender 2 @ round 1, sender 9 @ round 2
+        for (round, sender) in [(0u64, 5u32), (1, 2), (2, 9)] {
+            m.replica_mut(sender, round, 3, |r| {
+                r.clear();
+                r.push(sender as f32);
+            });
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.evictions(), 0);
+        // refresh sender 5 at round 3: it is no longer the stalest
+        m.replica_mut(5, 3, 3, |_| panic!("live link must not re-init"));
+        // a fourth sender evicts sender 2 (oldest delivery, round 1)
+        m.replica_mut(7, 4, 3, |r| {
+            r.clear();
+            r.push(7.0);
+        });
+        assert_eq!(m.len(), 3, "cap holds");
+        assert_eq!(m.evictions(), 1);
+        assert!(m.get(2).is_none(), "stalest link evicted");
+        assert_eq!(m.get(5), Some(&[5.0f32][..]), "refreshed link survives");
+        assert_eq!(m.get(7), Some(&[7.0f32][..]));
+        assert_eq!(m.last_delivery(7), Some(4));
+        // the evicted link restarts cold: re-delivery runs init again
+        let mut re_inited = false;
+        m.replica_mut(2, 5, 3, |r| {
+            re_inited = true;
+            r.clear();
+            r.push(-2.0);
+        });
+        assert!(re_inited, "evicted link must re-seed on return");
+        assert_eq!(m.evictions(), 2, "returning link evicts the next stalest");
+    }
+
+    #[test]
+    fn link_map_eviction_recycles_buffers() {
+        // Steady-state churn must not allocate: the evicted replica's
+        // buffer is handed to the incoming link.
+        let mut m = LinkMap::default();
+        for sender in 0..4u32 {
+            m.replica_mut(sender, sender as u64, 4, |r| {
+                r.clear();
+                r.resize(64, sender as f32);
+            });
+        }
+        for round in 4..40u64 {
+            let sender = 4 + (round % 8) as u32;
+            let mut saw_capacity = 0;
+            m.replica_mut(sender, round, 4, |r| {
+                saw_capacity = r.capacity();
+                r.clear();
+                r.resize(64, 1.0);
+            });
+            assert!(
+                saw_capacity >= 64,
+                "round {round}: recycled buffer lost its capacity"
+            );
+        }
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn feedback_state_active_links_stay_under_node_cap_product() {
+        let n = 6;
+        let cap = 2;
+        let mut fb = ErrorFeedbackState::with_cap(n, 1.0, cap);
+        for round in 0..50u64 {
+            for dst in 0..n {
+                let src = ((round as usize + dst) % (n - 1)) as u32;
+                fb.incoming_mut()[dst].replica_mut(src, round, cap, |r| {
+                    r.clear();
+                    r.resize(8, 0.0);
+                });
+            }
+        }
+        assert!(fb.active_links() <= n * cap);
+        assert!(fb.total_evictions() > 0, "churn must have evicted");
     }
 
     #[test]

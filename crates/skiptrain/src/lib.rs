@@ -59,7 +59,7 @@ pub mod prelude {
     pub use skiptrain_core::experiment::{run_experiment, run_experiment_on};
     pub use skiptrain_core::experiment::{
         AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-        TopologySpec,
+        TopologyScheduleSpec, TopologySpec,
     };
     pub use skiptrain_core::policy::{
         ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy,

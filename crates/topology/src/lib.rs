@@ -10,6 +10,9 @@
 //! * [`erdos`] — Erdős–Rényi G(n, p) graphs for ablations,
 //! * [`weights`] — sparse mixing matrices (Metropolis–Hastings, uniform
 //!   all-reduce, and degenerate variants for testing),
+//! * [`schedule`] — time-varying topologies: round→graph generators
+//!   ([`TopologySchedule`]) with per-round Metropolis–Hastings weights
+//!   cached by graph identity ([`ScheduledTopology`]),
 //! * [`spectral`] — spectral-gap estimation, which predicts gossip mixing
 //!   speed and explains the Γ_sync trends of Figure 3.
 
@@ -17,8 +20,10 @@ pub mod erdos;
 pub mod graph;
 pub mod matching;
 pub mod regular;
+pub mod schedule;
 pub mod spectral;
 pub mod weights;
 
 pub use graph::Graph;
+pub use schedule::{GraphGenerator, ScheduledTopology, TopologySchedule};
 pub use weights::MixingMatrix;

@@ -26,10 +26,29 @@ impl MixingMatrix {
     /// The result is symmetric and doubly stochastic for any undirected
     /// simple graph.
     pub fn metropolis_hastings(graph: &Graph) -> Self {
+        let mut out = Self {
+            n: 0,
+            rows: Vec::new(),
+        };
+        Self::metropolis_hastings_into(graph, &mut out);
+        out
+    }
+
+    /// In-place form of [`MixingMatrix::metropolis_hastings`]: rebuilds
+    /// `out` for `graph`, reusing its row allocations. Produces exactly
+    /// the matrix the allocating constructor would (asserted by tests);
+    /// this is what keeps per-round weight regeneration allocation-free
+    /// at steady state for time-varying topology schedules.
+    pub fn metropolis_hastings_into(graph: &Graph, out: &mut MixingMatrix) {
         let n = graph.len();
-        let mut rows = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut row: Vec<(u32, f32)> = Vec::with_capacity(graph.degree(i) + 1);
+        out.n = n;
+        out.rows.truncate(n);
+        while out.rows.len() < n {
+            out.rows.push(Vec::new());
+        }
+        for (i, row) in out.rows.iter_mut().enumerate() {
+            row.clear();
+            row.reserve(graph.degree(i) + 1);
             let mut off_diagonal = 0.0f64;
             for &j in graph.neighbors(i) {
                 let w = 1.0 / (graph.degree(i).max(graph.degree(j as usize)) as f64 + 1.0);
@@ -38,9 +57,7 @@ impl MixingMatrix {
             }
             row.push((i as u32, (1.0 - off_diagonal) as f32));
             row.sort_by_key(|&(j, _)| j);
-            rows.push(row);
         }
-        Self { n, rows }
     }
 
     /// The uniform complete-mixing matrix `W_ij = 1/n` (the all-reduce
@@ -196,6 +213,22 @@ mod tests {
             for &(j, v) in w.row(i) {
                 assert!((v - 1.0 / 3.0).abs() < 1e-6, "W[{i}][{j}] = {v}");
             }
+        }
+    }
+
+    #[test]
+    fn mh_into_reuses_buffers_and_matches_the_allocating_form() {
+        // overwrite a slot across graphs of different sizes/degrees; the
+        // result must be bit-identical to a fresh construction each time
+        let mut slot = MixingMatrix::metropolis_hastings(&Graph::ring(3));
+        for graph in [
+            random_regular(16, 4, 1),
+            Graph::ring(5),
+            Graph::complete(9),
+            random_regular(12, 6, 2),
+        ] {
+            MixingMatrix::metropolis_hastings_into(&graph, &mut slot);
+            assert_eq!(slot, MixingMatrix::metropolis_hastings(&graph));
         }
     }
 
