@@ -21,6 +21,8 @@ use skiptrain_bench::perf::{
     validate_required_scenarios, CountingAllocator, ScenarioMeasurement, REQUIRED_SCENARIOS,
 };
 use skiptrain_data::synth::{MixtureSpec, MixtureTask};
+use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState};
+use skiptrain_energy::trace::{HarvestProfile, HarvestTrace};
 use skiptrain_engine::transport::{decode_frame, encode_message_into};
 use skiptrain_engine::{ModelCodec, RoundAction, Simulation, SimulationConfig};
 use skiptrain_linalg::compress::{compress_with_feedback_top_k, FeedbackScratch};
@@ -343,6 +345,49 @@ fn main() {
                 let mixing = sched.mixing_for_round(sim.round());
                 sim.try_run_round_with_mixing(black_box(&actions), mixing)
                     .expect("scheduled graph matches the fleet");
+            },
+        ));
+    }
+
+    // --- battery scenario ------------------------------------------------
+    // The closed-loop round with the battery machinery live: recharge from
+    // the harvest trace, policy decision, participation masking, and the
+    // post-round settle all run every round on top of the pinned 64-node
+    // train loop. The harvest outpaces the drain so the fleet stays fully
+    // charged and every node trains — the scenario isolates the battery
+    // bookkeeping overhead (O(n) per round) against `round_loop_train_64`,
+    // and its allocation proxy pins that the recharge/decide/mask/settle
+    // cycle is allocation-free at steady state (masked mixing reuses one
+    // scratch matrix; charge vectors are updated in place).
+    {
+        let n = 64;
+        let mut config = SimulationConfig::minimal(7, 16, 5, 0.5);
+        config.training_energy_wh = vec![2e-4; n];
+        config.battery = Some(BatterySetup {
+            state: BatteryState::new(vec![1.0; n]),
+            trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.05 }, 60.0, n, 7, 0.1),
+            policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+        });
+        let graph = random_regular(n, 6, 7);
+        let mut sim = build_sim_on(graph, 7, config);
+        let actions = vec![RoundAction::Train; n];
+        let (warmup, iters) = scale(4, 40);
+        scenarios.push(measure(
+            "battery_round",
+            json_object(vec![
+                ("nodes", Value::UInt(n as u64)),
+                ("degree", Value::UInt(6)),
+                ("model", Value::String("mlp-32-24-10".into())),
+                ("batch", Value::UInt(16)),
+                ("local_steps", Value::UInt(5)),
+                ("policy", Value::String("threshold 0.2".into())),
+                ("harvest", Value::String("constant 0.05 W".into())),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                sim.run_round(black_box(&actions));
             },
         ));
     }

@@ -194,7 +194,11 @@ pub fn validate_report(report: &Value) -> Result<(), String> {
 /// `dynamic_topology_round` pins the scheduled-round loop (per-round graph
 /// generation + MH mixing + capped error-feedback replicas), whose
 /// allocation proxy is the regression gate for the replica leak — it must
-/// stay bounded while the schedule cycles links forever.
+/// stay bounded while the schedule cycles links forever; `battery_round`
+/// pins the closed-loop battery round (harvest recharge, policy decision,
+/// participation masking, settle), whose allocation proxy gates that the
+/// battery bookkeeping stays allocation-free at steady state and O(n)
+/// per round.
 pub const REQUIRED_SCENARIOS: &[&str] = &[
     "sgd_step_mlp_medium_90k",
     "round_loop_train_64",
@@ -202,6 +206,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "codec_dense_roundtrip",
     "topk_feedback",
     "dynamic_topology_round",
+    "battery_round",
 ];
 
 /// Checks that `report` contains every key in `required` (shape is

@@ -21,9 +21,8 @@ use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
 use crate::schedule::Schedule;
 use rand::RngExt;
 use skiptrain_engine::metrics::MetricsRecorder;
-use skiptrain_engine::{RoundAction, Simulation, SimulationConfig};
-use skiptrain_linalg::rng::{derive_seed, stream_rng};
-use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_engine::RoundAction;
+use skiptrain_linalg::rng::stream_rng;
 use skiptrain_topology::matching::random_maximal_matching;
 use skiptrain_topology::schedule::round_seed;
 use skiptrain_topology::MixingMatrix;
@@ -119,43 +118,18 @@ fn run_async_gossip_inner(
     name: String,
     mut decide: impl FnMut(usize, &mut [RoundAction]),
 ) -> ExperimentResult {
-    let kind = cfg.model_kind();
-    let models: Vec<_> = (0..cfg.nodes)
-        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
-        .collect();
-    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
-    // The engine still wants a default matrix; rounds override it.
-    let mixing = MixingMatrix::metropolis_hastings(&graph);
-
-    let sim_config = SimulationConfig {
-        seed: cfg.seed,
-        batch_size: cfg.batch_size,
-        local_steps: cfg.local_steps,
-        sgd: SgdConfig::plain(cfg.learning_rate),
-        transport: cfg.transport,
-        codec: cfg.codec,
-        feedback_beta: cfg.feedback_beta,
-        feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
-            cfg.feedback_replica_cap,
-            &graph,
-            &cfg.topology_schedule,
-        )),
-        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
-        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
-        nominal_params: Some(cfg.energy.workload.model_params),
-    };
-    // Gossip matchings compose with a configured topology schedule: each
-    // tick matches the *scheduled* round graph (the base graph under the
-    // static default), so duty-cycled links constrain who can pair up.
-    let scheduled = cfg.topology_schedule.bind(&graph, cfg.seed);
-    let graph_for_matching = graph.clone();
-    let mut sim = Simulation::with_shared_data(
-        models,
-        data.node_datasets.clone(),
-        graph,
-        mixing,
-        sim_config,
-    );
+    // The shared prologue builds models, topology, mixing, and the fully
+    // configured engine (including battery gating, which applies to async
+    // ticks exactly as it does to synchronous rounds — the participation
+    // mask collapses a gated node's pairwise mixing row to identity, so a
+    // matched pair involving a dead node never fires). Gossip matchings
+    // compose with a configured topology schedule: each tick matches the
+    // *scheduled* round graph (the base graph under the static default),
+    // so duty-cycled links constrain who can pair up.
+    let built = crate::runner::build_simulation(cfg, data);
+    let mut sim = built.sim;
+    let scheduled = built.schedule;
+    let graph_for_matching = built.graph;
 
     let mut recorder = MetricsRecorder::new();
     let mut mean_model_curve = Vec::new();
@@ -225,6 +199,7 @@ fn run_async_gossip_inner(
         node_train_events,
         final_mean_model,
         node_class_sets,
+        battery: crate::runner::battery_summary(&sim),
     }
 }
 

@@ -24,8 +24,8 @@
 
 use crate::error::ConfigError;
 use crate::experiment::{
-    AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-    TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, BatterySpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig,
+    ExperimentResult, TopologyScheduleSpec, TopologySpec,
 };
 use crate::runner;
 use skiptrain_engine::observer::RoundObserver;
@@ -105,6 +105,19 @@ impl ExperimentBuilder {
         transport: TransportKind,
         /// Enables/disables the averaged-model curve of Figure 1.
         record_mean_model: bool,
+    }
+
+    /// Enables the closed-loop battery subsystem: per-node charge states
+    /// drained by the energy ledger's actual spend, recharged by the
+    /// spec's harvest profile, with a participation policy gating both
+    /// training and gossip per round. Validation rejects non-positive
+    /// capacities ([`ConfigError::NonPositiveBatteryCapacity`]), inverted
+    /// hysteresis bands ([`ConfigError::InvertedHysteresisBands`]),
+    /// out-of-range thresholds, malformed harvest profiles, and
+    /// out-of-range phase jitter.
+    pub fn battery(mut self, spec: BatterySpec) -> Self {
+        self.config.battery = Some(spec);
+        self
     }
 
     /// Sets the round→graph topology schedule (time-varying topologies).
@@ -484,6 +497,142 @@ mod tests {
         let legacy: crate::ExperimentConfig =
             serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
         assert_eq!(legacy.feedback_beta, None);
+        legacy.validate().expect("legacy config still validates");
+        assert_eq!(legacy.nodes, base.nodes);
+    }
+
+    #[test]
+    fn bad_battery_specs_are_typed_errors() {
+        use crate::experiment::{BatteryCapacitySpec, BatterySpec};
+        use skiptrain_energy::battery::BatteryPolicy;
+        use skiptrain_energy::trace::HarvestProfile;
+
+        let valid = BatterySpec {
+            capacity: BatteryCapacitySpec::Uniform { wh: 2.0 },
+            initial_fraction: 0.5,
+            harvest: HarvestProfile::Constant { watts: 1.0 },
+            harvest_jitter: 0.0,
+            policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+        };
+        Experiment::builder()
+            .battery(valid.clone())
+            .build()
+            .expect("valid battery spec must validate");
+
+        for bad_wh in [0.0f64, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Experiment::builder()
+                .battery(BatterySpec {
+                    capacity: BatteryCapacitySpec::Uniform { wh: bad_wh },
+                    ..valid.clone()
+                })
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::NonPositiveBatteryCapacity, "wh {bad_wh}");
+        }
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                capacity: BatteryCapacitySpec::Fleet { fraction: 1.5 },
+                ..valid.clone()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveBatteryCapacity);
+
+        for (suspend, resume) in [(0.5, 0.5), (0.6, 0.4), (-0.1, 0.5), (0.2, 1.1)] {
+            let err = Experiment::builder()
+                .battery(BatterySpec {
+                    policy: BatteryPolicy::Hysteresis {
+                        suspend_fraction: suspend,
+                        resume_fraction: resume,
+                    },
+                    ..valid.clone()
+                })
+                .build()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ConfigError::InvertedHysteresisBands,
+                "bands ({suspend}, {resume})"
+            );
+        }
+        // ordered bands validate
+        Experiment::builder()
+            .battery(BatterySpec {
+                policy: BatteryPolicy::Hysteresis {
+                    suspend_fraction: 0.2,
+                    resume_fraction: 0.4,
+                },
+                ..valid.clone()
+            })
+            .build()
+            .expect("ordered hysteresis bands validate");
+
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                policy: BatteryPolicy::Threshold { min_fraction: 0.0 },
+                ..valid.clone()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidBatteryPolicyFraction);
+
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                initial_fraction: 1.5,
+                ..valid.clone()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidBatteryInitialFraction);
+
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                harvest: HarvestProfile::Piecewise { watts: vec![] },
+                ..valid.clone()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidHarvestProfile);
+
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                harvest: HarvestProfile::Diurnal {
+                    peak_watts: 1.0,
+                    period_rounds: 0.0,
+                },
+                ..valid.clone()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidHarvestProfile);
+
+        let err = Experiment::builder()
+            .battery(BatterySpec {
+                harvest_jitter: 2.0,
+                ..valid
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidHarvestJitter);
+    }
+
+    #[test]
+    fn configs_without_battery_field_stay_loadable() {
+        // serde-default bit-compatibility: a pre-battery JSON config (no
+        // `battery` key) must deserialize with the battery off.
+        let base = crate::presets::cifar_config(crate::presets::Scale::Quick, 3);
+        let mut json = serde_json::to_value(&base);
+        match &mut json {
+            serde_json::Value::Object(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "battery");
+                assert_eq!(entries.len(), before - 1, "field must serialize by default");
+            }
+            other => panic!("config must serialize to an object, got {other:?}"),
+        }
+        let legacy: crate::ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(legacy.battery.is_none());
         legacy.validate().expect("legacy config still validates");
         assert_eq!(legacy.nodes, base.nodes);
     }

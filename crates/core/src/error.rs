@@ -28,6 +28,24 @@ pub enum ConfigError {
     },
     /// The battery fraction is outside `(0, 1]`.
     InvalidBatteryFraction,
+    /// A battery spec's capacity (uniform Wh, or fleet fraction) is not a
+    /// positive finite number.
+    NonPositiveBatteryCapacity,
+    /// A battery spec's initial charge fraction is outside `[0, 1]` (or
+    /// not finite).
+    InvalidBatteryInitialFraction,
+    /// A battery policy fraction (threshold, or duty-cycle target) is
+    /// outside `(0, 1]` (or not finite).
+    InvalidBatteryPolicyFraction,
+    /// A hysteresis battery policy's bands are inverted or degenerate
+    /// (`suspend_fraction >= resume_fraction`), so the latch could never
+    /// open — or a band is outside `[0, 1]`.
+    InvertedHysteresisBands,
+    /// A harvest profile is malformed: negative or non-finite watts, a
+    /// non-positive diurnal period, or an empty piecewise trace.
+    InvalidHarvestProfile,
+    /// The harvest phase jitter is outside `[0, 1]` (or not finite).
+    InvalidHarvestJitter,
     /// A regular topology's degree does not fit the node count
     /// (`degree >= nodes`).
     DegreeTooLarge {
@@ -102,6 +120,28 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::InvalidBatteryFraction => {
                 write!(f, "battery fraction must lie in (0, 1]")
+            }
+            ConfigError::NonPositiveBatteryCapacity => {
+                write!(f, "battery capacity must be a positive finite number")
+            }
+            ConfigError::InvalidBatteryInitialFraction => {
+                write!(f, "battery initial charge fraction must lie in [0, 1]")
+            }
+            ConfigError::InvalidBatteryPolicyFraction => write!(
+                f,
+                "battery policy fraction (threshold / duty-cycle target) must lie in (0, 1]"
+            ),
+            ConfigError::InvertedHysteresisBands => write!(
+                f,
+                "hysteresis bands must satisfy 0 <= suspend < resume <= 1"
+            ),
+            ConfigError::InvalidHarvestProfile => write!(
+                f,
+                "harvest profile needs finite non-negative watts, a positive \
+                 diurnal period, and a non-empty piecewise trace"
+            ),
+            ConfigError::InvalidHarvestJitter => {
+                write!(f, "harvest phase jitter must lie in [0, 1]")
             }
             ConfigError::DegreeTooLarge { degree, nodes } => write!(
                 f,
@@ -202,6 +242,26 @@ mod tests {
         };
         assert!(c.to_string().contains("#3"));
         assert!(c.to_string().contains("round"));
+    }
+
+    #[test]
+    fn battery_errors_display_and_serialize() {
+        for e in [
+            ConfigError::NonPositiveBatteryCapacity,
+            ConfigError::InvalidBatteryInitialFraction,
+            ConfigError::InvalidBatteryPolicyFraction,
+            ConfigError::InvertedHysteresisBands,
+            ConfigError::InvalidHarvestProfile,
+            ConfigError::InvalidHarvestJitter,
+        ] {
+            assert!(!e.to_string().is_empty());
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ConfigError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+        assert!(ConfigError::InvertedHysteresisBands
+            .to_string()
+            .contains("suspend < resume"));
     }
 
     #[test]

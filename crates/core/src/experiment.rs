@@ -16,8 +16,12 @@ use skiptrain_data::partition::{materialize, partition_indices};
 use skiptrain_data::split::split_eval;
 use skiptrain_data::synth::{cifar_like, femnist_like, MixtureSpec};
 use skiptrain_data::{Dataset, Partition};
+use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState};
 use skiptrain_energy::device::fleet;
-use skiptrain_energy::trace::{round_energy_wh, training_budget_rounds, WorkloadSpec};
+use skiptrain_energy::trace::{
+    round_duration_s, round_energy_wh, training_budget_rounds, HarvestProfile, HarvestTrace,
+    WorkloadSpec,
+};
 use skiptrain_engine::metrics::{AccuracyPoint, EvalStats};
 use skiptrain_engine::{ModelCodec, TransportKind};
 use skiptrain_linalg::rng::derive_seed;
@@ -517,6 +521,188 @@ impl EnergySpec {
     }
 }
 
+/// How much battery capacity each node gets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatteryCapacitySpec {
+    /// Every node gets the same capacity (Wh).
+    Uniform {
+        /// Capacity per node, Wh.
+        wh: f64,
+    },
+    /// Node `i` gets `fraction` of its fleet device's battery (the §4.2
+    /// heterogeneous-phones setting, Wh-denominated).
+    Fleet {
+        /// Fraction of each device battery in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Closed-loop battery setup, in serializable configuration form.
+///
+/// This is the experiment-layer face of
+/// [`BatterySetup`](skiptrain_energy::battery::BatterySetup): node
+/// batteries drain from the energy ledger's actual per-round spend,
+/// recharge from the harvest profile, and the policy gates both training
+/// *and* gossip per round (see the engine crate docs for the exact round
+/// order). The harvest trace's round duration is derived from the
+/// experiment's nominal workload — the fleet's *slowest* device sets the
+/// wall-clock length of a lockstep round, so that is how long every
+/// harvester collects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatterySpec {
+    /// Per-node capacity.
+    pub capacity: BatteryCapacitySpec,
+    /// Initial state of charge as a fraction of capacity in `[0, 1]`
+    /// (`1.0` = full).
+    pub initial_fraction: f64,
+    /// Energy-harvesting power profile feeding the batteries.
+    pub harvest: HarvestProfile,
+    /// Per-node harvest phase jitter in `[0, 1]` (fraction of the profile
+    /// period; deterministic per node, derived from the master seed).
+    #[serde(default)]
+    pub harvest_jitter: f64,
+    /// Participation policy deciding from charge fractions who trains and
+    /// gossips.
+    pub policy: BatteryPolicy,
+}
+
+impl BatterySpec {
+    /// Checks every battery invariant, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let capacity_ok = match self.capacity {
+            BatteryCapacitySpec::Uniform { wh } => wh.is_finite() && wh > 0.0,
+            BatteryCapacitySpec::Fleet { fraction } => {
+                fraction.is_finite() && fraction > 0.0 && fraction <= 1.0
+            }
+        };
+        if !capacity_ok {
+            return Err(ConfigError::NonPositiveBatteryCapacity);
+        }
+        if !(self.initial_fraction.is_finite() && (0.0..=1.0).contains(&self.initial_fraction)) {
+            return Err(ConfigError::InvalidBatteryInitialFraction);
+        }
+        if !(self.harvest_jitter.is_finite() && (0.0..=1.0).contains(&self.harvest_jitter)) {
+            return Err(ConfigError::InvalidHarvestJitter);
+        }
+        let harvest_ok = match &self.harvest {
+            HarvestProfile::None => true,
+            HarvestProfile::Constant { watts } => watts.is_finite() && *watts >= 0.0,
+            HarvestProfile::Diurnal {
+                peak_watts,
+                period_rounds,
+            } => {
+                peak_watts.is_finite()
+                    && *peak_watts >= 0.0
+                    && period_rounds.is_finite()
+                    && *period_rounds > 0.0
+            }
+            HarvestProfile::Piecewise { watts } => {
+                !watts.is_empty() && watts.iter().all(|w| w.is_finite() && *w >= 0.0)
+            }
+        };
+        if !harvest_ok {
+            return Err(ConfigError::InvalidHarvestProfile);
+        }
+        match self.policy {
+            BatteryPolicy::AlwaysOn => Ok(()),
+            BatteryPolicy::Threshold { min_fraction } => {
+                if min_fraction.is_finite() && min_fraction > 0.0 && min_fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(ConfigError::InvalidBatteryPolicyFraction)
+                }
+            }
+            BatteryPolicy::Hysteresis {
+                suspend_fraction,
+                resume_fraction,
+            } => {
+                if !(suspend_fraction.is_finite()
+                    && resume_fraction.is_finite()
+                    && suspend_fraction >= 0.0
+                    && resume_fraction <= 1.0)
+                {
+                    return Err(ConfigError::InvertedHysteresisBands);
+                }
+                if suspend_fraction >= resume_fraction {
+                    return Err(ConfigError::InvertedHysteresisBands);
+                }
+                Ok(())
+            }
+            BatteryPolicy::DutyCycle { target_fraction } => {
+                if target_fraction.is_finite() && target_fraction > 0.0 && target_fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(ConfigError::InvalidBatteryPolicyFraction)
+                }
+            }
+        }
+    }
+
+    /// Per-node capacities (Wh) for an `n`-node fleet.
+    pub fn node_capacities(&self, n: usize) -> Vec<f64> {
+        match self.capacity {
+            BatteryCapacitySpec::Uniform { wh } => vec![wh; n],
+            BatteryCapacitySpec::Fleet { fraction } => fleet(n)
+                .iter()
+                .map(|d| d.profile().battery_wh * fraction)
+                .collect(),
+        }
+    }
+
+    /// Lowers the spec onto the energy layer for an `n`-node fleet:
+    /// concrete charge states, plus a harvest trace whose per-node phase
+    /// jitter is chained from the experiment's master seed and whose
+    /// round duration is the slowest fleet device's training-round
+    /// wall-clock under `workload` (a lockstep round lasts as long as its
+    /// slowest participant).
+    pub fn build(&self, n: usize, master_seed: u64, workload: &WorkloadSpec) -> BatterySetup {
+        let state =
+            BatteryState::with_initial_fraction(self.node_capacities(n), self.initial_fraction);
+        let round_s = fleet(n)
+            .iter()
+            .map(|d| round_duration_s(&d.profile(), workload))
+            .fold(0.0f64, f64::max);
+        let trace = HarvestTrace::new(
+            self.harvest.clone(),
+            round_s,
+            n,
+            master_seed,
+            self.harvest_jitter,
+        );
+        BatterySetup {
+            state,
+            trace,
+            policy: self.policy,
+        }
+    }
+}
+
+/// End-of-run battery bookkeeping totals for one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct BatterySummary {
+    /// Total harvest energy offered across nodes and rounds (Wh).
+    pub harvested_wh: f64,
+    /// Harvest clipped away at full batteries (Wh).
+    pub wasted_wh: f64,
+    /// Energy actually drained from batteries (Wh).
+    pub drained_wh: f64,
+    /// Sum of final node charges (Wh).
+    pub final_charge_wh: f64,
+    /// Node-rounds that participated (trained/gossiped).
+    pub node_participations: u64,
+    /// Node-rounds that browned out (intended to train, could not afford
+    /// it, burned their remaining charge).
+    pub brownouts: u64,
+}
+
+impl BatterySummary {
+    /// Accuracy-per-harvest denominator: harvested Wh, floored at the
+    /// drained total so zero-harvest runs still normalize.
+    pub fn harvest_denominator_wh(&self) -> f64 {
+        self.harvested_wh.max(self.drained_wh)
+    }
+}
+
 /// Complete description of one experiment run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -585,6 +771,13 @@ pub struct ExperimentConfig {
     /// Also record the accuracy of the averaged (all-reduced) model at each
     /// evaluation point — the hypothetical curve of Figure 1.
     pub record_mean_model: bool,
+    /// Closed-loop battery setup: per-node charge states drained by the
+    /// ledger's actual spend, recharged by a harvest profile, with a
+    /// participation policy gating training *and* gossip per round.
+    /// `None` (and the serde default — legacy JSON configs load
+    /// bit-compatibly) runs the paper's plug-powered setting.
+    #[serde(default)]
+    pub battery: Option<BatterySpec>,
 }
 
 impl ExperimentConfig {
@@ -616,18 +809,24 @@ impl ExperimentConfig {
                 algorithm: self.algorithm.name().to_string(),
             });
         }
+        // Budgeted policies carry the per-node training cost so their
+        // trackers report Wh-consistent views of the integer τ budgets.
         Ok(match &self.algorithm {
             AlgorithmSpec::DPsgd => Box::new(DPsgdPolicy),
             AlgorithmSpec::SkipTrain(schedule) => Box::new(SkipTrainPolicy::new(*schedule)),
-            AlgorithmSpec::SkipTrainConstrained(schedule) => Box::new(ConstrainedPolicy::new(
-                *schedule,
-                self.energy.node_budgets(self.nodes),
-                self.rounds,
-                derive_seed(self.seed, 0x70C1),
-            )),
-            AlgorithmSpec::Greedy => {
-                Box::new(GreedyPolicy::new(self.energy.node_budgets(self.nodes)))
+            AlgorithmSpec::SkipTrainConstrained(schedule) => {
+                Box::new(ConstrainedPolicy::with_round_costs(
+                    *schedule,
+                    self.energy.node_budgets(self.nodes),
+                    self.energy.node_energies(self.nodes),
+                    self.rounds,
+                    derive_seed(self.seed, 0x70C1),
+                ))
             }
+            AlgorithmSpec::Greedy => Box::new(GreedyPolicy::with_round_costs(
+                self.energy.node_budgets(self.nodes),
+                self.energy.node_energies(self.nodes),
+            )),
         })
     }
 
@@ -693,6 +892,9 @@ impl ExperimentConfig {
         }
         if self.feedback_replica_cap == Some(0) {
             return Err(ConfigError::ZeroReplicaCap);
+        }
+        if let Some(battery) = &self.battery {
+            battery.validate()?;
         }
         self.topology_schedule.validate(self.nodes)?;
         let needs_budget = matches!(
@@ -763,6 +965,10 @@ pub struct ExperimentResult {
     pub final_mean_model: Vec<f32>,
     /// Distinct classes held locally by each node (fairness analysis).
     pub node_class_sets: Vec<Vec<u32>>,
+    /// Battery bookkeeping totals, when the run was battery-gated
+    /// (`#[serde(default)]` keeps pre-battery result JSON loadable).
+    #[serde(default)]
+    pub battery: Option<BatterySummary>,
 }
 
 impl ExperimentResult {

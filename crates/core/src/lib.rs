@@ -79,8 +79,8 @@ pub use error::{CampaignError, ConfigError};
 #[allow(deprecated)]
 pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
-    AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-    TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, DataBundle, DataSpec,
+    EnergySpec, ExperimentConfig, ExperimentResult, TopologyScheduleSpec, TopologySpec,
 };
 pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};

@@ -90,6 +90,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         feedback_beta: None,
         feedback_replica_cap: None,
         record_mean_model: false,
+        battery: None,
     }
 }
 
@@ -132,6 +133,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         feedback_beta: None,
         feedback_replica_cap: None,
         record_mean_model: false,
+        battery: None,
     }
 }
 

@@ -13,15 +13,93 @@
 //! produces an identical [`ExperimentResult`].
 
 use crate::error::ConfigError;
-use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
+use crate::experiment::{BatterySummary, DataBundle, ExperimentConfig, ExperimentResult};
 use skiptrain_engine::observer::{EvalReport, RoundCtx, RoundObserver, RoundReport};
 use skiptrain_engine::{
     CurveObserver, MeanModelObserver, RoundAction, Simulation, SimulationConfig,
 };
 use skiptrain_linalg::rng::derive_seed;
 use skiptrain_nn::sgd::SgdConfig;
-use skiptrain_topology::MixingMatrix;
+use skiptrain_topology::{Graph, MixingMatrix, ScheduledTopology};
 use std::sync::Arc;
+
+/// The simulation a config builds, plus the round-loop companions both the
+/// synchronous runner and the async-gossip loop need.
+pub(crate) struct BuiltSimulation {
+    /// The engine, fully configured (transport, codec, feedback, energy,
+    /// and — when specified — the battery runtime).
+    pub sim: Simulation,
+    /// The bound topology schedule; `None` for the static fast path.
+    pub schedule: Option<ScheduledTopology>,
+    /// The base communication graph (async gossip matches over it).
+    pub graph: Graph,
+}
+
+/// The shared round-loop prologue: per-node models, topology and mixing,
+/// engine configuration (including the battery runtime lowered from
+/// `cfg.battery`), and schedule binding. Factored out of the synchronous
+/// runner and the async-gossip loop so battery gating and energy wiring
+/// cannot diverge between the two paths. Assumes `cfg` is valid and
+/// `data` matches it.
+pub(crate) fn build_simulation(cfg: &ExperimentConfig, data: &DataBundle) -> BuiltSimulation {
+    let kind = cfg.model_kind();
+    let models: Vec<_> = (0..cfg.nodes)
+        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
+        .collect();
+
+    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+
+    let sim_config = SimulationConfig {
+        seed: cfg.seed,
+        batch_size: cfg.batch_size,
+        local_steps: cfg.local_steps,
+        sgd: SgdConfig::plain(cfg.learning_rate),
+        transport: cfg.transport,
+        codec: cfg.codec,
+        feedback_beta: cfg.feedback_beta,
+        feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
+            cfg.feedback_replica_cap,
+            &graph,
+            &cfg.topology_schedule,
+        )),
+        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
+        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        nominal_params: Some(cfg.energy.workload.model_params),
+        battery: cfg
+            .battery
+            .as_ref()
+            .map(|spec| spec.build(cfg.nodes, cfg.seed, &cfg.energy.workload)),
+    };
+    // A non-static topology schedule regenerates (cached) doubly
+    // stochastic mixing per round; the static default keeps the legacy
+    // byte-compatible fast path through `run_round`.
+    let schedule = cfg.topology_schedule.bind(&graph, cfg.seed);
+    let sim = Simulation::with_shared_data(
+        models,
+        data.node_datasets.clone(),
+        graph.clone(),
+        mixing,
+        sim_config,
+    );
+    BuiltSimulation {
+        sim,
+        schedule,
+        graph,
+    }
+}
+
+/// End-of-run battery totals, when the simulation was battery-gated.
+pub(crate) fn battery_summary(sim: &Simulation) -> Option<BatterySummary> {
+    sim.battery_state().map(|state| BatterySummary {
+        harvested_wh: state.total_harvested_wh(),
+        wasted_wh: state.total_wasted_wh(),
+        drained_wh: state.total_drained_wh(),
+        final_charge_wh: state.total_charge_wh(),
+        node_participations: sim.battery_participations().unwrap_or(0),
+        brownouts: sim.battery_brownouts().unwrap_or(0),
+    })
+}
 
 /// Runs `cfg` on a pre-built bundle with caller-supplied observers, after
 /// validating both.
@@ -50,42 +128,9 @@ pub(crate) fn execute(
     data: &DataBundle,
     extra_observers: &mut [&mut dyn RoundObserver],
 ) -> ExperimentResult {
-    let kind = cfg.model_kind();
-    let models: Vec<_> = (0..cfg.nodes)
-        .map(|i| kind.build(derive_seed(cfg.seed, 0x4000 + i as u64)))
-        .collect();
-
-    let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
-    let mixing = MixingMatrix::metropolis_hastings(&graph);
-
-    let sim_config = SimulationConfig {
-        seed: cfg.seed,
-        batch_size: cfg.batch_size,
-        local_steps: cfg.local_steps,
-        sgd: SgdConfig::plain(cfg.learning_rate),
-        transport: cfg.transport,
-        codec: cfg.codec,
-        feedback_beta: cfg.feedback_beta,
-        feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
-            cfg.feedback_replica_cap,
-            &graph,
-            &cfg.topology_schedule,
-        )),
-        training_energy_wh: cfg.energy.node_energies(cfg.nodes),
-        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
-        nominal_params: Some(cfg.energy.workload.model_params),
-    };
-    // A non-static topology schedule regenerates (cached) doubly
-    // stochastic mixing per round; the static default keeps the legacy
-    // byte-compatible fast path through `run_round`.
-    let mut schedule = cfg.topology_schedule.bind(&graph, cfg.seed);
-    let mut sim = Simulation::with_shared_data(
-        models,
-        data.node_datasets.clone(),
-        graph,
-        mixing,
-        sim_config,
-    );
+    let built = build_simulation(cfg, data);
+    let mut sim = built.sim;
+    let mut schedule = built.schedule;
 
     let mut policy = cfg.build_policy();
     let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
@@ -213,6 +258,7 @@ pub(crate) fn execute(
             node_train_events,
             final_mean_model,
             node_class_sets,
+            battery: battery_summary(&sim),
         }
     }
 }

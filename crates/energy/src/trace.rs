@@ -126,6 +126,172 @@ pub fn table2() -> Vec<TraceRow> {
         .collect()
 }
 
+/// Stream index for the per-node harvest phase jitter (chained through
+/// [`derive_seed`] so harvest randomness never collides with model, data,
+/// or topology streams).
+pub const HARVEST_PHASE_STREAM: u64 = 0x0BA7_7E21;
+
+/// An energy-harvesting power profile, watts as a function of time.
+///
+/// Profiles are evaluated in *round* time: one unit of `t` is one
+/// simulated round (whose wall-clock length the [`HarvestTrace`] carries),
+/// so the same profile works across workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HarvestProfile {
+    /// No harvesting — the battery only ever drains.
+    None,
+    /// Constant power source (bench harvester, mains trickle charger).
+    Constant {
+        /// Harvest power, watts.
+        watts: f64,
+    },
+    /// Solar-like diurnal cycle: `P(t) = peak · max(0, sin(2π t / period))`
+    /// — positive for the day half of each period, zero at night.
+    Diurnal {
+        /// Peak midday power, watts.
+        peak_watts: f64,
+        /// Cycle length in rounds.
+        period_rounds: f64,
+    },
+    /// Piecewise-constant profile from measured data: `watts[k]` holds for
+    /// round `k`, cycling past the end.
+    Piecewise {
+        /// One power sample (watts) per round, cycled.
+        watts: Vec<f64>,
+    },
+}
+
+impl HarvestProfile {
+    /// Short stable name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HarvestProfile::None => "none",
+            HarvestProfile::Constant { .. } => "constant",
+            HarvestProfile::Diurnal { .. } => "diurnal",
+            HarvestProfile::Piecewise { .. } => "piecewise",
+        }
+    }
+
+    /// The profile's natural period in rounds (1 for aperiodic profiles),
+    /// used to scale per-node phase jitter.
+    fn period_rounds(&self) -> f64 {
+        match self {
+            HarvestProfile::None | HarvestProfile::Constant { .. } => 1.0,
+            HarvestProfile::Diurnal { period_rounds, .. } => *period_rounds,
+            HarvestProfile::Piecewise { watts } => watts.len() as f64,
+        }
+    }
+
+    /// Instantaneous power at round-time `t` (fractional rounds allowed).
+    pub fn power_w(&self, t: f64) -> f64 {
+        match self {
+            HarvestProfile::None => 0.0,
+            HarvestProfile::Constant { watts } => *watts,
+            HarvestProfile::Diurnal {
+                peak_watts,
+                period_rounds,
+            } => {
+                let angle = 2.0 * std::f64::consts::PI * t / period_rounds;
+                peak_watts * angle.sin().max(0.0)
+            }
+            HarvestProfile::Piecewise { watts } => {
+                let k = (t.rem_euclid(watts.len() as f64)).floor() as usize;
+                watts[k.min(watts.len() - 1)]
+            }
+        }
+    }
+}
+
+/// A per-fleet harvest trace: one [`HarvestProfile`] shared by all nodes,
+/// with a deterministic per-node phase offset (so a fleet under a diurnal
+/// profile is not one perfectly synchronized wave), converted to per-round
+/// energy through the round's wall-clock duration.
+///
+/// Phase offsets are drawn once at construction from
+/// `stream_rng(derive_seed(seed, HARVEST_PHASE_STREAM), node)` — the
+/// workspace's chained-seed discipline, reproducible across thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarvestTrace {
+    profile: HarvestProfile,
+    /// Wall-clock length of one simulated round, seconds. For lockstep
+    /// fleets this is the *slowest* device's round time — the barrier
+    /// everyone waits at, and therefore everyone's harvesting window.
+    round_duration_s: f64,
+    /// Per-node phase offsets in rounds.
+    phase: Vec<f64>,
+}
+
+impl HarvestTrace {
+    /// Builds a trace for `n` nodes. `jitter_fraction ∈ [0, 1]` scales the
+    /// per-node phase offsets: each node is shifted by a uniform draw from
+    /// `[0, jitter_fraction · period)` rounds (0 = perfectly synchronized
+    /// fleet).
+    ///
+    /// # Panics
+    /// Panics on `n == 0`, a non-positive/non-finite round duration, or a
+    /// jitter fraction outside `[0, 1]`.
+    pub fn new(
+        profile: HarvestProfile,
+        round_duration_s: f64,
+        n: usize,
+        seed: u64,
+        jitter_fraction: f64,
+    ) -> Self {
+        use rand::{RngExt, SeedableRng};
+        assert!(n > 0, "empty harvest fleet");
+        assert!(
+            round_duration_s.is_finite() && round_duration_s > 0.0,
+            "round duration must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&jitter_fraction),
+            "phase jitter fraction must be in [0, 1]"
+        );
+        let period = profile.period_rounds();
+        let phase_seed = skiptrain_linalg::rng::derive_seed(seed, HARVEST_PHASE_STREAM);
+        let phase = (0..n)
+            .map(|i| {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    skiptrain_linalg::rng::derive_seed(phase_seed, i as u64),
+                );
+                rng.random::<f64>() * jitter_fraction * period
+            })
+            .collect();
+        Self {
+            profile,
+            round_duration_s,
+            phase,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// True for zero nodes (not constructible via the public API).
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// The profile driving this trace.
+    pub fn profile(&self) -> &HarvestProfile {
+        &self.profile
+    }
+
+    /// Wall-clock length of one round, seconds.
+    pub fn round_duration_s(&self) -> f64 {
+        self.round_duration_s
+    }
+
+    /// Energy harvested by `node` during `round`, Wh: the profile's power
+    /// at the node's phase-shifted round time, over the round duration.
+    pub fn energy_wh(&self, node: usize, round: usize) -> f64 {
+        let t = round as f64 + self.phase[node];
+        self.profile.power_w(t) * self.round_duration_s / 3600.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +396,104 @@ mod tests {
     fn rejects_zero_fraction() {
         let p = DeviceKind::PocoX3.profile();
         let _ = training_budget_rounds(&p, &WorkloadSpec::cifar10(), 0.0);
+    }
+
+    #[test]
+    fn constant_profile_converts_watts_to_wh_per_round() {
+        // 2 W over a 1800 s round = 1 Wh, regardless of node or round
+        let trace = HarvestTrace::new(HarvestProfile::Constant { watts: 2.0 }, 1800.0, 3, 7, 0.5);
+        for node in 0..3 {
+            for round in [0usize, 1, 99] {
+                assert!((trace.energy_wh(node, round) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_profile_is_zero_at_night_and_peaks_at_midday() {
+        let p = HarvestProfile::Diurnal {
+            peak_watts: 4.0,
+            period_rounds: 24.0,
+        };
+        // midday = quarter period
+        assert!((p.power_w(6.0) - 4.0).abs() < 1e-9);
+        // night half of the cycle is clamped to zero
+        for t in [13.0, 18.0, 23.5] {
+            assert_eq!(p.power_w(t), 0.0);
+        }
+        // integral over a full period is peak·period/π (half-sine mean)
+        let steps = 10_000;
+        let mean: f64 = (0..steps)
+            .map(|k| p.power_w(24.0 * k as f64 / steps as f64))
+            .sum::<f64>()
+            / steps as f64;
+        assert!((mean - 4.0 / std::f64::consts::PI).abs() < 1e-3);
+    }
+
+    #[test]
+    fn piecewise_profile_cycles_its_samples() {
+        let p = HarvestProfile::Piecewise {
+            watts: vec![1.0, 0.0, 3.0],
+        };
+        assert_eq!(p.power_w(0.0), 1.0);
+        assert_eq!(p.power_w(1.2), 0.0);
+        assert_eq!(p.power_w(2.9), 3.0);
+        // cycles past the end
+        assert_eq!(p.power_w(3.0), 1.0);
+        assert_eq!(p.power_w(7.5), 0.0);
+    }
+
+    #[test]
+    fn phase_jitter_is_deterministic_and_bounded() {
+        let mk = || {
+            HarvestTrace::new(
+                HarvestProfile::Diurnal {
+                    peak_watts: 1.0,
+                    period_rounds: 12.0,
+                },
+                600.0,
+                16,
+                42,
+                0.5,
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a, b, "same seed must give identical phases");
+        // different nodes get different phases (jitter actually applied)
+        let e0: Vec<f64> = (0..8).map(|r| a.energy_wh(0, r)).collect();
+        let e1: Vec<f64> = (0..8).map(|r| a.energy_wh(1, r)).collect();
+        assert_ne!(e0, e1, "per-node phase jitter must desynchronize nodes");
+        // a different seed shifts the phases
+        let c = HarvestTrace::new(
+            HarvestProfile::Diurnal {
+                peak_watts: 1.0,
+                period_rounds: 12.0,
+            },
+            600.0,
+            16,
+            43,
+            0.5,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_jitter_synchronizes_the_fleet() {
+        let trace = HarvestTrace::new(
+            HarvestProfile::Diurnal {
+                peak_watts: 2.0,
+                period_rounds: 8.0,
+            },
+            3600.0,
+            5,
+            9,
+            0.0,
+        );
+        for round in 0..8 {
+            let e0 = trace.energy_wh(0, round);
+            for node in 1..5 {
+                assert_eq!(trace.energy_wh(node, round), e0);
+            }
+        }
     }
 }

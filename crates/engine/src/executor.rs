@@ -9,7 +9,9 @@ use crate::transport::{
 };
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
+use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState, ParticipationState};
 use skiptrain_energy::comm::CommEnergyModel;
+use skiptrain_energy::trace::HarvestTrace;
 use skiptrain_energy::EnergyLedger;
 use skiptrain_linalg::compress::{
     accumulate_delta, compress_with_feedback_top_k, compress_with_feedback_u16,
@@ -83,6 +85,14 @@ pub struct SimulationConfig {
     /// actual simulated model size. (The paper's energy traces are defined
     /// for Table 1's |x|, which may exceed the reduced simulation models.)
     pub nominal_params: Option<usize>,
+    /// `Some` enables closed-loop battery gating: each round the fleet
+    /// recharges from the harvest trace, the policy picks a participation
+    /// set from the charge fractions, and non-participants neither train
+    /// nor fire edges (the round's effective mixing is masked, so the
+    /// per-edge energy accounting and error-feedback replicas see only
+    /// the edges that really fired). After the round, every node's actual
+    /// ledger spend (training + tx + rx) drains its battery.
+    pub battery: Option<BatterySetup>,
 }
 
 impl SimulationConfig {
@@ -101,6 +111,118 @@ impl SimulationConfig {
             training_energy_wh: Vec::new(),
             comm_energy: CommEnergyModel::paper_fit(),
             nominal_params: None,
+            battery: None,
+        }
+    }
+}
+
+/// The battery feedback loop's engine-side runtime: the evolving charge
+/// state plus the reusable per-round buffers the gating path writes into
+/// (allocation-free at steady state — charge updates are O(n) per round).
+#[derive(Debug, Clone)]
+struct BatteryRuntime {
+    state: BatteryState,
+    trace: HarvestTrace,
+    policy: BatteryPolicy,
+    pstate: ParticipationState,
+    /// Last round's participation mask.
+    active: Vec<bool>,
+    /// Gated actions handed to the phases (non-participants → SyncOnly).
+    actions: Vec<RoundAction>,
+    /// Participation-masked effective mixing for the round.
+    masked: MixingMatrix,
+    /// Per-node (training + comm) Wh already drained from the ledger.
+    settled_wh: Vec<f64>,
+    /// Total node-rounds of participation.
+    participations: u64,
+    /// Brown-out events: train intents the charge could not cover.
+    brownouts: u64,
+}
+
+impl BatteryRuntime {
+    fn new(setup: BatterySetup, n: usize) -> Self {
+        assert_eq!(setup.state.len(), n, "one battery per node required");
+        assert_eq!(setup.trace.len(), n, "one harvest stream per node required");
+        Self {
+            pstate: ParticipationState::new(n),
+            active: Vec::with_capacity(n),
+            actions: Vec::with_capacity(n),
+            masked: MixingMatrix::identity(n),
+            settled_wh: vec![0.0; n],
+            participations: 0,
+            brownouts: 0,
+            state: setup.state,
+            trace: setup.trace,
+            policy: setup.policy,
+        }
+    }
+
+    /// Pre-round gating: recharge from the harvest trace, decide the
+    /// participation set, brown-out nodes that cannot afford their
+    /// intended round, then materialize the gated actions and the masked
+    /// effective mixing.
+    ///
+    /// A node that intended to *train* but holds less charge than its
+    /// per-round training cost burns its remaining charge (the attempted
+    /// partial round is lost work) and drops out; a sync-only intent just
+    /// needs nonzero charge to key the radio.
+    fn begin_round(
+        &mut self,
+        round: usize,
+        intended: &[RoundAction],
+        base: &MixingMatrix,
+        training_energy_wh: &[f64],
+    ) {
+        let n = self.state.len();
+        for i in 0..n {
+            self.state.recharge(i, self.trace.energy_wh(i, round));
+        }
+        self.policy
+            .decide_into(&self.state, &mut self.pstate, &mut self.active);
+        for (i, intent) in intended.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            match intent {
+                RoundAction::Train => {
+                    let cost = training_energy_wh.get(i).copied().unwrap_or(0.0);
+                    if self.state.charge_wh(i) < cost {
+                        self.state.drain_all(i);
+                        self.active[i] = false;
+                        self.brownouts += 1;
+                    }
+                }
+                RoundAction::SyncOnly => {
+                    if self.state.charge_wh(i) <= 0.0 {
+                        self.active[i] = false;
+                    }
+                }
+            }
+        }
+        self.actions.clear();
+        self.actions
+            .extend(intended.iter().zip(&self.active).map(|(&a, &on)| {
+                if on {
+                    a
+                } else {
+                    RoundAction::SyncOnly
+                }
+            }));
+        self.participations += self.active.iter().filter(|&&on| on).count() as u64;
+        base.masked_into(&self.active, &mut self.masked);
+    }
+
+    /// Post-round drain: debit each node's battery with what the round
+    /// actually cost it, read as the delta of the ledger's cumulative
+    /// per-node training + comm energy since the last settle.
+    fn settle(&mut self, ledger: &EnergyLedger) {
+        for i in 0..self.state.len() {
+            let total = ledger.node_training_wh(i) + ledger.node_comm_wh(i);
+            let delta = total - self.settled_wh[i];
+            if delta > 0.0 {
+                self.state.drain(i, delta);
+            }
+            self.settled_wh[i] = total;
         }
     }
 }
@@ -201,6 +323,8 @@ pub struct Simulation {
     feedback: Option<ErrorFeedbackState>,
     /// Per-receiver reusable buffers for the per-edge feedback share path.
     edge_scratch: Vec<EdgeScratch>,
+    /// Closed-loop battery gating runtime, when configured.
+    battery: Option<BatteryRuntime>,
 }
 
 impl Simulation {
@@ -285,7 +409,13 @@ impl Simulation {
             ErrorFeedbackState::with_cap(n, beta, cap)
         });
 
+        let battery = config
+            .battery
+            .clone()
+            .map(|setup| BatteryRuntime::new(setup, n));
+
         Self {
+            battery,
             nodes,
             graph,
             mixing,
@@ -348,6 +478,30 @@ impl Simulation {
     /// The per-link error-feedback state, when feedback is enabled.
     pub fn feedback(&self) -> Option<&ErrorFeedbackState> {
         self.feedback.as_ref()
+    }
+
+    /// The per-node battery charge state, when battery gating is
+    /// configured.
+    pub fn battery_state(&self) -> Option<&BatteryState> {
+        self.battery.as_ref().map(|b| &b.state)
+    }
+
+    /// The last gated round's participation mask (empty before the first
+    /// round), when battery gating is configured.
+    pub fn battery_active(&self) -> Option<&[bool]> {
+        self.battery.as_ref().map(|b| &b.active[..])
+    }
+
+    /// Total node-rounds of participation under battery gating.
+    pub fn battery_participations(&self) -> Option<u64> {
+        self.battery.as_ref().map(|b| b.participations)
+    }
+
+    /// Brown-out events so far: rounds a node entered intending to train
+    /// with less charge than its training cost, losing its remaining
+    /// charge to the aborted attempt.
+    pub fn battery_brownouts(&self) -> Option<u64> {
+        self.battery.as_ref().map(|b| b.brownouts)
     }
 
     /// Current committed model of `node`.
@@ -454,6 +608,44 @@ impl Simulation {
                 got: actions.len(),
             });
         }
+        if self.battery.is_none() {
+            return self.run_round_phases(actions, mixing_override);
+        }
+
+        // Battery gating, factored once for every execution path (static
+        // runner, scheduled topologies, async gossip — they all land
+        // here): recharge → decide → brown-out → run the round over the
+        // gated actions and the participation-masked effective mixing →
+        // drain each node's actual ledger spend. The runtime is taken out
+        // of `self` so its buffers can be borrowed across the `&mut self`
+        // phase call; the mask flows through the same `mixing_override`
+        // slot schedules use, which is what keeps comm energy byte-
+        // accurate and error-feedback replicas advancing only on edges
+        // that really fired.
+        let mut battery = self.battery.take().expect("battery gating checked above");
+        battery.begin_round(
+            self.round,
+            actions,
+            mixing_override.unwrap_or(&self.mixing),
+            &self.config.training_energy_wh,
+        );
+        let result = self.run_round_phases(&battery.actions, Some(&battery.masked));
+        if result.is_ok() {
+            battery.settle(&self.ledger);
+        }
+        self.battery = Some(battery);
+        result
+    }
+
+    /// The four round phases (local compute, share, aggregate, energy
+    /// accounting) over an already-gated action slice and effective
+    /// mixing.
+    fn run_round_phases(
+        &mut self,
+        actions: &[RoundAction],
+        mixing_override: Option<&MixingMatrix>,
+    ) -> Result<(), EngineError> {
+        debug_assert_eq!(actions.len(), self.len());
         let local_steps = self.config.local_steps;
 
         // Phase 1: local compute (parallel over nodes).
@@ -1662,6 +1854,263 @@ mod tests {
                 pair[0].1
             );
         }
+    }
+
+    use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState};
+    use skiptrain_energy::trace::{HarvestProfile, HarvestTrace};
+
+    /// A tiny mixture-MLP fleet with battery gating configured at
+    /// construction (the battery runtime is built by the constructor, so
+    /// it cannot be injected after the fact like feedback state).
+    fn tiny_sim_battery(
+        n: usize,
+        seed: u64,
+        setup: BatterySetup,
+        training_wh: Vec<f64>,
+    ) -> Simulation {
+        let spec = MixtureSpec {
+            num_classes: 4,
+            feature_dim: 6,
+            modes_per_class: 1,
+            separation: 1.6,
+            noise: 0.5,
+        };
+        let task = MixtureTask::new(spec, 99);
+        let datasets: Vec<Dataset> = (0..n).map(|i| task.sample(60, 10 + i as u64)).collect();
+        let models: Vec<Sequential> = (0..n)
+            .map(|i| skiptrain_nn::zoo::mlp(&[6, 12, 4], seed + i as u64))
+            .collect();
+        let graph = random_regular(n, 4, seed);
+        let mixing = MixingMatrix::metropolis_hastings(&graph);
+        let mut config = SimulationConfig::minimal(seed, 8, 2, 0.1);
+        config.training_energy_wh = training_wh;
+        config.battery = Some(setup);
+        Simulation::new(models, datasets, graph, mixing, config)
+    }
+
+    fn no_harvest(n: usize) -> HarvestTrace {
+        HarvestTrace::new(HarvestProfile::None, 600.0, n, 1, 0.0)
+    }
+
+    #[test]
+    fn gated_nodes_charge_zero_comm_energy_and_never_train() {
+        // nodes 0 and 3 start below a 50% threshold: they must neither
+        // train nor fire a single byte, while the rest run normally
+        let n = 8;
+        let mut state = BatteryState::new(vec![1.0; n]);
+        state.drain(0, 0.9);
+        state.drain(3, 0.9);
+        let setup = BatterySetup {
+            state,
+            trace: no_harvest(n),
+            policy: BatteryPolicy::Threshold { min_fraction: 0.5 },
+        };
+        let mut sim = tiny_sim_battery(n, 5, setup, vec![1e-3; n]);
+        let frozen0 = sim.node_params(0).to_vec();
+        for _ in 0..4 {
+            sim.run_round(&vec![RoundAction::Train; n]);
+        }
+        for &i in &[0usize, 3] {
+            assert_eq!(sim.ledger().node_tx_bytes(i), 0, "node {i} must not send");
+            assert_eq!(
+                sim.ledger().node_rx_bytes(i),
+                0,
+                "node {i} must not receive"
+            );
+            assert_eq!(
+                sim.ledger().node_comm_wh(i),
+                0.0,
+                "gated node {i} must charge zero comm energy"
+            );
+            assert_eq!(
+                sim.ledger().node_training_wh(i),
+                0.0,
+                "gated node {i} must not train"
+            );
+        }
+        // an isolated node's model never moves (identity mixing row)
+        assert_eq!(sim.node_params(0), &frozen0[..]);
+        // the active majority trains and communicates as usual
+        assert!(sim.ledger().node_comm_wh(1) > 0.0);
+        assert!(sim.ledger().node_training_wh(1) > 0.0);
+        let active = sim.battery_active().unwrap();
+        assert!(!active[0] && !active[3] && active[1]);
+    }
+
+    #[test]
+    fn battery_round_equals_manually_masked_round() {
+        // one gated round must be bit-identical to running the plain
+        // engine with the same masked mixing and gated actions — the
+        // battery path adds bookkeeping, not new dynamics
+        let n = 8;
+        let seed = 6;
+        let mut state = BatteryState::new(vec![1.0; n]);
+        for &i in &[2usize, 5] {
+            state.drain(i, 0.8);
+        }
+        let setup = BatterySetup {
+            state,
+            trace: no_harvest(n),
+            policy: BatteryPolicy::Threshold { min_fraction: 0.5 },
+        };
+        let costs = vec![1e-3; n];
+        let mut gated = tiny_sim_battery(n, seed, setup, costs.clone());
+
+        let (mut plain, _) = tiny_sim_full(n, seed, TransportKind::Memory, ModelCodec::DenseF32, 4);
+        plain.config.training_energy_wh = costs;
+        let mut active = vec![true; n];
+        active[2] = false;
+        active[5] = false;
+        let masked = MixingMatrix::metropolis_hastings(plain.graph()).masked(&active);
+        let manual_actions: Vec<RoundAction> = (0..n)
+            .map(|i| {
+                if active[i] {
+                    RoundAction::Train
+                } else {
+                    RoundAction::SyncOnly
+                }
+            })
+            .collect();
+
+        for _ in 0..3 {
+            gated.run_round(&vec![RoundAction::Train; n]);
+            plain.run_round_with_mixing(&manual_actions, &masked);
+        }
+        for i in 0..n {
+            assert_eq!(
+                gated.node_params(i),
+                plain.node_params(i),
+                "node {i}: gated round diverged from the manual mask"
+            );
+            assert_eq!(
+                gated.ledger().node_comm_wh(i).to_bits(),
+                plain.ledger().node_comm_wh(i).to_bits(),
+                "node {i}: comm accounting must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn brownout_burns_trickle_harvest_under_always_on() {
+        // empty batteries + a harvest trickle far below the training cost:
+        // always-on attempts every round, browns out every time, and the
+        // whole harvest is burned without one completed training round
+        let n = 6;
+        let trickle = HarvestTrace::new(HarvestProfile::Constant { watts: 0.06 }, 600.0, n, 2, 0.0);
+        // 0.06 W × 600 s = 0.01 Wh per round, training costs 0.05 Wh
+        let setup = BatterySetup {
+            state: BatteryState::with_initial_fraction(vec![1.0; n], 0.0),
+            trace: trickle,
+            policy: BatteryPolicy::AlwaysOn,
+        };
+        let mut sim = tiny_sim_battery(n, 7, setup, vec![0.05; n]);
+        for _ in 0..10 {
+            sim.run_round(&vec![RoundAction::Train; n]);
+        }
+        assert_eq!(sim.battery_brownouts(), Some(10 * n as u64));
+        assert_eq!(sim.ledger().total_training_wh(), 0.0);
+        assert_eq!(sim.ledger().total_tx_bytes(), 0);
+        let state = sim.battery_state().unwrap();
+        assert!((state.total_harvested_wh() - 10.0 * 0.01 * n as f64).abs() < 1e-9);
+        assert!(
+            state.total_charge_wh() < 1e-12,
+            "brown-outs must burn every banked watt-hour"
+        );
+        // a threshold policy on the same trace banks instead of burning
+        let banked = BatterySetup {
+            state: BatteryState::with_initial_fraction(vec![1.0; n], 0.0),
+            trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.06 }, 600.0, n, 2, 0.0),
+            policy: BatteryPolicy::Threshold { min_fraction: 0.08 },
+        };
+        let mut sim2 = tiny_sim_battery(n, 7, banked, vec![0.05; n]);
+        for _ in 0..10 {
+            sim2.run_round(&vec![RoundAction::Train; n]);
+        }
+        assert!(
+            sim2.ledger().total_training_wh() > 0.0,
+            "threshold policy must convert the banked harvest into training"
+        );
+        assert_eq!(sim2.battery_brownouts(), Some(0));
+    }
+
+    #[test]
+    fn battery_drain_reconciles_with_ledger_deltas() {
+        // generous capacity (no clamping): every ledger watt-hour must
+        // show up as battery drain, so charge = initial + accepted − spend
+        let n = 6;
+        let setup = BatterySetup {
+            state: BatteryState::new(vec![50.0; n]),
+            trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.5 }, 600.0, n, 3, 0.0),
+            policy: BatteryPolicy::AlwaysOn,
+        };
+        let mut sim = tiny_sim_battery(n, 9, setup, vec![0.02; n]);
+        for r in 0..6 {
+            let actions: Vec<RoundAction> = (0..n)
+                .map(|i| {
+                    if (r + i) % 2 == 0 {
+                        RoundAction::Train
+                    } else {
+                        RoundAction::SyncOnly
+                    }
+                })
+                .collect();
+            sim.run_round(&actions);
+        }
+        let state = sim.battery_state().unwrap();
+        for i in 0..n {
+            let spend = sim.ledger().node_training_wh(i) + sim.ledger().node_comm_wh(i);
+            assert!(
+                (state.node_drained_wh(i) - spend).abs() < 1e-12,
+                "node {i}: drained {} vs ledger spend {spend}",
+                state.node_drained_wh(i)
+            );
+            let expected = state.initial_wh(i)
+                + (state.node_harvested_wh(i) - state.node_wasted_wh(i))
+                - spend;
+            assert!(
+                (state.charge_wh(i) - expected).abs() < 1e-9,
+                "node {i}: conservation through the engine violated"
+            );
+        }
+        assert_eq!(sim.battery_participations(), Some(6 * n as u64));
+    }
+
+    #[test]
+    fn battery_rounds_are_deterministic() {
+        let run = || {
+            let n = 8;
+            let setup = BatterySetup {
+                state: BatteryState::with_initial_fraction(vec![0.5; n], 0.3),
+                trace: HarvestTrace::new(
+                    HarvestProfile::Diurnal {
+                        peak_watts: 0.4,
+                        period_rounds: 6.0,
+                    },
+                    600.0,
+                    n,
+                    11,
+                    0.5,
+                ),
+                policy: BatteryPolicy::Hysteresis {
+                    suspend_fraction: 0.2,
+                    resume_fraction: 0.4,
+                },
+            };
+            let mut sim = tiny_sim_battery(n, 13, setup, vec![0.01; n]);
+            for _ in 0..12 {
+                sim.run_round(&vec![RoundAction::Train; n]);
+            }
+            (
+                sim.node_params(4).to_vec(),
+                sim.battery_state().unwrap().clone(),
+                sim.battery_participations().unwrap(),
+            )
+        };
+        let (p1, s1, c1) = run();
+        let (p2, s2, c2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
     }
 
     #[test]

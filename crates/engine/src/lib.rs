@@ -29,6 +29,20 @@
 //! parallel with rayon; all randomness is derived from per-node seeded
 //! streams so results are independent of the thread count.
 //!
+//! When a [`BatterySetup`](skiptrain_energy::battery::BatterySetup) is
+//! configured on the [`SimulationConfig`](executor::SimulationConfig), a
+//! battery prologue runs before step 1 and an epilogue after step 4: each
+//! node's battery recharges from its harvest trace, the participation
+//! policy decides from charge fractions which nodes take part, intended
+//! actions are gated (a gated node neither trains nor fires its edges —
+//! its mixing row collapses to identity via
+//! [`MixingMatrix::masked_into`](skiptrain_topology::MixingMatrix::masked_into),
+//! so comm accounting stays byte-accurate over exactly the surviving
+//! edges), and the ledger's actual per-node spend of the round is drained
+//! from the batteries. A node that intends to train but cannot afford the
+//! round browns out: its remaining charge is burned and it sits the round
+//! out.
+//!
 //! Drivers hook into the round loop through
 //! [`RoundObserver`](observer::RoundObserver) callbacks (round start/end,
 //! periodic evaluation) — curve recording, energy streaming, and early
@@ -49,7 +63,7 @@ pub use error::EngineError;
 pub use executor::{RoundAction, Simulation, SimulationConfig};
 pub use metrics::{AccuracyPoint, EvalStats, MetricsRecorder};
 pub use observer::{
-    CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
-    RoundObserver, RoundReport,
+    BatteryObserver, BatteryRound, CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport,
+    MeanModelObserver, RoundCtx, RoundObserver, RoundReport,
 };
 pub use transport::{ErrorFeedbackState, ModelCodec, TransportKind, DEFAULT_REPLICA_CAP};

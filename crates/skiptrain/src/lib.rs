@@ -58,8 +58,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use skiptrain_core::experiment::{run_experiment, run_experiment_on};
     pub use skiptrain_core::experiment::{
-        AlgorithmSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig, ExperimentResult,
-        TopologyScheduleSpec, TopologySpec,
+        AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, DataBundle, DataSpec,
+        EnergySpec, ExperimentConfig, ExperimentResult, TopologyScheduleSpec, TopologySpec,
     };
     pub use skiptrain_core::policy::{
         ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy,
@@ -71,10 +71,13 @@ pub mod prelude {
         Campaign, CampaignError, ConfigError, Experiment, ExperimentBuilder, Schedule,
     };
     pub use skiptrain_data::{Dataset, MinibatchSampler, Partition};
-    pub use skiptrain_energy::{BudgetTracker, DeviceKind, EnergyLedger, WorkloadSpec};
+    pub use skiptrain_energy::{
+        BatteryPolicy, BatterySetup, BatteryState, BudgetTracker, DeviceKind, EnergyLedger,
+        HarvestProfile, HarvestTrace, WorkloadSpec,
+    };
     pub use skiptrain_engine::observer::{
-        CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport, MeanModelObserver, RoundCtx,
-        RoundObserver, RoundReport,
+        BatteryObserver, BatteryRound, CurveObserver, EarlyStop, EnergyTraceObserver, EvalReport,
+        MeanModelObserver, RoundCtx, RoundObserver, RoundReport,
     };
     pub use skiptrain_engine::{
         ModelCodec, RoundAction, Simulation, SimulationConfig, TransportKind,

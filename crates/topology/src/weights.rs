@@ -176,6 +176,69 @@ impl MixingMatrix {
         y
     }
 
+    /// Masks the matrix to a participating subset of nodes, preserving
+    /// symmetry and double stochasticity: an inactive node's row collapses
+    /// to the identity (`W_ii = 1`), and every active row folds the weight
+    /// of its inactive neighbors back into its self entry. This is the
+    /// participation mask the battery gating feeds into the effective-edge
+    /// mixing path — an inactive node neither sends nor receives, so the
+    /// per-edge energy accounting over the masked matrix charges it
+    /// nothing.
+    ///
+    /// For a symmetric input the output is symmetric (the inactive column
+    /// entries removed from active rows mirror the inactive rows' removed
+    /// entries), and each row still sums to the original row sum. With
+    /// every node active the output equals the input exactly.
+    ///
+    /// # Panics
+    /// Panics unless `active.len() == self.len()`.
+    pub fn masked(&self, active: &[bool]) -> Self {
+        let mut out = Self {
+            n: 0,
+            rows: Vec::new(),
+        };
+        self.masked_into(active, &mut out);
+        out
+    }
+
+    /// In-place form of [`MixingMatrix::masked`]: rebuilds `out`, reusing
+    /// its row allocations (the allocation-free per-round path, mirroring
+    /// [`MixingMatrix::metropolis_hastings_into`]).
+    pub fn masked_into(&self, active: &[bool], out: &mut MixingMatrix) {
+        assert_eq!(active.len(), self.n, "participation mask size mismatch");
+        out.n = self.n;
+        out.rows.truncate(self.n);
+        while out.rows.len() < self.n {
+            out.rows.push(Vec::new());
+        }
+        for (i, row_out) in out.rows.iter_mut().enumerate() {
+            row_out.clear();
+            if !active[i] {
+                row_out.push((i as u32, 1.0));
+                continue;
+            }
+            row_out.reserve(self.rows[i].len());
+            // fold the self weight and every inactive neighbor's weight
+            // into one self entry, keeping column order sorted
+            let mut self_weight = 0.0f32;
+            let mut had_self = false;
+            for &(j, w) in &self.rows[i] {
+                if j as usize == i {
+                    self_weight += w;
+                    had_self = true;
+                } else if active[j as usize] {
+                    row_out.push((j, w));
+                } else {
+                    self_weight += w;
+                }
+            }
+            if had_self || self_weight != 0.0 {
+                let pos = row_out.partition_point(|&(j, _)| j < i as u32);
+                row_out.insert(pos, (i as u32, self_weight));
+            }
+        }
+    }
+
     /// Renormalizes row `i` after dropping the contribution of column `j`
     /// (lossy-transport handling): the dropped weight is added back to the
     /// self-weight so the row still sums to 1. Returns the dropped weight.
@@ -322,6 +385,79 @@ mod tests {
     #[should_panic(expected = "matched twice")]
     fn pairwise_rejects_overlapping_pairs() {
         let _ = MixingMatrix::pairwise(4, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn masked_with_all_active_is_the_original_matrix() {
+        for graph in [random_regular(12, 4, 5), Graph::ring(7), Graph::complete(5)] {
+            let w = MixingMatrix::metropolis_hastings(&graph);
+            assert_eq!(w.masked(&vec![true; graph.len()]), w);
+        }
+        // rows without a self entry (swap matrix) must survive unchanged
+        let swap: MixingMatrix =
+            serde_json::from_str(r#"{"n":2,"rows":[[[1,1.0]],[[0,1.0]]]}"#).unwrap();
+        assert_eq!(swap.masked(&[true, true]), swap);
+    }
+
+    #[test]
+    fn masked_isolates_inactive_nodes_and_folds_their_weight() {
+        let g = Graph::ring(4);
+        let w = MixingMatrix::metropolis_hastings(&g);
+        let m = w.masked(&[true, false, true, true]);
+        // inactive row collapses to identity
+        assert_eq!(m.row(1), &[(1, 1.0)]);
+        // no active row references the inactive column
+        for i in [0usize, 2, 3] {
+            assert_eq!(m.get(i, 1), 0.0, "row {i} must drop the inactive column");
+        }
+        // node 0's lost 1/3 toward node 1 folds into its self weight
+        assert!((m.get(0, 0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.get(0, 3) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(m.symmetry_error() < 1e-6);
+        assert!(m.stochasticity_error() < 1e-6);
+    }
+
+    #[test]
+    fn masked_into_reuses_buffers_and_matches_the_allocating_form() {
+        let mut slot = MixingMatrix::metropolis_hastings(&Graph::ring(3));
+        for (graph, pattern) in [
+            (random_regular(16, 4, 1), 3usize),
+            (Graph::ring(5), 2),
+            (Graph::complete(9), 4),
+        ] {
+            let w = MixingMatrix::metropolis_hastings(&graph);
+            let active: Vec<bool> = (0..graph.len()).map(|i| i % pattern != 0).collect();
+            w.masked_into(&active, &mut slot);
+            assert_eq!(slot, w.masked(&active));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_masked_preserves_mixing_invariants(
+            n in 4usize..32, p in 0.2f64..0.9, seed in 0u64..200, mask_mod in 2usize..5
+        ) {
+            let g = crate::erdos::gnp(n, p, seed);
+            let w = MixingMatrix::metropolis_hastings(&g);
+            let active: Vec<bool> = (0..n).map(|i| !(i + seed as usize).is_multiple_of(mask_mod)).collect();
+            let m = w.masked(&active);
+            prop_assert!(m.symmetry_error() < 1e-5);
+            prop_assert!(m.stochasticity_error() < 1e-4);
+            prop_assert!(m.is_nonnegative());
+            // inactive nodes are fully isolated: identity row, zero column
+            for (i, &a) in active.iter().enumerate() {
+                if !a {
+                    prop_assert_eq!(m.row(i), &[(i as u32, 1.0f32)][..]);
+                    for j in 0..n {
+                        if j != i {
+                            prop_assert_eq!(m.get(j, i), 0.0);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
