@@ -1,0 +1,159 @@
+//! Event-engine extension: the async-gossip accuracy/energy frontier
+//! across straggler severity and membership churn.
+//!
+//! The paper's experiments assume a lockstep fleet: every node trains at
+//! the same speed, every message arrives instantly, nobody leaves. The
+//! discrete-event core drops all three assumptions. This harness runs the
+//! asynchronous pairwise-gossip variant (deadline rounds: a message that
+//! misses the grace window after the slowest participant is a late edge,
+//! treated like a transport drop) over a grid crossing
+//!
+//! * **stragglers** — none, a mild tail (10% of node-rounds 2× slower),
+//!   and a heavy tail (30% of node-rounds 4× slower), and
+//! * **churn** — a static fleet, light membership churn, and heavy churn
+//!   (per-round leave probability with 50% rejoin).
+//!
+//! Every cell shares the data, models, matching seeds, and a seeded
+//! jittered link-latency model; only the timing and churn specs differ.
+//! The deadline trails the *slowest* participant, so straggler tails cut
+//! both ways: they shelter everyone else's messages (fewer late drops)
+//! but stretch virtual time by the tail factor — reliability bought with
+//! wall-clock. Churn instead removes senders outright: energy *not*
+//! spent and accuracy lost relative to the static column.
+
+use skiptrain_bench::{banner, pct, render_table, HarnessArgs};
+use skiptrain_core::asyncgossip::run_async_gossip;
+use skiptrain_core::experiment::{ChurnSpec, TimingSpec};
+use skiptrain_core::presets::cifar_config;
+use skiptrain_engine::{ComputeProfile, LatencyModel, BASE_TRAIN_TICKS};
+
+const ACTIVATION: f64 = 0.5;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut base = cifar_config(args.scale, args.seed);
+    args.apply(&mut base);
+    base.eval_every = base.rounds.min(8);
+    let data = base.data.build(base.nodes, base.seed);
+
+    banner(&format!(
+        "async realism frontier: stragglers x churn ({} nodes, {} rounds, q={})",
+        base.nodes, base.rounds, ACTIVATION
+    ));
+
+    let stragglers: Vec<(&str, ComputeProfile)> = vec![
+        ("none", ComputeProfile::Homogeneous),
+        (
+            "mild 10%x2",
+            ComputeProfile::StragglerTail {
+                tail_prob: 0.1,
+                tail_factor: 2.0,
+            },
+        ),
+        (
+            "heavy 30%x4",
+            ComputeProfile::StragglerTail {
+                tail_prob: 0.3,
+                tail_factor: 4.0,
+            },
+        ),
+    ];
+    let churns: Vec<(&str, Option<ChurnSpec>)> = vec![
+        ("static", None),
+        (
+            "light 2%",
+            Some(ChurnSpec {
+                leave_prob: 0.02,
+                rejoin_prob: 0.5,
+            }),
+        ),
+        (
+            "heavy 10%",
+            Some(ChurnSpec {
+                leave_prob: 0.1,
+                rejoin_prob: 0.5,
+            }),
+        ),
+    ];
+    // one jittered latency model for every cell: the band straddles the
+    // deadline slack, so drops depend on each cell's timing spread
+    let latency = LatencyModel::Seeded {
+        mean_ticks: BASE_TRAIN_TICKS / 4,
+        jitter: 0.8,
+    };
+
+    let mut labels = Vec::new();
+    let mut results = Vec::new();
+    for (straggler_label, compute) in &stragglers {
+        for (churn_label, churn) in &churns {
+            let mut cfg = base.clone();
+            cfg.timing = TimingSpec {
+                compute: compute.clone(),
+                latency,
+            };
+            cfg.churn = *churn;
+            cfg.name = format!("{}/async/{straggler_label}/{churn_label}", base.name);
+            labels.push((*straggler_label, *churn_label));
+            results.push(run_async_gossip(&cfg, &data, ACTIVATION));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(&results)
+        .map(|((straggler, churn), r)| {
+            vec![
+                straggler.to_string(),
+                churn.to_string(),
+                pct(r.final_test.mean_accuracy),
+                format!("{:.2}", r.total_training_wh),
+                format!("{:.3}", r.total_comm_wh),
+                r.events.late_messages.to_string(),
+                r.events.leaves.to_string(),
+                format!(
+                    "{:.1}",
+                    r.events.virtual_ticks as f64 / BASE_TRAIN_TICKS as f64
+                ),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "stragglers",
+                "churn",
+                "final acc%",
+                "train Wh",
+                "comm Wh",
+                "late msgs",
+                "leaves",
+                "virtual rounds",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nreading: the top-left cell is the lockstep assumption plus latency jitter\n\
+         — the jitter band straddles the grace window, so a fair fraction of\n\
+         messages time out (late edges fold their mixing weight back to self,\n\
+         costing consensus but no receive energy). Moving down a column, straggler\n\
+         tails stretch the deadline along with the slowest trainer: everyone\n\
+         else's messages now clear the window easily, so drops fall — but virtual\n\
+         time balloons by the tail factor, which is the real cost of waiting.\n\
+         Moving right, churn removes senders for whole rounds: training and\n\
+         communication energy fall together while the survivors keep mixing. On\n\
+         both axes the fleet degrades gracefully — the event core never blocks a\n\
+         round on a node that is absent or timed out."
+    );
+
+    args.maybe_write_json(&serde_json::json!({
+        "experiment": "ext_async_realism",
+        "activation": ACTIVATION,
+        "cells": labels
+            .iter()
+            .map(|(s, c)| format!("{s}/{c}"))
+            .collect::<Vec<_>>(),
+        "results": results,
+    }));
+}

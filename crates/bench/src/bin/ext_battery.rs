@@ -194,6 +194,7 @@ fn cell(
         harvest: profile,
         harvest_jitter: 0.25,
         policy,
+        node_policies: None,
     });
     cfg.name = format!("{}/battery/{}", base.name, policy.name());
     cfg

@@ -23,8 +23,11 @@ use skiptrain_bench::perf::{
 use skiptrain_data::synth::{MixtureSpec, MixtureTask};
 use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState};
 use skiptrain_energy::trace::{HarvestProfile, HarvestTrace};
-use skiptrain_engine::transport::{decode_frame, encode_message_into};
-use skiptrain_engine::{ModelCodec, RoundAction, Simulation, SimulationConfig};
+use skiptrain_engine::transport::{decode_frame_into, encode_message_with};
+use skiptrain_engine::{
+    ChurnModel, ComputeProfile, DecodeScratch, EncodeScratch, EventEngine, LatencyModel,
+    ModelCodec, RoundAction, RoundSemantics, Simulation, SimulationConfig, BASE_TRAIN_TICKS,
+};
 use skiptrain_linalg::compress::{compress_with_feedback_top_k, FeedbackScratch};
 use skiptrain_linalg::Matrix;
 use skiptrain_nn::sgd::SgdConfig;
@@ -232,7 +235,11 @@ fn main() {
     }
 
     // --- codec scenarios ----------------------------------------------
-    // CIFAR-10 model size from Table 1, the share-phase payload
+    // CIFAR-10 model size from Table 1, the share-phase payload. Both
+    // round trips run through the reusable encode/decode scratch buffers
+    // (`EncodeScratch` / `DecodeScratch`), so after the first warmup
+    // iteration fills capacities the wire path is allocation-free — the
+    // proxy column pins that.
     let params: Vec<f32> = (0..89_834).map(|i| ((i as f32) * 0.11).sin()).collect();
     for (name, codec) in [
         ("codec_dense_roundtrip", ModelCodec::DenseF32),
@@ -240,6 +247,8 @@ fn main() {
     ] {
         let (warmup, iters) = scale(5, 100);
         let mut frame: Vec<u8> = Vec::new();
+        let mut encode_scratch = EncodeScratch::default();
+        let mut decode_scratch = DecodeScratch::default();
         scenarios.push(measure(
             name,
             json_object(vec![
@@ -250,8 +259,9 @@ fn main() {
             warmup,
             iters,
             || {
-                encode_message_into(codec, 3, 7, &params, &mut frame);
-                let decoded = decode_frame(&frame).expect("frame must decode");
+                encode_message_with(codec, 3, 7, &params, &mut frame, &mut encode_scratch);
+                let decoded =
+                    decode_frame_into(&frame, &mut decode_scratch).expect("frame must decode");
                 black_box(&decoded);
             },
         ));
@@ -367,6 +377,7 @@ fn main() {
             state: BatteryState::new(vec![1.0; n]),
             trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.05 }, 60.0, n, 7, 0.1),
             policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+            node_policies: None,
         });
         let graph = random_regular(n, 6, 7);
         let mut sim = build_sim_on(graph, 7, config);
@@ -388,6 +399,63 @@ fn main() {
             iters,
             || {
                 sim.run_round(black_box(&actions));
+            },
+        ));
+    }
+
+    // --- event-scheduler scenario ----------------------------------------
+    // One realistic deadline round of the discrete-event core per
+    // iteration, over the pinned 64-node 6-regular mixing: a 10% straggler
+    // tail at 4× slowdown, constant half-round link latency against a
+    // quarter-round deadline slack (so late-edge classification and the
+    // sorted late set are exercised every round), and light churn. This
+    // isolates the event machinery itself — priority-queue push/pop,
+    // seeded per-(round, node) and per-(round, edge) draws, per-node
+    // clock advancement — from the training round it schedules; its
+    // allocation proxy pins that the scheduler reuses its queue, late-set,
+    // and gating buffers (allocation-free at steady state).
+    {
+        let n = 64;
+        let graph = random_regular(n, 6, 9);
+        let mixing = MixingMatrix::metropolis_hastings(&graph);
+        let mut engine = EventEngine::new(
+            n,
+            9,
+            ComputeProfile::StragglerTail {
+                tail_prob: 0.1,
+                tail_factor: 4.0,
+            },
+            LatencyModel::Constant {
+                ticks: BASE_TRAIN_TICKS / 2,
+            },
+            Some(ChurnModel {
+                leave_prob: 0.02,
+                rejoin_prob: 0.5,
+            }),
+            RoundSemantics::Deadline {
+                slack_ticks: BASE_TRAIN_TICKS / 4,
+            },
+        );
+        let actions = vec![RoundAction::Train; n];
+        let mut round = 0usize;
+        let (warmup, iters) = scale(10, 400);
+        scenarios.push(measure(
+            "event_round",
+            json_object(vec![
+                ("nodes", Value::UInt(n as u64)),
+                ("degree", Value::UInt(6)),
+                ("compute", Value::String("straggler p=0.1 x4".into())),
+                ("latency", Value::String("constant half-round".into())),
+                ("churn", Value::String("leave 0.02 rejoin 0.5".into())),
+                ("semantics", Value::String("deadline quarter-round".into())),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                engine.begin_round(round, black_box(&actions), &mixing);
+                round += 1;
+                black_box(engine.late_edges());
             },
         ));
     }

@@ -198,15 +198,23 @@ pub fn validate_report(report: &Value) -> Result<(), String> {
 /// pins the closed-loop battery round (harvest recharge, policy decision,
 /// participation masking, settle), whose allocation proxy gates that the
 /// battery bookkeeping stays allocation-free at steady state and O(n)
-/// per round.
+/// per round. The codec round-trip scenarios run through the reusable
+/// encode/decode scratch buffers, and their allocation proxies gate that
+/// the wire path stays allocation-free at steady state; `event_round`
+/// pins the discrete-event scheduler (priority queue, seeded
+/// straggler/latency/churn draws, late-edge classification) at one
+/// realistic deadline round per iteration, also allocation-free at
+/// steady state.
 pub const REQUIRED_SCENARIOS: &[&str] = &[
     "sgd_step_mlp_medium_90k",
     "round_loop_train_64",
     "round_loop_sync_256",
     "codec_dense_roundtrip",
+    "codec_quantized_u16_roundtrip",
     "topk_feedback",
     "dynamic_topology_round",
     "battery_round",
+    "event_round",
 ];
 
 /// Checks that `report` contains every key in `required` (shape is
@@ -311,6 +319,14 @@ mod tests {
         assert!(
             REQUIRED_SCENARIOS.contains(&"dynamic_topology_round"),
             "the scheduled-round replica-leak gate must stay pinned"
+        );
+        assert!(
+            REQUIRED_SCENARIOS.contains(&"event_round"),
+            "the discrete-event scheduler gate must stay pinned"
+        );
+        assert!(
+            REQUIRED_SCENARIOS.contains(&"codec_quantized_u16_roundtrip"),
+            "the quantized wire-path allocation gate must stay pinned"
         );
     }
 

@@ -20,20 +20,16 @@
 use crate::experiment::{DataBundle, ExperimentConfig, ExperimentResult};
 use crate::schedule::Schedule;
 use rand::RngExt;
-use skiptrain_engine::metrics::MetricsRecorder;
-use skiptrain_engine::RoundAction;
+use skiptrain_engine::{RoundAction, RoundSemantics};
 use skiptrain_linalg::rng::stream_rng;
-use skiptrain_topology::matching::random_maximal_matching;
-use skiptrain_topology::schedule::round_seed;
-use skiptrain_topology::MixingMatrix;
 
 /// Schedule-id slot for the async-gossip matching stream in the chained
-/// [`round_seed`] derivation (distinct from every [`TopologySchedule`]
-/// variant id, so gossip matchings and a configured topology schedule
-/// never share a stream).
+/// [`round_seed`](skiptrain_topology::schedule::round_seed) derivation
+/// (distinct from every [`TopologySchedule`] variant id, so gossip
+/// matchings and a configured topology schedule never share a stream).
 ///
 /// [`TopologySchedule`]: skiptrain_topology::TopologySchedule
-const GOSSIP_MATCHING_STREAM: u64 = 16;
+pub(crate) const GOSSIP_MATCHING_STREAM: u64 = 16;
 
 /// Runs the asynchronous pairwise-gossip variant on a pre-built data bundle.
 ///
@@ -57,11 +53,11 @@ pub fn run_async_gossip(
         "activation probability in [0,1]"
     );
     let seed = cfg.seed;
-    run_async_gossip_inner(
+    run_gossip_schedule(
         cfg,
         data,
         format!("{}/async-q{activation_prob}", cfg.name),
-        move |t, actions| {
+        &mut move |t, actions| {
             // independent per-node activation draws
             for (i, slot) in actions.iter_mut().enumerate() {
                 let mut rng = stream_rng(seed ^ 0xA57C, (t as u64) << 24 | i as u64);
@@ -90,14 +86,14 @@ pub fn run_async_gossip_scheduled(
     data: &DataBundle,
     schedule: Schedule,
 ) -> ExperimentResult {
-    run_async_gossip_inner(
+    run_gossip_schedule(
         cfg,
         data,
         format!(
             "{}/async-sched({},{})+{}",
             cfg.name, schedule.gamma_train, schedule.gamma_sync, schedule.phase_offset
         ),
-        move |t, actions| {
+        &mut move |t, actions| {
             let action = if schedule.is_train_round(t) {
                 RoundAction::Train
             } else {
@@ -108,99 +104,35 @@ pub fn run_async_gossip_scheduled(
     )
 }
 
-/// The shared async-gossip loop: `decide` fills each tick's per-node
+/// The shared async-gossip entry: `decide` fills each tick's per-node
 /// actions (i.i.d. draws or a coordinated schedule); everything else —
 /// matchings, pairwise mixing, per-pair energy accounting, evaluation
-/// cadence — is identical between the variants.
-fn run_async_gossip_inner(
+/// cadence — is the *same* event-core loop the synchronous runner uses
+/// ([`crate::runner::execute_on_events`]), instantiated with deadline
+/// round semantics: a message trailing the tick's slowest completion by
+/// more than [`GOSSIP_SLACK_TICKS`](crate::runner::GOSSIP_SLACK_TICKS)
+/// is dropped as late (charged at the sender, folded to self-weight at
+/// the receiver). Battery gating applies to async ticks exactly as to
+/// synchronous rounds, and matchings compose with a configured topology
+/// schedule by pairing over the scheduled round graph.
+fn run_gossip_schedule(
     cfg: &ExperimentConfig,
     data: &DataBundle,
     name: String,
-    mut decide: impl FnMut(usize, &mut [RoundAction]),
+    decide: &mut dyn FnMut(usize, &mut [RoundAction]),
 ) -> ExperimentResult {
-    // The shared prologue builds models, topology, mixing, and the fully
-    // configured engine (including battery gating, which applies to async
-    // ticks exactly as it does to synchronous rounds — the participation
-    // mask collapses a gated node's pairwise mixing row to identity, so a
-    // matched pair involving a dead node never fires). Gossip matchings
-    // compose with a configured topology schedule: each tick matches the
-    // *scheduled* round graph (the base graph under the static default),
-    // so duty-cycled links constrain who can pair up.
-    let built = crate::runner::build_simulation(cfg, data);
-    let mut sim = built.sim;
-    let scheduled = built.schedule;
-    let graph_for_matching = built.graph;
-
-    let mut recorder = MetricsRecorder::new();
-    let mut mean_model_curve = Vec::new();
-    let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
-    let mut node_train_events = 0u64;
-
-    for t in 0..cfg.rounds {
-        decide(t, &mut actions);
-        node_train_events += actions.iter().filter(|&&a| a == RoundAction::Train).count() as u64;
-
-        // Per-tick matching seeds are chained over (schedule id, round)
-        // like every other per-round stream. The legacy
-        // `derive_seed(seed, 0x3A7C + t)` construction walked the *stream
-        // index* linearly, so at scale tick streams aliased unrelated
-        // derivation constants (e.g. tick 0x584 + i collided with the
-        // model-init stream 0x4000 + i).
-        let matching_seed = round_seed(cfg.seed ^ 0x3A7C, GOSSIP_MATCHING_STREAM, t);
-        let pairs = match &scheduled {
-            None => random_maximal_matching(&graph_for_matching, matching_seed),
-            Some(sched) => random_maximal_matching(&sched.graph_for_round(t), matching_seed),
-        };
-        let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
-        sim.run_round_with_mixing(&actions, &round_mixing);
-
-        let at_eval = (t + 1) % cfg.eval_every.max(1) == 0 || t + 1 == cfg.rounds;
-        if at_eval {
-            let stats = sim.evaluate(&data.test, cfg.eval_max_samples);
-            recorder.record(
-                &stats,
-                sim.ledger().total_wh(),
-                sim.ledger().total_training_wh(),
-            );
-            if cfg.record_mean_model {
-                let (acc, _) = sim.evaluate_mean_model(&data.test, cfg.eval_max_samples);
-                mean_model_curve.push((t + 1, acc));
-            }
-        }
-    }
-
-    let final_test = sim.evaluate(&data.test, cfg.eval_max_samples);
-    let final_val = sim.evaluate(&data.validation, cfg.eval_max_samples);
-    let final_mean_model = sim.mean_params();
-    let node_class_sets = data
-        .node_datasets
-        .iter()
-        .map(|d| {
-            d.class_histogram()
-                .iter()
-                .enumerate()
-                .filter(|&(_, c)| *c > 0)
-                .map(|(class, _)| class as u32)
-                .collect()
-        })
-        .collect();
-
-    ExperimentResult {
+    crate::runner::execute_on_events(
+        cfg,
+        data,
+        &mut [],
         name,
-        algorithm: "async-gossip".to_string(),
-        nodes: cfg.nodes,
-        rounds: cfg.rounds,
-        test_curve: recorder.points().to_vec(),
-        mean_model_curve,
-        final_test,
-        final_val_accuracy: final_val.mean_accuracy,
-        total_training_wh: sim.ledger().total_training_wh(),
-        total_comm_wh: sim.ledger().total_comm_wh(),
-        node_train_events,
-        final_mean_model,
-        node_class_sets,
-        battery: crate::runner::battery_summary(&sim),
-    }
+        "async-gossip".to_string(),
+        RoundSemantics::Deadline {
+            slack_ticks: crate::runner::GOSSIP_SLACK_TICKS,
+        },
+        true,
+        decide,
+    )
 }
 
 #[cfg(test)]

@@ -24,8 +24,8 @@
 
 use crate::error::ConfigError;
 use crate::experiment::{
-    AlgorithmSpec, BatterySpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig,
-    ExperimentResult, TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, BatterySpec, ChurnSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig,
+    ExperimentResult, TimingSpec, TopologyScheduleSpec, TopologySpec,
 };
 use crate::runner;
 use skiptrain_engine::observer::RoundObserver;
@@ -117,6 +117,35 @@ impl ExperimentBuilder {
     /// out-of-range phase jitter.
     pub fn battery(mut self, spec: BatterySpec) -> Self {
         self.config.battery = Some(spec);
+        self
+    }
+
+    /// Sets the virtual-time realism knobs for the event-driven engine:
+    /// a per-node compute profile (homogeneous / per-node speed factors /
+    /// straggler tail) and a per-link latency model (zero / constant /
+    /// seeded jitter). The default is trivial timing, which reproduces
+    /// the legacy lockstep results bit for bit. Validation rejects
+    /// mis-sized or non-positive per-node factors
+    /// ([`ConfigError::ComputeProfileArityMismatch`],
+    /// [`ConfigError::InvalidComputeProfile`]) and out-of-range latency
+    /// jitter ([`ConfigError::InvalidLatencyJitter`]).
+    pub fn timing(mut self, timing: TimingSpec) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Enables node churn: each round, present nodes leave with
+    /// probability `leave_prob` and absent nodes rejoin with probability
+    /// `rejoin_prob` (seeded, deterministic). Absent nodes freeze — no
+    /// training, messages, or energy — and their mixing rows collapse to
+    /// identity, so ledger conservation holds exactly. Validation rejects
+    /// probabilities outside `[0, 1]`
+    /// ([`ConfigError::InvalidChurnRate`]).
+    pub fn churn(mut self, leave_prob: f64, rejoin_prob: f64) -> Self {
+        self.config.churn = Some(ChurnSpec {
+            leave_prob,
+            rejoin_prob,
+        });
         self
     }
 
@@ -513,6 +542,7 @@ mod tests {
             harvest: HarvestProfile::Constant { watts: 1.0 },
             harvest_jitter: 0.0,
             policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+            node_policies: None,
         };
         Experiment::builder()
             .battery(valid.clone())
@@ -635,6 +665,163 @@ mod tests {
         assert!(legacy.battery.is_none());
         legacy.validate().expect("legacy config still validates");
         assert_eq!(legacy.nodes, base.nodes);
+    }
+
+    #[test]
+    fn bad_timing_and_churn_specs_are_typed_errors() {
+        use skiptrain_engine::{ComputeProfile, LatencyModel};
+
+        let err = Experiment::builder()
+            .nodes(16)
+            .timing(TimingSpec {
+                compute: ComputeProfile::PerNode {
+                    factors: vec![1.0; 4],
+                },
+                latency: LatencyModel::Zero,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ComputeProfileArityMismatch {
+                expected: 16,
+                got: 4
+            }
+        );
+
+        let err = Experiment::builder()
+            .nodes(16)
+            .timing(TimingSpec {
+                compute: ComputeProfile::PerNode {
+                    factors: vec![
+                        1.0, -2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                        1.0,
+                    ],
+                },
+                latency: LatencyModel::Zero,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidComputeProfile { value: -2.0 });
+
+        let err = Experiment::builder()
+            .timing(TimingSpec {
+                compute: ComputeProfile::StragglerTail {
+                    tail_prob: 1.5,
+                    tail_factor: 4.0,
+                },
+                latency: LatencyModel::Zero,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidComputeProfile { value: 1.5 });
+
+        let err = Experiment::builder()
+            .timing(TimingSpec {
+                compute: ComputeProfile::Homogeneous,
+                latency: LatencyModel::Seeded {
+                    mean_ticks: 1000,
+                    jitter: 2.0,
+                },
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidLatencyJitter { value: 2.0 });
+
+        let err = Experiment::builder().churn(1.2, 0.5).build().unwrap_err();
+        assert_eq!(err, ConfigError::InvalidChurnRate { value: 1.2 });
+        let err = Experiment::builder().churn(0.1, -0.5).build().unwrap_err();
+        assert_eq!(err, ConfigError::InvalidChurnRate { value: -0.5 });
+
+        let ok = Experiment::builder()
+            .timing(TimingSpec {
+                compute: ComputeProfile::StragglerTail {
+                    tail_prob: 0.2,
+                    tail_factor: 4.0,
+                },
+                latency: LatencyModel::Constant { ticks: 500 },
+            })
+            .churn(0.05, 0.5)
+            .build()
+            .expect("valid timing and churn validate");
+        assert!(!ok.config().timing.is_trivial());
+        assert_eq!(ok.config().churn.unwrap().leave_prob, 0.05);
+    }
+
+    #[test]
+    fn mis_sized_per_node_battery_policies_are_a_typed_error() {
+        use crate::experiment::{BatteryCapacitySpec, BatterySpec};
+        use skiptrain_energy::battery::BatteryPolicy;
+        use skiptrain_energy::trace::HarvestProfile;
+
+        let spec = BatterySpec {
+            capacity: BatteryCapacitySpec::Uniform { wh: 2.0 },
+            initial_fraction: 0.5,
+            harvest: HarvestProfile::Constant { watts: 1.0 },
+            harvest_jitter: 0.0,
+            policy: BatteryPolicy::AlwaysOn,
+            node_policies: Some(vec![BatteryPolicy::AlwaysOn; 4]),
+        };
+        let err = Experiment::builder()
+            .nodes(16)
+            .battery(spec.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BatteryPolicyArityMismatch {
+                expected: 16,
+                got: 4
+            }
+        );
+
+        // each listed policy is validated like the fleet-wide one
+        let mut bad_entry = spec.clone();
+        bad_entry.node_policies = Some(
+            std::iter::once(BatteryPolicy::Threshold { min_fraction: 2.0 })
+                .chain(std::iter::repeat_n(BatteryPolicy::AlwaysOn, 15))
+                .collect(),
+        );
+        let err = Experiment::builder()
+            .nodes(16)
+            .battery(bad_entry)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidBatteryPolicyFraction);
+
+        let mut ok = spec;
+        ok.node_policies = Some(vec![BatteryPolicy::AlwaysOn; 16]);
+        Experiment::builder()
+            .nodes(16)
+            .battery(ok)
+            .build()
+            .expect("matched per-node policy list validates");
+    }
+
+    #[test]
+    fn configs_without_timing_or_churn_fields_stay_loadable() {
+        // serde-default bit-compatibility: a pre-event JSON config (no
+        // `timing` / `churn` keys) must deserialize to trivial timing and
+        // no churn.
+        let base = crate::presets::cifar_config(crate::presets::Scale::Quick, 3);
+        let mut json = serde_json::to_value(&base);
+        match &mut json {
+            serde_json::Value::Object(entries) => {
+                let before = entries.len();
+                entries.retain(|(k, _)| k != "timing" && k != "churn");
+                assert_eq!(
+                    entries.len(),
+                    before - 2,
+                    "both fields must serialize by default"
+                );
+            }
+            other => panic!("config must serialize to an object, got {other:?}"),
+        }
+        let legacy: crate::ExperimentConfig =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert!(legacy.timing.is_trivial());
+        assert!(legacy.churn.is_none());
+        legacy.validate().expect("legacy config still validates");
     }
 
     #[test]

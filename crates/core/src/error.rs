@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Why an [`ExperimentConfig`](crate::ExperimentConfig) is invalid.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ConfigError {
     /// `nodes == 0`.
     ZeroNodes,
@@ -86,6 +86,41 @@ pub enum ConfigError {
     /// The error-feedback residual retention factor is outside `(0, 1]`
     /// (or not finite).
     InvalidFeedbackBeta,
+    /// A per-node compute profile's factor list does not match the node
+    /// count.
+    ComputeProfileArityMismatch {
+        /// Node count the experiment requires.
+        expected: usize,
+        /// Factor count the profile provides.
+        got: usize,
+    },
+    /// A compute-profile value is invalid: a non-finite or non-positive
+    /// per-node speed factor, a straggler probability outside `[0, 1]`,
+    /// or a straggler slowdown factor below 1.
+    InvalidComputeProfile {
+        /// The offending value.
+        value: f64,
+    },
+    /// A seeded latency model's jitter is outside `[0, 1]` (or not
+    /// finite).
+    InvalidLatencyJitter {
+        /// The offending jitter.
+        value: f64,
+    },
+    /// A churn probability (leave or rejoin) is outside `[0, 1]` (or not
+    /// finite).
+    InvalidChurnRate {
+        /// The offending probability.
+        value: f64,
+    },
+    /// A battery spec's per-node policy list does not match the node
+    /// count.
+    BatteryPolicyArityMismatch {
+        /// Node count the experiment requires.
+        expected: usize,
+        /// Policy count the spec provides.
+        got: usize,
+    },
     /// The dataset spec would generate no training samples per node.
     EmptyNodeData,
     /// The dataset spec would generate no evaluation samples.
@@ -175,6 +210,25 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidFeedbackBeta => {
                 write!(f, "compression feedback beta must lie in (0, 1]")
             }
+            ConfigError::ComputeProfileArityMismatch { expected, got } => write!(
+                f,
+                "per-node compute profile has {got} speed factors, experiment has {expected} nodes"
+            ),
+            ConfigError::InvalidComputeProfile { value } => write!(
+                f,
+                "compute profile value {value} is invalid (speed factors must be \
+                 positive and finite, straggler probability in [0, 1], slowdown >= 1)"
+            ),
+            ConfigError::InvalidLatencyJitter { value } => {
+                write!(f, "latency jitter {value} must lie in [0, 1]")
+            }
+            ConfigError::InvalidChurnRate { value } => {
+                write!(f, "churn probability {value} must lie in [0, 1]")
+            }
+            ConfigError::BatteryPolicyArityMismatch { expected, got } => write!(
+                f,
+                "per-node battery policy list has {got} policies, experiment has {expected} nodes"
+            ),
             ConfigError::EmptyNodeData => {
                 write!(f, "dataset spec generates zero training samples per node")
             }
@@ -198,7 +252,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// A campaign-level failure: which run was invalid and why.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignError {
     /// Index of the offending run in the campaign's input order.
     pub run: usize,
@@ -262,6 +316,31 @@ mod tests {
         assert!(ConfigError::InvertedHysteresisBands
             .to_string()
             .contains("suspend < resume"));
+    }
+
+    #[test]
+    fn event_errors_display_and_serialize() {
+        for e in [
+            ConfigError::ComputeProfileArityMismatch {
+                expected: 16,
+                got: 4,
+            },
+            ConfigError::InvalidComputeProfile { value: -0.5 },
+            ConfigError::InvalidLatencyJitter { value: 1.5 },
+            ConfigError::InvalidChurnRate { value: 2.0 },
+            ConfigError::BatteryPolicyArityMismatch {
+                expected: 16,
+                got: 3,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ConfigError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+        assert!(ConfigError::InvalidLatencyJitter { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use skiptrain_energy::trace::{
     WorkloadSpec,
 };
 use skiptrain_engine::metrics::{AccuracyPoint, EvalStats};
-use skiptrain_engine::{ModelCodec, TransportKind};
+use skiptrain_engine::{ChurnModel, ComputeProfile, LatencyModel, ModelCodec, TransportKind};
 use skiptrain_linalg::rng::derive_seed;
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_topology::regular::random_regular;
@@ -224,6 +224,125 @@ pub(crate) fn effective_replica_cap(
         }
         degree.max(skiptrain_engine::DEFAULT_REPLICA_CAP)
     })
+}
+
+/// Virtual-time realism knobs for the event-driven engine.
+///
+/// This is the experiment-layer face of the engine's
+/// [`ComputeProfile`] and [`LatencyModel`]: how long each node's
+/// training round takes in virtual ticks, and how long each message
+/// spends in flight. The default — homogeneous compute, zero latency —
+/// reproduces the legacy lockstep results bit for bit, and
+/// `#[serde(default)]` keeps every pre-event JSON config loadable
+/// unchanged. Under the synchronous runner's barrier semantics these
+/// knobs stretch virtual time without changing learning curves; under
+/// async gossip's deadline semantics they decide which messages arrive
+/// too late to aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimingSpec {
+    /// Per-node training-round duration model.
+    #[serde(default)]
+    pub compute: ComputeProfile,
+    /// Per-link message-delay model.
+    #[serde(default)]
+    pub latency: LatencyModel,
+}
+
+impl TimingSpec {
+    /// True when this spec cannot perturb timing at all (the engine's
+    /// bit-compatible fast path).
+    pub fn is_trivial(&self) -> bool {
+        self.compute.is_uniform() && self.latency.is_zero()
+    }
+
+    /// Checks timing invariants against the experiment's node count.
+    pub fn validate(&self, nodes: usize) -> Result<(), ConfigError> {
+        match &self.compute {
+            ComputeProfile::Homogeneous => {}
+            ComputeProfile::PerNode { factors } => {
+                if factors.len() != nodes {
+                    return Err(ConfigError::ComputeProfileArityMismatch {
+                        expected: nodes,
+                        got: factors.len(),
+                    });
+                }
+                for &f in factors {
+                    if !(f.is_finite() && f > 0.0) {
+                        return Err(ConfigError::InvalidComputeProfile { value: f });
+                    }
+                }
+            }
+            ComputeProfile::StragglerTail {
+                tail_prob,
+                tail_factor,
+            } => {
+                if !(tail_prob.is_finite() && (0.0..=1.0).contains(tail_prob)) {
+                    return Err(ConfigError::InvalidComputeProfile { value: *tail_prob });
+                }
+                if !(tail_factor.is_finite() && *tail_factor >= 1.0) {
+                    return Err(ConfigError::InvalidComputeProfile {
+                        value: *tail_factor,
+                    });
+                }
+            }
+        }
+        if let LatencyModel::Seeded { jitter, .. } = self.latency {
+            if !(jitter.is_finite() && (0.0..=1.0).contains(&jitter)) {
+                return Err(ConfigError::InvalidLatencyJitter { value: jitter });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Node churn specification: seeded per-round leave/rejoin probabilities.
+///
+/// This is the experiment-layer face of the engine's [`ChurnModel`]. An
+/// absent node freezes — no training, no messages, no energy — and its
+/// mixing row collapses to identity, so the ledger's conservation
+/// invariants hold exactly through arbitrary churn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Per-round probability that a present node leaves.
+    pub leave_prob: f64,
+    /// Per-round probability that an absent node rejoins.
+    pub rejoin_prob: f64,
+}
+
+impl ChurnSpec {
+    /// Checks churn invariants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for p in [self.leave_prob, self.rejoin_prob] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(ConfigError::InvalidChurnRate { value: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the spec onto the engine's churn model.
+    pub fn build(&self) -> ChurnModel {
+        ChurnModel {
+            leave_prob: self.leave_prob,
+            rejoin_prob: self.rejoin_prob,
+        }
+    }
+}
+
+/// End-of-run event-engine totals for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EventSummary {
+    /// Virtual time at the end of the run, in engine ticks.
+    pub virtual_ticks: u64,
+    /// Total events played through the queue.
+    pub events: u64,
+    /// Messages that missed their round deadline (always 0 under barrier
+    /// semantics).
+    pub late_messages: u64,
+    /// Node rejoin events.
+    pub joins: u64,
+    /// Node leave events.
+    pub leaves: u64,
 }
 
 /// Synthetic dataset family (see `skiptrain-data` for the substitution
@@ -564,11 +683,19 @@ pub struct BatterySpec {
     /// Participation policy deciding from charge fractions who trains and
     /// gossips.
     pub policy: BatteryPolicy,
+    /// Optional heterogeneous fleet: one policy per node, overriding
+    /// `policy` (which then only names the fleet default in reports).
+    /// Must match the experiment's node count; every listed policy is
+    /// validated like the fleet-wide one. `#[serde(default)]` keeps
+    /// legacy JSON configs bit-compatible (absent field = uniform fleet).
+    #[serde(default)]
+    pub node_policies: Option<Vec<BatteryPolicy>>,
 }
 
 impl BatterySpec {
     /// Checks every battery invariant, returning the first violation.
-    pub fn validate(&self) -> Result<(), ConfigError> {
+    /// `nodes` bounds the per-node policy list when one is configured.
+    pub fn validate(&self, nodes: usize) -> Result<(), ConfigError> {
         let capacity_ok = match self.capacity {
             BatteryCapacitySpec::Uniform { wh } => wh.is_finite() && wh > 0.0,
             BatteryCapacitySpec::Fleet { fraction } => {
@@ -603,7 +730,24 @@ impl BatterySpec {
         if !harvest_ok {
             return Err(ConfigError::InvalidHarvestProfile);
         }
-        match self.policy {
+        Self::validate_policy(&self.policy)?;
+        if let Some(policies) = &self.node_policies {
+            if policies.len() != nodes {
+                return Err(ConfigError::BatteryPolicyArityMismatch {
+                    expected: nodes,
+                    got: policies.len(),
+                });
+            }
+            for policy in policies {
+                Self::validate_policy(policy)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks one participation policy's invariants.
+    fn validate_policy(policy: &BatteryPolicy) -> Result<(), ConfigError> {
+        match *policy {
             BatteryPolicy::AlwaysOn => Ok(()),
             BatteryPolicy::Threshold { min_fraction } => {
                 if min_fraction.is_finite() && min_fraction > 0.0 && min_fraction <= 1.0 {
@@ -673,6 +817,7 @@ impl BatterySpec {
             state,
             trace,
             policy: self.policy,
+            node_policies: self.node_policies.clone(),
         }
     }
 }
@@ -778,6 +923,16 @@ pub struct ExperimentConfig {
     /// bit-compatibly) runs the paper's plug-powered setting.
     #[serde(default)]
     pub battery: Option<BatterySpec>,
+    /// Virtual-time realism: per-node compute speed and per-link latency
+    /// for the event-driven engine. The default (homogeneous, zero
+    /// latency — also the serde default, so legacy JSON configs load
+    /// bit-compatibly) reproduces the lockstep results bit for bit.
+    #[serde(default)]
+    pub timing: TimingSpec,
+    /// Node churn: seeded per-round leave/rejoin probabilities. `None`
+    /// (and the serde default) keeps every node present all run.
+    #[serde(default)]
+    pub churn: Option<ChurnSpec>,
 }
 
 impl ExperimentConfig {
@@ -894,7 +1049,11 @@ impl ExperimentConfig {
             return Err(ConfigError::ZeroReplicaCap);
         }
         if let Some(battery) = &self.battery {
-            battery.validate()?;
+            battery.validate(self.nodes)?;
+        }
+        self.timing.validate(self.nodes)?;
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
         }
         self.topology_schedule.validate(self.nodes)?;
         let needs_budget = matches!(
@@ -969,6 +1128,10 @@ pub struct ExperimentResult {
     /// (`#[serde(default)]` keeps pre-battery result JSON loadable).
     #[serde(default)]
     pub battery: Option<BatterySummary>,
+    /// Event-engine totals: virtual time, event counts, late messages,
+    /// churn (`#[serde(default)]` keeps pre-event result JSON loadable).
+    #[serde(default)]
+    pub events: EventSummary,
 }
 
 impl ExperimentResult {

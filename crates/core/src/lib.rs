@@ -79,8 +79,9 @@ pub use error::{CampaignError, ConfigError};
 #[allow(deprecated)]
 pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
-    AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, DataBundle, DataSpec,
-    EnergySpec, ExperimentConfig, ExperimentResult, TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, ChurnSpec, DataBundle,
+    DataSpec, EnergySpec, EventSummary, ExperimentConfig, ExperimentResult, TimingSpec,
+    TopologyScheduleSpec, TopologySpec,
 };
 pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};

@@ -6,7 +6,8 @@
 //! qualitative shapes. Every bench binary accepts `--scale`.
 
 use crate::experiment::{
-    AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig, TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, DataSpec, EnergySpec, ExperimentConfig, TimingSpec, TopologyScheduleSpec,
+    TopologySpec,
 };
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,8 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         feedback_replica_cap: None,
         record_mean_model: false,
         battery: None,
+        timing: TimingSpec::default(),
+        churn: None,
     }
 }
 
@@ -134,6 +137,8 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         feedback_replica_cap: None,
         record_mean_model: false,
         battery: None,
+        timing: TimingSpec::default(),
+        churn: None,
     }
 }
 

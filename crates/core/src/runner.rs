@@ -1,4 +1,4 @@
-//! The observer-driven experiment runner.
+//! The observer-driven experiment runner, compiled onto the event core.
 //!
 //! One experiment = build per-node models and topology, loop rounds under a
 //! [`RoundPolicy`](crate::policy::RoundPolicy), and notify
@@ -8,20 +8,40 @@
 //! external callers use, so a figure harness can add its own recording (or
 //! stop the run early) without touching this loop.
 //!
-//! The loop structure, seed derivations, and evaluation cadence are
-//! byte-compatible with the legacy driver: a run with no extra observers
-//! produces an identical [`ExperimentResult`].
+//! Both public drivers — this synchronous runner and the async pairwise
+//! gossip in [`crate::asyncgossip`] — are *schedules compiled onto one
+//! event-driven loop* ([`execute_on_events`]): each picks its round
+//! semantics (barrier vs deadline), an action source, and how rounds mix
+//! (the static/scheduled topology vs a fresh pairwise matching), and the
+//! shared loop drives a [`skiptrain_engine::EventEngine`] per round. With
+//! trivial timing (homogeneous compute, zero latency, no churn) the
+//! engine's fast path makes the loop structure, seed derivations, and
+//! evaluation cadence byte-compatible with the legacy lockstep driver: a
+//! run with no extra observers produces an identical
+//! [`ExperimentResult`], pinned by an equivalence test.
 
 use crate::error::ConfigError;
-use crate::experiment::{BatterySummary, DataBundle, ExperimentConfig, ExperimentResult};
+use crate::experiment::{
+    BatterySummary, ChurnSpec, DataBundle, EventSummary, ExperimentConfig, ExperimentResult,
+};
 use skiptrain_engine::observer::{EvalReport, RoundCtx, RoundObserver, RoundReport};
 use skiptrain_engine::{
-    CurveObserver, MeanModelObserver, RoundAction, Simulation, SimulationConfig,
+    CurveObserver, EventEngine, MeanModelObserver, RoundAction, RoundSemantics, Simulation,
+    SimulationConfig, BASE_TRAIN_TICKS,
 };
 use skiptrain_linalg::rng::derive_seed;
 use skiptrain_nn::sgd::SgdConfig;
+use skiptrain_topology::matching::random_maximal_matching;
+use skiptrain_topology::schedule::round_seed;
 use skiptrain_topology::{Graph, MixingMatrix, ScheduledTopology};
 use std::sync::Arc;
+
+/// Deadline slack for async-gossip ticks, in virtual ticks: a message may
+/// trail the tick's slowest completion by a quarter of a nominal training
+/// round before it is dropped as late. Zero-latency uniform-speed runs
+/// never produce late edges under this slack, keeping the legacy async
+/// results bit-compatible.
+pub(crate) const GOSSIP_SLACK_TICKS: u64 = BASE_TRAIN_TICKS / 4;
 
 /// The simulation a config builds, plus the round-loop companions both the
 /// synchronous runner and the async-gossip loop need.
@@ -122,17 +142,61 @@ pub fn run_with_observers(
     Ok(execute(cfg, data, observers))
 }
 
-/// The round loop. Assumes `cfg` is valid and `data` matches it.
+/// The synchronous round loop: the configured policy decides actions and
+/// every round runs under barrier semantics (the round waits for all
+/// messages — timing realism stretches virtual time, never results).
+/// Assumes `cfg` is valid and `data` matches it.
 pub(crate) fn execute(
     cfg: &ExperimentConfig,
     data: &DataBundle,
     extra_observers: &mut [&mut dyn RoundObserver],
 ) -> ExperimentResult {
+    let mut policy = cfg.build_policy();
+    execute_on_events(
+        cfg,
+        data,
+        extra_observers,
+        cfg.name.clone(),
+        cfg.algorithm.name().to_string(),
+        RoundSemantics::Barrier,
+        false,
+        &mut |t, actions| policy.decide(t, actions),
+    )
+}
+
+/// One schedule compiled onto the event core. Both drivers are thin
+/// instances: the synchronous runner picks barrier semantics and the
+/// static/scheduled topology mixing; async gossip picks deadline
+/// semantics and a fresh random maximal matching per tick
+/// (`pairwise_gossip`). The loop builds the fully configured simulation,
+/// drives an [`EventEngine`] round by round (compute/latency/churn from
+/// `cfg.timing` and `cfg.churn`), and records curves through the same
+/// observers in both shapes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_on_events(
+    cfg: &ExperimentConfig,
+    data: &DataBundle,
+    extra_observers: &mut [&mut dyn RoundObserver],
+    name: String,
+    algorithm: String,
+    semantics: RoundSemantics,
+    pairwise_gossip: bool,
+    decide: &mut dyn FnMut(usize, &mut [RoundAction]),
+) -> ExperimentResult {
     let built = build_simulation(cfg, data);
     let mut sim = built.sim;
     let mut schedule = built.schedule;
+    let graph_for_matching = built.graph;
 
-    let mut policy = cfg.build_policy();
+    let mut engine = EventEngine::new(
+        cfg.nodes,
+        cfg.seed,
+        cfg.timing.compute.clone(),
+        cfg.timing.latency,
+        cfg.churn.as_ref().map(ChurnSpec::build),
+        semantics,
+    );
+
     let mut actions = vec![RoundAction::SyncOnly; cfg.nodes];
 
     // Built-in observers reimplement the legacy driver's recording; they run
@@ -157,7 +221,7 @@ pub(crate) fn execute(
         let mut prev_comm_wh = 0.0f64;
 
         for t in 0..cfg.rounds {
-            policy.decide(t, &mut actions);
+            decide(t, &mut actions);
             let trained_nodes = actions.iter().filter(|&&a| a == RoundAction::Train).count();
             node_train_events += trained_nodes as u64;
 
@@ -171,15 +235,38 @@ pub(crate) fn execute(
                 }
             }
 
-            match schedule.as_mut() {
-                None => sim.run_round(&actions),
-                Some(sched) => {
-                    let mixing = sched.mixing_for_round(t);
-                    // Sizes were validated with the config; a mismatch here
-                    // would be an internal scheduling bug, reported with the
-                    // typed engine error's diagnosis.
-                    sim.try_run_round_with_mixing(&actions, mixing)
-                        .unwrap_or_else(|e| panic!("scheduled round {t}: {e}"));
+            // Sizes were validated with the config; a mismatch here would
+            // be an internal scheduling bug, reported with the typed
+            // engine error's diagnosis.
+            if pairwise_gossip {
+                // Per-tick matching seeds are chained over (schedule id,
+                // round) like every other per-round stream; matchings
+                // compose with a configured topology schedule by pairing
+                // over the *scheduled* round graph.
+                let matching_seed = round_seed(
+                    cfg.seed ^ 0x3A7C,
+                    crate::asyncgossip::GOSSIP_MATCHING_STREAM,
+                    t,
+                );
+                let pairs = match schedule.as_mut() {
+                    None => random_maximal_matching(&graph_for_matching, matching_seed),
+                    Some(sched) => {
+                        random_maximal_matching(&sched.graph_for_round(t), matching_seed)
+                    }
+                };
+                let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
+                sim.try_run_round_event(&actions, Some(&round_mixing), &mut engine)
+                    .unwrap_or_else(|e| panic!("gossip tick {t}: {e}"));
+            } else {
+                match schedule.as_mut() {
+                    None => sim
+                        .try_run_round_event(&actions, None, &mut engine)
+                        .unwrap_or_else(|e| panic!("round {t}: {e}")),
+                    Some(sched) => {
+                        let mixing = sched.mixing_for_round(t);
+                        sim.try_run_round_event(&actions, Some(mixing), &mut engine)
+                            .unwrap_or_else(|e| panic!("scheduled round {t}: {e}"));
+                    }
                 }
             }
             executed_rounds = t + 1;
@@ -242,9 +329,10 @@ pub(crate) fn execute(
             .collect();
         drop(observers);
 
+        let stats = engine.stats();
         ExperimentResult {
-            name: cfg.name.clone(),
-            algorithm: cfg.algorithm.name().to_string(),
+            name,
+            algorithm,
             nodes: cfg.nodes,
             rounds: executed_rounds,
             test_curve: curve.into_recorder().points().to_vec(),
@@ -259,6 +347,13 @@ pub(crate) fn execute(
             final_mean_model,
             node_class_sets,
             battery: battery_summary(&sim),
+            events: EventSummary {
+                virtual_ticks: engine.now(),
+                events: stats.events,
+                late_messages: stats.late_messages,
+                joins: stats.joins,
+                leaves: stats.leaves,
+            },
         }
     }
 }

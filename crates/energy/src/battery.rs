@@ -240,6 +240,54 @@ impl BatteryPolicy {
         }
     }
 
+    /// Decides one node's participation this round from its charge
+    /// fraction. `state` must already cover the fleet (see
+    /// [`ParticipationState::new`] /
+    /// [`BatteryPolicy::decide_into`]). This is the per-node primitive
+    /// behind both the fleet-wide mask and heterogeneous
+    /// policy-per-node fleets, where each node consults its own policy
+    /// against the shared state.
+    pub fn decide_node(
+        &self,
+        node: usize,
+        battery: &BatteryState,
+        state: &mut ParticipationState,
+    ) -> bool {
+        let i = node;
+        let frac = battery.charge_fraction(i);
+        match *self {
+            BatteryPolicy::AlwaysOn => battery.charge_wh(i) > 0.0,
+            BatteryPolicy::Threshold { min_fraction } => frac >= min_fraction,
+            BatteryPolicy::Hysteresis {
+                suspend_fraction,
+                resume_fraction,
+            } => {
+                if state.suspended[i] {
+                    if frac >= resume_fraction {
+                        state.suspended[i] = false;
+                    }
+                } else if frac < suspend_fraction {
+                    state.suspended[i] = true;
+                }
+                !state.suspended[i]
+            }
+            BatteryPolicy::DutyCycle { target_fraction } => {
+                if battery.charge_wh(i) <= 0.0 {
+                    false
+                } else {
+                    let duty = (frac / target_fraction).min(1.0);
+                    state.credit[i] += duty;
+                    if state.credit[i] >= 1.0 {
+                        state.credit[i] -= 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+    }
+
     /// Decides this round's participation mask from charge fractions,
     /// writing into `active` (resized to the fleet). `state` carries the
     /// policy's per-node memory across rounds and must be reused between
@@ -255,39 +303,32 @@ impl BatteryPolicy {
         active.clear();
         active.resize(n, false);
         for (i, slot) in active.iter_mut().enumerate() {
-            let frac = battery.charge_fraction(i);
-            *slot = match *self {
-                BatteryPolicy::AlwaysOn => battery.charge_wh(i) > 0.0,
-                BatteryPolicy::Threshold { min_fraction } => frac >= min_fraction,
-                BatteryPolicy::Hysteresis {
-                    suspend_fraction,
-                    resume_fraction,
-                } => {
-                    if state.suspended[i] {
-                        if frac >= resume_fraction {
-                            state.suspended[i] = false;
-                        }
-                    } else if frac < suspend_fraction {
-                        state.suspended[i] = true;
-                    }
-                    !state.suspended[i]
-                }
-                BatteryPolicy::DutyCycle { target_fraction } => {
-                    if battery.charge_wh(i) <= 0.0 {
-                        false
-                    } else {
-                        let duty = (frac / target_fraction).min(1.0);
-                        state.credit[i] += duty;
-                        if state.credit[i] >= 1.0 {
-                            state.credit[i] -= 1.0;
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                }
-            };
+            *slot = self.decide_node(i, battery, state);
         }
+    }
+}
+
+/// Decides a heterogeneous fleet's participation mask: node `i` consults
+/// `policies[i]` against the shared charge state and participation
+/// memory. The per-node loop is identical to
+/// [`BatteryPolicy::decide_into`] with a policy lookup per node, so a
+/// vector of identical policies reproduces the fleet-wide mask exactly.
+///
+/// # Panics
+/// Panics unless `policies` holds one policy per node.
+pub fn decide_per_node_into(
+    policies: &[BatteryPolicy],
+    battery: &BatteryState,
+    state: &mut ParticipationState,
+    active: &mut Vec<bool>,
+) {
+    let n = battery.len();
+    assert_eq!(policies.len(), n, "one policy per node required");
+    state.ensure_len(n);
+    active.clear();
+    active.resize(n, false);
+    for (i, slot) in active.iter_mut().enumerate() {
+        *slot = policies[i].decide_node(i, battery, state);
     }
 }
 
@@ -332,8 +373,14 @@ pub struct BatterySetup {
     pub state: BatteryState,
     /// Harvest trace recharging the fleet each round.
     pub trace: crate::trace::HarvestTrace,
-    /// Participation policy gating training and gossip.
+    /// Fleet-wide participation policy gating training and gossip.
     pub policy: BatteryPolicy,
+    /// `Some` overrides `policy` per node: node `i` consults
+    /// `node_policies[i]`, letting threshold and duty-cycle devices mix
+    /// in one fleet (see [`decide_per_node_into`]). Must hold one policy
+    /// per node when set; absent in legacy serialized setups.
+    #[serde(default)]
+    pub node_policies: Option<Vec<BatteryPolicy>>,
 }
 
 #[cfg(test)]
@@ -448,6 +495,57 @@ mod tests {
         b.drain_all(0);
         BatteryPolicy::AlwaysOn.decide_into(&b, &mut ps, &mut active);
         assert!(!active[0]);
+    }
+
+    #[test]
+    fn per_node_policies_mix_in_one_fleet() {
+        // node 0: strict threshold (50% charge < 60% bar → off);
+        // node 1: duty-cycle at half its target → fires every 2nd round
+        let b = BatteryState::with_initial_fraction(vec![10.0, 10.0], 0.5);
+        let policies = vec![
+            BatteryPolicy::Threshold { min_fraction: 0.6 },
+            BatteryPolicy::DutyCycle {
+                target_fraction: 1.0,
+            },
+        ];
+        let mut ps = ParticipationState::new(2);
+        let mut active = Vec::new();
+        let mut node1_fired = 0;
+        for _ in 0..10 {
+            decide_per_node_into(&policies, &b, &mut ps, &mut active);
+            assert!(!active[0], "node 0's threshold policy must gate it off");
+            node1_fired += active[1] as usize;
+        }
+        assert_eq!(node1_fired, 5, "node 1 duty-cycles independently");
+    }
+
+    #[test]
+    fn uniform_per_node_policies_match_the_fleet_wide_mask() {
+        let mut b = two_node();
+        b.drain(0, 2.0);
+        let policy = BatteryPolicy::Hysteresis {
+            suspend_fraction: 0.35,
+            resume_fraction: 0.6,
+        };
+        let policies = vec![policy, policy];
+        let (mut ps_a, mut ps_b) = (ParticipationState::new(2), ParticipationState::new(2));
+        let (mut a, mut v) = (Vec::new(), Vec::new());
+        for _ in 0..5 {
+            policy.decide_into(&b, &mut ps_a, &mut a);
+            decide_per_node_into(&policies, &b, &mut ps_b, &mut v);
+            assert_eq!(a, v);
+            assert_eq!(ps_a, ps_b);
+            b.recharge(0, 0.7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one policy per node")]
+    fn per_node_policy_arity_is_enforced() {
+        let b = two_node();
+        let mut ps = ParticipationState::new(2);
+        let mut active = Vec::new();
+        decide_per_node_into(&[BatteryPolicy::AlwaysOn], &b, &mut ps, &mut active);
     }
 
     #[test]

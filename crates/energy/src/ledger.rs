@@ -23,6 +23,13 @@ pub struct EnergyLedger {
     rx_bytes: Vec<u64>,
     /// Cumulative total (training + comm) after each closed round.
     round_totals_wh: Vec<f64>,
+    /// Virtual-time tick each closed round ended at, parallel to
+    /// `round_totals_wh`. Rounds closed without a timestamp
+    /// ([`EnergyLedger::end_round`]) advance the last stamp by one, so
+    /// untimed runs read as one tick per round. Missing in legacy
+    /// serialized ledgers.
+    #[serde(default)]
+    round_end_ticks: Vec<u64>,
     /// Energy recorded in the currently open round.
     open_round_wh: f64,
 }
@@ -36,6 +43,7 @@ impl EnergyLedger {
             tx_bytes: vec![0; n],
             rx_bytes: vec![0; n],
             round_totals_wh: Vec::new(),
+            round_end_ticks: Vec::new(),
             open_round_wh: 0.0,
         }
     }
@@ -102,11 +110,30 @@ impl EnergyLedger {
     }
 
     /// Closes the current round, pushing the cumulative total onto the
-    /// per-round series.
+    /// per-round series. The round is stamped one virtual tick after the
+    /// previous close; event-driven executions use
+    /// [`EnergyLedger::end_round_at`] instead to stamp the real virtual
+    /// round-end time.
     pub fn end_round(&mut self) {
+        let next = self.round_end_ticks.last().map_or(1, |&t| t + 1);
+        self.end_round_at(next);
+    }
+
+    /// Closes the current round at virtual tick `ticks` (from the event
+    /// engine's clock). Timestamps are pure metadata over the same energy
+    /// sums — conservation (per-node totals vs. the cumulative series) is
+    /// unaffected by how rounds are stamped.
+    pub fn end_round_at(&mut self, ticks: u64) {
         let prev = self.round_totals_wh.last().copied().unwrap_or(0.0);
         self.round_totals_wh.push(prev + self.open_round_wh);
+        self.round_end_ticks.push(ticks);
         self.open_round_wh = 0.0;
+    }
+
+    /// Virtual-time tick each closed round ended at, parallel to
+    /// [`EnergyLedger::cumulative_by_round`].
+    pub fn round_end_ticks(&self) -> &[u64] {
+        &self.round_end_ticks
     }
 
     /// Training energy spent by `node` so far (Wh).
@@ -191,6 +218,27 @@ impl EnergyLedger {
             })
             .collect();
         self.round_totals_wh = merged;
+        // Round stamps merge as the elementwise max (a merged round is
+        // closed once the last shard closed it); a shard with fewer
+        // stamped rounds holds its final stamp — its clock stopped there.
+        let tick_rounds = self.round_end_ticks.len().max(other.round_end_ticks.len());
+        let tick_tail = |series: &[u64]| series.last().copied().unwrap_or(0);
+        let merged_ticks: Vec<u64> = (0..tick_rounds)
+            .map(|r| {
+                let a = self
+                    .round_end_ticks
+                    .get(r)
+                    .copied()
+                    .unwrap_or_else(|| tick_tail(&self.round_end_ticks));
+                let b = other
+                    .round_end_ticks
+                    .get(r)
+                    .copied()
+                    .unwrap_or_else(|| tick_tail(&other.round_end_ticks));
+                a.max(b)
+            })
+            .collect();
+        self.round_end_ticks = merged_ticks;
         self.open_round_wh += other.open_round_wh;
     }
 }
@@ -361,6 +409,37 @@ mod tests {
         let mut d = EnergyLedger::new(1);
         d.merge(&c); // merging into a fresh ledger adopts the series
         assert_eq!(d.cumulative_by_round(), &[8.0, 8.0]);
+    }
+
+    #[test]
+    fn round_stamps_default_to_one_tick_per_round() {
+        let mut l = EnergyLedger::new(1);
+        l.end_round();
+        l.end_round();
+        l.end_round_at(1_000_000);
+        assert_eq!(l.round_end_ticks(), &[1, 2, 1_000_000]);
+        assert_eq!(l.rounds(), 3);
+    }
+
+    #[test]
+    fn timestamped_closes_keep_conservation_and_merge_as_max() {
+        let mut a = EnergyLedger::new(1);
+        a.record_training(0, 1.0);
+        a.end_round_at(100);
+        a.record_training(0, 2.0);
+        a.end_round_at(250);
+        let mut b = EnergyLedger::new(1);
+        b.record_training(0, 4.0);
+        b.end_round_at(180);
+        a.merge(&b);
+        // stamps are metadata: the energy series merges exactly as before
+        assert_eq!(a.cumulative_by_round(), &[5.0, 7.0]);
+        assert_eq!(a.round_end_ticks(), &[180, 250]);
+        assert_eq!(
+            *a.cumulative_by_round().last().unwrap(),
+            a.total_wh(),
+            "cumulative series stays conservation-exact under stamping"
+        );
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum EngineError {
         /// Rows in the supplied matrix.
         got: usize,
     },
+    /// An [`EventEngine`](crate::events::EventEngine) built for a
+    /// different fleet size was handed to
+    /// [`Simulation::try_run_round_event`](crate::executor::Simulation::try_run_round_event).
+    EventEngineSizeMismatch {
+        /// Nodes in the simulation.
+        expected: usize,
+        /// Nodes the event engine tracks.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -36,6 +45,10 @@ impl std::fmt::Display for EngineError {
             EngineError::MixingSizeMismatch { expected, got } => write!(
                 f,
                 "mixing matrix size mismatch: simulation has {expected} nodes, matrix has {got}"
+            ),
+            EngineError::EventEngineSizeMismatch { expected, got } => write!(
+                f,
+                "event engine size mismatch: simulation has {expected} nodes, engine tracks {got}"
             ),
         }
     }

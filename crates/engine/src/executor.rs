@@ -124,6 +124,9 @@ struct BatteryRuntime {
     state: BatteryState,
     trace: HarvestTrace,
     policy: BatteryPolicy,
+    /// Per-node policy overrides for heterogeneous fleets (one per node
+    /// when set; validated at construction).
+    node_policies: Option<Vec<BatteryPolicy>>,
     pstate: ParticipationState,
     /// Last round's participation mask.
     active: Vec<bool>,
@@ -143,6 +146,9 @@ impl BatteryRuntime {
     fn new(setup: BatterySetup, n: usize) -> Self {
         assert_eq!(setup.state.len(), n, "one battery per node required");
         assert_eq!(setup.trace.len(), n, "one harvest stream per node required");
+        if let Some(policies) = &setup.node_policies {
+            assert_eq!(policies.len(), n, "one policy per node required");
+        }
         Self {
             pstate: ParticipationState::new(n),
             active: Vec::with_capacity(n),
@@ -154,6 +160,7 @@ impl BatteryRuntime {
             state: setup.state,
             trace: setup.trace,
             policy: setup.policy,
+            node_policies: setup.node_policies,
         }
     }
 
@@ -177,8 +184,17 @@ impl BatteryRuntime {
         for i in 0..n {
             self.state.recharge(i, self.trace.energy_wh(i, round));
         }
-        self.policy
-            .decide_into(&self.state, &mut self.pstate, &mut self.active);
+        match &self.node_policies {
+            Some(policies) => skiptrain_energy::battery::decide_per_node_into(
+                policies,
+                &self.state,
+                &mut self.pstate,
+                &mut self.active,
+            ),
+            None => self
+                .policy
+                .decide_into(&self.state, &mut self.pstate, &mut self.active),
+        }
         for (i, intent) in intended.iter().enumerate() {
             if !self.active[i] {
                 continue;
@@ -325,6 +341,22 @@ pub struct Simulation {
     edge_scratch: Vec<EdgeScratch>,
     /// Closed-loop battery gating runtime, when configured.
     battery: Option<BatteryRuntime>,
+    /// Sorted directed edges whose message missed the current round's
+    /// deadline (set by [`Simulation::try_run_round_event`], empty
+    /// otherwise). A late edge is treated exactly like a transport drop:
+    /// tx charged, no rx, weight folds to self, feedback replicas hold.
+    late_edges: Vec<(u32, u32)>,
+    /// Virtual round-end tick supplied by the event engine for the round
+    /// in flight; stamps the ledger's per-round close.
+    virtual_round_end: Option<u64>,
+}
+
+/// True unless the event layer marked directed edge `src → dst` late this
+/// round. `late` is sorted; the empty fast path covers every non-event
+/// round.
+#[inline]
+fn edge_on_time(late: &[(u32, u32)], src: usize, dst: usize) -> bool {
+    late.is_empty() || late.binary_search(&(src as u32, dst as u32)).is_err()
 }
 
 impl Simulation {
@@ -434,6 +466,8 @@ impl Simulation {
             mean_scratch: Vec::new(),
             feedback,
             edge_scratch: vec![EdgeScratch::default(); n],
+            late_edges: Vec::new(),
+            virtual_round_end: None,
             config,
         }
     }
@@ -595,6 +629,66 @@ impl Simulation {
             });
         }
         self.try_run_round_inner(actions, Some(mixing))
+    }
+
+    /// Executes one round through the discrete-event core: `engine` plays
+    /// the round's timeline (churn draws, per-node compute completions,
+    /// per-edge arrivals, deadline classification) and this method runs
+    /// the data phases over what actually happened.
+    ///
+    /// When every node is present and no message missed its deadline —
+    /// always the case under barrier semantics, and under deadline
+    /// semantics at zero latency — the round takes the *identical* code
+    /// path as [`Simulation::try_run_round_with_mixing`], so results are
+    /// bit-for-bit equal to the lockstep loop; only the ledger's virtual
+    /// round-end stamps differ. Otherwise absent nodes are demoted to
+    /// [`RoundAction::SyncOnly`] with their mixing rows masked to
+    /// identity (zero tx/rx, training skipped — ledger conservation is
+    /// exact through churn), and late edges are treated as drops.
+    ///
+    /// Battery gating composes: the presence mask is applied first, then
+    /// the battery's participation mask on top.
+    pub fn try_run_round_event(
+        &mut self,
+        actions: &[RoundAction],
+        mixing_override: Option<&MixingMatrix>,
+        engine: &mut crate::events::EventEngine,
+    ) -> Result<(), EngineError> {
+        if engine.len() != self.len() {
+            return Err(EngineError::EventEngineSizeMismatch {
+                expected: self.len(),
+                got: engine.len(),
+            });
+        }
+        if actions.len() != self.len() {
+            return Err(EngineError::ActionArityMismatch {
+                expected: self.len(),
+                got: actions.len(),
+            });
+        }
+        if let Some(m) = mixing_override {
+            if m.len() != self.len() {
+                return Err(EngineError::MixingSizeMismatch {
+                    expected: self.len(),
+                    got: m.len(),
+                });
+            }
+        }
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        engine.begin_round(self.round, actions, mixing);
+        self.virtual_round_end = Some(engine.now());
+        let result = if engine.all_present() && engine.late_edges().is_empty() {
+            self.try_run_round_inner(actions, mixing_override)
+        } else {
+            engine.compose_gating(actions, mixing);
+            self.late_edges.clear();
+            self.late_edges.extend_from_slice(engine.late_edges());
+            let result = self.try_run_round_inner(&engine.gated, Some(&engine.masked));
+            self.late_edges.clear();
+            result
+        };
+        self.virtual_round_end = None;
+        result
     }
 
     fn try_run_round_inner(
@@ -759,6 +853,7 @@ impl Simulation {
         let transport = self.config.transport;
         let seed = self.config.seed;
         let round = self.round;
+        let late = &self.late_edges;
         self.next
             .par_iter_mut()
             .zip(self.agg_indices.par_iter_mut())
@@ -773,7 +868,10 @@ impl Simulation {
                         skiptrain_linalg::ops::scaled_copy(row_sum, base, out);
                         for &(j, w) in row {
                             let j = j as usize;
-                            if j != i && transport.delivered(seed, round, j, i) {
+                            if j != i
+                                && transport.delivered(seed, round, j, i)
+                                && edge_on_time(late, j, i)
+                            {
                                 let (indices, values) = &msgs[j];
                                 sparse_blend_axpy(out, base, indices, values, w);
                             }
@@ -801,7 +899,9 @@ impl Simulation {
                                 self_pos = indices.len();
                                 indices.push(j);
                                 weights.push(w);
-                            } else if transport.delivered(seed, round, j as usize, i) {
+                            } else if transport.delivered(seed, round, j as usize, i)
+                                && edge_on_time(late, j as usize, i)
+                            {
                                 indices.push(j);
                                 weights.push(w);
                             } else {
@@ -872,6 +972,7 @@ impl Simulation {
         let seed = self.config.seed;
         let round = self.round;
         let round_u32 = self.round as u32;
+        let late = &self.late_edges;
         self.next
             .par_iter_mut()
             .zip(fb.incoming_mut().par_iter_mut())
@@ -890,7 +991,7 @@ impl Simulation {
                         self_weight += w;
                         continue;
                     }
-                    if !transport.delivered(seed, round, src, i) {
+                    if !transport.delivered(seed, round, src, i) || !edge_on_time(late, src, i) {
                         self_weight += w;
                         continue;
                     }
@@ -1003,12 +1104,16 @@ impl Simulation {
                     .config
                     .transport
                     .delivered(self.config.seed, self.round, j, i)
+                    && edge_on_time(&self.late_edges, j, i)
                 {
                     self.ledger.record_rx(i, msg_bytes, &comm);
                 }
             }
         }
-        self.ledger.end_round();
+        match self.virtual_round_end {
+            Some(ticks) => self.ledger.end_round_at(ticks),
+            None => self.ledger.end_round(),
+        }
     }
 
     /// Evaluates every node's model on (a fixed subsample of) `dataset`,
@@ -1904,6 +2009,7 @@ mod tests {
             state,
             trace: no_harvest(n),
             policy: BatteryPolicy::Threshold { min_fraction: 0.5 },
+            node_policies: None,
         };
         let mut sim = tiny_sim_battery(n, 5, setup, vec![1e-3; n]);
         let frozen0 = sim.node_params(0).to_vec();
@@ -1952,6 +2058,7 @@ mod tests {
             state,
             trace: no_harvest(n),
             policy: BatteryPolicy::Threshold { min_fraction: 0.5 },
+            node_policies: None,
         };
         let costs = vec![1e-3; n];
         let mut gated = tiny_sim_battery(n, seed, setup, costs.clone());
@@ -2002,6 +2109,7 @@ mod tests {
             state: BatteryState::with_initial_fraction(vec![1.0; n], 0.0),
             trace: trickle,
             policy: BatteryPolicy::AlwaysOn,
+            node_policies: None,
         };
         let mut sim = tiny_sim_battery(n, 7, setup, vec![0.05; n]);
         for _ in 0..10 {
@@ -2021,6 +2129,7 @@ mod tests {
             state: BatteryState::with_initial_fraction(vec![1.0; n], 0.0),
             trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.06 }, 600.0, n, 2, 0.0),
             policy: BatteryPolicy::Threshold { min_fraction: 0.08 },
+            node_policies: None,
         };
         let mut sim2 = tiny_sim_battery(n, 7, banked, vec![0.05; n]);
         for _ in 0..10 {
@@ -2042,6 +2151,7 @@ mod tests {
             state: BatteryState::new(vec![50.0; n]),
             trace: HarvestTrace::new(HarvestProfile::Constant { watts: 0.5 }, 600.0, n, 3, 0.0),
             policy: BatteryPolicy::AlwaysOn,
+            node_policies: None,
         };
         let mut sim = tiny_sim_battery(n, 9, setup, vec![0.02; n]);
         for r in 0..6 {
@@ -2095,6 +2205,7 @@ mod tests {
                     suspend_fraction: 0.2,
                     resume_fraction: 0.4,
                 },
+                node_policies: None,
             };
             let mut sim = tiny_sim_battery(n, 13, setup, vec![0.01; n]);
             for _ in 0..12 {

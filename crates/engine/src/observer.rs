@@ -437,6 +437,7 @@ mod tests {
             state: BatteryState::new(vec![1.0; n]),
             trace: HarvestTrace::new(HarvestProfile::None, 60.0, n, 7, 0.0),
             policy: BatteryPolicy::Threshold { min_fraction: 0.1 },
+            node_policies: None,
         });
         let mut sim = Simulation::new(models, datasets, graph, mixing, config);
         for round in 0..2 {

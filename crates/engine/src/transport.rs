@@ -66,8 +66,8 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use skiptrain_linalg::compress::{
-    dequantize_one, dequantize_u16, dequantize_u8, gather, quantize_u16, quantize_u8,
-    top_k_indices, AffineParams,
+    dequantize_one, dequantize_u16, dequantize_u8, gather, quantize_u16, quantize_u16_into,
+    quantize_u8, quantize_u8_into, top_k_indices, top_k_indices_into, AffineParams,
 };
 use skiptrain_linalg::rng::derive_seed;
 
@@ -497,17 +497,45 @@ fn checksum_of(payload: &[u8]) -> u32 {
     c
 }
 
+/// Reusable intermediate buffers for [`encode_message_with`]: quantization
+/// codes and top-k index scratch. Capacity is retained across calls, so a
+/// long-lived scratch makes lossy-codec encoding allocation-free at
+/// steady state (the dense codec never needs intermediates).
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    codes8: Vec<u8>,
+    codes16: Vec<u16>,
+    indices: Vec<u32>,
+}
+
 /// Encodes a flat model into a framed message under `codec`, writing into
 /// a reusable buffer (cleared first; capacity is retained across calls).
-/// This is the allocation-free path the executor's round loop uses — the
-/// dense codec writes straight into `buf` with no intermediate
-/// allocations at all.
+/// Lossy codecs materialize their quantization codes / top-k indices in
+/// a fresh allocation per call; [`encode_message_with`] is the fully
+/// allocation-free form over a caller-held [`EncodeScratch`].
 pub fn encode_message_into(
     codec: ModelCodec,
     sender: u32,
     round: u32,
     params: &[f32],
     buf: &mut Vec<u8>,
+) {
+    let mut scratch = EncodeScratch::default();
+    encode_message_with(codec, sender, round, params, buf, &mut scratch);
+}
+
+/// Encodes a flat model into a framed message under `codec`, writing the
+/// frame into `buf` and routing every codec intermediate (quantization
+/// codes, top-k indices) through `scratch`. With both buffers reused
+/// across calls, encoding is allocation-free at steady state for every
+/// codec — the path the perf gate's codec roundtrip scenarios pin.
+pub fn encode_message_with(
+    codec: ModelCodec,
+    sender: u32,
+    round: u32,
+    params: &[f32],
+    buf: &mut Vec<u8>,
+    scratch: &mut EncodeScratch,
 ) {
     #[inline]
     fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -533,26 +561,26 @@ pub fn encode_message_into(
             }
         }
         ModelCodec::QuantizedU8 => {
-            let (p, codes) = quantize_u8(params);
+            let p = quantize_u8_into(params, &mut scratch.codes8);
             put_u32_le(buf, p.min.to_bits());
             put_u32_le(buf, p.scale.to_bits());
-            buf.extend_from_slice(&codes);
+            buf.extend_from_slice(&scratch.codes8);
         }
         ModelCodec::QuantizedU16 => {
-            let (p, codes) = quantize_u16(params);
+            let p = quantize_u16_into(params, &mut scratch.codes16);
             put_u32_le(buf, p.min.to_bits());
             put_u32_le(buf, p.scale.to_bits());
-            for c in codes {
+            for &c in &scratch.codes16 {
                 buf.extend_from_slice(&c.to_le_bytes());
             }
         }
         ModelCodec::TopK { k } => {
-            let indices = top_k_indices(params, k);
-            put_u32(buf, indices.len() as u32);
-            for &i in &indices {
+            top_k_indices_into(params, k, &mut scratch.indices);
+            put_u32(buf, scratch.indices.len() as u32);
+            for &i in &scratch.indices {
                 put_u32_le(buf, i);
             }
-            for &i in &indices {
+            for &i in &scratch.indices {
                 put_u32_le(buf, params[i as usize].to_bits());
             }
         }
@@ -601,10 +629,80 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Reusable decode-side payload buffers for [`decode_frame_into`].
+/// Capacity is retained across calls, so a long-lived scratch makes
+/// frame decoding allocation-free at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    dense: Vec<f32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+/// A decoded payload borrowing a [`DecodeScratch`]'s buffers.
+#[derive(Debug, PartialEq)]
+pub enum PayloadRef<'a> {
+    /// A full (possibly lossily reconstructed) parameter vector.
+    Dense(&'a [f32]),
+    /// Top-k sparsified parameters: ascending indices with their values.
+    Sparse {
+        /// Ascending parameter indices present in the message.
+        indices: &'a [u32],
+        /// Parameter values at `indices`.
+        values: &'a [f32],
+    },
+}
+
+/// Decoded message header + borrowed payload (the allocation-free
+/// counterpart of [`DecodedMessage`]).
+#[derive(Debug, PartialEq)]
+pub struct DecodedMessageRef<'a> {
+    /// Sender node id.
+    pub sender: u32,
+    /// Round the model was produced in.
+    pub round: u32,
+    /// Dense parameter count of the original model.
+    pub param_count: usize,
+    /// The (lossily) reconstructed model, borrowing `scratch`.
+    pub payload: PayloadRef<'a>,
+}
+
 /// Decodes a frame produced by [`encode_message`] from a borrowed byte
 /// slice, dequantizing lossy payloads into the values the receiver will
-/// aggregate. [`decode_message`] is the owned-`Bytes` wrapper.
+/// aggregate. [`decode_message`] is the owned-`Bytes` wrapper; for
+/// steady-state allocation-free decoding, use [`decode_frame_into`] with
+/// a reused [`DecodeScratch`] — this function is its fresh-buffer
+/// wrapper.
 pub fn decode_frame(frame: &[u8]) -> Result<DecodedMessage, DecodeError> {
+    let mut scratch = DecodeScratch::default();
+    let msg = decode_frame_into(frame, &mut scratch)?;
+    let (sender, round, param_count) = (msg.sender, msg.round, msg.param_count);
+    let sparse = matches!(msg.payload, PayloadRef::Sparse { .. });
+    let payload = if sparse {
+        Payload::Sparse {
+            indices: scratch.indices,
+            values: scratch.values,
+        }
+    } else {
+        Payload::Dense(scratch.dense)
+    };
+    Ok(DecodedMessage {
+        sender,
+        round,
+        param_count,
+        payload,
+    })
+}
+
+/// Decodes a frame into reusable caller buffers: the payload lands in
+/// `scratch` (cleared first, capacity retained) and the returned message
+/// borrows it. With a long-lived scratch this path performs no heap
+/// allocation, which is what keeps the perf gate's codec roundtrip
+/// scenarios at a zero alloc proxy.
+pub fn decode_frame_into<'a>(
+    frame: &[u8],
+    scratch: &'a mut DecodeScratch,
+) -> Result<DecodedMessageRef<'a>, DecodeError> {
     if frame.len() < FRAME_OVERHEAD as usize {
         return Err(DecodeError::Truncated);
     }
@@ -634,11 +732,12 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedMessage, DecodeError> {
             if payload_len != count * 4 {
                 return Err(DecodeError::LengthMismatch);
             }
-            let mut params = Vec::with_capacity(count);
+            scratch.dense.clear();
+            scratch.dense.reserve(count);
             for _ in 0..count {
-                params.push(f32::from_bits(r.get_u32_le()));
+                scratch.dense.push(f32::from_bits(r.get_u32_le()));
             }
-            Payload::Dense(params)
+            PayloadRef::Dense(&scratch.dense)
         }
         1 | 2 => {
             let width = if codec_id == 1 { 1 } else { 2 };
@@ -649,17 +748,18 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedMessage, DecodeError> {
                 min: f32::from_bits(r.get_u32_le()),
                 scale: f32::from_bits(r.get_u32_le()),
             };
-            let mut params = Vec::with_capacity(count);
+            scratch.dense.clear();
+            scratch.dense.reserve(count);
             if codec_id == 1 {
                 for _ in 0..count {
-                    params.push(dequantize_one(p, r.get_u8() as u32));
+                    scratch.dense.push(dequantize_one(p, r.get_u8() as u32));
                 }
             } else {
                 for _ in 0..count {
-                    params.push(dequantize_one(p, r.get_u16_le() as u32));
+                    scratch.dense.push(dequantize_one(p, r.get_u16_le() as u32));
                 }
             }
-            Payload::Dense(params)
+            PayloadRef::Dense(&scratch.dense)
         }
         3 => {
             if payload_len < 4 {
@@ -669,25 +769,31 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedMessage, DecodeError> {
             if payload_len != 4 + 8 * k {
                 return Err(DecodeError::LengthMismatch);
             }
-            let mut indices = Vec::with_capacity(k);
+            scratch.indices.clear();
+            scratch.indices.reserve(k);
             for _ in 0..k {
                 let idx = r.get_u32_le();
                 // strictly ascending: rejects out-of-range *and* duplicate
                 // indices, which would double-apply in the scatter kernels
-                if idx as usize >= count || indices.last().is_some_and(|&prev| prev >= idx) {
+                if idx as usize >= count || scratch.indices.last().is_some_and(|&prev| prev >= idx)
+                {
                     return Err(DecodeError::IndexOutOfRange);
                 }
-                indices.push(idx);
+                scratch.indices.push(idx);
             }
-            let mut values = Vec::with_capacity(k);
+            scratch.values.clear();
+            scratch.values.reserve(k);
             for _ in 0..k {
-                values.push(f32::from_bits(r.get_u32_le()));
+                scratch.values.push(f32::from_bits(r.get_u32_le()));
             }
-            Payload::Sparse { indices, values }
+            PayloadRef::Sparse {
+                indices: &scratch.indices,
+                values: &scratch.values,
+            }
         }
         _ => return Err(DecodeError::UnknownCodec),
     };
-    Ok(DecodedMessage {
+    Ok(DecodedMessageRef {
         sender,
         round,
         param_count: count,

@@ -58,6 +58,7 @@ fn starved_spec(cfg: &ExperimentConfig, policy: BatteryPolicy) -> BatterySpec {
         harvest: trickle_diurnal(cfg, 16.0),
         harvest_jitter: 0.25,
         policy,
+        node_policies: None,
     }
 }
 
@@ -176,6 +177,7 @@ fn fully_gated_runs_charge_zero_energy() {
         harvest: HarvestProfile::None,
         harvest_jitter: 0.0,
         policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+        node_policies: None,
     });
     let result = cfg.run();
     assert_eq!(result.total_training_wh, 0.0);
@@ -207,6 +209,7 @@ fn battery_free_runs_report_no_summary_and_async_gossip_composes() {
         harvest: HarvestProfile::None,
         harvest_jitter: 0.0,
         policy: BatteryPolicy::Threshold { min_fraction: 0.2 },
+        node_policies: None,
     });
     let result = skiptrain::algorithms::asyncgossip::run_async_gossip(&gated, &data, 0.5);
     assert_eq!(result.total_comm_wh, 0.0, "dead nodes cannot gossip");
