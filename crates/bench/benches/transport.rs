@@ -30,7 +30,10 @@ fn bench_drop_decisions(c: &mut Criterion) {
     group
         .sample_size(20)
         .measurement_time(Duration::from_secs(2));
-    let transport = TransportKind::Serialized { drop_prob: 0.1 };
+    let transport = TransportKind::Serialized {
+        drop_prob: 0.1,
+        corrupt_prob: 0.0,
+    };
     group.throughput(criterion::Throughput::Elements(256 * 6));
     group.bench_function("round_256n_6deg", |b| {
         let mut round = 0usize;

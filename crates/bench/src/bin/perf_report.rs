@@ -23,10 +23,13 @@ use skiptrain_bench::perf::{
 use skiptrain_data::synth::{MixtureSpec, MixtureTask};
 use skiptrain_energy::battery::{BatteryPolicy, BatterySetup, BatteryState};
 use skiptrain_energy::trace::{HarvestProfile, HarvestTrace};
-use skiptrain_engine::transport::{decode_frame_into, encode_message_with};
+use skiptrain_engine::transport::{
+    corrupt_frame_in_place, decode_frame, decode_frame_into, encode_message_with, MessageFate,
+};
 use skiptrain_engine::{
     ChurnModel, ComputeProfile, DecodeScratch, EncodeScratch, EventEngine, LatencyModel,
-    ModelCodec, RoundAction, RoundSemantics, Simulation, SimulationConfig, BASE_TRAIN_TICKS,
+    ModelCodec, RoundAction, RoundSemantics, Simulation, SimulationConfig, TransportKind,
+    BASE_TRAIN_TICKS,
 };
 use skiptrain_linalg::compress::{compress_with_feedback_top_k, FeedbackScratch};
 use skiptrain_linalg::Matrix;
@@ -458,6 +461,71 @@ fn main() {
                 black_box(engine.late_edges());
             },
         ));
+    }
+
+    // --- wire-corruption scenario ----------------------------------------
+    // One round of per-edge corruption decisions over a 64-node 6-regular
+    // edge census at 10% corruption, against the pinned CIFAR-10 frame:
+    // every edge draws its fate from the partitioned per-(round, edge)
+    // stream, and each corrupted edge takes the full reject path — seeded
+    // in-place bit-flip, checksum verify failure, flip-back. Its
+    // allocation proxy pins that the corruption decision and the checksum
+    // reject are allocation-free (the flip is XOR-in-place against the
+    // live frame; `decode_frame`'s checksum-failure path allocates
+    // nothing) — isolated from the serialized share loop, whose sender
+    // decode allocates its payload regardless of corruption.
+    {
+        let (n, degree) = (64usize, 6usize);
+        let (warmup, iters) = scale(5, 100);
+        let mut frame: Vec<u8> = Vec::new();
+        let mut encode_scratch = EncodeScratch::default();
+        encode_message_with(
+            ModelCodec::DenseF32,
+            3,
+            7,
+            &params,
+            &mut frame,
+            &mut encode_scratch,
+        );
+        let transport = TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.1,
+        };
+        let mut round = 0usize;
+        let mut corrupted = 0u64;
+        scenarios.push(measure(
+            "corrupt_frame_round",
+            json_object(vec![
+                ("nodes", Value::UInt(n as u64)),
+                ("degree", Value::UInt(degree as u64)),
+                ("params", Value::UInt(params.len() as u64)),
+                ("transport", Value::String("serialized".into())),
+                ("corrupt_prob", Value::Float(0.1)),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                round = round.wrapping_add(1);
+                for src in 0..n {
+                    for hop in 1..=degree {
+                        let dst = (src + hop) % n;
+                        if transport.fate(7, round, src, dst) == MessageFate::Corrupted {
+                            corrupt_frame_in_place(&mut frame, 7, round, src, dst);
+                            let rejected = decode_frame(&frame).is_err();
+                            corrupt_frame_in_place(&mut frame, 7, round, src, dst);
+                            assert!(rejected, "corrupted frame must fail the checksum");
+                            corrupted += 1;
+                        }
+                    }
+                }
+                black_box(&frame);
+            },
+        ));
+        assert!(
+            corrupted > 0,
+            "corruption scenario must exercise the reject path"
+        );
     }
 
     // --- report --------------------------------------------------------

@@ -9,14 +9,19 @@
 //! cargo run -p skiptrain-bench --release --bin run_config -- exp.json -o result.json
 //! # run a batch of configs (JSON array) on 8 worker threads
 //! cargo run -p skiptrain-bench --release --bin run_config -- batch.json --threads 8 -o results.json
+//! # fault-tolerant batch with checkpoint/resume and per-cell retry
+//! cargo run -p skiptrain-bench --release --bin run_config -- batch.json --resume batch.journal --retries 3 -o results.json
 //! ```
 //!
 //! Configurations are validated up front: an invalid config fails fast with
 //! a typed diagnostic (and the offending array index) instead of panicking
-//! mid-run.
+//! mid-run. With `--resume` or `--retries` the batch runs resiliently
+//! (`Campaign::run_resilient`): failed cells are reported and retried
+//! instead of aborting the batch, completed cells are journaled, and a
+//! re-run against the same journal skips them.
 
 use skiptrain_core::presets::{cifar_config, Scale};
-use skiptrain_core::{AlgorithmSpec, Campaign, ExperimentConfig, Schedule};
+use skiptrain_core::{AlgorithmSpec, Campaign, ExperimentConfig, RetrySpec, Schedule};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +36,8 @@ fn main() {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut resume: Option<String> = None;
+    let mut retries: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,10 +48,25 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--resume" => {
+                resume = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --resume needs a journal path");
+                    std::process::exit(2);
+                }))
+            }
+            "--retries" => {
+                retries = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --retries needs a non-negative integer");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: run_config <config.json> [--threads N] [-o result.json] | --template\n\
-                     <config.json> holds one ExperimentConfig or an array of them"
+                    "usage: run_config <config.json> [--threads N] [--resume journal.jsonl] [--retries N] [-o result.json] | --template\n\
+                     <config.json> holds one ExperimentConfig or an array of them\n\
+                     --resume   journal completed cells to the given JSONL file and skip\n\
+                                cells it already holds (checkpoint/resume)\n\
+                     --retries  extra attempts per failed cell (deterministic reseed)"
                 );
                 return;
             }
@@ -98,23 +120,47 @@ fn main() {
         );
     }
 
-    let results = campaign
-        .on_result(|run, result| {
-            eprintln!(
-                "run #{run} '{}' finished: acc {:.2}% (±{:.2}), training {:.2} Wh",
-                result.name,
-                result.final_test.mean_accuracy * 100.0,
-                result.final_test.std_accuracy * 100.0,
-                result.total_training_wh,
-            );
-        })
-        .run()
-        .unwrap_or_else(|e| {
+    campaign = campaign.on_result(|run, result| {
+        eprintln!(
+            "run #{run} '{}' finished: acc {:.2}% (±{:.2}), training {:.2} Wh",
+            result.name,
+            result.final_test.mean_accuracy * 100.0,
+            result.final_test.std_accuracy * 100.0,
+            result.total_training_wh,
+        );
+    });
+
+    // --resume / --retries switch to the fault-tolerant path; the plain
+    // invocation keeps the strict all-or-nothing behavior.
+    let resilient = resume.is_some() || retries.is_some();
+    let (results, failed) = if resilient {
+        if let Some(journal) = &resume {
+            campaign = campaign.with_checkpoint(journal);
+        }
+        campaign = campaign
+            .retry(RetrySpec::attempts(retries.unwrap_or(0) + 1))
+            .on_failure(|failure| eprintln!("FAILED {failure}"));
+        let report = campaign.run_resilient().unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
         });
+        if report.restored > 0 {
+            eprintln!(
+                "restored {} completed cell(s) from the journal",
+                report.restored
+            );
+        }
+        let failed = !report.failures.is_empty();
+        (report.results, failed)
+    } else {
+        let results = campaign.run().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        (results.into_iter().map(Some).collect(), false)
+    };
 
-    for result in &results {
+    for result in results.iter().flatten() {
         println!(
             "{}: final accuracy {:.2}% (±{:.2}), training energy {:.2} Wh, comm {:.3} Wh",
             result.name,
@@ -135,5 +181,9 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("wrote {out}");
+    }
+    if failed {
+        eprintln!("error: some cells failed every attempt (see FAILED lines above)");
+        std::process::exit(1);
     }
 }

@@ -215,6 +215,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "dynamic_topology_round",
     "battery_round",
     "event_round",
+    "corrupt_frame_round",
 ];
 
 /// Checks that `report` contains every key in `required` (shape is

@@ -133,6 +133,7 @@ fn run_gossip_schedule(
         true,
         decide,
     )
+    .unwrap_or_else(|e| panic!("async gossip {e}"))
 }
 
 #[cfg(test)]

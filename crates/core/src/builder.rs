@@ -244,9 +244,14 @@ impl Experiment {
 
     /// Runs end to end: generates data, executes every round, returns the
     /// collected result.
+    ///
+    /// # Panics
+    /// Panics if the engine fails mid-run (an internal scheduling bug);
+    /// use [`Campaign::run_resilient`](crate::Campaign::run_resilient)
+    /// for the fault-isolating path.
     pub fn run(&self) -> ExperimentResult {
         let data = self.build_data();
-        runner::execute(&self.config, &data, &mut [])
+        runner::execute(&self.config, &data, &mut []).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs on a pre-built bundle (campaigns and sweeps share bundles

@@ -1,4 +1,4 @@
-//! Parallel multi-run experiment execution.
+//! Parallel, fault-tolerant multi-run experiment execution.
 //!
 //! The paper's evaluation is inherently *many runs over shared data*: the
 //! §4.3 grid alone is |Γ|² full experiments on one dataset, and every
@@ -16,36 +16,233 @@
 //!   self-contained and seeded, so the output is identical to serial
 //!   execution, cell for cell;
 //! * **observability** — an optional observer factory hooks
-//!   [`RoundObserver`]s into every run, and an `on_result` callback
-//!   streams completions as they happen.
+//!   [`RoundObserver`]s into every run, and `on_result` / `on_failure`
+//!   callbacks stream completions and terminal failures as they happen.
+//!
+//! # Strict vs. resilient execution
+//!
+//! [`Campaign::run`] is the strict path: any cell panicking or hitting an
+//! engine error aborts the campaign. [`Campaign::run_resilient`] instead
+//! isolates every cell behind `catch_unwind` and returns a
+//! [`CampaignReport`] where cell-level trouble is *data*:
+//!
+//! * a failing cell becomes a typed [`CellFailure`] (index, config
+//!   digest, attempt count, [`FailureCause`]) instead of taking its
+//!   siblings down;
+//! * a [`RetrySpec`] re-runs failed cells with the chain-derived
+//!   [`retry_seed`] — attempt 1 is the configured seed, attempt *k* > 1
+//!   is `derive_seed(seed ^ salt, k-1)` — so a retried cell is
+//!   bit-identical to a fresh run configured with that seed;
+//! * [`Campaign::with_checkpoint`] journals every completed cell to a
+//!   crash-safe JSONL file (see [`crate::journal`]); re-running the same
+//!   campaign against the journal restores completed cells without
+//!   re-executing them, and the resumed campaign's results are
+//!   bit-identical to an uninterrupted run.
 //!
 //! ```
 //! use skiptrain_core::presets::{cifar_config, Scale};
-//! use skiptrain_core::Campaign;
+//! use skiptrain_core::{Campaign, RetrySpec};
 //!
 //! let mut base = cifar_config(Scale::Quick, 1);
 //! base.nodes = 10;
 //! base.rounds = 4;
 //! base.eval_max_samples = 50;
-//! let campaign = Campaign::replicates(&base, 3);
+//! let campaign = Campaign::replicates(&base, 3).retry(RetrySpec::attempts(2));
 //! assert_eq!(campaign.len(), 3);
 //! ```
 
-use crate::error::CampaignError;
+use crate::error::{CampaignError, RunError};
 use crate::experiment::{DataBundle, DataSpec, ExperimentConfig, ExperimentResult};
+use crate::journal::{config_digest, Journal, JournalError};
 use crate::runner;
 use rayon::prelude::*;
 use skiptrain_engine::observer::RoundObserver;
 use skiptrain_linalg::rng::derive_seed;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Factory producing per-run observers (run index, config → observers).
 type ObserverFactory = dyn Fn(usize, &ExperimentConfig) -> Vec<Box<dyn RoundObserver>> + Sync;
 
 /// Streaming completion callback (run index, result).
 type ResultCallback = dyn Fn(usize, &ExperimentResult) + Sync;
+
+/// Streaming failure callback (final, post-retry cell failures).
+type FailureCallback = dyn Fn(&CellFailure) + Sync;
+
+/// Retry policy for failed campaign cells under
+/// [`Campaign::run_resilient`].
+///
+/// Attempt 1 runs the cell's configured seed; every further attempt
+/// re-runs it with the chain-derived [`retry_seed`], so retried cells are
+/// exactly as deterministic as fresh runs (pinned by a bit-equivalence
+/// test) while still escaping seed-dependent failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Total attempts per cell, including the first (minimum 1).
+    pub max_attempts: usize,
+    /// Pause between attempts (applied on the failing worker thread).
+    pub backoff: Duration,
+}
+
+impl RetrySpec {
+    /// No retries: one attempt, no backoff (the default).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// `max_attempts` total attempts with no backoff.
+    pub fn attempts(max_attempts: usize) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The seed a failed cell is re-run with on `attempt` (1-based; attempt 1
+/// is the configured seed itself).
+///
+/// Chained off the cell's own seed with a dedicated salt, so the retry
+/// stream never collides with any of the experiment's internal
+/// `derive_seed` streams and a retried cell is bit-identical to a fresh
+/// run configured with this seed directly.
+pub fn retry_seed(base: u64, attempt: usize) -> u64 {
+    if attempt <= 1 {
+        base
+    } else {
+        derive_seed(base ^ 0x9E7A_D10C, attempt as u64 - 1)
+    }
+}
+
+/// Why a campaign cell ultimately failed (after retries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// The cell panicked; the payload's message, when it carried one.
+    Panic(String),
+    /// The engine reported a typed mid-run error.
+    Engine(RunError),
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+/// One campaign cell that failed every attempt under
+/// [`Campaign::run_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Cell index in the campaign's input order.
+    pub index: usize,
+    /// The cell's config name.
+    pub name: String,
+    /// [`config_digest`] of the cell's config (matches the checkpoint
+    /// journal's manifest entry).
+    pub config_digest: u64,
+    /// Attempts made (`>= 1`).
+    pub attempts: usize,
+    /// The last attempt's failure.
+    pub cause: FailureCause,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell #{} (`{}`) failed after {} attempt(s): {}",
+            self.index, self.name, self.attempts, self.cause
+        )
+    }
+}
+
+/// What a resilient campaign produced: per-cell results in input order
+/// (`None` where the cell failed every attempt) plus the typed failures.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Results in input order; `None` marks a failed cell.
+    pub results: Vec<Option<ExperimentResult>>,
+    /// Every cell that failed all its attempts, in input order.
+    pub failures: Vec<CellFailure>,
+    /// Cells restored from the checkpoint journal instead of re-run.
+    pub restored: usize,
+}
+
+impl CampaignReport {
+    /// True when every cell has a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.results.iter().all(Option::is_some)
+    }
+
+    /// The results, unwrapped — only valid when [`Self::is_complete`].
+    ///
+    /// # Panics
+    /// Panics if any cell failed.
+    pub fn into_results(self) -> Vec<ExperimentResult> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("cell #{i} has no result")))
+            .collect()
+    }
+}
+
+/// Why [`Campaign::run_resilient`] could not start (distinct from cell
+/// failures, which it reports *inside* the [`CampaignReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignRunError {
+    /// A configuration failed validation.
+    Config(CampaignError),
+    /// The checkpoint journal could not be opened, resumed, or written.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CampaignRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignRunError::Config(e) => e.fmt(f),
+            CampaignRunError::Journal(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CampaignRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignRunError::Config(e) => Some(e),
+            CampaignRunError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<CampaignError> for CampaignRunError {
+    fn from(e: CampaignError) -> Self {
+        CampaignRunError::Config(e)
+    }
+}
+
+impl From<JournalError> for CampaignRunError {
+    fn from(e: JournalError) -> Self {
+        CampaignRunError::Journal(e)
+    }
+}
 
 /// A batch of experiment runs executed in parallel over shared data
 /// (see the module docs).
@@ -55,6 +252,9 @@ pub struct Campaign {
     threads: Option<usize>,
     observer_factory: Option<Box<ObserverFactory>>,
     on_result: Option<Box<ResultCallback>>,
+    on_failure: Option<Box<FailureCallback>>,
+    retry: RetrySpec,
+    checkpoint: Option<PathBuf>,
 }
 
 impl Campaign {
@@ -117,11 +317,40 @@ impl Campaign {
 
     /// Installs a callback invoked as each run completes (from worker
     /// threads, in completion order).
+    ///
+    /// Under [`Campaign::run_resilient`] the callback fires for freshly
+    /// computed cells only — cells restored from a checkpoint journal
+    /// already streamed in the interrupted run and are not re-delivered.
     pub fn on_result(
         mut self,
         callback: impl Fn(usize, &ExperimentResult) + Sync + 'static,
     ) -> Self {
         self.on_result = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs a callback invoked as each cell *fails terminally* (all
+    /// attempts exhausted) under [`Campaign::run_resilient`] — the
+    /// failure-side counterpart of [`Campaign::on_result`] streaming.
+    pub fn on_failure(mut self, callback: impl Fn(&CellFailure) + Sync + 'static) -> Self {
+        self.on_failure = Some(Box::new(callback));
+        self
+    }
+
+    /// Sets the retry policy for failed cells under
+    /// [`Campaign::run_resilient`] (default: no retries).
+    pub fn retry(mut self, retry: RetrySpec) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables checkpoint/resume through a JSONL journal at `path` for
+    /// [`Campaign::run_resilient`]: every completed cell is appended
+    /// crash-safely, and a re-run against an existing journal skips the
+    /// cells it already holds (manifest-checked — see
+    /// [`crate::journal`]).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
         self
     }
 
@@ -159,6 +388,10 @@ impl Campaign {
     /// them (so peak memory is bounded by the worker count, not the number
     /// of distinct bundles) and freed as soon as their last dependent run
     /// finishes.
+    ///
+    /// This is the *strict* path: one panicking or engine-failing cell
+    /// aborts the whole campaign. Long or flaky sweeps should prefer
+    /// [`Campaign::run_resilient`].
     pub fn run(&self) -> Result<Vec<ExperimentResult>, CampaignError> {
         self.validate()?;
         if self.configs.is_empty() {
@@ -173,7 +406,9 @@ impl Campaign {
                     let cfg = &self.configs[run];
                     let slot = &slots[&data_key(&cfg.data, cfg.nodes, cfg.seed)];
                     let bundle = slot.acquire(cfg);
-                    let result = self.execute_one(run, cfg, &bundle);
+                    let result = self
+                        .execute_one(run, cfg, &bundle)
+                        .unwrap_or_else(|e| panic!("campaign cell #{run}: {e}"));
                     drop(bundle);
                     slot.release();
                     if let Some(callback) = &self.on_result {
@@ -194,12 +429,178 @@ impl Campaign {
         Ok(results)
     }
 
+    /// Executes every run with per-cell failure isolation, seeded retry,
+    /// and (when [`Campaign::with_checkpoint`] is set) journal-backed
+    /// checkpoint/resume.
+    ///
+    /// Each cell runs inside `catch_unwind`: a panicking or
+    /// engine-failing cell becomes a typed [`CellFailure`] in the report
+    /// instead of aborting its siblings. Failed cells are re-attempted
+    /// per the [`RetrySpec`] with the chain-derived [`retry_seed`]
+    /// (attempt 1 = configured seed; retried cells are bit-identical to
+    /// fresh runs at the derived seed). Successes stream through
+    /// [`Campaign::on_result`], terminal failures through
+    /// [`Campaign::on_failure`]; results come back in input order with
+    /// `None` holes where a cell failed every attempt.
+    ///
+    /// Returns an error only when the campaign cannot *start* (invalid
+    /// config, unusable journal) or when the journal broke mid-run —
+    /// cell-level trouble is data, not an error.
+    pub fn run_resilient(&self) -> Result<CampaignReport, CampaignRunError> {
+        self.validate()?;
+        let digests: Vec<u64> = self.configs.iter().map(config_digest).collect();
+
+        let mut results: Vec<Option<ExperimentResult>> = Vec::new();
+        results.resize_with(self.configs.len(), || None);
+        let journal = match &self.checkpoint {
+            Some(path) => {
+                let (journal, restored_cells) = Journal::open(path, &digests)?;
+                for (slot, cell) in results.iter_mut().zip(restored_cells) {
+                    *slot = cell.map(|c| c.result);
+                }
+                Some(journal)
+            }
+            None => None,
+        };
+        let restored = results.iter().filter(|r| r.is_some()).count();
+        let pending: Vec<usize> = (0..self.configs.len())
+            .filter(|&i| results[i].is_none())
+            .collect();
+        if pending.is_empty() {
+            return Ok(CampaignReport {
+                results,
+                failures: Vec::new(),
+                restored,
+            });
+        }
+
+        // Bundle slots count only the cells actually running this time;
+        // restored cells never acquire, so counting them would leak the
+        // bundle until process exit.
+        let slots = self.bundle_slots_for(&pending);
+        let journal_error: Mutex<Option<JournalError>> = Mutex::new(None);
+        let execute_all = || {
+            pending
+                .par_iter()
+                .map(|&run| {
+                    let outcome = self.execute_cell_with_retry(run, &slots);
+                    match outcome {
+                        Ok((result, attempts)) => {
+                            if let Some(journal) = &journal {
+                                if let Err(e) = journal.record(run, digests[run], attempts, &result)
+                                {
+                                    let mut slot = journal_error
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner);
+                                    slot.get_or_insert(e);
+                                }
+                            }
+                            if let Some(callback) = &self.on_result {
+                                callback(run, &result);
+                            }
+                            (run, Ok(result))
+                        }
+                        Err(failure) => {
+                            if let Some(callback) = &self.on_failure {
+                                callback(&failure);
+                            }
+                            (run, Err(failure))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let outcomes = match self.threads {
+            Some(threads) => rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool")
+                .install(execute_all),
+            None => execute_all(),
+        };
+
+        if let Some(e) = journal_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            return Err(CampaignRunError::Journal(e));
+        }
+
+        let mut failures = Vec::new();
+        for (run, outcome) in outcomes {
+            match outcome {
+                Ok(result) => results[run] = Some(result),
+                Err(failure) => failures.push(failure),
+            }
+        }
+        failures.sort_by_key(|f| f.index);
+        Ok(CampaignReport {
+            results,
+            failures,
+            restored,
+        })
+    }
+
+    /// Runs one cell under `catch_unwind`, retrying per the campaign's
+    /// [`RetrySpec`]. Attempt 1 uses the shared bundle slot; retries run
+    /// a reseeded config ([`retry_seed`]), whose data bundle is private
+    /// by construction (the seed differs), exactly like a fresh run.
+    fn execute_cell_with_retry(
+        &self,
+        run: usize,
+        slots: &HashMap<String, BundleSlot>,
+    ) -> Result<(ExperimentResult, usize), CellFailure> {
+        let cfg = &self.configs[run];
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_cause = None;
+        for attempt in 1..=max_attempts {
+            if attempt > 1 && !self.retry.backoff.is_zero() {
+                std::thread::sleep(self.retry.backoff);
+            }
+            let outcome = if attempt == 1 {
+                let slot = &slots[&data_key(&cfg.data, cfg.nodes, cfg.seed)];
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let bundle = slot.acquire(cfg);
+                    self.execute_one(run, cfg, &bundle)
+                }));
+                // Balance the slot's use count even when the cell
+                // panicked (possibly mid-build while holding the lock —
+                // acquire/release recover the poison), so healthy
+                // sibling cells still free the bundle on time.
+                slot.release();
+                outcome
+            } else {
+                let mut reseeded = cfg.clone();
+                reseeded.seed = retry_seed(cfg.seed, attempt);
+                catch_unwind(AssertUnwindSafe(|| {
+                    let bundle = reseeded.data.build(reseeded.nodes, reseeded.seed);
+                    self.execute_one(run, &reseeded, &bundle)
+                }))
+            };
+            match outcome {
+                Ok(Ok(result)) => return Ok((result, attempt)),
+                Ok(Err(run_error)) => last_cause = Some(FailureCause::Engine(run_error)),
+                Err(payload) => {
+                    last_cause = Some(FailureCause::Panic(panic_message(payload.as_ref())))
+                }
+            }
+        }
+        Err(CellFailure {
+            index: run,
+            name: cfg.name.clone(),
+            config_digest: config_digest(cfg),
+            attempts: max_attempts,
+            cause: last_cause.expect("at least one attempt ran"),
+        })
+    }
+
     fn execute_one(
         &self,
         run: usize,
         cfg: &ExperimentConfig,
         bundle: &DataBundle,
-    ) -> ExperimentResult {
+    ) -> Result<ExperimentResult, RunError> {
         match &self.observer_factory {
             None => runner::execute(cfg, bundle, &mut []),
             Some(factory) => {
@@ -216,14 +617,34 @@ impl Campaign {
     /// One lazy cache slot per distinct `(DataSpec, nodes, seed)` triple,
     /// pre-counted with how many runs will use it.
     fn bundle_slots(&self) -> HashMap<String, BundleSlot> {
+        let all: Vec<usize> = (0..self.configs.len()).collect();
+        self.bundle_slots_for(&all)
+    }
+
+    /// Bundle slots counted over a subset of cells (resumed campaigns
+    /// only count the cells that actually run).
+    fn bundle_slots_for(&self, cells: &[usize]) -> HashMap<String, BundleSlot> {
         let mut slots: HashMap<String, BundleSlot> = HashMap::new();
-        for cfg in &self.configs {
+        for &run in cells {
+            let cfg = &self.configs[run];
             slots
                 .entry(data_key(&cfg.data, cfg.nodes, cfg.seed))
                 .or_default()
                 .expected_uses += 1;
         }
         slots
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -242,18 +663,23 @@ struct BundleSlot {
 
 impl BundleSlot {
     /// The shared bundle, materializing it on first use.
+    ///
+    /// A poisoned lock is recovered, not propagated: poisoning means a
+    /// sibling cell panicked (isolated by `run_resilient`), and the slot
+    /// state is a plain `Option` cache that is either intact or `None` —
+    /// rebuilding it is always safe.
     fn acquire(&self, cfg: &ExperimentConfig) -> Arc<DataBundle> {
-        let mut guard = self.bundle.lock().expect("bundle slot poisoned");
+        let mut guard = self.bundle.lock().unwrap_or_else(PoisonError::into_inner);
         guard
             .get_or_insert_with(|| Arc::new(cfg.data.build(cfg.nodes, cfg.seed)))
             .clone()
     }
 
     /// Signals that one dependent run finished; the last release drops the
-    /// cached bundle.
+    /// cached bundle. Recovers a poisoned lock (see [`Self::acquire`]).
     fn release(&self) {
         if self.released.fetch_add(1, Ordering::AcqRel) + 1 == self.expected_uses {
-            *self.bundle.lock().expect("bundle slot poisoned") = None;
+            *self.bundle.lock().unwrap_or_else(PoisonError::into_inner) = None;
         }
     }
 }
@@ -423,6 +849,269 @@ mod tests {
             .unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    /// Unique temp path for journal-backed tests.
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "skiptrain-campaign-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn result_bits(r: &ExperimentResult) -> (u32, Vec<u32>) {
+        (
+            r.final_test.mean_accuracy.to_bits(),
+            r.final_mean_model.iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn run_resilient_matches_strict_run_bitwise() {
+        let configs = vec![micro(11), micro(12), micro(13)];
+        let strict = Campaign::from_configs(configs.clone()).run().unwrap();
+        let report = Campaign::from_configs(configs).run_resilient().unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.restored, 0);
+        for (a, b) in strict.iter().zip(report.into_results().iter()) {
+            assert_eq!(result_bits(a), result_bits(b));
+            assert_eq!(a.node_train_events, b.node_train_events);
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_reported() {
+        let mut doomed = micro(2);
+        doomed.name = "doomed".into();
+        let configs = vec![micro(1), doomed, micro(3)];
+        let failures_seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let f2 = std::sync::Arc::clone(&failures_seen);
+        let report = Campaign::from_configs(configs)
+            .observe_with(|_, cfg| {
+                if cfg.name == "doomed" {
+                    panic!("injected cell fault");
+                }
+                Vec::new()
+            })
+            .on_failure(move |failure| {
+                assert_eq!(failure.index, 1);
+                f2.fetch_add(1, Ordering::SeqCst);
+            })
+            .run_resilient()
+            .unwrap();
+        assert!(!report.is_complete());
+        assert!(report.results[0].is_some() && report.results[2].is_some());
+        assert!(report.results[1].is_none());
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.name, "doomed");
+        assert_eq!(failure.attempts, 1);
+        assert!(
+            matches!(&failure.cause, FailureCause::Panic(msg) if msg.contains("injected cell fault")),
+            "unexpected cause: {}",
+            failure.cause
+        );
+        assert_eq!(failures_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retried_cell_is_bit_identical_to_fresh_run_at_derived_seed() {
+        // A cell that panics on its configured seed and succeeds on the
+        // retry seed must produce exactly the bits of a fresh run
+        // configured with the derived seed directly — at every thread
+        // count the campaign supports.
+        let base = micro(41);
+        let derived = retry_seed(base.seed, 2);
+        let mut fresh_cfg = base.clone();
+        fresh_cfg.seed = derived;
+        let fresh = Campaign::from_configs(vec![fresh_cfg]).run().unwrap();
+
+        let doomed_seed = base.seed;
+        for threads in [1usize, 2, 7] {
+            let report = Campaign::from_configs(vec![base.clone(), micro(42)])
+                .threads(threads)
+                .retry(RetrySpec::attempts(2))
+                .observe_with(move |_, cfg| {
+                    if cfg.seed == doomed_seed {
+                        panic!("fails on the configured seed only");
+                    }
+                    Vec::new()
+                })
+                .run_resilient()
+                .unwrap();
+            assert!(report.is_complete(), "threads={threads}");
+            let retried = report.results[0].as_ref().unwrap();
+            assert_eq!(
+                result_bits(retried),
+                result_bits(&fresh[0]),
+                "threads={threads}: retried cell must match fresh run at retry_seed"
+            );
+            assert_eq!(retried.node_train_events, fresh[0].node_train_events);
+        }
+    }
+
+    #[test]
+    fn retry_seed_chain_is_stable_and_collision_free() {
+        assert_eq!(retry_seed(99, 1), 99, "attempt 1 is the configured seed");
+        let s2 = retry_seed(99, 2);
+        let s3 = retry_seed(99, 3);
+        assert_ne!(s2, 99);
+        assert_ne!(s2, s3);
+        assert_eq!(s2, retry_seed(99, 2), "derivation must be pure");
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_cause() {
+        let report = Campaign::from_configs(vec![micro(8)])
+            .retry(RetrySpec::attempts(3))
+            .observe_with(|_, _| panic!("always fails"))
+            .run_resilient()
+            .unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 3);
+        assert!(matches!(
+            &report.failures[0].cause,
+            FailureCause::Panic(msg) if msg.contains("always fails")
+        ));
+    }
+
+    #[test]
+    fn checkpoint_journal_restores_completed_cells() {
+        let path = temp_journal("restore");
+        let _ = std::fs::remove_file(&path);
+        let configs = vec![micro(61), micro(62), micro(63)];
+        let first = Campaign::from_configs(configs.clone())
+            .with_checkpoint(&path)
+            .run_resilient()
+            .unwrap();
+        assert!(first.is_complete());
+        assert_eq!(first.restored, 0);
+
+        // Re-running against the full journal restores everything and
+        // never re-executes (observer factory would panic).
+        let resumed = Campaign::from_configs(configs)
+            .with_checkpoint(&path)
+            .observe_with(|_, _| panic!("restored cells must not re-run"))
+            .run_resilient()
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.restored, 3);
+        for (a, b) in first.results.iter().zip(resumed.results.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(result_bits(a), result_bits(b));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_after_interrupt_at_any_cell_is_bit_identical() {
+        // Pinned resilience guarantee: interrupting a campaign after any
+        // completed cell and resuming from its journal yields exactly the
+        // bits of an uninterrupted run.
+        let configs = vec![micro(71), micro(72), micro(73), micro(74)];
+        let uninterrupted = Campaign::from_configs(configs.clone()).run().unwrap();
+
+        let full_path = temp_journal("interrupt-full");
+        let _ = std::fs::remove_file(&full_path);
+        Campaign::from_configs(configs.clone())
+            .with_checkpoint(&full_path)
+            .run_resilient()
+            .unwrap();
+        let journal_text = std::fs::read_to_string(&full_path).unwrap();
+        let lines: Vec<&str> = journal_text.lines().collect();
+        assert_eq!(lines.len(), 1 + configs.len(), "manifest + one per cell");
+
+        for interrupted_at in 0..=configs.len() {
+            let path = temp_journal(&format!("interrupt-{interrupted_at}"));
+            // Simulate a crash after `interrupted_at` cells: manifest plus
+            // that many completed-cell records (plus a torn final line for
+            // the mid-write cases).
+            let mut partial: String = lines[..=interrupted_at].join("\n");
+            partial.push('\n');
+            if interrupted_at < configs.len() {
+                let torn = &lines[interrupted_at + 1];
+                partial.push_str(&torn[..torn.len() / 2]);
+            }
+            std::fs::write(&path, partial).unwrap();
+
+            let report = Campaign::from_configs(configs.clone())
+                .with_checkpoint(&path)
+                .run_resilient()
+                .unwrap();
+            assert!(report.is_complete(), "interrupted_at={interrupted_at}");
+            assert_eq!(report.restored, interrupted_at);
+            for (a, b) in uninterrupted.iter().zip(report.results.iter()) {
+                assert_eq!(
+                    result_bits(a),
+                    result_bits(b.as_ref().unwrap()),
+                    "interrupted_at={interrupted_at}: resume must be bit-identical"
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        let _ = std::fs::remove_file(&full_path);
+    }
+
+    #[test]
+    fn mismatched_journal_is_a_typed_error() {
+        let path = temp_journal("mismatch");
+        let _ = std::fs::remove_file(&path);
+        Campaign::from_configs(vec![micro(81)])
+            .with_checkpoint(&path)
+            .run_resilient()
+            .unwrap();
+        // A different campaign against the same journal must refuse.
+        let err = Campaign::from_configs(vec![micro(82), micro(83)])
+            .with_checkpoint(&path)
+            .run_resilient()
+            .unwrap_err();
+        assert!(matches!(err, CampaignRunError::Journal(_)), "got: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_cells_are_not_journaled_and_rerun_on_resume() {
+        let path = temp_journal("failed-rerun");
+        let _ = std::fs::remove_file(&path);
+        let mut flaky = micro(92);
+        flaky.name = "flaky".into();
+        let configs = vec![micro(91), flaky];
+        let report = Campaign::from_configs(configs.clone())
+            .with_checkpoint(&path)
+            .observe_with(|_, cfg| {
+                if cfg.name == "flaky" {
+                    panic!("fails this pass");
+                }
+                Vec::new()
+            })
+            .run_resilient()
+            .unwrap();
+        assert_eq!(report.failures.len(), 1);
+        // The next pass (fault fixed) restores the good cell and re-runs
+        // only the failed one.
+        let resumed = Campaign::from_configs(configs)
+            .with_checkpoint(&path)
+            .run_resilient()
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.restored, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_failure_cause_formats_with_round() {
+        use skiptrain_engine::EngineError;
+        let cause = FailureCause::Engine(RunError {
+            round: 7,
+            source: EngineError::MixingSizeMismatch {
+                expected: 8,
+                got: 4,
+            },
+        });
+        let text = format!("{cause}");
+        assert!(text.contains("engine error"), "got: {text}");
+        assert!(text.contains("round 7"), "got: {text}");
     }
 
     #[test]

@@ -134,6 +134,16 @@ pub enum ConfigError {
         /// Count the bundle provides.
         got: usize,
     },
+    /// A serialized transport's loss probabilities are invalid: each of
+    /// `drop_prob` and `corrupt_prob` must lie in `[0, 1)` (and be
+    /// finite), and their sum must stay below 1 so some messages can
+    /// still arrive.
+    InvalidTransportLoss {
+        /// Configured per-message drop probability.
+        drop_prob: f64,
+        /// Configured per-message corruption probability.
+        corrupt_prob: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -245,6 +255,14 @@ impl std::fmt::Display for ConfigError {
                     "data bundle mismatch: expected {expected} {what}, got {got}"
                 )
             }
+            ConfigError::InvalidTransportLoss {
+                drop_prob,
+                corrupt_prob,
+            } => write!(
+                f,
+                "transport loss probabilities are invalid: drop {drop_prob} and \
+                 corruption {corrupt_prob} must each lie in [0, 1) and sum below 1"
+            ),
         }
     }
 }
@@ -273,6 +291,35 @@ impl std::fmt::Display for CampaignError {
 }
 
 impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A round-execution failure surfaced from the engine mid-run: which
+/// round broke and why.
+///
+/// The round executors ([`run_with_observers`](crate::run_with_observers)
+/// and the campaign cells built on it) return this instead of panicking,
+/// so a resilient campaign can record the cell as a typed
+/// [`CellFailure`](crate::CellFailure) and keep going. The legacy
+/// infallible entry points (`ExperimentConfig::run`) still panic, with
+/// this error's `Display` as the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Round index (0-based) at which execution failed.
+    pub round: usize,
+    /// The underlying engine error.
+    pub source: skiptrain_engine::EngineError,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "round {}: {}", self.round, self.source)
+    }
+}
+
+impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.source)
     }

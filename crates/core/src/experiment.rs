@@ -1040,6 +1040,19 @@ impl ExperimentConfig {
         if matches!(self.codec, ModelCodec::TopK { k: 0 }) {
             return Err(ConfigError::ZeroTopK);
         }
+        if let TransportKind::Serialized {
+            drop_prob,
+            corrupt_prob,
+        } = self.transport
+        {
+            let unit = |p: f64| p.is_finite() && (0.0..1.0).contains(&p);
+            if !unit(drop_prob) || !unit(corrupt_prob) || drop_prob + corrupt_prob >= 1.0 {
+                return Err(ConfigError::InvalidTransportLoss {
+                    drop_prob,
+                    corrupt_prob,
+                });
+            }
+        }
         if let Some(beta) = self.feedback_beta {
             if !(beta.is_finite() && beta > 0.0 && beta <= 1.0) {
                 return Err(ConfigError::InvalidFeedbackBeta);
@@ -1079,7 +1092,7 @@ impl ExperimentConfig {
         self.validate()
             .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
         let data = self.data.build(self.nodes, self.seed);
-        crate::runner::execute(self, &data, &mut [])
+        crate::runner::execute(self, &data, &mut []).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs this experiment on pre-built data (sweeps and multi-algorithm
@@ -1132,6 +1145,11 @@ pub struct ExperimentResult {
     /// churn (`#[serde(default)]` keeps pre-event result JSON loadable).
     #[serde(default)]
     pub events: EventSummary,
+    /// Messages the transport corrupted in flight: each failed the
+    /// receive-side frame checksum and was degraded to a drop
+    /// (`#[serde(default)]` keeps pre-corruption result JSON loadable).
+    #[serde(default)]
+    pub corrupted_messages: u64,
 }
 
 impl ExperimentResult {

@@ -15,7 +15,11 @@
 //!   ([`RoundObserver`](skiptrain_engine::RoundObserver) hooks for curve
 //!   recording, energy streaming, early stopping),
 //! * [`campaign`] — [`Campaign`], the parallel multi-run executor that
-//!   deduplicates data bundles and returns results in input order,
+//!   deduplicates data bundles and returns results in input order, with
+//!   fault-tolerant execution ([`Campaign::run_resilient`]: per-cell
+//!   failure isolation, seeded retry, checkpoint/resume),
+//! * [`journal`] — the crash-safe JSONL checkpoint journal behind
+//!   [`Campaign::with_checkpoint`],
 //! * [`sweep`] — the §4.3 (Γ_train, Γ_sync) grid search, run as a parallel
 //!   campaign,
 //! * [`presets`] — Table-1 configurations at paper/medium/quick scales.
@@ -66,6 +70,7 @@ pub mod campaign;
 pub mod error;
 pub mod experiment;
 pub mod fairness;
+pub mod journal;
 pub mod policy;
 pub mod presets;
 pub mod prob;
@@ -74,8 +79,10 @@ pub mod schedule;
 pub mod sweep;
 
 pub use builder::{Experiment, ExperimentBuilder};
-pub use campaign::Campaign;
-pub use error::{CampaignError, ConfigError};
+pub use campaign::{
+    retry_seed, Campaign, CampaignReport, CampaignRunError, CellFailure, FailureCause, RetrySpec,
+};
+pub use error::{CampaignError, ConfigError, RunError};
 #[allow(deprecated)]
 pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
@@ -83,6 +90,7 @@ pub use experiment::{
     DataSpec, EnergySpec, EventSummary, ExperimentConfig, ExperimentResult, TimingSpec,
     TopologyScheduleSpec, TopologySpec,
 };
+pub use journal::{config_digest, JournalError};
 pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy};
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};
 pub use runner::run_with_observers;

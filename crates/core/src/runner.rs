@@ -20,7 +20,7 @@
 //! run with no extra observers produces an identical
 //! [`ExperimentResult`], pinned by an equivalence test.
 
-use crate::error::ConfigError;
+use crate::error::{ConfigError, RunError};
 use crate::experiment::{
     BatterySummary, ChurnSpec, DataBundle, EventSummary, ExperimentConfig, ExperimentResult,
 };
@@ -124,8 +124,13 @@ pub(crate) fn battery_summary(sim: &Simulation) -> Option<BatterySummary> {
 /// Runs `cfg` on a pre-built bundle with caller-supplied observers, after
 /// validating both.
 ///
-/// This is the fallible entry point used by [`Experiment`](crate::Experiment)
-/// and [`Campaign`](crate::Campaign); the legacy panicking API wraps it.
+/// This is the validated entry point used by
+/// [`Experiment`](crate::Experiment) and [`Campaign`](crate::Campaign).
+/// Configuration problems surface as [`ConfigError`]s before any work
+/// starts; a mid-run engine failure (an internal scheduling bug) still
+/// panics here with the typed [`RunError`]'s message — the resilient
+/// campaign path ([`Campaign::run_resilient`](crate::Campaign::run_resilient))
+/// is the API that converts those into typed cell failures instead.
 pub fn run_with_observers(
     cfg: &ExperimentConfig,
     data: &DataBundle,
@@ -139,18 +144,19 @@ pub fn run_with_observers(
             got: data.node_datasets.len(),
         });
     }
-    Ok(execute(cfg, data, observers))
+    Ok(execute(cfg, data, observers).unwrap_or_else(|e| panic!("{e}")))
 }
 
 /// The synchronous round loop: the configured policy decides actions and
 /// every round runs under barrier semantics (the round waits for all
 /// messages — timing realism stretches virtual time, never results).
-/// Assumes `cfg` is valid and `data` matches it.
+/// Assumes `cfg` is valid and `data` matches it; a mid-run engine failure
+/// is reported as a typed [`RunError`] naming the broken round.
 pub(crate) fn execute(
     cfg: &ExperimentConfig,
     data: &DataBundle,
     extra_observers: &mut [&mut dyn RoundObserver],
-) -> ExperimentResult {
+) -> Result<ExperimentResult, RunError> {
     let mut policy = cfg.build_policy();
     execute_on_events(
         cfg,
@@ -182,7 +188,7 @@ pub(crate) fn execute_on_events(
     semantics: RoundSemantics,
     pairwise_gossip: bool,
     decide: &mut dyn FnMut(usize, &mut [RoundAction]),
-) -> ExperimentResult {
+) -> Result<ExperimentResult, RunError> {
     let built = build_simulation(cfg, data);
     let mut sim = built.sim;
     let mut schedule = built.schedule;
@@ -237,8 +243,9 @@ pub(crate) fn execute_on_events(
 
             // Sizes were validated with the config; a mismatch here would
             // be an internal scheduling bug, reported with the typed
-            // engine error's diagnosis.
-            if pairwise_gossip {
+            // engine error's diagnosis (and the round it broke on) so a
+            // resilient campaign can fail this one cell and keep going.
+            let round_outcome = if pairwise_gossip {
                 // Per-tick matching seeds are chained over (schedule id,
                 // round) like every other per-round stream; matchings
                 // compose with a configured topology schedule by pairing
@@ -256,19 +263,16 @@ pub(crate) fn execute_on_events(
                 };
                 let round_mixing = MixingMatrix::pairwise(cfg.nodes, &pairs);
                 sim.try_run_round_event(&actions, Some(&round_mixing), &mut engine)
-                    .unwrap_or_else(|e| panic!("gossip tick {t}: {e}"));
             } else {
                 match schedule.as_mut() {
-                    None => sim
-                        .try_run_round_event(&actions, None, &mut engine)
-                        .unwrap_or_else(|e| panic!("round {t}: {e}")),
+                    None => sim.try_run_round_event(&actions, None, &mut engine),
                     Some(sched) => {
                         let mixing = sched.mixing_for_round(t);
                         sim.try_run_round_event(&actions, Some(mixing), &mut engine)
-                            .unwrap_or_else(|e| panic!("scheduled round {t}: {e}"));
                     }
                 }
-            }
+            };
+            round_outcome.map_err(|source| RunError { round: t, source })?;
             executed_rounds = t + 1;
 
             let training_wh = sim.ledger().total_training_wh();
@@ -330,7 +334,7 @@ pub(crate) fn execute_on_events(
         drop(observers);
 
         let stats = engine.stats();
-        ExperimentResult {
+        Ok(ExperimentResult {
             name,
             algorithm,
             nodes: cfg.nodes,
@@ -354,6 +358,7 @@ pub(crate) fn execute_on_events(
                 joins: stats.joins,
                 leaves: stats.leaves,
             },
-        }
+            corrupted_messages: sim.corrupted_frames(),
+        })
     }
 }

@@ -5,7 +5,8 @@ use crate::eval::{evaluate_model, fixed_subsample, EVAL_CHUNK};
 use crate::metrics::EvalStats;
 use crate::node::Node;
 use crate::transport::{
-    decode_frame, encode_message_into, ErrorFeedbackState, ModelCodec, Payload, TransportKind,
+    corrupt_frame_in_place, decode_frame, encode_message_into, ErrorFeedbackState, MessageFate,
+    ModelCodec, Payload, TransportKind,
 };
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
@@ -349,6 +350,9 @@ pub struct Simulation {
     /// Virtual round-end tick supplied by the event engine for the round
     /// in flight; stamps the ledger's per-round close.
     virtual_round_end: Option<u64>,
+    /// Cumulative count of on-time messages the transport corrupted (each
+    /// rejected by the receive-side checksum and degraded to a drop).
+    corrupted_frames: u64,
 }
 
 /// True unless the event layer marked directed edge `src → dst` late this
@@ -468,6 +472,7 @@ impl Simulation {
             edge_scratch: vec![EdgeScratch::default(); n],
             late_edges: Vec::new(),
             virtual_round_end: None,
+            corrupted_frames: 0,
             config,
         }
     }
@@ -507,6 +512,14 @@ impl Simulation {
     /// The energy ledger.
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// Cumulative count of on-time messages the transport corrupted so
+    /// far. Every counted frame failed the receive-side checksum verify
+    /// and was degraded to a drop (tx charged, no rx, mixing weight folded
+    /// back to self).
+    pub fn corrupted_frames(&self) -> u64 {
+        self.corrupted_frames
     }
 
     /// The per-link error-feedback state, when feedback is enabled.
@@ -991,7 +1004,34 @@ impl Simulation {
                         self_weight += w;
                         continue;
                     }
-                    if !transport.delivered(seed, round, src, i) || !edge_on_time(late, src, i) {
+                    let fate = transport.fate(seed, round, src, i);
+                    let on_time = edge_on_time(late, src, i);
+                    if fate != MessageFate::Delivered || !on_time {
+                        // Drops, late arrivals, and corrupted frames all
+                        // degrade the same way: the replica holds (the
+                        // sender's view only advances on acknowledged
+                        // delivery) and the edge weight falls back onto the
+                        // receiver's own model. A corrupted frame
+                        // additionally proves the receive path: encode this
+                        // link's payload, flip the seeded bit, and verify
+                        // the checksum rejects it before it is discarded.
+                        // (The counter lives in `account_energy`, which
+                        // walks the same effective edges serially.)
+                        if fate == MessageFate::Corrupted && on_time {
+                            encode_message_into(
+                                codec,
+                                j,
+                                round_u32,
+                                &half[src],
+                                &mut scratch.frame,
+                            );
+                            corrupt_frame_in_place(&mut scratch.frame, seed, round, src, i);
+                            let rejected = decode_frame(&scratch.frame).is_err();
+                            debug_assert!(
+                                rejected,
+                                "corrupted frame must fail the checksum verify"
+                            );
+                        }
                         self_weight += w;
                         continue;
                     }
@@ -1093,6 +1133,7 @@ impl Simulation {
             }
         }
         let mixing = mixing_override.unwrap_or(&self.mixing);
+        let seed = self.config.seed;
         for i in 0..mixing.len() {
             for &(j, _) in mixing.row(i) {
                 let j = j as usize;
@@ -1100,13 +1141,32 @@ impl Simulation {
                     continue;
                 }
                 self.ledger.record_tx(j, msg_bytes, &comm);
-                if self
-                    .config
-                    .transport
-                    .delivered(self.config.seed, self.round, j, i)
-                    && edge_on_time(&self.late_edges, j, i)
-                {
-                    self.ledger.record_rx(i, msg_bytes, &comm);
+                let on_time = edge_on_time(&self.late_edges, j, i);
+                match self.config.transport.fate(seed, self.round, j, i) {
+                    MessageFate::Delivered if on_time => {
+                        self.ledger.record_rx(i, msg_bytes, &comm);
+                    }
+                    MessageFate::Corrupted if on_time => {
+                        // The frame arrived mangled: count it, and when the
+                        // plain serialized share phase left this sender's
+                        // real wire bytes in scratch, run them through the
+                        // receive-side checksum verify to prove the reject
+                        // path. XOR is self-inverse, so flipping the seeded
+                        // bit twice restores the shared frame in place —
+                        // no copy, no allocation.
+                        self.corrupted_frames += 1;
+                        let frame = &mut self.encode_scratch[j];
+                        if !frame.is_empty() {
+                            corrupt_frame_in_place(frame, seed, self.round, j, i);
+                            let rejected = decode_frame(frame).is_err();
+                            corrupt_frame_in_place(frame, seed, self.round, j, i);
+                            debug_assert!(
+                                rejected,
+                                "corrupted frame must fail the checksum verify"
+                            );
+                        }
+                    }
+                    _ => {}
                 }
             }
         }
@@ -1299,7 +1359,14 @@ mod tests {
     #[test]
     fn serialized_transport_matches_memory_exactly() {
         let (mut mem, test) = tiny_sim(6, 3, TransportKind::Memory);
-        let (mut ser, _) = tiny_sim(6, 3, TransportKind::Serialized { drop_prob: 0.0 });
+        let (mut ser, _) = tiny_sim(
+            6,
+            3,
+            TransportKind::Serialized {
+                drop_prob: 0.0,
+                corrupt_prob: 0.0,
+            },
+        );
         let actions = vec![RoundAction::Train; 6];
         for _ in 0..5 {
             mem.run_round(&actions);
@@ -1319,7 +1386,14 @@ mod tests {
 
     #[test]
     fn lossy_transport_still_converges_models() {
-        let (mut sim, _) = tiny_sim(8, 4, TransportKind::Serialized { drop_prob: 0.3 });
+        let (mut sim, _) = tiny_sim(
+            8,
+            4,
+            TransportKind::Serialized {
+                drop_prob: 0.3,
+                corrupt_prob: 0.0,
+            },
+        );
         for _ in 0..3 {
             sim.run_round(&[RoundAction::Train; 8]);
         }
@@ -1419,7 +1493,14 @@ mod tests {
         // closed form.
         let n = 6;
         let rounds = 4;
-        let (mut sim, _) = tiny_sim(n, 21, TransportKind::Serialized { drop_prob: 0.25 });
+        let (mut sim, _) = tiny_sim(
+            n,
+            21,
+            TransportKind::Serialized {
+                drop_prob: 0.25,
+                corrupt_prob: 0.0,
+            },
+        );
         let actions = vec![RoundAction::Train; n];
         for _ in 0..rounds {
             sim.run_round(&actions);
@@ -1484,7 +1565,10 @@ mod tests {
         let (mut sim, _) = tiny_sim_full(
             n,
             17,
-            TransportKind::Serialized { drop_prob: 0.5 },
+            TransportKind::Serialized {
+                drop_prob: 0.5,
+                corrupt_prob: 0.0,
+            },
             ModelCodec::DenseF32,
             4,
         );
@@ -1539,7 +1623,14 @@ mod tests {
         assert_eq!(sim.node_params(0), &before1[..], "swap row must apply");
         assert_eq!(sim.node_params(1), &before0[..]);
 
-        let (mut lossy, _) = tiny_sim(2, 34, TransportKind::Serialized { drop_prob: 0.8 });
+        let (mut lossy, _) = tiny_sim(
+            2,
+            34,
+            TransportKind::Serialized {
+                drop_prob: 0.8,
+                corrupt_prob: 0.0,
+            },
+        );
         for _ in 0..12 {
             lossy.run_round_with_mixing(&[RoundAction::SyncOnly; 2], &swap);
         }
@@ -1564,7 +1655,10 @@ mod tests {
             let (mut ser, _) = tiny_sim_full(
                 6,
                 31,
-                TransportKind::Serialized { drop_prob: 0.0 },
+                TransportKind::Serialized {
+                    drop_prob: 0.0,
+                    corrupt_prob: 0.0,
+                },
                 codec,
                 4,
             );
@@ -1641,7 +1735,10 @@ mod tests {
                 let mut ser = tiny_sim_feedback(
                     6,
                     61,
-                    TransportKind::Serialized { drop_prob: 0.0 },
+                    TransportKind::Serialized {
+                        drop_prob: 0.0,
+                        corrupt_prob: 0.0,
+                    },
                     codec,
                     4,
                     beta,
@@ -2236,5 +2333,141 @@ mod tests {
         let stats = sim.evaluate(&test, usize::MAX);
         assert!((stats.mean_accuracy - acc_direct).abs() < 1e-6);
         assert!(stats.std_accuracy < 1e-9);
+    }
+
+    /// Runs `rounds` alternating train/sync rounds and returns the full
+    /// observable footprint: every node's committed model plus the
+    /// serialized energy ledger (bit-identity on the JSON string pins
+    /// every Wh and byte counter) plus the corrupted-frame count.
+    fn corruption_footprint(mut sim: Simulation, rounds: usize) -> (Vec<Vec<f32>>, String, u64) {
+        let n = sim.len();
+        for r in 0..rounds {
+            let actions: Vec<RoundAction> = (0..n)
+                .map(|i| {
+                    if (r + i) % 2 == 0 {
+                        RoundAction::Train
+                    } else {
+                        RoundAction::SyncOnly
+                    }
+                })
+                .collect();
+            sim.run_round(&actions);
+        }
+        let params: Vec<Vec<f32>> = (0..n).map(|i| sim.node_params(i).to_vec()).collect();
+        let ledger = serde_json::to_string(sim.ledger()).expect("ledger serializes");
+        (params, ledger, sim.corrupted_frames())
+    }
+
+    #[test]
+    fn corruption_degrades_exactly_like_drops_dense() {
+        // {drop: 0, corrupt: p} must be observationally identical to
+        // {drop: p, corrupt: 0}: same models bit-for-bit, same ledger
+        // bytes and Wh — the only visible difference is the counter.
+        let n = 8;
+        let make = |drop, corrupt| {
+            let t = TransportKind::Serialized {
+                drop_prob: drop,
+                corrupt_prob: corrupt,
+            };
+            tiny_sim_full(n, 17, t, ModelCodec::DenseF32, 4).0
+        };
+        let (p_drop, l_drop, c_drop) = corruption_footprint(make(0.3, 0.0), 6);
+        let (p_corr, l_corr, c_corr) = corruption_footprint(make(0.0, 0.3), 6);
+        assert_eq!(p_drop, p_corr, "models diverged between drop and corrupt");
+        assert_eq!(l_drop, l_corr, "energy ledgers diverged");
+        assert_eq!(c_drop, 0);
+        assert!(c_corr > 0, "corruption must actually fire at p = 0.3");
+    }
+
+    #[test]
+    fn corruption_degrades_exactly_like_drops_topk() {
+        let n = 8;
+        let make = |drop, corrupt| {
+            let t = TransportKind::Serialized {
+                drop_prob: drop,
+                corrupt_prob: corrupt,
+            };
+            tiny_sim_full(n, 19, t, ModelCodec::TopK { k: 20 }, 4).0
+        };
+        let (p_drop, l_drop, c_drop) = corruption_footprint(make(0.4, 0.0), 6);
+        let (p_corr, l_corr, c_corr) = corruption_footprint(make(0.0, 0.4), 6);
+        assert_eq!(p_drop, p_corr);
+        assert_eq!(l_drop, l_corr);
+        assert_eq!(c_drop, 0);
+        assert!(c_corr > 0);
+    }
+
+    #[test]
+    fn corruption_degrades_exactly_like_drops_with_error_feedback() {
+        // On the feedback path a corrupted frame must leave the link
+        // replica untouched exactly like a drop (acknowledged-link
+        // semantics) — replicas advancing on corrupt-rejected frames would
+        // silently diverge the two runs.
+        let n = 6;
+        let make = |drop, corrupt| {
+            let t = TransportKind::Serialized {
+                drop_prob: drop,
+                corrupt_prob: corrupt,
+            };
+            tiny_sim_feedback(n, 23, t, ModelCodec::TopK { k: 16 }, 3, 0.8)
+        };
+        let (p_drop, l_drop, c_drop) = corruption_footprint(make(0.4, 0.0), 6);
+        let (p_corr, l_corr, c_corr) = corruption_footprint(make(0.0, 0.4), 6);
+        assert_eq!(p_drop, p_corr, "feedback replicas diverged");
+        assert_eq!(l_drop, l_corr);
+        assert_eq!(c_drop, 0);
+        assert!(c_corr > 0);
+    }
+
+    #[test]
+    fn mixed_drop_and_corruption_loses_the_union() {
+        // A {drop: a, corrupt: b} transport delivers exactly what a
+        // {drop: a+b} transport delivers (one partitioned draw), so the
+        // trained models and rx accounting agree bit-for-bit.
+        let n = 8;
+        let mixed = tiny_sim_full(
+            n,
+            29,
+            TransportKind::Serialized {
+                drop_prob: 0.2,
+                corrupt_prob: 0.2,
+            },
+            ModelCodec::DenseF32,
+            4,
+        )
+        .0;
+        let pure = tiny_sim_full(
+            n,
+            29,
+            TransportKind::Serialized {
+                drop_prob: 0.4,
+                corrupt_prob: 0.0,
+            },
+            ModelCodec::DenseF32,
+            4,
+        )
+        .0;
+        let (p_mixed, l_mixed, c_mixed) = corruption_footprint(mixed, 5);
+        let (p_pure, l_pure, c_pure) = corruption_footprint(pure, 5);
+        assert_eq!(p_mixed, p_pure);
+        assert_eq!(l_mixed, l_pure);
+        assert!(c_mixed > 0);
+        assert_eq!(c_pure, 0);
+    }
+
+    #[test]
+    fn zero_corrupt_prob_counts_nothing() {
+        let (mut sim, _) = tiny_sim(
+            6,
+            31,
+            TransportKind::Serialized {
+                drop_prob: 0.3,
+                corrupt_prob: 0.0,
+            },
+        );
+        for _ in 0..5 {
+            sim.run_round(&[RoundAction::SyncOnly; 6]);
+        }
+        assert_eq!(sim.corrupted_frames(), 0);
     }
 }

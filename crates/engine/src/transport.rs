@@ -79,6 +79,10 @@ const MAGIC: u32 = 0x5354524E;
 /// so the wire layout and energy accounting cannot drift apart.
 pub const FRAME_OVERHEAD: u64 = skiptrain_energy::comm::FRAME_OVERHEAD_BYTES;
 
+/// Byte offset where the checksummed payload begins: five big-endian `u32`
+/// header words (magic, codec, sender, round, count).
+const PAYLOAD_START: usize = 20;
+
 /// Transport selection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TransportKind {
@@ -86,15 +90,37 @@ pub enum TransportKind {
     #[default]
     Memory,
     /// Serialize/decode every message; drop each directed message
-    /// independently with probability `drop_prob`.
+    /// independently with probability `drop_prob`, and corrupt each
+    /// surviving message independently with probability `corrupt_prob`
+    /// (a deterministic bit-flip in the payload, rejected by the frame
+    /// checksum on the receive side and accounted exactly like a drop).
     Serialized {
         /// Per-message drop probability in `[0, 1)`.
         drop_prob: f64,
+        /// Per-message corruption probability in `[0, 1)`. A corrupted
+        /// frame fails checksum verification at the receiver and degrades
+        /// exactly like a drop: tx is charged, rx is not, and the mixing
+        /// weight folds back to self. `drop_prob + corrupt_prob` must be
+        /// `< 1`.
+        #[serde(default)]
+        corrupt_prob: f64,
     },
 }
 
+/// The seeded outcome of one directed message on a lossy transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Frame arrives intact and is decoded.
+    Delivered,
+    /// Frame is lost in transit: tx charged, nothing arrives.
+    Dropped,
+    /// Frame arrives with flipped bits, fails the checksum verify, and is
+    /// discarded by the receiver — observationally identical to a drop.
+    Corrupted,
+}
+
 impl TransportKind {
-    /// Whether the directed message `src → dst` in `round` is delivered.
+    /// The fate of the directed message `src → dst` in `round`.
     /// Deterministic in `(seed, round, src, dst)`.
     ///
     /// The decision stream is derived by chaining [`derive_seed`] over the
@@ -103,12 +129,23 @@ impl TransportKind {
     /// combination `round·c + (src << 20) + dst` aliased distinct triples
     /// onto one stream at scale, correlating drop decisions across node
     /// pairs.)
-    pub fn delivered(&self, seed: u64, round: usize, src: usize, dst: usize) -> bool {
+    ///
+    /// A **single** uniform draw is partitioned over both loss modes:
+    /// `u < drop_prob` → dropped, `u < drop_prob + corrupt_prob` →
+    /// corrupted, otherwise delivered. Partitioning one draw (rather than
+    /// drawing twice) means a `{drop_prob: 0, corrupt_prob: p}` transport
+    /// loses *exactly* the same message set as `{drop_prob: p,
+    /// corrupt_prob: 0}` — the pinned corruption-equals-drop ledger
+    /// equivalence tests rely on this.
+    pub fn fate(&self, seed: u64, round: usize, src: usize, dst: usize) -> MessageFate {
         match self {
-            TransportKind::Memory => true,
-            TransportKind::Serialized { drop_prob } => {
-                if *drop_prob <= 0.0 {
-                    return true;
+            TransportKind::Memory => MessageFate::Delivered,
+            TransportKind::Serialized {
+                drop_prob,
+                corrupt_prob,
+            } => {
+                if *drop_prob <= 0.0 && *corrupt_prob <= 0.0 {
+                    return MessageFate::Delivered;
                 }
                 let h = derive_seed(
                     derive_seed(derive_seed(seed ^ 0xD50F, round as u64), src as u64),
@@ -116,10 +153,47 @@ impl TransportKind {
                 );
                 // map to [0, 1)
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-                u >= *drop_prob
+                if u < *drop_prob {
+                    MessageFate::Dropped
+                } else if u < *drop_prob + *corrupt_prob {
+                    MessageFate::Corrupted
+                } else {
+                    MessageFate::Delivered
+                }
             }
         }
     }
+
+    /// Whether the directed message `src → dst` in `round` arrives intact.
+    /// Equivalent to `self.fate(..) == MessageFate::Delivered`; kept for
+    /// call sites that do not distinguish drops from corruption.
+    pub fn delivered(&self, seed: u64, round: usize, src: usize, dst: usize) -> bool {
+        self.fate(seed, round, src, dst) == MessageFate::Delivered
+    }
+}
+
+/// Flip one deterministically chosen payload bit of an encoded frame in
+/// place, simulating wire corruption. The bit is selected from a further
+/// [`derive_seed`] link of the per-message decision stream, constrained to
+/// the payload region `[PAYLOAD_START, len)` so the header stays parseable
+/// and the trailing checksum (computed over the payload at encode time) is
+/// guaranteed to mismatch — [`decode_frame`] must return
+/// [`DecodeError::BadChecksum`]. Frames too short to carry a payload are
+/// left untouched.
+///
+/// Allocation-free: mutates the frame buffer in place.
+pub fn corrupt_frame_in_place(frame: &mut [u8], seed: u64, round: usize, src: usize, dst: usize) {
+    let payload_start = PAYLOAD_START;
+    if frame.len() <= payload_start {
+        return;
+    }
+    let h = derive_seed(
+        derive_seed(derive_seed(seed ^ 0xC0F7, round as u64), src as u64),
+        dst as u64,
+    );
+    let payload_bits = ((frame.len() - payload_start) * 8) as u64;
+    let bit = h % payload_bits;
+    frame[payload_start + (bit / 8) as usize] ^= 1u8 << (bit % 8);
 }
 
 /// How a model is represented inside a message.
@@ -1170,7 +1244,10 @@ mod tests {
 
     #[test]
     fn drop_rate_tracks_probability() {
-        let t = TransportKind::Serialized { drop_prob: 0.3 };
+        let t = TransportKind::Serialized {
+            drop_prob: 0.3,
+            corrupt_prob: 0.0,
+        };
         let mut dropped = 0usize;
         let total = 20_000;
         for r in 0..total {
@@ -1184,7 +1261,10 @@ mod tests {
 
     #[test]
     fn drop_decisions_are_deterministic() {
-        let t = TransportKind::Serialized { drop_prob: 0.5 };
+        let t = TransportKind::Serialized {
+            drop_prob: 0.5,
+            corrupt_prob: 0.0,
+        };
         for r in 0..50 {
             assert_eq!(t.delivered(4, r, 1, 2), t.delivered(4, r, 1, 2));
         }
@@ -1192,7 +1272,10 @@ mod tests {
 
     #[test]
     fn zero_drop_prob_delivers_everything() {
-        let t = TransportKind::Serialized { drop_prob: 0.0 };
+        let t = TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        };
         assert!((0..1000).all(|r| t.delivered(1, r, 0, 1)));
     }
 
@@ -1226,7 +1309,10 @@ mod tests {
     fn opposite_directions_decide_independently() {
         // src→dst and dst→src must look like independent coins: for
         // p = 0.5 they agree about half the time, never always.
-        let t = TransportKind::Serialized { drop_prob: 0.5 };
+        let t = TransportKind::Serialized {
+            drop_prob: 0.5,
+            corrupt_prob: 0.0,
+        };
         let total = 20_000;
         let agree = (0..total)
             .filter(|&r| t.delivered(3, r, 1, 2) == t.delivered(3, r, 2, 1))
@@ -1236,5 +1322,132 @@ mod tests {
             (rate - 0.5).abs() < 0.03,
             "directional agreement {rate} far from independent 0.5"
         );
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability() {
+        let t = TransportKind::Serialized {
+            drop_prob: 0.1,
+            corrupt_prob: 0.2,
+        };
+        let total = 20_000;
+        let (mut dropped, mut corrupted) = (0usize, 0usize);
+        for r in 0..total {
+            match t.fate(11, r, 2, 7) {
+                MessageFate::Dropped => dropped += 1,
+                MessageFate::Corrupted => corrupted += 1,
+                MessageFate::Delivered => {}
+            }
+        }
+        let drop_rate = dropped as f64 / total as f64;
+        let corrupt_rate = corrupted as f64 / total as f64;
+        assert!(
+            (drop_rate - 0.1).abs() < 0.03,
+            "drop rate {drop_rate} far from 0.1"
+        );
+        assert!(
+            (corrupt_rate - 0.2).abs() < 0.03,
+            "corruption rate {corrupt_rate} far from 0.2"
+        );
+    }
+
+    #[test]
+    fn corruption_loses_the_same_messages_as_an_equivalent_drop() {
+        // One partitioned draw: {drop: 0, corrupt: p} must lose exactly
+        // the message set {drop: p, corrupt: 0} loses — the pinned
+        // corruption-equals-drop ledger equivalence rides on this.
+        let corrupting = TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.35,
+        };
+        let dropping = TransportKind::Serialized {
+            drop_prob: 0.35,
+            corrupt_prob: 0.0,
+        };
+        for r in 0..500 {
+            for (src, dst) in [(0, 1), (1, 0), (2, 5)] {
+                assert_eq!(
+                    corrupting.delivered(21, r, src, dst),
+                    dropping.delivered(21, r, src, dst),
+                );
+                let f = corrupting.fate(21, r, src, dst);
+                let d = dropping.fate(21, r, src, dst);
+                assert_eq!(
+                    f == MessageFate::Corrupted,
+                    d == MessageFate::Dropped,
+                    "loss sets diverged at ({r}, {src}, {dst})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_drop_fate_matches_legacy_delivered_stream() {
+        // With corrupt_prob = 0 the partitioned draw reduces to the
+        // original `u >= drop_prob` decision — every seeded run pinned
+        // before corruption existed keeps its exact loss pattern.
+        let t = TransportKind::Serialized {
+            drop_prob: 0.3,
+            corrupt_prob: 0.0,
+        };
+        for r in 0..1000 {
+            let h = derive_seed(derive_seed(derive_seed(9 ^ 0xD50F, r as u64), 3), 5);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            assert_eq!(t.delivered(9, r, 3, 5), u >= 0.3);
+            assert_eq!(
+                t.fate(9, r, 3, 5),
+                if u < 0.3 {
+                    MessageFate::Dropped
+                } else {
+                    MessageFate::Delivered
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_fails_checksum_for_every_codec() {
+        let params: Vec<f32> = (0..257).map(|i| (i as f32 * 0.37).sin()).collect();
+        for codec in [
+            ModelCodec::DenseF32,
+            ModelCodec::QuantizedU8,
+            ModelCodec::QuantizedU16,
+            ModelCodec::TopK { k: 32 },
+        ] {
+            for r in 0..16usize {
+                let mut frame = encode_message(codec, 3, r as u32, &params).to_vec();
+                corrupt_frame_in_place(&mut frame, 77, r, 3, 5);
+                assert!(
+                    matches!(decode_frame(&frame), Err(DecodeError::BadChecksum)),
+                    "corrupted {codec:?} frame round {r} must fail checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_bit_flip_is_deterministic_and_self_inverse() {
+        let params: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let clean = encode_message(ModelCodec::DenseF32, 1, 4, &params).to_vec();
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        corrupt_frame_in_place(&mut a, 5, 4, 1, 2);
+        corrupt_frame_in_place(&mut b, 5, 4, 1, 2);
+        assert_eq!(a, b, "same stream must flip the same bit");
+        assert_ne!(a, clean);
+        // XOR is self-inverse: flipping again restores the frame bit-exactly.
+        corrupt_frame_in_place(&mut a, 5, 4, 1, 2);
+        assert_eq!(a, clean);
+        // Header stays parseable: only payload bytes may change.
+        assert_eq!(&b[..PAYLOAD_START], &clean[..PAYLOAD_START]);
+        assert_eq!(&b[b.len() - 4..], &clean[clean.len() - 4..]);
+    }
+
+    #[test]
+    fn corrupting_a_headerless_stub_is_a_no_op() {
+        let mut short = vec![0u8; PAYLOAD_START];
+        let before = short.clone();
+        corrupt_frame_in_place(&mut short, 1, 2, 3, 4);
+        assert_eq!(short, before);
     }
 }

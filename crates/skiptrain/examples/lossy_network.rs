@@ -23,7 +23,10 @@ fn main() {
     for drop_prob in drop_probs {
         let mut cfg = base.clone();
         cfg.name = format!("lossy-{drop_prob}");
-        cfg.transport = TransportKind::Serialized { drop_prob };
+        cfg.transport = TransportKind::Serialized {
+            drop_prob,
+            corrupt_prob: 0.0,
+        };
         campaign = campaign.push(cfg);
     }
 

@@ -131,6 +131,61 @@ fn campaign_worker_count_does_not_change_results() {
 }
 
 #[test]
+fn resilient_campaign_with_faults_matches_clean_run_on_surviving_cells() {
+    // Cross-crate resilience: a campaign where one cell always panics and
+    // one recovers on retry must leave the healthy cells' results
+    // byte-identical to a fault-free campaign, at any worker count.
+    let configs: Vec<ExperimentConfig> = (0..4)
+        .map(|i| {
+            let mut cfg = quick(11);
+            cfg.name = format!("cell-{i}");
+            cfg.seed = 200 + i as u64;
+            cfg
+        })
+        .collect();
+    let clean = Campaign::from_configs(configs.clone()).run().unwrap();
+    for threads in [1usize, 4] {
+        let report = Campaign::from_configs(configs.clone())
+            .threads(threads)
+            .retry(skiptrain_core::RetrySpec::attempts(2))
+            .observe_with(|_, cfg| {
+                if cfg.name == "cell-2" {
+                    panic!("permanent fault");
+                }
+                if cfg.seed == 201 {
+                    panic!("transient fault on the configured seed");
+                }
+                Vec::new()
+            })
+            .run_resilient()
+            .unwrap();
+        assert_eq!(report.failures.len(), 1, "threads={threads}");
+        assert_eq!(report.failures[0].name, "cell-2");
+        for (i, cell) in report.results.iter().enumerate() {
+            if i == 2 {
+                assert!(cell.is_none(), "threads={threads}: doomed cell completed");
+            } else if i == 1 {
+                // Recovered on the retry seed: equal to a fresh run there.
+                let mut fresh = configs[1].clone();
+                fresh.seed = skiptrain_core::retry_seed(201, 2);
+                let fresh = fresh.run();
+                assert_eq!(
+                    serde_json::to_string(cell.as_ref().unwrap()).unwrap(),
+                    serde_json::to_string(&fresh).unwrap(),
+                    "threads={threads}: retried cell diverged from fresh run"
+                );
+            } else {
+                assert_eq!(
+                    serde_json::to_string(cell.as_ref().unwrap()).unwrap(),
+                    serde_json::to_string(&clean[i]).unwrap(),
+                    "threads={threads}: healthy cell #{i} diverged under faults"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn early_stop_observer_truncates_the_run() {
     let cfg = quick(13);
     let experiment = Experiment::from_config(cfg).expect("valid");

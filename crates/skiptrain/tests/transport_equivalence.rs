@@ -18,7 +18,14 @@ fn config(seed: u64, transport: TransportKind) -> ExperimentConfig {
 #[test]
 fn serialized_lossless_is_bit_identical_to_memory() {
     let mem = config(1, TransportKind::Memory).run();
-    let ser = config(1, TransportKind::Serialized { drop_prob: 0.0 }).run();
+    let ser = config(
+        1,
+        TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
     assert_eq!(
         mem.final_test.mean_accuracy.to_bits(),
         ser.final_test.mean_accuracy.to_bits(),
@@ -33,7 +40,14 @@ fn serialized_lossless_is_bit_identical_to_memory() {
 #[test]
 fn lossy_transport_changes_results_but_still_learns() {
     let lossless = config(2, TransportKind::Memory).run();
-    let lossy = config(2, TransportKind::Serialized { drop_prob: 0.3 }).run();
+    let lossy = config(
+        2,
+        TransportKind::Serialized {
+            drop_prob: 0.3,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
     assert_ne!(
         lossless.final_test.mean_accuracy.to_bits(),
         lossy.final_test.mean_accuracy.to_bits(),
@@ -48,8 +62,22 @@ fn lossy_transport_changes_results_but_still_learns() {
 
 #[test]
 fn lossy_transport_reports_less_rx_energy() {
-    let lossless = config(3, TransportKind::Serialized { drop_prob: 0.0 }).run();
-    let lossy = config(3, TransportKind::Serialized { drop_prob: 0.5 }).run();
+    let lossless = config(
+        3,
+        TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
+    let lossy = config(
+        3,
+        TransportKind::Serialized {
+            drop_prob: 0.5,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
     assert!(
         lossy.total_comm_wh < lossless.total_comm_wh,
         "dropped messages must not be charged at the receiver: {} vs {}",
@@ -59,9 +87,123 @@ fn lossy_transport_reports_less_rx_energy() {
 }
 
 #[test]
+fn corruption_is_accounted_exactly_like_drops_end_to_end() {
+    // Pinned fault-injection guarantee: with the partitioned fate draw, a
+    // corruption-only run loses exactly the message set an equal-probability
+    // drop-only run loses — full experiments must be bit-identical in
+    // accuracy, model, energy ledger, and events; only the corruption
+    // counter differs.
+    let dropped = config(
+        5,
+        TransportKind::Serialized {
+            drop_prob: 0.35,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
+    let corrupted = config(
+        5,
+        TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.35,
+        },
+    )
+    .run();
+    assert_eq!(
+        dropped.final_test.mean_accuracy.to_bits(),
+        corrupted.final_test.mean_accuracy.to_bits(),
+        "corruption must degrade exactly like drops"
+    );
+    assert_eq!(dropped.final_mean_model, corrupted.final_mean_model);
+    assert_eq!(
+        dropped.total_comm_wh.to_bits(),
+        corrupted.total_comm_wh.to_bits(),
+        "corrupted frames must charge tx and skip rx, byte-accurately like drops"
+    );
+    assert_eq!(dropped.node_train_events, corrupted.node_train_events);
+    assert_eq!(dropped.corrupted_messages, 0);
+    assert!(
+        corrupted.corrupted_messages > 0,
+        "corruption run must count its rejected frames"
+    );
+}
+
+#[test]
+fn corrupted_frames_charge_tx_but_never_rx() {
+    let lossless = config(
+        6,
+        TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
+    let corrupted = config(
+        6,
+        TransportKind::Serialized {
+            drop_prob: 0.0,
+            corrupt_prob: 0.5,
+        },
+    )
+    .run();
+    assert!(
+        corrupted.total_comm_wh < lossless.total_comm_wh,
+        "corrupted messages must not be charged at the receiver: {} vs {}",
+        corrupted.total_comm_wh,
+        lossless.total_comm_wh
+    );
+}
+
+#[test]
+fn corruption_equivalence_holds_under_topk_and_error_feedback() {
+    // The drop-equivalence must survive the compressed and error-feedback
+    // paths too: replicas hold (fold to self) on a corrupted edge exactly
+    // as on a dropped one.
+    for feedback in [None, Some(0.8)] {
+        let mut dropped_cfg = config(
+            7,
+            TransportKind::Serialized {
+                drop_prob: 0.3,
+                corrupt_prob: 0.0,
+            },
+        );
+        dropped_cfg.codec = ModelCodec::TopK { k: 32 };
+        dropped_cfg.feedback_beta = feedback;
+        let mut corrupted_cfg = config(
+            7,
+            TransportKind::Serialized {
+                drop_prob: 0.0,
+                corrupt_prob: 0.3,
+            },
+        );
+        corrupted_cfg.codec = ModelCodec::TopK { k: 32 };
+        corrupted_cfg.feedback_beta = feedback;
+        let dropped = dropped_cfg.run();
+        let corrupted = corrupted_cfg.run();
+        assert_eq!(
+            dropped.final_test.mean_accuracy.to_bits(),
+            corrupted.final_test.mean_accuracy.to_bits(),
+            "feedback={feedback:?}: corruption must degrade exactly like drops"
+        );
+        assert_eq!(
+            dropped.total_comm_wh.to_bits(),
+            corrupted.total_comm_wh.to_bits(),
+            "feedback={feedback:?}: ledger must be bit-identical"
+        );
+    }
+}
+
+#[test]
 fn heavy_loss_increases_node_disagreement() {
     let lossless = config(4, TransportKind::Memory).run();
-    let lossy = config(4, TransportKind::Serialized { drop_prob: 0.6 }).run();
+    let lossy = config(
+        4,
+        TransportKind::Serialized {
+            drop_prob: 0.6,
+            corrupt_prob: 0.0,
+        },
+    )
+    .run();
     assert!(
         lossy.final_test.std_accuracy >= lossless.final_test.std_accuracy,
         "loss should not tighten consensus: {} vs {}",
