@@ -27,9 +27,9 @@ use skiptrain_engine::transport::{
     corrupt_frame_in_place, decode_frame, decode_frame_into, encode_message_with, MessageFate,
 };
 use skiptrain_engine::{
-    ChurnModel, ComputeProfile, DecodeScratch, EncodeScratch, EventEngine, LatencyModel,
-    ModelCodec, RoundAction, RoundSemantics, Simulation, SimulationConfig, TransportKind,
-    BASE_TRAIN_TICKS,
+    ChurnModel, CompressionPolicy, ComputeProfile, DecodeScratch, EncodeScratch, EventEngine,
+    LatencyModel, ModelCodec, RoundAction, RoundSemantics, Simulation, SimulationConfig,
+    TransportKind, BASE_TRAIN_TICKS,
 };
 use skiptrain_linalg::compress::{compress_with_feedback_top_k, FeedbackScratch};
 use skiptrain_linalg::Matrix;
@@ -332,7 +332,7 @@ fn main() {
         let cap = 4;
         let base = skiptrain_topology::Graph::complete(n);
         let mut config = SimulationConfig::minimal(5, 16, 5, 0.5);
-        config.codec = ModelCodec::TopK { k: 64 };
+        config.compression = CompressionPolicy::Uniform(ModelCodec::TopK { k: 64 });
         config.feedback_beta = Some(1.0);
         config.feedback_replica_cap = Some(cap);
         let mut sim = build_sim_on(base.clone(), 5, config);
@@ -402,6 +402,75 @@ fn main() {
             iters,
             || {
                 sim.run_round(black_box(&actions));
+            },
+        ));
+    }
+
+    // --- adaptive-link scenario ------------------------------------------
+    // The per-link compression policy layer in isolation: a 64-node
+    // sync-only fleet under a diurnal harvest resolves the DEAL tier
+    // table per sender per round (charge snapshot → tier lookup →
+    // per-link codec table) and shares through heterogeneous codecs,
+    // with the per-edge energy accounting charging each link's resolved
+    // bytes. Sync-only rounds keep the (separately measured) training
+    // path out of the window, and the round mixings are generated up
+    // front from the edge-dropout schedule and cycled, so the measured
+    // loop is exactly the adaptive share machinery; its allocation proxy
+    // pins that tier resolution reuses the per-node codec rows, the
+    // charge-fraction snapshot buffer, and the per-receiver codec
+    // scratch (0 B at steady state).
+    {
+        let n = 64;
+        let graph = random_regular(n, 6, 13);
+        let mut config = SimulationConfig::minimal(13, 16, 5, 0.5);
+        config.compression = CompressionPolicy::deal_tiers(64);
+        config.training_energy_wh = vec![2e-4; n];
+        config.battery = Some(BatterySetup {
+            state: BatteryState::new(vec![2e-3; n]),
+            trace: HarvestTrace::new(
+                HarvestProfile::Diurnal {
+                    peak_watts: 0.05,
+                    period_rounds: 16.0,
+                },
+                60.0,
+                n,
+                13,
+                0.1,
+            ),
+            policy: BatteryPolicy::Threshold { min_fraction: 0.1 },
+            node_policies: None,
+        });
+        let mut sim = build_sim_on(graph.clone(), 13, config);
+        let mut sched =
+            ScheduledTopology::new(graph, TopologySchedule::EdgeDropout { p: 0.3, seed: 13 });
+        let mixings: Vec<MixingMatrix> =
+            (0..16).map(|r| sched.mixing_for_round(r).clone()).collect();
+        let actions = vec![RoundAction::SyncOnly; n];
+        // Warm a full 16-round mixing/diurnal cycle (even in quick mode)
+        // so the measured window sees converged scratch capacities —
+        // every cached mixing's masked rows, per-link codec tables, and
+        // per-receiver codec scratch have reached their high-water marks.
+        let (warmup, iters) = scale(64, 40);
+        scenarios.push(measure(
+            "adaptive_link_round",
+            json_object(vec![
+                ("nodes", Value::UInt(n as u64)),
+                ("degree", Value::UInt(6)),
+                (
+                    "schedule",
+                    Value::String("edge-dropout p=0.3 (16 cached)".into()),
+                ),
+                ("policy", Value::String("energy-adaptive deal tiers".into())),
+                ("k", Value::UInt(64)),
+                ("harvest", Value::String("diurnal 0.05 W peak".into())),
+                ("mode", Value::String(mode.into())),
+            ]),
+            warmup,
+            iters,
+            || {
+                let mixing = black_box(&mixings[sim.round() % mixings.len()]);
+                sim.try_run_round_with_mixing(black_box(&actions), mixing)
+                    .expect("cached scheduled graph matches the fleet");
             },
         ));
     }

@@ -204,7 +204,12 @@ pub fn validate_report(report: &Value) -> Result<(), String> {
 /// pins the discrete-event scheduler (priority queue, seeded
 /// straggler/latency/churn draws, late-edge classification) at one
 /// realistic deadline round per iteration, also allocation-free at
-/// steady state.
+/// steady state; `adaptive_link_round` pins the per-link compression
+/// policy layer (per-round charge snapshot, DEAL tier resolution into
+/// the per-node codec rows, heterogeneous-codec share, per-edge byte
+/// charging) on a 64-node diurnal battery fleet over cached
+/// edge-dropout mixings, whose allocation proxy gates that adaptive
+/// codec resolution stays allocation-free at steady state.
 pub const REQUIRED_SCENARIOS: &[&str] = &[
     "sgd_step_mlp_medium_90k",
     "round_loop_train_64",
@@ -216,6 +221,7 @@ pub const REQUIRED_SCENARIOS: &[&str] = &[
     "battery_round",
     "event_round",
     "corrupt_frame_round",
+    "adaptive_link_round",
 ];
 
 /// Checks that `report` contains every key in `required` (shape is

@@ -17,7 +17,7 @@
 
 use skiptrain_bench::perf::{allocated_bytes, CountingAllocator};
 use skiptrain_data::synth::{MixtureSpec, MixtureTask};
-use skiptrain_engine::{ModelCodec, RoundAction, Simulation, SimulationConfig};
+use skiptrain_engine::{CompressionPolicy, ModelCodec, RoundAction, Simulation, SimulationConfig};
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_topology::{Graph, MixingMatrix, ScheduledTopology, TopologySchedule};
 
@@ -50,7 +50,7 @@ fn build_sim(cap: usize) -> (Simulation, ScheduledTopology) {
         .collect();
     let mixing = MixingMatrix::metropolis_hastings(&base);
     let mut config = SimulationConfig::minimal(7, 16, 2, 0.5);
-    config.codec = ModelCodec::TopK { k: 64 };
+    config.compression = CompressionPolicy::Uniform(ModelCodec::TopK { k: 64 });
     config.feedback_beta = Some(1.0);
     config.feedback_replica_cap = Some(cap);
     let sim = Simulation::new(models, datasets, base.clone(), mixing, config);

@@ -24,12 +24,12 @@
 
 use crate::error::ConfigError;
 use crate::experiment::{
-    AlgorithmSpec, BatterySpec, ChurnSpec, DataBundle, DataSpec, EnergySpec, ExperimentConfig,
-    ExperimentResult, TimingSpec, TopologyScheduleSpec, TopologySpec,
+    AlgorithmSpec, BatterySpec, ChurnSpec, CompressionSpec, DataBundle, DataSpec, EnergySpec,
+    ExperimentConfig, ExperimentResult, TimingSpec, TopologyScheduleSpec, TopologySpec,
 };
 use crate::runner;
 use skiptrain_engine::observer::RoundObserver;
-use skiptrain_engine::{ModelCodec, TransportKind};
+use skiptrain_engine::{CompressionPolicy, ModelCodec, TransportKind};
 
 /// Fluent builder for [`ExperimentConfig`] (see the module docs).
 #[derive(Debug, Clone)]
@@ -164,8 +164,68 @@ impl ExperimentBuilder {
 
     /// Sets the model-compression codec for the share phase (quantization
     /// or top-k sparsification trade accuracy for communication energy).
+    ///
+    /// Thin legacy shim: writes the flat `codec` field, which
+    /// [`ExperimentConfig::effective_compression`] lifts into a
+    /// [`CompressionPolicy::Uniform`] spec — bit-identical to the
+    /// pre-policy behaviour. New code should state the policy explicitly
+    /// via [`ExperimentBuilder::compression_policy`] or
+    /// [`ExperimentBuilder::compression_spec`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `compression_policy(CompressionPolicy::Uniform(codec))` or \
+                `compression_spec` for the full per-link policy surface"
+    )]
     pub fn compression(mut self, codec: ModelCodec) -> Self {
         self.config.codec = codec;
+        // Write through to an already-started uniform spec so the shim
+        // stays order-independent with the new knobs (an adaptive policy
+        // is never silently overwritten).
+        if let Some(spec) = &mut self.config.compression {
+            if spec.policy.is_uniform() {
+                spec.policy = CompressionPolicy::Uniform(codec);
+            }
+        }
+        self
+    }
+
+    /// Sets the per-directed-link codec selection policy. Uniform
+    /// policies reproduce the legacy global codec bit for bit; adaptive
+    /// policies ([`CompressionPolicy::PerLink`],
+    /// [`CompressionPolicy::RarityAdaptive`],
+    /// [`CompressionPolicy::EnergyAdaptive`]) resolve a codec per link
+    /// per round and charge each link's ledger bytes from the codec it
+    /// actually used. Keeps any previously configured γ and feedback
+    /// settings.
+    pub fn compression_policy(mut self, policy: CompressionPolicy) -> Self {
+        let legacy = self.config.codec;
+        self.config
+            .compression
+            .get_or_insert_with(|| CompressionSpec::uniform(legacy))
+            .policy = policy;
+        self
+    }
+
+    /// Replaces the whole compression subsystem spec: policy, consensus
+    /// stepsize γ, and error-feedback settings in one value. Validation
+    /// checks the spec's invariants (γ ∈ (0, 1], well-formed tier/link
+    /// tables, nonzero top-k everywhere).
+    pub fn compression_spec(mut self, spec: CompressionSpec) -> Self {
+        self.config.compression = Some(spec);
+        self
+    }
+
+    /// Sets the consensus stepsize γ ∈ (0, 1] applied after aggregation:
+    /// `x^t = x^{t−½} + γ (Σ_j W_ji x_j^{t−½} − x^{t−½})`. The default
+    /// `1.0` is the paper's plain mixing update; γ < 1 damps consensus,
+    /// which keeps extreme sparsity stable. Validation rejects values
+    /// outside `(0, 1]` with [`ConfigError::InvalidConsensusGamma`].
+    pub fn consensus_gamma(mut self, gamma: f32) -> Self {
+        let legacy = self.config.codec;
+        self.config
+            .compression
+            .get_or_insert_with(|| CompressionSpec::uniform(legacy))
+            .gamma = gamma;
         self
     }
 
@@ -189,6 +249,16 @@ impl ExperimentBuilder {
     /// an aggressive top-k would otherwise lose — at zero extra wire
     /// bytes. Validation rejects `beta` outside `(0, 1]` with
     /// [`ConfigError::InvalidFeedbackBeta`].
+    ///
+    /// Thin legacy shim: writes the flat `feedback_beta` field, which
+    /// [`ExperimentConfig::effective_compression`] merges into the
+    /// effective [`CompressionSpec`] (a spec's own `feedback_beta` wins
+    /// when set). New code should carry feedback in the spec via
+    /// [`ExperimentBuilder::compression_spec`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `feedback_beta` on a `CompressionSpec` via `compression_spec`"
+    )]
     pub fn compression_feedback(mut self, beta: f32) -> Self {
         self.config.feedback_beta = Some(beta);
         self
@@ -272,6 +342,8 @@ impl Experiment {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated compression shims are exercised on purpose.
+    #![allow(deprecated)]
     use super::*;
     use crate::schedule::Schedule;
 

@@ -67,6 +67,9 @@ pub enum ConfigError {
     /// An edge-dropout topology schedule's drop probability is outside
     /// `[0, 1)` (or not finite) — `p = 1` would disconnect every round.
     InvalidEdgeDropout,
+    /// A per-byte radio energy override that is zero, negative, or
+    /// non-finite cannot price any message.
+    InvalidCommJoulesPerByte,
     /// A cycling topology schedule with no graphs has no round topology
     /// to offer.
     EmptyTopologyCycle,
@@ -144,6 +147,40 @@ pub enum ConfigError {
         /// Configured per-message corruption probability.
         corrupt_prob: f64,
     },
+    /// The consensus stepsize γ is outside `(0, 1]` (or not finite).
+    InvalidConsensusGamma {
+        /// The offending stepsize.
+        value: f64,
+    },
+    /// An energy-adaptive tier table is malformed: empty, a threshold
+    /// outside `[0, 1]` (or not finite), or thresholds not strictly
+    /// descending (the resolver walks the table top-down).
+    InvalidEnergyTiers,
+    /// A rarity-adaptive policy's top-k bounds are invalid: `base_k`
+    /// must be at least 1 and `max_k` at least `base_k`.
+    InvalidRarityBounds {
+        /// Configured budget for an always-on link.
+        base_k: usize,
+        /// Configured budget ceiling.
+        max_k: usize,
+    },
+    /// A per-link codec table lists the same directed link twice.
+    DuplicateLinkCodec {
+        /// Sender node id of the duplicated link.
+        src: u32,
+        /// Receiver node id of the duplicated link.
+        dst: u32,
+    },
+    /// A per-link codec table entry names an impossible directed link:
+    /// an endpoint at or beyond the node count, or a self-loop.
+    LinkCodecOutOfRange {
+        /// Sender node id of the offending entry.
+        src: u32,
+        /// Receiver node id of the offending entry.
+        dst: u32,
+        /// Node count the experiment requires.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -202,6 +239,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::InvalidEdgeDropout => {
                 write!(f, "edge-dropout probability must lie in [0, 1)")
+            }
+            ConfigError::InvalidCommJoulesPerByte => {
+                write!(f, "comm energy override must be a finite positive J/byte")
             }
             ConfigError::EmptyTopologyCycle => {
                 write!(f, "a cycling topology schedule needs at least one graph")
@@ -262,6 +302,28 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "transport loss probabilities are invalid: drop {drop_prob} and \
                  corruption {corrupt_prob} must each lie in [0, 1) and sum below 1"
+            ),
+            ConfigError::InvalidConsensusGamma { value } => {
+                write!(f, "consensus stepsize gamma {value} must lie in (0, 1]")
+            }
+            ConfigError::InvalidEnergyTiers => write!(
+                f,
+                "energy-adaptive tier table needs at least one tier with finite \
+                 thresholds in [0, 1], sorted strictly descending"
+            ),
+            ConfigError::InvalidRarityBounds { base_k, max_k } => write!(
+                f,
+                "rarity-adaptive top-k bounds are invalid: base_k {base_k} must be \
+                 at least 1 and max_k {max_k} at least base_k"
+            ),
+            ConfigError::DuplicateLinkCodec { src, dst } => write!(
+                f,
+                "per-link codec table lists directed link {src} -> {dst} twice"
+            ),
+            ConfigError::LinkCodecOutOfRange { src, dst, nodes } => write!(
+                f,
+                "per-link codec table entry {src} -> {dst} is impossible on \
+                 {nodes} nodes (endpoints must be distinct and below the node count)"
             ),
         }
     }
@@ -388,6 +450,32 @@ mod tests {
         assert!(ConfigError::InvalidLatencyJitter { value: 1.5 }
             .to_string()
             .contains("1.5"));
+    }
+
+    #[test]
+    fn compression_errors_display_and_serialize() {
+        for e in [
+            ConfigError::InvalidConsensusGamma { value: 0.0 },
+            ConfigError::InvalidEnergyTiers,
+            ConfigError::InvalidRarityBounds {
+                base_k: 0,
+                max_k: 64,
+            },
+            ConfigError::DuplicateLinkCodec { src: 2, dst: 5 },
+            ConfigError::LinkCodecOutOfRange {
+                src: 9,
+                dst: 9,
+                nodes: 8,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ConfigError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+        assert!(ConfigError::DuplicateLinkCodec { src: 2, dst: 5 }
+            .to_string()
+            .contains("2 -> 5"));
     }
 
     #[test]

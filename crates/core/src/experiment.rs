@@ -23,7 +23,9 @@ use skiptrain_energy::trace::{
     WorkloadSpec,
 };
 use skiptrain_engine::metrics::{AccuracyPoint, EvalStats};
-use skiptrain_engine::{ChurnModel, ComputeProfile, LatencyModel, ModelCodec, TransportKind};
+use skiptrain_engine::{
+    ChurnModel, CompressionPolicy, ComputeProfile, LatencyModel, ModelCodec, TransportKind,
+};
 use skiptrain_linalg::rng::derive_seed;
 use skiptrain_nn::zoo::ModelKind;
 use skiptrain_topology::regular::random_regular;
@@ -572,6 +574,13 @@ pub struct EnergySpec {
     /// `Some(fraction)` enables the constrained setting: per-node budgets τ
     /// equal the rounds needed to spend `fraction` of each device battery.
     pub battery_fraction: Option<f64>,
+    /// Radio energy per transmitted/received byte (J). `None` keeps the
+    /// paper-fit default; overriding it moves a fleet into a
+    /// comm-dominated regime where per-link codec choice controls real
+    /// battery spend (the adaptive-compression frontier). Absent from
+    /// legacy configs, so deserialization defaults it.
+    #[serde(default)]
+    pub comm_joules_per_byte: Option<f64>,
 }
 
 impl EnergySpec {
@@ -580,6 +589,7 @@ impl EnergySpec {
         Self {
             workload: WorkloadSpec::cifar10(),
             battery_fraction: None,
+            comm_joules_per_byte: None,
         }
     }
 
@@ -588,6 +598,7 @@ impl EnergySpec {
         Self {
             workload: WorkloadSpec::cifar10(),
             battery_fraction: Some(skiptrain_energy::trace::CIFAR_BATTERY_FRACTION),
+            comm_joules_per_byte: None,
         }
     }
 
@@ -596,6 +607,7 @@ impl EnergySpec {
         Self {
             workload: WorkloadSpec::femnist(),
             battery_fraction: None,
+            comm_joules_per_byte: None,
         }
     }
 
@@ -604,6 +616,7 @@ impl EnergySpec {
         Self {
             workload: WorkloadSpec::femnist(),
             battery_fraction: Some(skiptrain_energy::trace::FEMNIST_BATTERY_FRACTION),
+            comm_joules_per_byte: None,
         }
     }
 
@@ -617,6 +630,7 @@ impl EnergySpec {
             battery_fraction: self
                 .battery_fraction
                 .map(|f| f * rounds as f64 / paper_rounds as f64),
+            comm_joules_per_byte: self.comm_joules_per_byte,
         }
     }
 
@@ -848,6 +862,142 @@ impl BatterySummary {
     }
 }
 
+/// The compression subsystem's experiment-level spec: a per-directed-link
+/// codec selection policy, the consensus stepsize γ, and optional
+/// CHOCO-SGD error feedback — the first-class replacement for the legacy
+/// flat `codec` / `feedback_beta` / `feedback_replica_cap` fields of
+/// [`ExperimentConfig`]. Every field is serde-defaulted so partial JSON
+/// specs load, and [`ExperimentConfig::effective_compression`] merges a
+/// spec with the legacy fields (spec wins where set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionSpec {
+    /// Per-directed-link codec selection policy (defaults to uniform
+    /// lossless dense — the legacy behaviour).
+    #[serde(default)]
+    pub policy: CompressionPolicy,
+    /// Consensus stepsize γ ∈ (0, 1]:
+    /// `x^t = x^{t−½} + γ (Σ_j W_ji x_j^{t−½} − x^{t−½})`. `1.0` (the
+    /// default) is the paper's plain mixing update, bit-identical to the
+    /// pre-γ executor; γ < 1 damps consensus for extreme sparsity.
+    #[serde(default = "default_consensus_gamma")]
+    pub gamma: f32,
+    /// CHOCO-SGD error-feedback β (`None` = feedback off). Unset falls
+    /// back to the legacy top-level `feedback_beta`.
+    #[serde(default)]
+    pub feedback_beta: Option<f32>,
+    /// Per-receiver replica cap override for error feedback. Unset falls
+    /// back to the legacy top-level `feedback_replica_cap` (and from
+    /// there to the graph-derived default).
+    #[serde(default)]
+    pub feedback_replica_cap: Option<usize>,
+}
+
+fn default_consensus_gamma() -> f32 {
+    1.0
+}
+
+impl Default for CompressionSpec {
+    fn default() -> Self {
+        Self {
+            policy: CompressionPolicy::default(),
+            gamma: default_consensus_gamma(),
+            feedback_beta: None,
+            feedback_replica_cap: None,
+        }
+    }
+}
+
+impl CompressionSpec {
+    /// A spec equivalent to the legacy global-codec configuration: every
+    /// link uses `codec`, γ = 1, feedback inherited from the legacy
+    /// fields.
+    pub fn uniform(codec: ModelCodec) -> Self {
+        Self {
+            policy: CompressionPolicy::Uniform(codec),
+            ..Self::default()
+        }
+    }
+
+    /// Checks every compression invariant, returning the first violation.
+    pub fn validate(&self, nodes: usize) -> Result<(), ConfigError> {
+        let gamma = self.gamma;
+        if !(gamma.is_finite() && gamma > 0.0 && gamma <= 1.0) {
+            return Err(ConfigError::InvalidConsensusGamma {
+                value: gamma as f64,
+            });
+        }
+        if let Some(beta) = self.feedback_beta {
+            if !(beta.is_finite() && beta > 0.0 && beta <= 1.0) {
+                return Err(ConfigError::InvalidFeedbackBeta);
+            }
+        }
+        if self.feedback_replica_cap == Some(0) {
+            return Err(ConfigError::ZeroReplicaCap);
+        }
+        let check_codec = |codec: ModelCodec| -> Result<(), ConfigError> {
+            if matches!(codec, ModelCodec::TopK { k: 0 }) {
+                return Err(ConfigError::ZeroTopK);
+            }
+            Ok(())
+        };
+        match &self.policy {
+            CompressionPolicy::Uniform(codec) => check_codec(*codec)?,
+            CompressionPolicy::PerLink { default, links } => {
+                check_codec(*default)?;
+                for link in links {
+                    check_codec(link.codec)?;
+                    if link.src == link.dst
+                        || link.src as usize >= nodes
+                        || link.dst as usize >= nodes
+                    {
+                        return Err(ConfigError::LinkCodecOutOfRange {
+                            src: link.src,
+                            dst: link.dst,
+                            nodes,
+                        });
+                    }
+                }
+                let mut keys: Vec<(u32, u32)> = links.iter().map(|l| (l.src, l.dst)).collect();
+                keys.sort_unstable();
+                for pair in keys.windows(2) {
+                    if pair[0] == pair[1] {
+                        return Err(ConfigError::DuplicateLinkCodec {
+                            src: pair[0].0,
+                            dst: pair[0].1,
+                        });
+                    }
+                }
+            }
+            CompressionPolicy::RarityAdaptive { base_k, max_k } => {
+                if *base_k == 0 || max_k < base_k {
+                    return Err(ConfigError::InvalidRarityBounds {
+                        base_k: *base_k,
+                        max_k: *max_k,
+                    });
+                }
+            }
+            CompressionPolicy::EnergyAdaptive { tiers } => {
+                if tiers.is_empty() {
+                    return Err(ConfigError::InvalidEnergyTiers);
+                }
+                for tier in tiers {
+                    check_codec(tier.codec)?;
+                    let t = tier.min_charge_fraction;
+                    if !(t.is_finite() && (0.0..=1.0).contains(&t)) {
+                        return Err(ConfigError::InvalidEnergyTiers);
+                    }
+                }
+                for pair in tiers.windows(2) {
+                    if pair[0].min_charge_fraction <= pair[1].min_charge_fraction {
+                        return Err(ConfigError::InvalidEnergyTiers);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Complete description of one experiment run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -913,6 +1063,15 @@ pub struct ExperimentConfig {
     /// bit-compatible.
     #[serde(default)]
     pub feedback_replica_cap: Option<usize>,
+    /// First-class compression subsystem spec: per-link codec policy,
+    /// consensus stepsize γ, error feedback. `None` (and the serde
+    /// default, so every pre-policy JSON config loads bit-compatibly)
+    /// falls back to the legacy flat fields above — `codec` as a uniform
+    /// policy, γ = 1, `feedback_beta` / `feedback_replica_cap` as-is.
+    /// When set, its unset feedback fields still inherit the legacy ones
+    /// (see [`ExperimentConfig::effective_compression`]).
+    #[serde(default)]
+    pub compression: Option<CompressionSpec>,
     /// Also record the accuracy of the averaged (all-reduced) model at each
     /// evaluation point — the hypothetical curve of Figure 1.
     pub record_mean_model: bool,
@@ -995,6 +1154,30 @@ impl ExperimentConfig {
         self.try_build_policy().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// The compression configuration this experiment actually runs: the
+    /// first-class [`CompressionSpec`] when one is set (with unset
+    /// feedback fields inherited from the legacy flat fields), or the
+    /// legacy `codec` / `feedback_beta` / `feedback_replica_cap` fields
+    /// lifted into a uniform-policy spec with γ = 1. Every consumer
+    /// (validation, the runner's engine lowering) goes through this one
+    /// merge, so the two configuration surfaces cannot diverge.
+    pub fn effective_compression(&self) -> CompressionSpec {
+        match &self.compression {
+            Some(spec) => CompressionSpec {
+                policy: spec.policy.clone(),
+                gamma: spec.gamma,
+                feedback_beta: spec.feedback_beta.or(self.feedback_beta),
+                feedback_replica_cap: spec.feedback_replica_cap.or(self.feedback_replica_cap),
+            },
+            None => CompressionSpec {
+                policy: CompressionPolicy::Uniform(self.codec),
+                gamma: 1.0,
+                feedback_beta: self.feedback_beta,
+                feedback_replica_cap: self.feedback_replica_cap,
+            },
+        }
+    }
+
     /// Checks every configuration invariant, returning the first violation.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes == 0 {
@@ -1037,9 +1220,15 @@ impl ExperimentConfig {
                 return Err(ConfigError::InvalidBatteryFraction);
             }
         }
-        if matches!(self.codec, ModelCodec::TopK { k: 0 }) {
-            return Err(ConfigError::ZeroTopK);
+        if let Some(j) = self.energy.comm_joules_per_byte {
+            if !(j.is_finite() && j > 0.0) {
+                return Err(ConfigError::InvalidCommJoulesPerByte);
+            }
         }
+        // Compression invariants are checked on the *effective* spec, so
+        // the legacy flat fields and a first-class `CompressionSpec` pass
+        // through one validator.
+        self.effective_compression().validate(self.nodes)?;
         if let TransportKind::Serialized {
             drop_prob,
             corrupt_prob,
@@ -1150,6 +1339,12 @@ pub struct ExperimentResult {
     /// (`#[serde(default)]` keeps pre-corruption result JSON loadable).
     #[serde(default)]
     pub corrupted_messages: u64,
+    /// Total bytes the fleet put on the wire (sum of every transmit
+    /// event's charged bytes — the ledger's cumulative tx total). Under
+    /// adaptive compression policies this is the frontier's byte axis
+    /// (`#[serde(default)]` keeps pre-policy result JSON loadable).
+    #[serde(default)]
+    pub total_wire_bytes: u64,
 }
 
 impl ExperimentResult {

@@ -86,8 +86,8 @@ pub use error::{CampaignError, ConfigError, RunError};
 #[allow(deprecated)]
 pub use experiment::{run_experiment, run_experiment_on};
 pub use experiment::{
-    AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, ChurnSpec, DataBundle,
-    DataSpec, EnergySpec, EventSummary, ExperimentConfig, ExperimentResult, TimingSpec,
+    AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, ChurnSpec, CompressionSpec,
+    DataBundle, DataSpec, EnergySpec, EventSummary, ExperimentConfig, ExperimentResult, TimingSpec,
     TopologyScheduleSpec, TopologySpec,
 };
 pub use journal::{config_digest, JournalError};
@@ -95,5 +95,5 @@ pub use policy::{ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, Skip
 pub use presets::{cifar_config, femnist_config, tuned_schedule, with_algorithm, Scale};
 pub use runner::run_with_observers;
 pub use schedule::Schedule;
-pub use skiptrain_engine::{ModelCodec, TransportKind};
+pub use skiptrain_engine::{CompressionPolicy, EnergyTier, LinkCodec, ModelCodec, TransportKind};
 pub use sweep::{grid_campaign, grid_search, SweepResult};

@@ -90,6 +90,7 @@ pub fn cifar_config(scale: Scale, seed: u64) -> ExperimentConfig {
         codec: ModelCodec::DenseF32,
         feedback_beta: None,
         feedback_replica_cap: None,
+        compression: None,
         record_mean_model: false,
         battery: None,
         timing: TimingSpec::default(),
@@ -135,6 +136,7 @@ pub fn femnist_config(scale: Scale, seed: u64) -> ExperimentConfig {
         codec: ModelCodec::DenseF32,
         feedback_beta: None,
         feedback_replica_cap: None,
+        compression: None,
         record_mean_model: false,
         battery: None,
         timing: TimingSpec::default(),

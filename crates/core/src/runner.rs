@@ -70,21 +70,32 @@ pub(crate) fn build_simulation(cfg: &ExperimentConfig, data: &DataBundle) -> Bui
     let graph = cfg.topology.build(cfg.nodes, derive_seed(cfg.seed, 0x7090));
     let mixing = MixingMatrix::metropolis_hastings(&graph);
 
+    // One merge point for the legacy flat codec fields and the
+    // first-class `CompressionSpec`; the engine only ever sees the
+    // effective spec.
+    let compression = cfg.effective_compression();
     let sim_config = SimulationConfig {
         seed: cfg.seed,
         batch_size: cfg.batch_size,
         local_steps: cfg.local_steps,
         sgd: SgdConfig::plain(cfg.learning_rate),
         transport: cfg.transport,
-        codec: cfg.codec,
-        feedback_beta: cfg.feedback_beta,
+        compression: compression.policy,
+        consensus_gamma: compression.gamma,
+        feedback_beta: compression.feedback_beta,
         feedback_replica_cap: Some(crate::experiment::effective_replica_cap(
-            cfg.feedback_replica_cap,
+            compression.feedback_replica_cap,
             &graph,
             &cfg.topology_schedule,
         )),
         training_energy_wh: cfg.energy.node_energies(cfg.nodes),
-        comm_energy: skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        comm_energy: match cfg.energy.comm_joules_per_byte {
+            Some(j) => skiptrain_energy::comm::CommEnergyModel {
+                tx_joules_per_byte: j,
+                rx_joules_per_byte: j,
+            },
+            None => skiptrain_energy::comm::CommEnergyModel::paper_fit(),
+        },
         nominal_params: Some(cfg.energy.workload.model_params),
         battery: cfg
             .battery
@@ -359,6 +370,7 @@ pub(crate) fn execute_on_events(
                 leaves: stats.leaves,
             },
             corrupted_messages: sim.corrupted_frames(),
+            total_wire_bytes: sim.ledger().total_tx_bytes(),
         })
     }
 }

@@ -42,8 +42,12 @@ impl EnergyLedger {
             comm_wh: vec![0.0; n],
             tx_bytes: vec![0; n],
             rx_bytes: vec![0; n],
-            round_totals_wh: Vec::new(),
-            round_end_ticks: Vec::new(),
+            // The per-round history series grow for the life of the run;
+            // seeding their capacity keeps steady-state rounds free of
+            // amortized doubling reallocations (the round loop's
+            // allocation proxy pins 0 B/round) for typical horizons.
+            round_totals_wh: Vec::with_capacity(512),
+            round_end_ticks: Vec::with_capacity(512),
             open_round_wh: 0.0,
         }
     }

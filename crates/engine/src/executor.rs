@@ -5,8 +5,8 @@ use crate::eval::{evaluate_model, fixed_subsample, EVAL_CHUNK};
 use crate::metrics::EvalStats;
 use crate::node::Node;
 use crate::transport::{
-    corrupt_frame_in_place, decode_frame, encode_message_into, ErrorFeedbackState, MessageFate,
-    ModelCodec, Payload, TransportKind,
+    corrupt_frame_in_place, decode_frame, encode_message_into, rarity_k, tier_codec,
+    CompressionPolicy, ErrorFeedbackState, MessageFate, ModelCodec, Payload, TransportKind,
 };
 use rayon::prelude::*;
 use skiptrain_data::Dataset;
@@ -16,7 +16,8 @@ use skiptrain_energy::trace::HarvestTrace;
 use skiptrain_energy::EnergyLedger;
 use skiptrain_linalg::compress::{
     accumulate_delta, compress_with_feedback_top_k, compress_with_feedback_u16,
-    compress_with_feedback_u8, scatter_axpy, sparse_blend_axpy, FeedbackScratch,
+    compress_with_feedback_u8, dequantize_u16, dequantize_u8, gather_into, quantize_u16_into,
+    quantize_u8_into, scatter_axpy, sparse_blend_axpy, top_k_indices_into, FeedbackScratch,
 };
 use skiptrain_nn::sgd::SgdConfig;
 use skiptrain_nn::{Sequential, SoftmaxCrossEntropy};
@@ -48,11 +49,21 @@ pub struct SimulationConfig {
     pub sgd: SgdConfig,
     /// Message transport.
     pub transport: TransportKind,
-    /// Model-compression codec for the share phase. Lossy codecs feed
-    /// their reconstruction into the aggregation (compression error
-    /// genuinely propagates through training) and shrink the per-message
-    /// bytes the energy ledger charges.
-    pub codec: ModelCodec,
+    /// Per-directed-link codec selection policy for the share phase.
+    /// [`CompressionPolicy::Uniform`] reproduces the legacy global-codec
+    /// behaviour bit-for-bit (single shared share phase, one byte quote);
+    /// the adaptive policies resolve a codec per directed link per round
+    /// and charge each link's ledger bytes from the codec it actually
+    /// used. Lossy codecs feed their reconstruction into the aggregation
+    /// (compression error genuinely propagates through training) and
+    /// shrink the per-message bytes the energy ledger charges.
+    pub compression: CompressionPolicy,
+    /// Consensus stepsize γ ∈ (0, 1] applied after aggregation:
+    /// `x^t = x^{t−½} + γ (Σ_j W_ji x_j^{t−½} − x^{t−½})`. `1.0` (the
+    /// default) is the paper's plain mixing update and skips the blend
+    /// entirely (bit-identical to the pre-γ executor); CHOCO-SGD-style
+    /// damped consensus (γ < 1) keeps extreme sparsity stable.
+    pub consensus_gamma: f32,
     /// `Some(β)` enables CHOCO-SGD-style error-feedback compression:
     /// every directed link tracks a replica of the sender's model,
     /// compresses the accumulated residual `model − replica` instead of
@@ -106,7 +117,8 @@ impl SimulationConfig {
             local_steps,
             sgd: SgdConfig::plain(lr),
             transport: TransportKind::Memory,
-            codec: ModelCodec::DenseF32,
+            compression: CompressionPolicy::default(),
+            consensus_gamma: 1.0,
             feedback_beta: None,
             feedback_replica_cap: None,
             training_energy_wh: Vec::new(),
@@ -353,6 +365,36 @@ pub struct Simulation {
     /// Cumulative count of on-time messages the transport corrupted (each
     /// rejected by the receive-side checksum and degraded to a drop).
     corrupted_frames: u64,
+    /// Per-receiver codecs resolved for the current round, aligned
+    /// position-for-position with each receiver's mixing row (diagonal
+    /// entries hold a placeholder and are never read). Filled by
+    /// [`Simulation::resolve_link_codecs`] on every adaptive-policy round
+    /// and read by both the share phase and the energy accounting, so the
+    /// bytes charged always match the codec a link actually used. Empty
+    /// under [`CompressionPolicy::Uniform`].
+    round_codecs: Vec<Vec<ModelCodec>>,
+    /// Per-receiver `(sender, fires)` counters, sorted by sender, for
+    /// [`CompressionPolicy::RarityAdaptive`]: how many rounds each
+    /// directed link has been on the effective mixing so far (including
+    /// the current round — counts bump before resolution).
+    link_fires: Vec<Vec<(u32, u64)>>,
+    /// Per-node battery charge fraction snapshot taken after the round's
+    /// recharge (1.0 everywhere without battery gating), read by
+    /// [`CompressionPolicy::EnergyAdaptive`] resolution.
+    charge_fractions: Vec<f64>,
+    /// [`CompressionPolicy::PerLink`] table lowered to a binary-searchable
+    /// form at construction: `(src << 32 | dst, codec)`, sorted by key.
+    link_table: Vec<(u64, ModelCodec)>,
+    /// Per-node local-loss slots for phase 1 (`None` for sync-only
+    /// nodes), reused every round so the compute phase stays
+    /// allocation-free.
+    loss_scratch: Vec<Option<f32>>,
+}
+
+/// Directed-link key for the lowered per-link codec table.
+#[inline]
+fn link_key(src: u32, dst: u32) -> u64 {
+    (src as u64) << 32 | dst as u64
 }
 
 /// True unless the event layer marked directed edge `src → dst` late this
@@ -450,6 +492,18 @@ impl Simulation {
             .clone()
             .map(|setup| BatteryRuntime::new(setup, n));
 
+        let link_table = match &config.compression {
+            CompressionPolicy::PerLink { links, .. } => {
+                let mut table: Vec<(u64, ModelCodec)> = links
+                    .iter()
+                    .map(|l| (link_key(l.src, l.dst), l.codec))
+                    .collect();
+                table.sort_by_key(|&(k, _)| k);
+                table
+            }
+            _ => Vec::new(),
+        };
+
         Self {
             battery,
             nodes,
@@ -473,6 +527,11 @@ impl Simulation {
             late_edges: Vec::new(),
             virtual_round_end: None,
             corrupted_frames: 0,
+            round_codecs: vec![Vec::new(); n],
+            link_fires: vec![Vec::new(); n],
+            charge_fractions: vec![1.0; n],
+            link_table,
+            loss_scratch: vec![None; n],
             config,
         }
     }
@@ -736,6 +795,14 @@ impl Simulation {
             mixing_override.unwrap_or(&self.mixing),
             &self.config.training_energy_wh,
         );
+        // Snapshot post-recharge charge fractions for energy-adaptive
+        // codec resolution: the sender's level *at send time*, before the
+        // round's own spend drains it.
+        if !self.config.compression.is_uniform() {
+            for (i, frac) in self.charge_fractions.iter_mut().enumerate() {
+                *frac = battery.state.charge_fraction(i);
+            }
+        }
         let result = self.run_round_phases(&battery.actions, Some(&battery.masked));
         if result.is_ok() {
             battery.settle(&self.ledger);
@@ -755,29 +822,34 @@ impl Simulation {
         debug_assert_eq!(actions.len(), self.len());
         let local_steps = self.config.local_steps;
 
-        // Phase 1: local compute (parallel over nodes).
+        // Phase 1: local compute (parallel over nodes), writing each
+        // node's local loss into a reusable slot — no per-round
+        // collection.
         let params = &self.params;
-        let losses: Vec<Option<f32>> = self
-            .nodes
+        self.nodes
             .par_iter_mut()
             .zip(self.half.par_iter_mut())
+            .zip(self.loss_scratch.par_iter_mut())
             .zip(params.par_iter())
             .zip(actions.par_iter())
-            .map(|(((node, half_i), params_i), action)| match action {
-                RoundAction::Train => Some(node.train_local(params_i, local_steps, half_i)),
-                RoundAction::SyncOnly => {
-                    half_i.clear();
-                    half_i.extend_from_slice(params_i);
-                    None
-                }
-            })
-            .collect();
-        let train_losses: Vec<f32> = losses.into_iter().flatten().collect();
-        self.last_train_loss = if train_losses.is_empty() {
-            None
-        } else {
-            Some(train_losses.iter().sum::<f32>() / train_losses.len() as f32)
-        };
+            .for_each(
+                |((((node, half_i), loss_i), params_i), action)| match action {
+                    RoundAction::Train => {
+                        *loss_i = Some(node.train_local(params_i, local_steps, half_i));
+                    }
+                    RoundAction::SyncOnly => {
+                        half_i.clear();
+                        half_i.extend_from_slice(params_i);
+                        *loss_i = None;
+                    }
+                },
+            );
+        let (loss_sum, trained) = self
+            .loss_scratch
+            .iter()
+            .flatten()
+            .fold((0.0f32, 0u32), |(s, c), &l| (s + l, c + 1));
+        self.last_train_loss = (trained > 0).then(|| loss_sum / trained as f32);
 
         // The effective mixing for this round decides who talks to whom:
         // a pairwise-matching override replaces the static topology for
@@ -785,12 +857,30 @@ impl Simulation {
         let mixing = mixing_override.unwrap_or(&self.mixing);
         let n = self.len();
 
+        // Adaptive (non-uniform) compression policies resolve a codec per
+        // directed link per round, then share/aggregate per edge — the
+        // per-link payloads make a shared per-sender share phase
+        // impossible. The uniform path below is untouched (bit-identical
+        // to the pre-policy executor).
+        let Some(codec) = self.config.compression.uniform() else {
+            self.resolve_link_codecs(mixing_override);
+            if self.feedback.is_some() {
+                self.share_aggregate_with_feedback(mixing_override, None);
+            } else {
+                self.share_aggregate_per_link(mixing_override);
+            }
+            self.apply_consensus_gamma();
+            std::mem::swap(&mut self.params, &mut self.next);
+            self.account_energy(actions, mixing_override);
+            self.round += 1;
+            return Ok(());
+        };
+
         // Effective senders: nodes appearing off-diagonal in any row.
         // Computed into a reusable bitmap, and only on the paths that
         // materialize payloads — the Memory + DenseF32 fast path never
         // reads it, and the error-feedback path compresses per directed
         // edge instead of per sender.
-        let codec = self.config.codec;
         let feedback_on = codec != ModelCodec::DenseF32 && self.feedback.is_some();
         let needs_sender_flags = !feedback_on
             && (!matches!(self.config.transport, TransportKind::Memory)
@@ -808,7 +898,8 @@ impl Simulation {
         }
 
         if feedback_on {
-            self.share_aggregate_with_feedback(mixing_override, codec);
+            self.share_aggregate_with_feedback(mixing_override, Some(codec));
+            self.apply_consensus_gamma();
             std::mem::swap(&mut self.params, &mut self.next);
             self.account_energy(actions, mixing_override);
             self.round += 1;
@@ -936,12 +1027,222 @@ impl Simulation {
                     }
                 }
             });
+        self.apply_consensus_gamma();
         std::mem::swap(&mut self.params, &mut self.next);
 
         // Phase 4: energy accounting over the edges that actually fired.
         self.account_energy(actions, mixing_override);
         self.round += 1;
         Ok(())
+    }
+
+    /// Resolves this round's per-link codec table for the active adaptive
+    /// policy: one entry per mixing-row position per receiver, aligned so
+    /// the share phase and the energy accounting read the *same* codec
+    /// for every directed edge (diagonal positions hold a never-read
+    /// placeholder). Also advances the rarity fire counters — counts bump
+    /// *before* resolution, so an always-on link resolves `base_k` and a
+    /// first-contact link on round `r` gets the full `r`× boost.
+    fn resolve_link_codecs(&mut self, mixing_override: Option<&MixingMatrix>) {
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        let round_codecs = &mut self.round_codecs;
+        let link_fires = &mut self.link_fires;
+        let charge = &self.charge_fractions;
+        let link_table = &self.link_table;
+        let elapsed = self.round as u64 + 1;
+        for i in 0..mixing.len() {
+            let row = mixing.row(i);
+            let out = &mut round_codecs[i];
+            out.clear();
+            match &self.config.compression {
+                CompressionPolicy::Uniform(c) => {
+                    // Reachable only if a caller resolves eagerly; the
+                    // round loop short-circuits uniform policies.
+                    out.extend(row.iter().map(|_| *c));
+                }
+                CompressionPolicy::PerLink { default, .. } => {
+                    out.extend(row.iter().map(|&(j, _)| {
+                        if j as usize == i {
+                            return ModelCodec::DenseF32;
+                        }
+                        match link_table
+                            .binary_search_by_key(&link_key(j, i as u32), |&(key, _)| key)
+                        {
+                            Ok(pos) => link_table[pos].1,
+                            Err(_) => *default,
+                        }
+                    }));
+                }
+                CompressionPolicy::RarityAdaptive { base_k, max_k } => {
+                    let fires = &mut link_fires[i];
+                    out.extend(row.iter().map(|&(j, _)| {
+                        if j as usize == i {
+                            return ModelCodec::DenseF32;
+                        }
+                        let f = match fires.binary_search_by_key(&j, |&(s, _)| s) {
+                            Ok(pos) => {
+                                fires[pos].1 += 1;
+                                fires[pos].1
+                            }
+                            Err(pos) => {
+                                fires.insert(pos, (j, 1));
+                                1
+                            }
+                        };
+                        ModelCodec::TopK {
+                            k: rarity_k(*base_k, *max_k, elapsed, f),
+                        }
+                    }));
+                }
+                CompressionPolicy::EnergyAdaptive { tiers } => {
+                    out.extend(row.iter().map(|&(j, _)| {
+                        if j as usize == i {
+                            return ModelCodec::DenseF32;
+                        }
+                        tier_codec(tiers, charge[j as usize])
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Applies the consensus stepsize after aggregation, in place on the
+    /// `next` buffers: `x^t = x^{t−½} + γ (x_mixed − x^{t−½})`. γ = 1
+    /// (the default) skips entirely, keeping the plain mixing update
+    /// bit-identical to the pre-γ executor.
+    fn apply_consensus_gamma(&mut self) {
+        let gamma = self.config.consensus_gamma;
+        if gamma == 1.0 {
+            return;
+        }
+        let half = &self.half;
+        self.next
+            .par_iter_mut()
+            .zip(half.par_iter())
+            .for_each(|(out, base)| {
+                for (o, &b) in out.iter_mut().zip(base.iter()) {
+                    *o = b + gamma * (*o - b);
+                }
+            });
+    }
+
+    /// Share + aggregate for adaptive (non-uniform) compression policies
+    /// without error feedback: receiver-parallel, compressing each
+    /// delivered directed edge separately with the codec
+    /// [`Simulation::resolve_link_codecs`] picked for it this round. A
+    /// top-k edge's untransmitted coordinates and every dropped, late, or
+    /// corrupted edge fall back onto the receiver's own half-step model,
+    /// exactly like the uniform paths. The serialized transport runs a
+    /// genuine per-edge encode/decode round trip; the in-memory transport
+    /// uses the equivalent kernels through per-receiver reusable buffers
+    /// (allocation-free at steady state).
+    fn share_aggregate_per_link(&mut self, mixing_override: Option<&MixingMatrix>) {
+        let mixing = mixing_override.unwrap_or(&self.mixing);
+        let half = &self.half;
+        let round_codecs = &self.round_codecs;
+        let transport = self.config.transport;
+        let seed = self.config.seed;
+        let round = self.round;
+        let round_u32 = self.round as u32;
+        let late = &self.late_edges;
+        self.next
+            .par_iter_mut()
+            .zip(self.edge_scratch.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (out, scratch))| {
+                let row = mixing.row(i);
+                out.fill(0.0);
+                // Self weight plus every fallback weight lands on the
+                // receiver's own model, applied last in a fixed order for
+                // determinism across thread counts.
+                let mut self_weight = 0.0f32;
+                for (pos, &(j, w)) in row.iter().enumerate() {
+                    let src = j as usize;
+                    if src == i {
+                        self_weight += w;
+                        continue;
+                    }
+                    let codec = round_codecs[i][pos];
+                    let fate = transport.fate(seed, round, src, i);
+                    let on_time = edge_on_time(late, src, i);
+                    if fate != MessageFate::Delivered || !on_time {
+                        // Same degradation contract as every other path:
+                        // weight folds to self; a corrupted frame proves
+                        // the receive-side checksum reject first. (The
+                        // counter lives in `account_energy`.)
+                        if fate == MessageFate::Corrupted && on_time {
+                            encode_message_into(
+                                codec,
+                                j,
+                                round_u32,
+                                &half[src],
+                                &mut scratch.frame,
+                            );
+                            corrupt_frame_in_place(&mut scratch.frame, seed, round, src, i);
+                            let rejected = decode_frame(&scratch.frame).is_err();
+                            debug_assert!(
+                                rejected,
+                                "corrupted frame must fail the checksum verify"
+                            );
+                        }
+                        self_weight += w;
+                        continue;
+                    }
+                    match transport {
+                        TransportKind::Memory => match codec {
+                            ModelCodec::DenseF32 => {
+                                skiptrain_linalg::ops::axpy(w, &half[src], out);
+                            }
+                            ModelCodec::QuantizedU8 => {
+                                let p = quantize_u8_into(&half[src], &mut scratch.codes8);
+                                dequantize_u8(p, &scratch.codes8, &mut scratch.recon);
+                                skiptrain_linalg::ops::axpy(w, &scratch.recon, out);
+                            }
+                            ModelCodec::QuantizedU16 => {
+                                let p = quantize_u16_into(&half[src], &mut scratch.codes16);
+                                dequantize_u16(p, &scratch.codes16, &mut scratch.recon);
+                                skiptrain_linalg::ops::axpy(w, &scratch.recon, out);
+                            }
+                            ModelCodec::TopK { k } => {
+                                top_k_indices_into(&half[src], k, &mut scratch.indices);
+                                gather_into(&half[src], &scratch.indices, &mut scratch.values);
+                                sparse_blend_axpy(
+                                    out,
+                                    &half[i],
+                                    &scratch.indices,
+                                    &scratch.values,
+                                    w,
+                                );
+                                self_weight += w;
+                            }
+                        },
+                        TransportKind::Serialized { .. } => {
+                            // The wire carries this link's codec id in its
+                            // frame header, so heterogeneous links decode
+                            // without out-of-band coordination.
+                            encode_message_into(
+                                codec,
+                                j,
+                                round_u32,
+                                &half[src],
+                                &mut scratch.frame,
+                            );
+                            let msg =
+                                decode_frame(&scratch.frame).expect("in-process frame decodes");
+                            match msg.payload {
+                                Payload::Dense(recon) => {
+                                    skiptrain_linalg::ops::axpy(w, &recon, out);
+                                }
+                                Payload::Sparse { indices, values } => {
+                                    sparse_blend_axpy(out, &half[i], &indices, &values, w);
+                                    self_weight += w;
+                                }
+                            }
+                        }
+                    }
+                }
+                skiptrain_linalg::ops::axpy(self_weight, &half[i], out);
+            });
     }
 
     /// Fused share + aggregate for error-feedback compression.
@@ -971,9 +1272,10 @@ impl Simulation {
     fn share_aggregate_with_feedback(
         &mut self,
         mixing_override: Option<&MixingMatrix>,
-        codec: ModelCodec,
+        uniform: Option<ModelCodec>,
     ) {
         let mixing = mixing_override.unwrap_or(&self.mixing);
+        let round_codecs = &self.round_codecs;
         let fb = self
             .feedback
             .as_mut()
@@ -998,12 +1300,18 @@ impl Simulation {
                 // back onto the receiver's own model, applied last in a
                 // fixed order for determinism
                 let mut self_weight = 0.0f32;
-                for &(j, w) in row {
+                for (pos, &(j, w)) in row.iter().enumerate() {
                     let src = j as usize;
                     if src == i {
                         self_weight += w;
                         continue;
                     }
+                    // The legacy uniform codec, or this directed link's
+                    // resolved codec under an adaptive policy. Replicas
+                    // are codec-agnostic, so a link's codec changing
+                    // between firings just changes how much of the
+                    // residual the next delivery lands.
+                    let codec = uniform.unwrap_or_else(|| round_codecs[i][pos]);
                     let fate = transport.fate(seed, round, src, i);
                     let on_time = edge_on_time(late, src, i);
                     if fate != MessageFate::Delivered || !on_time {
@@ -1076,7 +1384,11 @@ impl Simulation {
                                 );
                             }
                             ModelCodec::DenseF32 => {
-                                unreachable!("feedback path requires a lossy codec")
+                                // A dense firing lands the replica exactly
+                                // on the sender's model (β-damped): the
+                                // residual is delivered whole.
+                                accumulate_delta(&half[src], replica, &mut scratch.fb.delta);
+                                skiptrain_linalg::ops::axpy(beta, &scratch.fb.delta, replica);
                             }
                         }
                     } else {
@@ -1115,15 +1427,19 @@ impl Simulation {
     /// otherwise). Each directed edge `j → i` charges the sender one
     /// transmit event (attempts cost radio energy even when the network
     /// drops the message) and, when delivered, charges the receiver one
-    /// receive event. Message bytes come from the configured codec's wire
-    /// format at the nominal parameter count (top-k scales its kept
-    /// fraction to the nominal model — see
+    /// receive event. Message bytes come from the wire format of the
+    /// codec the compression policy resolved for that directed link this
+    /// round — a single quote under [`CompressionPolicy::Uniform`], the
+    /// round's `round_codecs` table otherwise — at the nominal parameter
+    /// count (top-k scales its kept fraction to the nominal model — see
     /// [`ModelCodec::charged_message_bytes`]).
     fn account_energy(&mut self, actions: &[RoundAction], mixing_override: Option<&MixingMatrix>) {
-        let msg_bytes = self.config.codec.charged_message_bytes(
-            self.param_count,
-            self.config.nominal_params.unwrap_or(self.param_count),
-        );
+        let nominal = self.config.nominal_params.unwrap_or(self.param_count);
+        let uniform_bytes = self
+            .config
+            .compression
+            .uniform()
+            .map(|codec| codec.charged_message_bytes(self.param_count, nominal));
         let comm = self.config.comm_energy;
         for (i, action) in actions.iter().enumerate() {
             if *action == RoundAction::Train {
@@ -1135,11 +1451,17 @@ impl Simulation {
         let mixing = mixing_override.unwrap_or(&self.mixing);
         let seed = self.config.seed;
         for i in 0..mixing.len() {
-            for &(j, _) in mixing.row(i) {
+            for (pos, &(j, _)) in mixing.row(i).iter().enumerate() {
                 let j = j as usize;
                 if j == i {
                     continue;
                 }
+                let msg_bytes = match uniform_bytes {
+                    Some(bytes) => bytes,
+                    None => {
+                        self.round_codecs[i][pos].charged_message_bytes(self.param_count, nominal)
+                    }
+                };
                 self.ledger.record_tx(j, msg_bytes, &comm);
                 let on_time = edge_on_time(&self.late_edges, j, i);
                 match self.config.transport.fate(seed, self.round, j, i) {
@@ -1277,7 +1599,7 @@ mod tests {
         let mixing = MixingMatrix::metropolis_hastings(&graph);
         let mut config = SimulationConfig::minimal(seed, 8, 2, 0.1);
         config.transport = transport;
-        config.codec = codec;
+        config.compression = CompressionPolicy::Uniform(codec);
         (
             Simulation::new(models, datasets, graph, mixing, config),
             test,

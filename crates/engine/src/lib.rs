@@ -41,8 +41,10 @@
 //!    off-diagonal entry of the round's mixing matrix, which may be a
 //!    pairwise-gossip override) sends `x^{t−½}` through a
 //!    [`transport`](transport::TransportKind) (zero-copy in-memory or full
-//!    serialize/decode with optional loss), compressed by the configured
-//!    [`ModelCodec`](transport::ModelCodec) — optionally with per-link
+//!    serialize/decode with optional loss), compressed by the
+//!    [`ModelCodec`](transport::ModelCodec) the configured
+//!    [`CompressionPolicy`](transport::CompressionPolicy) resolves for
+//!    that directed link this round — optionally with per-link
 //!    CHOCO-SGD error feedback
 //!    ([`ErrorFeedbackState`](transport::ErrorFeedbackState)), which
 //!    compresses each directed edge's accumulated residual against a link
@@ -50,7 +52,9 @@
 //! 3. **aggregate** — every node computes `x^t = Σ_j W_ji · x_j^{t−½}`
 //!    with its Metropolis–Hastings row, over the lossily reconstructed
 //!    neighbor models (late or dropped edges fall back to the receiver's
-//!    own model);
+//!    own model), then applies the consensus stepsize:
+//!    `x^t = x^{t−½} + γ (Σ_j W_ji · x_j^{t−½} − x^{t−½})` with γ = 1
+//!    by default;
 //! 4. **account** — the energy ledger records one tx event per attempted
 //!    message and one rx event per delivered, on-time message, at the
 //!    codec's actual wire bytes, over exactly the edges that fired —
@@ -109,6 +113,6 @@ pub use observer::{
     MeanModelObserver, RoundCtx, RoundObserver, RoundReport,
 };
 pub use transport::{
-    DecodeScratch, EncodeScratch, ErrorFeedbackState, ModelCodec, TransportKind,
-    DEFAULT_REPLICA_CAP,
+    rarity_k, tier_codec, CompressionPolicy, DecodeScratch, EncodeScratch, EnergyTier,
+    ErrorFeedbackState, LinkCodec, ModelCodec, TransportKind, DEFAULT_REPLICA_CAP,
 };

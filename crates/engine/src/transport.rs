@@ -1,4 +1,5 @@
-//! Model exchange between neighbors: transports and compression codecs.
+//! Model exchange between neighbors: transports, compression codecs, and
+//! the per-link compression policy layer.
 //!
 //! # Transports
 //!
@@ -47,6 +48,46 @@
 //! for untransmitted coordinates (see the executor), so sparsification
 //! error propagates through training too.
 //!
+//! # Compression policies: which codec does a link use?
+//!
+//! Codec *selection* is a policy, not a scalar: a [`CompressionPolicy`]
+//! is resolved **per directed link per round** by the executor, and the
+//! codec id already travels in every frame header, so heterogeneous
+//! links need no wire-format change. Four policies exist:
+//!
+//! * [`CompressionPolicy::Uniform`] — one codec for every link, the
+//!   legacy global-codec behavior. This is the bit-exact fast path: the
+//!   executor keeps its per-sender share phase (one payload per sender)
+//!   and its single per-round byte quote, so `Uniform(c)` runs are
+//!   bit-identical to the pre-policy global `codec = c` configuration.
+//! * [`CompressionPolicy::PerLink`] — an explicit `(src, dst) → codec`
+//!   table over a default, for heterogeneous radios.
+//! * [`CompressionPolicy::RarityAdaptive`] — top-k with `k` scaled by
+//!   how rarely the topology schedule fires a link: a link that fired in
+//!   every round so far sends `base_k` coordinates, a link that fires a
+//!   fraction `1/m` of rounds sends `min(m · base_k, max_k)` — rare
+//!   links carry proportionally richer payloads so their total traffic
+//!   stays level (see [`rarity_k`]).
+//! * [`CompressionPolicy::EnergyAdaptive`] — DEAL-style decremental
+//!   tiers: the codec is a monotone step function of the *sender's*
+//!   battery charge fraction (dense when charged, progressively
+//!   cheaper codecs as charge falls; see [`EnergyTier`] and
+//!   [`tier_codec`]). Senders without a battery resolve at charge 1.0.
+//!
+//! Per-link policies compose with a consensus stepsize `γ ≤ 1` (the
+//! executor's `consensus_gamma`): after aggregation the committed model
+//! is `x^t = x^{t−½} + γ (Σ_j W_ji x_j^{t−½} − x^{t−½})`, the damped
+//! mixing CHOCO-SGD uses to keep extreme sparsification stable. `γ = 1`
+//! is plain gossip and keeps the legacy path bit-exact.
+//!
+//! Because the codec of a link may change *between firings* (charge
+//! recovers, rarity statistics evolve), every per-link consumer —
+//! error-feedback replicas, encode/decode scratch, the energy ledger's
+//! per-message byte quotes — keys off the codec resolved for that
+//! message rather than any global constant. The ledger charges each
+//! directed edge the wire bytes of the codec that edge actually used
+//! ([`ModelCodec::charged_message_bytes`]).
+//!
 //! # Error feedback
 //!
 //! [`ErrorFeedbackState`] holds the per-directed-link accumulators of
@@ -58,7 +99,12 @@
 //! the raw model, folding the delivered part back into the replica.
 //! Whatever the codec failed to deliver stays in the next residual, so
 //! aggressive sparsification no longer starves low-magnitude
-//! coordinates. The state is **link-local** — it never travels on the
+//! coordinates. Replicas are codec-agnostic — a replica is just the
+//! receiver's dense estimate of the sender's model, advanced by whatever
+//! payload the round's resolved codec delivered — so a link's codec may
+//! change freely between firings under a per-link policy (a dense
+//! firing simply lands the replica on the sender's model exactly).
+//! The state is **link-local** — it never travels on the
 //! wire, so the frame layout above and every per-message byte count are
 //! unchanged by feedback (a top-k frame simply carries delta values
 //! instead of absolute ones).
@@ -297,6 +343,155 @@ impl ModelCodec {
                 let values = gather(params, &indices);
                 Payload::Sparse { indices, values }
             }
+        }
+    }
+}
+
+/// One explicit entry of a [`CompressionPolicy::PerLink`] table: the codec
+/// used on the directed link `src → dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkCodec {
+    /// Sender node id.
+    pub src: u32,
+    /// Receiver node id.
+    pub dst: u32,
+    /// Codec applied to every message on this directed link.
+    pub codec: ModelCodec,
+}
+
+/// One rung of an [`CompressionPolicy::EnergyAdaptive`] tier table: the
+/// codec a sender uses while its battery charge fraction is at least
+/// `min_charge_fraction`. Tables are evaluated top-down by
+/// [`tier_codec`], so entries must be sorted by *descending*
+/// `min_charge_fraction`; the last entry is the floor codec used at any
+/// charge below every threshold (set its threshold to `0.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTier {
+    /// Inclusive lower bound on the sender's charge fraction (0.0–1.0).
+    pub min_charge_fraction: f64,
+    /// Codec used while charge is at or above the bound.
+    pub codec: ModelCodec,
+}
+
+/// Picks the codec for a sender at `charge_fraction` from a tier table
+/// sorted by descending [`EnergyTier::min_charge_fraction`]: the first
+/// tier whose threshold the charge meets wins, falling back to the last
+/// (lowest) tier. A sender with no battery reports charge `1.0` and
+/// always resolves the top tier.
+pub fn tier_codec(tiers: &[EnergyTier], charge_fraction: f64) -> ModelCodec {
+    for tier in tiers {
+        if charge_fraction >= tier.min_charge_fraction {
+            return tier.codec;
+        }
+    }
+    tiers
+        .last()
+        .map(|t| t.codec)
+        .unwrap_or(ModelCodec::DenseF32)
+}
+
+/// Top-k budget for a link that has fired `fires` times in
+/// `elapsed_rounds` scheduled rounds under
+/// [`CompressionPolicy::RarityAdaptive`]: a link live in roughly `1/m`
+/// of rounds gets `m`× the base budget, clamped to `max_k`. Both counts
+/// include the current round (the resolver bumps `fires` *before*
+/// asking), so a link that fires every round always resolves `base_k`
+/// and a never-before-seen link on round `r` gets the full `r`× boost.
+pub fn rarity_k(base_k: usize, max_k: usize, elapsed_rounds: u64, fires: u64) -> usize {
+    let boost = (elapsed_rounds / fires.max(1)).max(1) as usize;
+    base_k.saturating_mul(boost).min(max_k.max(base_k))
+}
+
+/// How the codec for each directed link is chosen, resolved by the
+/// executor once per round per effective edge. See the module docs for
+/// the policy layer's contract; [`CompressionPolicy::Uniform`] is the
+/// bit-exact legacy path equivalent to the old global
+/// `SimulationConfig::codec` scalar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompressionPolicy {
+    /// Every link uses the same codec every round (legacy behaviour).
+    Uniform(ModelCodec),
+    /// Explicit per-directed-link table; links absent from the table use
+    /// `default`.
+    PerLink {
+        /// Codec for links not listed in `links`.
+        default: ModelCodec,
+        /// Explicit directed-link overrides.
+        links: Vec<LinkCodec>,
+    },
+    /// Top-k with a budget that grows on rarely-fired links: a link live
+    /// in `1/m` of scheduled rounds sends `min(m · base_k, max_k)`
+    /// coordinates (see [`rarity_k`]).
+    RarityAdaptive {
+        /// Budget for a link that fires every round.
+        base_k: usize,
+        /// Hard ceiling on any link's budget.
+        max_k: usize,
+    },
+    /// DEAL-style decremental tiers: the sender's battery charge
+    /// fraction picks the codec from a descending tier table (see
+    /// [`tier_codec`] and [`EnergyTier`]).
+    EnergyAdaptive {
+        /// Tier table, sorted by descending `min_charge_fraction`.
+        tiers: Vec<EnergyTier>,
+    },
+}
+
+impl Default for CompressionPolicy {
+    fn default() -> Self {
+        CompressionPolicy::Uniform(ModelCodec::DenseF32)
+    }
+}
+
+impl CompressionPolicy {
+    /// The single codec shared by every link, when the policy is
+    /// [`Uniform`](CompressionPolicy::Uniform) — the executor's bit-exact
+    /// legacy fast path. `None` for every adaptive policy.
+    pub fn uniform(&self) -> Option<ModelCodec> {
+        match self {
+            CompressionPolicy::Uniform(codec) => Some(*codec),
+            _ => None,
+        }
+    }
+
+    /// True when [`uniform`](Self::uniform) returns `Some`.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, CompressionPolicy::Uniform(_))
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompressionPolicy::Uniform(_) => "uniform",
+            CompressionPolicy::PerLink { .. } => "per-link",
+            CompressionPolicy::RarityAdaptive { .. } => "rarity-adaptive",
+            CompressionPolicy::EnergyAdaptive { .. } => "energy-adaptive",
+        }
+    }
+
+    /// The paper-default DEAL-style decremental tier table: dense while
+    /// comfortably charged, then u16 → u8 → top-`k` as the battery
+    /// drains past 75% / 50% / 25% of capacity.
+    pub fn deal_tiers(k: usize) -> Self {
+        CompressionPolicy::EnergyAdaptive {
+            tiers: vec![
+                EnergyTier {
+                    min_charge_fraction: 0.75,
+                    codec: ModelCodec::DenseF32,
+                },
+                EnergyTier {
+                    min_charge_fraction: 0.5,
+                    codec: ModelCodec::QuantizedU16,
+                },
+                EnergyTier {
+                    min_charge_fraction: 0.25,
+                    codec: ModelCodec::QuantizedU8,
+                },
+                EnergyTier {
+                    min_charge_fraction: 0.0,
+                    codec: ModelCodec::TopK { k },
+                },
+            ],
         }
     }
 }
@@ -929,6 +1124,93 @@ mod tests {
         ModelCodec::QuantizedU16,
         ModelCodec::TopK { k: 3 },
     ];
+
+    #[test]
+    fn tier_codec_walks_the_table_top_down() {
+        let CompressionPolicy::EnergyAdaptive { tiers } = CompressionPolicy::deal_tiers(32) else {
+            panic!("deal_tiers is energy-adaptive");
+        };
+        assert_eq!(tier_codec(&tiers, 1.0), ModelCodec::DenseF32);
+        assert_eq!(tier_codec(&tiers, 0.75), ModelCodec::DenseF32);
+        assert_eq!(tier_codec(&tiers, 0.74), ModelCodec::QuantizedU16);
+        assert_eq!(tier_codec(&tiers, 0.5), ModelCodec::QuantizedU16);
+        assert_eq!(tier_codec(&tiers, 0.3), ModelCodec::QuantizedU8);
+        assert_eq!(tier_codec(&tiers, 0.1), ModelCodec::TopK { k: 32 });
+        assert_eq!(tier_codec(&tiers, 0.0), ModelCodec::TopK { k: 32 });
+        // A table whose lowest threshold is above the charge still
+        // resolves its last entry (the floor codec).
+        let no_floor = [EnergyTier {
+            min_charge_fraction: 0.9,
+            codec: ModelCodec::QuantizedU8,
+        }];
+        assert_eq!(tier_codec(&no_floor, 0.2), ModelCodec::QuantizedU8);
+        assert_eq!(tier_codec(&[], 0.5), ModelCodec::DenseF32);
+    }
+
+    #[test]
+    fn rarity_k_boosts_rare_links_and_clamps() {
+        // Fires every round: no boost.
+        assert_eq!(rarity_k(16, 256, 10, 10), 16);
+        // Fires every 4th round: 4x.
+        assert_eq!(rarity_k(16, 256, 40, 10), 64);
+        // Very rare link clamps at max_k.
+        assert_eq!(rarity_k(16, 256, 1000, 1), 256);
+        // Zero fires is treated as one (current round counts).
+        assert_eq!(rarity_k(16, 256, 8, 0), 128);
+        // max_k below base_k never shrinks the base budget.
+        assert_eq!(rarity_k(16, 8, 100, 1), 16);
+    }
+
+    #[test]
+    fn uniform_policy_exposes_its_codec() {
+        let p = CompressionPolicy::Uniform(ModelCodec::TopK { k: 5 });
+        assert!(p.is_uniform());
+        assert_eq!(p.uniform(), Some(ModelCodec::TopK { k: 5 }));
+        assert_eq!(p.name(), "uniform");
+        for adaptive in [
+            CompressionPolicy::PerLink {
+                default: ModelCodec::DenseF32,
+                links: vec![],
+            },
+            CompressionPolicy::RarityAdaptive {
+                base_k: 8,
+                max_k: 64,
+            },
+            CompressionPolicy::deal_tiers(8),
+        ] {
+            assert!(!adaptive.is_uniform());
+            assert_eq!(adaptive.uniform(), None);
+        }
+        assert_eq!(
+            CompressionPolicy::default(),
+            CompressionPolicy::Uniform(ModelCodec::DenseF32)
+        );
+    }
+
+    #[test]
+    fn compression_policy_serde_roundtrips() {
+        let policies = [
+            CompressionPolicy::Uniform(ModelCodec::QuantizedU16),
+            CompressionPolicy::PerLink {
+                default: ModelCodec::DenseF32,
+                links: vec![LinkCodec {
+                    src: 0,
+                    dst: 3,
+                    codec: ModelCodec::TopK { k: 7 },
+                }],
+            },
+            CompressionPolicy::RarityAdaptive {
+                base_k: 16,
+                max_k: 128,
+            },
+            CompressionPolicy::deal_tiers(64),
+        ];
+        for p in policies {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: CompressionPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+        }
+    }
 
     #[test]
     fn roundtrip_preserves_bits() {

@@ -58,9 +58,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use skiptrain_core::experiment::{run_experiment, run_experiment_on};
     pub use skiptrain_core::experiment::{
-        AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, ChurnSpec, DataBundle,
-        DataSpec, EnergySpec, EventSummary, ExperimentConfig, ExperimentResult, TimingSpec,
-        TopologyScheduleSpec, TopologySpec,
+        AlgorithmSpec, BatteryCapacitySpec, BatterySpec, BatterySummary, ChurnSpec,
+        CompressionSpec, DataBundle, DataSpec, EnergySpec, EventSummary, ExperimentConfig,
+        ExperimentResult, TimingSpec, TopologyScheduleSpec, TopologySpec,
     };
     pub use skiptrain_core::policy::{
         ConstrainedPolicy, DPsgdPolicy, GreedyPolicy, RoundPolicy, SkipTrainPolicy,
@@ -81,8 +81,9 @@ pub mod prelude {
         MeanModelObserver, RoundCtx, RoundObserver, RoundReport,
     };
     pub use skiptrain_engine::{
-        ChurnModel, ComputeProfile, EventEngine, EventStats, LatencyModel, ModelCodec, RoundAction,
-        RoundSemantics, Simulation, SimulationConfig, TransportKind, BASE_TRAIN_TICKS,
+        ChurnModel, CompressionPolicy, ComputeProfile, EnergyTier, EventEngine, EventStats,
+        LatencyModel, LinkCodec, ModelCodec, RoundAction, RoundSemantics, Simulation,
+        SimulationConfig, TransportKind, BASE_TRAIN_TICKS,
     };
     pub use skiptrain_nn::zoo::ModelKind;
     pub use skiptrain_nn::{Sequential, Sgd, SoftmaxCrossEntropy};

@@ -3,6 +3,9 @@
 //! energy axis, and the lossless codec must reproduce the uncompressed
 //! baseline bit-for-bit.
 
+// The deprecated builder compression shims are exercised on purpose.
+#![allow(deprecated)]
+
 use skiptrain::prelude::*;
 
 fn tiny(seed: u64) -> ExperimentConfig {

@@ -52,6 +52,7 @@ fn zero_budget_fleet_never_trains() {
     cfg.energy = EnergySpec {
         workload: WorkloadSpec::cifar10(),
         battery_fraction: Some(1e-9),
+        comm_joules_per_byte: None,
     };
     cfg.algorithm = AlgorithmSpec::Greedy;
     let result = cfg.run();
@@ -75,6 +76,7 @@ fn exhausted_constrained_run_becomes_sync_only() {
     cfg.energy = EnergySpec {
         workload: WorkloadSpec::cifar10(),
         battery_fraction: Some(0.0002), // τ ≈ 0–1 rounds per device
+        comm_joules_per_byte: None,
     };
     cfg.algorithm = AlgorithmSpec::SkipTrainConstrained(Schedule::new(4, 4));
     let budgets = cfg.energy.node_budgets(cfg.nodes);

@@ -29,15 +29,25 @@ thread_local! {
     static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Machine parallelism, resolved once: `available_parallelism` re-reads
+/// cgroup quota files on every call (allocating each time), which would
+/// charge every terminal op a constant allocator hit.
+fn machine_parallelism() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 fn current_budget() -> usize {
     BUDGET.with(|b| b.get()).unwrap_or_else(|| {
         let configured = POOL_THREADS.with(|t| t.get());
         if configured > 0 {
             configured
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            machine_parallelism()
         }
     })
 }
@@ -347,18 +357,24 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
     }
 
     fn drive(self, f: &mut dyn FnMut(Self::Item)) {
-        // Pull-based pairing: buffer one side's chunk is unnecessary since
-        // both sides are indexed; drive the shorter length via explicit
-        // sequential splitting.
+        // Allocation-free lockstep pairing: drive side A and pull side B
+        // one item at a time by repeatedly splitting off its head. Both
+        // sides are indexed so split order matches drive order exactly;
+        // a nested zip recurses without ever buffering a side. (The old
+        // form collected side B into a per-call Vec, which made every
+        // zipped terminal op allocate O(len) on the sequential path —
+        // visible as per-round allocator churn in the engine's phase
+        // loops.)
         let len = self.par_len();
         let (a, _) = self.a.split_at(len);
         let (b, _) = self.b.split_at(len);
-        let mut bs = Vec::with_capacity(len);
-        b.drive(&mut |item| bs.push(item));
-        let mut bs = bs.into_iter();
+        let mut rest = Some(b);
         a.drive(&mut |item| {
-            let other = bs.next().expect("zip length mismatch");
-            f((item, other));
+            let (head, tail) = rest.take().expect("zip length mismatch").split_at(1);
+            rest = Some(tail);
+            let mut paired = None;
+            head.drive(&mut |other| paired = Some(other));
+            f((item, paired.expect("zip head holds exactly one item")));
         });
     }
 }
