@@ -1,0 +1,90 @@
+//! Allocation bisector for the dynamic-topology round loop: runs the
+//! `dynamic_topology_round` scenario's pieces in isolation and prints the
+//! per-step heap bytes of each, so a regression in the pinned 0 B gate
+//! can be attributed to graph generation, mixing regeneration, or the
+//! engine round itself without guesswork.
+
+use skiptrain_bench::perf::{allocated_bytes, CountingAllocator};
+use skiptrain_data::synth::{MixtureSpec, MixtureTask};
+use skiptrain_engine::executor::{RoundAction, Simulation, SimulationConfig};
+use skiptrain_engine::transport::ModelCodec;
+use skiptrain_engine::CompressionPolicy;
+use skiptrain_nn::zoo::ModelKind;
+use skiptrain_topology::{Graph, MixingMatrix, ScheduledTopology, TopologySchedule};
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn build_sim(graph: Graph, seed: u64) -> Simulation {
+    let n = graph.len();
+    let mut config = SimulationConfig::minimal(seed, 16, 5, 0.5);
+    config.compression = CompressionPolicy::Uniform(ModelCodec::TopK { k: 64 });
+    config.feedback_beta = Some(1.0);
+    config.feedback_replica_cap = Some(4);
+    let task = MixtureTask::new(
+        MixtureSpec {
+            num_classes: 10,
+            feature_dim: 32,
+            modes_per_class: 2,
+            separation: 1.0,
+            noise: 0.9,
+        },
+        seed,
+    );
+    let datasets = (0..n).map(|i| task.sample(60, i as u64)).collect();
+    let models = (0..n)
+        .map(|i| {
+            ModelKind::Mlp {
+                dims: vec![32, 24, 10],
+            }
+            .build(seed + i as u64)
+        })
+        .collect();
+    let mixing = MixingMatrix::metropolis_hastings(&graph);
+    Simulation::new(models, datasets, graph, mixing, config)
+}
+
+fn probe(name: &str, warmup: usize, iters: usize, mut step: impl FnMut()) {
+    for _ in 0..warmup {
+        step();
+    }
+    let before = allocated_bytes();
+    for _ in 0..iters {
+        step();
+    }
+    let per_step = (allocated_bytes() - before) / iters as u64;
+    println!("{name:40} {per_step:8} bytes/step");
+}
+
+fn main() {
+    let n = 24;
+    let base = Graph::complete(n);
+    let actions = vec![RoundAction::SyncOnly; n];
+
+    let mut sched = ScheduledTopology::new(
+        base.clone(),
+        TopologySchedule::EdgeDropout { p: 0.7, seed: 11 },
+    );
+    let mut round = 0usize;
+    probe("mixing_for_round only", 10, 200, || {
+        black_box(sched.mixing_for_round(round));
+        round += 1;
+    });
+
+    let mut sim = build_sim(base.clone(), 5);
+    probe("sim round, static mixing", 10, 200, || {
+        sim.try_run_round(black_box(&actions)).expect("round runs");
+    });
+
+    let mut sim = build_sim(base.clone(), 5);
+    let mut sched = ScheduledTopology::new(
+        base.clone(),
+        TopologySchedule::EdgeDropout { p: 0.7, seed: 11 },
+    );
+    probe("sim round with scheduled mixing", 10, 200, || {
+        let mixing = sched.mixing_for_round(sim.round());
+        sim.try_run_round_with_mixing(black_box(&actions), mixing)
+            .expect("scheduled graph matches the fleet");
+    });
+}

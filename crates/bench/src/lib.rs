@@ -15,6 +15,11 @@
 //! the reproduction can be judged at a glance; EXPERIMENTS.md records one
 //! full run.
 
+// The only unsafe in the workspace lives in this crate (the counting
+// allocator); force every unsafe operation into an explicit, SAFETY-
+// commented block even inside `unsafe fn` bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use skiptrain_core::presets::Scale;
 use skiptrain_core::ExperimentConfig;
 use std::path::PathBuf;

@@ -49,18 +49,26 @@ pub struct CountingAllocator;
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged, so `System`'s contract
+        // (non-zero size, valid alignment) is exactly our caller's contract.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` come from our caller, who per the
+        // `GlobalAlloc` contract obtained `ptr` from `alloc` above — which
+        // is `System.alloc` — with this same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size > layout.size() {
             ALLOCATED_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: arguments are forwarded unchanged; `ptr` was produced by
+        // `System.alloc`/`System.realloc` with `layout` per the caller's
+        // `GlobalAlloc` obligations.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

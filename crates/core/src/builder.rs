@@ -321,6 +321,7 @@ impl Experiment {
     /// for the fault-isolating path.
     pub fn run(&self) -> ExperimentResult {
         let data = self.build_data();
+        // lint:allow(no_panic, "documented '# Panics' contract: run_resilient is the fault-isolating path")
         runner::execute(&self.config, &data, &mut []).unwrap_or_else(|e| panic!("{e}"))
     }
 

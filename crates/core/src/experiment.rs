@@ -194,6 +194,7 @@ impl TopologyScheduleSpec {
         }
         Some(
             skiptrain_topology::ScheduledTopology::try_new(base.clone(), self.build(master_seed))
+                // lint:allow(no_panic, "schedule parameters were validated by cfg.validate() before this point")
                 .unwrap_or_else(|e| panic!("invalid topology schedule: {e}")),
         )
     }
@@ -1151,6 +1152,7 @@ impl ExperimentConfig {
     /// prefer [`ExperimentConfig::try_build_policy`] or the validating
     /// [`Experiment`](crate::Experiment) API.
     pub fn build_policy(&self) -> Box<dyn RoundPolicy> {
+        // lint:allow(no_panic, "documented '# Panics' contract; try_build_policy is the typed-error path")
         self.try_build_policy().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -1279,8 +1281,10 @@ impl ExperimentConfig {
     /// path.
     pub fn run(&self) -> ExperimentResult {
         self.validate()
+            // lint:allow(no_panic, "documented '# Panics' contract; Experiment is the validating path")
             .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
         let data = self.data.build(self.nodes, self.seed);
+        // lint:allow(no_panic, "documented '# Panics' contract; Experiment is the validating path")
         crate::runner::execute(self, &data, &mut []).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -1292,6 +1296,7 @@ impl ExperimentConfig {
     /// [`ExperimentConfig::run`].
     pub fn run_on(&self, data: &DataBundle) -> ExperimentResult {
         crate::runner::run_with_observers(self, data, &mut [])
+            // lint:allow(no_panic, "documented '# Panics' contract; Experiment is the validating path")
             .unwrap_or_else(|e| panic!("invalid experiment config: {e}"))
     }
 }

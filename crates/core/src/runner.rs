@@ -155,6 +155,7 @@ pub fn run_with_observers(
             got: data.node_datasets.len(),
         });
     }
+    // lint:allow(no_panic, "legacy infallible contract: config was validated above, an engine failure here is a scheduling bug")
     Ok(execute(cfg, data, observers).unwrap_or_else(|e| panic!("{e}")))
 }
 

@@ -46,6 +46,7 @@ impl SweepResult {
                     .total_cmp(&b.val_accuracy)
                     .then(b.training_energy_wh.total_cmp(&a.training_energy_wh))
             })
+            // lint:allow(no_panic, "grid_search asserts a non-empty gamma grid, so every SweepResult holds at least one cell")
             .expect("sweep has at least one cell")
     }
 
@@ -86,6 +87,7 @@ pub fn grid_search(base: &ExperimentConfig, gammas: &[usize]) -> SweepResult {
     assert!(!gammas.is_empty(), "empty gamma grid");
     let results = grid_campaign(base, gammas)
         .run()
+        // lint:allow(no_panic, "documented '# Panics' contract for the convenience grid API")
         .unwrap_or_else(|e| panic!("invalid sweep configuration: {e}"));
     let cells = results
         .iter()

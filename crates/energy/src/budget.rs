@@ -77,20 +77,19 @@ impl BudgetTracker {
             .zip(&round_cost_wh)
             .map(|(&t, &c)| (t as f64 * c).max(f64::MIN_POSITIVE))
             .collect();
-        let wh = BatteryState::new(capacity);
-        let mut tracker = Self {
+        let mut wh = BatteryState::new(capacity);
+        // nodes with zero budget start with their (epsilon) charge burned
+        for (i, &budget) in budgets.iter().enumerate() {
+            if budget == 0 {
+                wh.drain_all(i);
+            }
+        }
+        Self {
             remaining: budgets.clone(),
             initial: budgets,
             round_cost_wh,
             wh: Some(wh),
-        };
-        // nodes with zero budget start with their (epsilon) charge burned
-        for i in 0..tracker.len() {
-            if tracker.initial[i] == 0 {
-                tracker.wh.as_mut().unwrap().drain_all(i);
-            }
         }
-        tracker
     }
 
     /// An effectively unlimited tracker (unconstrained setting).

@@ -529,6 +529,7 @@ impl EventEngine {
                     self.absent -= 1;
                     self.stats.joins += 1;
                 }
+                // lint:allow(no_panic, "phase invariant: the boundary queue is drained before compute events are pushed")
                 _ => unreachable!("only churn events fire at the round boundary"),
             }
         }
@@ -557,6 +558,7 @@ impl EventEngine {
         while let Some((t, ev)) = self.queue.pop() {
             self.stats.events += 1;
             let Event::TrainComplete { node } = ev else {
+                // lint:allow(no_panic, "phase invariant: the queue was empty at phase start and only TrainComplete was pushed")
                 unreachable!("compute phase only schedules completions")
             };
             self.completions[node as usize] = t;
@@ -604,6 +606,7 @@ impl EventEngine {
         while let Some((t, ev)) = self.queue.pop() {
             self.stats.events += 1;
             let Event::MessageArrive { src, dst } = ev else {
+                // lint:allow(no_panic, "phase invariant: the queue was empty at phase start and only MessageArrive was pushed")
                 unreachable!("propagation phase only schedules arrivals")
             };
             if t > deadline {
@@ -625,6 +628,7 @@ impl EventEngine {
         // barrier/deadline, so their clocks resynchronize here. Absent
         // clocks stay frozen.
         self.queue.push(round_end, Event::EvalTick);
+        // lint:allow(no_panic, "provably infallible: the eval tick was pushed on the line above")
         let (t, _) = self.queue.pop().expect("eval tick just scheduled");
         self.stats.events += 1;
         self.now = t;

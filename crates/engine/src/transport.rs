@@ -589,6 +589,7 @@ impl LinkMap {
                         .enumerate()
                         .min_by_key(|(_, e)| (e.last_delivery, e.sender))
                         .map(|(i, _)| i)
+                        // lint:allow(no_panic, "provably infallible: this branch requires entries.len() >= cap with cap > 0")
                         .expect("cap > 0 so the map is non-empty");
                     self.evictions += 1;
                     self.entries.remove(stalest).replica
@@ -882,14 +883,17 @@ impl<'a> Reader<'a> {
     }
 
     fn get_u32(&mut self) -> u32 {
+        // lint:allow(no_panic, "take(4) returns exactly 4 bytes, so the array conversion cannot fail")
         u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
     }
 
     fn get_u32_le(&mut self) -> u32 {
+        // lint:allow(no_panic, "take(4) returns exactly 4 bytes, so the array conversion cannot fail")
         u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
     }
 
     fn get_u16_le(&mut self) -> u16 {
+        // lint:allow(no_panic, "take(2) returns exactly 2 bytes, so the array conversion cannot fail")
         u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
     }
 
@@ -992,6 +996,7 @@ pub fn decode_frame_into<'a>(
         return Err(DecodeError::Truncated);
     }
     let payload_len = body.len() - 4;
+    // lint:allow(no_panic, "payload_len = body.len() - 4, so the trailing slice is exactly 4 bytes")
     let expected = u32::from_be_bytes(body[payload_len..].try_into().expect("4 trailing bytes"));
     if checksum_of(&body[..payload_len]) != expected {
         return Err(DecodeError::BadChecksum);

@@ -1,0 +1,505 @@
+//! A hand-rolled Rust lexer: just enough token structure for invariant
+//! linting.
+//!
+//! The rules in this crate only need to tell identifiers, punctuation,
+//! literals, and comments apart — with *correct* string/comment
+//! boundaries, so that `panic!` inside a doc comment or `".unwrap()"`
+//! inside a string literal never yields a finding. The lexer therefore
+//! handles the full Rust literal surface (escaped strings, raw strings
+//! with arbitrary `#` fences, byte strings, char-vs-lifetime
+//! disambiguation, nested block comments) but deliberately does not
+//! classify keywords, glue multi-character operators, or build a syntax
+//! tree: rules match token *sequences* (`Instant` `::` `now`), which is
+//! robust to formatting and needs no grammar.
+//!
+//! Unterminated constructs at end of file lex to a final token covering
+//! the rest of the input instead of failing: a lint pass must degrade
+//! gracefully on files that do not parse.
+
+/// Token classification, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type` → `type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, char and byte-char
+    /// literals.
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw source text (raw identifiers are stored without the `r#`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for comment tokens (insignificant to the rule matchers).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `pred` holds, appending to `out`.
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        self.take_while(&mut s, is_ident_continue);
+        s
+    }
+
+    /// `"…"` body after the opening quote, honoring `\` escapes.
+    fn quoted_string(&mut self, out: &mut String) {
+        while let Some(c) = self.bump() {
+            out.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        out.push(e);
+                    }
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// `r#"…"#` body after the `r` prefix: counts the `#` fence, then
+    /// scans for `"` followed by the same fence.
+    fn raw_string(&mut self, out: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            out.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // not actually a raw string; degrade gracefully
+        }
+        out.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            out.push(c);
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    out.push('#');
+                    self.bump();
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Char or byte-char literal body after the opening `'`.
+    fn char_literal(&mut self, out: &mut String) {
+        while let Some(c) = self.bump() {
+            out.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        out.push(e);
+                    }
+                }
+                '\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// True when a `'` at the current position starts a lifetime rather
+    /// than a char literal: `'ident` not followed by a closing quote.
+    fn quote_is_lifetime(&self) -> bool {
+        let Some(first) = self.peek(0) else {
+            return false;
+        };
+        if !is_ident_start(first) {
+            return false;
+        }
+        // scan the identifier run; a closing `'` right after makes it a
+        // char literal ('a'), anything else a lifetime ('a, 'static)
+        let mut k = 1;
+        while let Some(c) = self.peek(k) {
+            if is_ident_continue(c) {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        self.peek(k) != Some('\'')
+    }
+
+    fn number(&mut self) -> String {
+        let mut s = String::new();
+        loop {
+            self.take_while(&mut s, is_ident_continue);
+            // fractional part: only consume `.` when a digit follows, so
+            // ranges (`0..n`) and method calls (`1.max(x)`) stay intact
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                s.push('.');
+                self.bump();
+                continue;
+            }
+            // exponent sign: `1e-3` / `2.5E+7`
+            if s.ends_with(['e', 'E'])
+                && matches!(self.peek(0), Some('+' | '-'))
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                s.push(self.peek(0).unwrap_or('+'));
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        s
+    }
+}
+
+/// Lexes `src` into a token stream. Comments are kept as tokens; the
+/// rule engine filters them out of the significant stream but uses them
+/// for `SAFETY:` checks and `lint:allow` pragmas.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let mut push = |kind, text| {
+            toks.push(Tok {
+                kind,
+                text,
+                line,
+                col,
+            })
+        };
+        match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                let mut s = String::new();
+                lx.take_while(&mut s, |c| c != '\n');
+                push(TokKind::LineComment, s);
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                let mut s = String::from("/*");
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            s.push_str("/*");
+                            lx.bump();
+                            lx.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            s.push_str("*/");
+                            lx.bump();
+                            lx.bump();
+                        }
+                        (Some(c), _) => {
+                            s.push(c);
+                            lx.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(TokKind::BlockComment, s);
+            }
+            '"' => {
+                let mut s = String::from('"');
+                lx.bump();
+                lx.quoted_string(&mut s);
+                push(TokKind::Literal, s);
+            }
+            '\'' => {
+                lx.bump();
+                if lx.quote_is_lifetime() {
+                    let mut s = String::from('\'');
+                    s.push_str(&lx.ident());
+                    push(TokKind::Lifetime, s);
+                } else {
+                    let mut s = String::from('\'');
+                    lx.char_literal(&mut s);
+                    push(TokKind::Literal, s);
+                }
+            }
+            'r' if matches!(lx.peek(1), Some('"' | '#')) => {
+                // raw string r"…" / r#"…"#, or a raw identifier r#name
+                if lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+                    lx.bump(); // r
+                    lx.bump(); // #
+                    let name = lx.ident();
+                    push(TokKind::Ident, name);
+                } else {
+                    let mut s = String::from('r');
+                    lx.bump();
+                    lx.raw_string(&mut s);
+                    push(TokKind::Literal, s);
+                }
+            }
+            'b' if matches!(lx.peek(1), Some('"' | '\'')) => {
+                let mut s = String::from('b');
+                lx.bump();
+                match lx.bump() {
+                    Some('"') => {
+                        s.push('"');
+                        lx.quoted_string(&mut s);
+                    }
+                    Some('\'') => {
+                        s.push('\'');
+                        lx.char_literal(&mut s);
+                    }
+                    _ => {}
+                }
+                push(TokKind::Literal, s);
+            }
+            'b' if lx.peek(1) == Some('r') && matches!(lx.peek(2), Some('"' | '#')) => {
+                let mut s = String::from("br");
+                lx.bump();
+                lx.bump();
+                lx.raw_string(&mut s);
+                push(TokKind::Literal, s);
+            }
+            c if is_ident_start(c) => {
+                let s = lx.ident();
+                push(TokKind::Ident, s);
+            }
+            c if c.is_ascii_digit() => {
+                let s = lx.number();
+                push(TokKind::Num, s);
+            }
+            c => {
+                lx.bump();
+                push(TokKind::Punct, c.to_string());
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn sig_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n  x.unwrap();\n}");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap");
+        assert_eq!(unwrap.line, 2);
+        assert_eq!(unwrap.kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `.unwrap()` and `panic!` inside string literals must not appear
+        // as identifier tokens
+        let texts = sig_texts(r#"let s = "x.unwrap() panic!"; f(s);"#);
+        assert!(!texts.contains(&"unwrap".to_string()));
+        assert!(!texts.contains(&"panic".to_string()));
+        assert!(texts.contains(&"\"x.unwrap() panic!\"".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#"let s = "a\"b.unwrap()\"c"; y"#);
+        let lit = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::Literal)
+            .expect("literal");
+        assert!(lit.1.contains("unwrap"));
+        assert!(toks.iter().any(|(_, t)| t == "y"), "lexing continues");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"contains \"quotes\" and .unwrap()\"#; tail";
+        let texts = sig_texts(src);
+        assert!(!texts.contains(&"unwrap".to_string()));
+        assert!(texts.contains(&"tail".to_string()));
+        // double fence
+        let texts = sig_texts("r##\"inner \"# still inside\"## end");
+        assert!(texts.contains(&"end".to_string()));
+        assert_eq!(texts.len(), 2);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let texts = sig_texts(r#"let a = b"panic!"; let c = b'x'; z"#);
+        assert!(!texts.contains(&"panic".to_string()));
+        assert!(texts.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'q'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'q'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\''", "'\\n'", "'\\u{1F600}'", "'\\\\'"] {
+            let toks = lex(&format!("let c = {src}; tail"));
+            assert!(
+                toks.iter().any(|t| t.text == "tail"),
+                "lexer lost sync after {src}"
+            );
+            assert!(toks.iter().any(|t| t.kind == TokKind::Literal));
+        }
+    }
+
+    #[test]
+    fn line_comments_keep_code_out_of_the_sig_stream() {
+        let texts = sig_texts("x; // panic!(\"boom\").unwrap()\ny;");
+        assert_eq!(texts, vec!["x", ";", "y", ";"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let texts = sig_texts("a /* outer /* inner .unwrap() */ still out */ b");
+        assert_eq!(texts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn doc_comments_with_code_fences_are_comments() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn documented() {}";
+        let texts = sig_texts(src);
+        assert!(!texts.contains(&"unwrap".to_string()));
+        assert!(texts.contains(&"documented".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let texts = sig_texts("for i in 0..n { let x = 1.5e-3; let y = 2.max(i); }");
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"1.5e-3".to_string()));
+        assert!(texts.contains(&"2".to_string()));
+        assert!(texts.contains(&"max".to_string()));
+        // the two dots of the range survive as puncts
+        assert_eq!(texts.iter().filter(|t| *t == ".").count(), 3);
+    }
+
+    #[test]
+    fn hex_and_underscored_literals() {
+        let texts = sig_texts("let m = 0x9E37_79B9; let k = 1_000_000u64;");
+        assert!(texts.contains(&"0x9E37_79B9".to_string()));
+        assert!(texts.contains(&"1_000_000u64".to_string()));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b\"open"] {
+            let _ = lex(src); // must not panic or loop forever
+        }
+    }
+
+    #[test]
+    fn multichar_operators_split_into_single_puncts() {
+        let texts = sig_texts("a::b; c << 2; d ^= e;");
+        assert_eq!(texts.iter().filter(|t| *t == ":").count(), 2);
+        assert_eq!(texts.iter().filter(|t| *t == "<").count(), 2);
+        assert!(texts.contains(&"^".to_string()));
+        assert!(texts.contains(&"=".to_string()));
+    }
+}

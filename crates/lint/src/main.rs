@@ -1,0 +1,127 @@
+//! CLI entry point: `cargo run -p lint --release -- --workspace`.
+//!
+//! Scans the workspace, prints findings, writes a schema-validated
+//! `LINT_report.json`, and exits nonzero iff any finding is
+//! unsuppressed. CI runs exactly this and gates the build on it.
+
+use lint::report::{build_report, validate_report};
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+struct Options {
+    root: PathBuf,
+    out: PathBuf,
+    manifest: PathBuf,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: lint --workspace [--root DIR] [--out FILE] \
+[--manifest FILE] [--quiet]
+
+  --workspace      scan crates/ and vendor/ under the root (required)
+  --root DIR       workspace root (default: .)
+  --out FILE       report path (default: LINT_report.json)
+  --manifest FILE  hot-path manifest (default: crates/lint/hotpaths.txt)
+  --quiet          suppress per-finding output; print the summary only
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        out: PathBuf::from("LINT_report.json"),
+        manifest: PathBuf::from("crates/lint/hotpaths.txt"),
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--out" => opts.out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--manifest" => {
+                opts.manifest = PathBuf::from(args.next().ok_or("--manifest needs a value")?)
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("--workspace is required\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Short git revision of the scanned tree, or "unknown" outside a repo.
+fn git_rev(root: &std::path::Path) -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let manifest_path = if opts.manifest.is_absolute() {
+        opts.manifest.clone()
+    } else {
+        opts.root.join(&opts.manifest)
+    };
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read manifest {}: {e}", manifest_path.display()))?;
+    let manifest = lint::parse_manifest(&manifest_text)?;
+
+    let (files_scanned, findings) = lint::scan_workspace(&opts.root, &manifest)?;
+
+    let unsuppressed: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+    if !opts.quiet {
+        for f in &unsuppressed {
+            eprintln!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+        }
+    }
+
+    let report = build_report(&git_rev(&opts.root), ".", files_scanned, &findings);
+    validate_report(&report).map_err(|e| format!("generated report failed validation: {e}"))?;
+    let text = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+    std::fs::write(&opts.out, text + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", opts.out.display()))?;
+
+    let suppressed = findings.len() - unsuppressed.len();
+    eprintln!(
+        "lint: {files_scanned} files scanned, {} findings ({suppressed} suppressed, {} unsuppressed) -> {}",
+        findings.len(),
+        unsuppressed.len(),
+        opts.out.display()
+    );
+    Ok(unsuppressed.is_empty())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

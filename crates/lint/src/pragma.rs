@@ -1,0 +1,233 @@
+//! `lint:allow` suppression pragmas.
+//!
+//! A finding is suppressable only by an explicit, *reasoned* pragma in a
+//! comment on the same line or the line directly above:
+//!
+//! ```text
+//! // lint:allow(no_panic, "mutex poisoning is recovered two lines up")
+//! let state = lock.lock().unwrap();
+//! ```
+//!
+//! The reason is mandatory — a pragma without one, with an empty reason,
+//! or naming an unknown rule is itself reported (rule `pragma`) and can
+//! never be suppressed, so the suppression surface stays auditable.
+
+use crate::lexer::Tok;
+use crate::rules::RULES;
+
+/// One parsed `lint:allow` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule the pragma suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+}
+
+/// A malformed pragma, reported as a finding by the engine.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts every well-formed and malformed pragma from the comment
+/// tokens of a file.
+pub fn collect(toks: &[Tok]) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for tok in toks.iter().filter(|t| t.is_comment()) {
+        let mut rest = tok.text.as_str();
+        while let Some(at) = rest.find("lint:allow") {
+            rest = &rest[at + "lint:allow".len()..];
+            // only an attempted suppression — the pragma name directly
+            // followed by an open paren — is parsed; prose that merely
+            // mentions the pragma name is not a finding
+            if !rest.trim_start().starts_with('(') {
+                continue;
+            }
+            match parse_one(rest) {
+                Ok((pragma_rule, reason, consumed)) => {
+                    if !RULES.contains(&pragma_rule.as_str()) {
+                        bad.push(BadPragma {
+                            line: tok.line,
+                            message: format!(
+                                "lint:allow names unknown rule '{pragma_rule}' (known: {})",
+                                RULES.join(", ")
+                            ),
+                        });
+                    } else if reason.trim().is_empty() {
+                        bad.push(BadPragma {
+                            line: tok.line,
+                            message: format!(
+                                "lint:allow({pragma_rule}, …) has an empty reason; \
+                                 a justification is mandatory"
+                            ),
+                        });
+                    } else {
+                        pragmas.push(Pragma {
+                            rule: pragma_rule,
+                            reason,
+                            line: tok.line,
+                        });
+                    }
+                    rest = &rest[consumed..];
+                }
+                Err(msg) => {
+                    bad.push(BadPragma {
+                        line: tok.line,
+                        message: msg,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Parses `(rule, "reason")` at the start of `rest`, returning the rule,
+/// the reason, and how many bytes were consumed.
+fn parse_one(rest: &str) -> Result<(String, String, usize), String> {
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'(') {
+        return Err("lint:allow must be followed by (rule, \"reason\")".to_string());
+    }
+    i += 1;
+    skip_ws(&mut i);
+    let rule_start = i;
+    while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i == rule_start {
+        return Err("lint:allow(…) is missing a rule name".to_string());
+    }
+    let rule = rest[rule_start..i].to_string();
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b',') {
+        return Err(format!(
+            "lint:allow({rule}) is missing the mandatory \", \\\"reason\\\"\" part"
+        ));
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'"') {
+        return Err(format!(
+            "lint:allow({rule}, …) reason must be a quoted string"
+        ));
+    }
+    i += 1;
+    let reason_start = i;
+    while i < bytes.len() && bytes[i] != b'"' {
+        i += 1;
+    }
+    if i == bytes.len() {
+        return Err(format!(
+            "lint:allow({rule}, \"… reason string is unterminated"
+        ));
+    }
+    let reason = rest[reason_start..i].to_string();
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b')') {
+        return Err(format!(
+            "lint:allow({rule}, \"…\") is missing the closing ')'"
+        ));
+    }
+    Ok((rule, reason, i + 1))
+}
+
+impl Pragma {
+    /// True when this pragma suppresses a finding of `rule` at `line`:
+    /// same line (trailing comment) or the line directly below the
+    /// pragma's own line.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (self.line == line || self.line + 1 == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Pragma>, Vec<BadPragma>) {
+        collect(&lex(src))
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (ok, bad) = parse("// lint:allow(no_panic, \"provably infallible: len checked\")\nx");
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rule, "no_panic");
+        assert_eq!(ok[0].reason, "provably infallible: len checked");
+        assert!(ok[0].covers("no_panic", 1));
+        assert!(ok[0].covers("no_panic", 2));
+        assert!(!ok[0].covers("no_panic", 3));
+        assert!(!ok[0].covers("determinism", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let (ok, bad) = parse("// lint:allow(no_panic)");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"), "{}", bad[0].message);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let (ok, bad) = parse("// lint:allow(no_panic, \"  \")");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("empty reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let (ok, bad) = parse("// lint:allow(no_such_rule, \"because\")");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pragma_in_block_comment_works() {
+        let (ok, bad) = parse("/* lint:allow(determinism, \"keyed lookup only\") */ x");
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rule, "determinism");
+    }
+
+    #[test]
+    fn prose_mention_is_not_a_pragma() {
+        // a comment *discussing* the pragma name without attempting a
+        // suppression (no parenthesis) is ignored…
+        let (ok, bad) = parse("// see the lint:allow docs for details");
+        assert!(ok.is_empty());
+        assert!(bad.is_empty());
+        // …but an attempted suppression with a broken shape is reported
+        let (ok, bad) = parse("// lint:allow(no_panic missing comma)");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn two_pragmas_in_one_comment() {
+        let (ok, bad) = parse("// lint:allow(no_panic, \"a\") lint:allow(determinism, \"b\")");
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 2);
+    }
+}

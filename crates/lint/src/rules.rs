@@ -1,0 +1,606 @@
+//! The five invariant rule families, as token-sequence matchers.
+//!
+//! | rule            | scope                         | what it catches |
+//! |-----------------|-------------------------------|-----------------|
+//! | `determinism`   | library crates, non-test      | wall-clock time (`Instant`, `SystemTime`), unseeded RNG (`thread_rng`, `from_entropy`), `HashMap`/`HashSet` (iteration-order nondeterminism) |
+//! | `no_panic`      | library crates, non-test      | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `hot_path_alloc`| manifest-listed function bodies | `Vec::new`, `vec![]`, `.to_vec()`, `.collect()`, `.clone()`, `Box::new`, `format!`, … |
+//! | `seed_stream`   | library crates, non-test      | raw arithmetic on seed values outside the `derive_seed` helper family |
+//! | `unsafe_hygiene`| every scanned file            | `unsafe` without a `// SAFETY:` comment directly above |
+//!
+//! Findings are suppressable only via a reasoned `lint:allow` pragma
+//! (see [`crate::pragma`]); malformed pragmas surface under the sixth,
+//! unsuppressable rule name `pragma`.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::pragma;
+use crate::scope::{self, Scopes};
+use std::collections::BTreeMap;
+
+/// Every rule name the engine can emit (and a pragma can name).
+pub const RULES: &[&str] = &[
+    "determinism",
+    "no_panic",
+    "hot_path_alloc",
+    "seed_stream",
+    "unsafe_hygiene",
+    "pragma",
+];
+
+/// Functions allowed to do raw seed arithmetic — the sanctioned
+/// derivation helpers. Arithmetic is also sanctioned when it appears
+/// directly as an argument to a call of one of these (the pervasive
+/// `derive_seed(seed ^ STREAM_TAG, i)` tag idiom).
+pub const SEED_HELPERS: &[&str] = &["derive_seed", "round_seed", "retry_seed", "stream_rng"];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule family (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// True when a reasoned `lint:allow` pragma covers it.
+    pub suppressed: bool,
+    /// The pragma's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// Per-file rule configuration, derived from the file's workspace
+/// location by the caller.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Apply `determinism`, `no_panic`, and `seed_stream` (library-crate
+    /// source files).
+    pub lib_rules: bool,
+    /// Manifest-listed hot-path function names in this file.
+    pub hot_fns: Vec<String>,
+}
+
+/// Lints one file. `rel_path` is the repo-relative path used in
+/// findings; `class` selects which rule families apply (`unsafe_hygiene`
+/// and `pragma` always do).
+pub fn check_file(rel_path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    let toks = lex(src);
+    let sig: Vec<Tok> = toks.iter().filter(|t| !t.is_comment()).cloned().collect();
+    let scopes = scope::analyze(&sig);
+    let (pragmas, bad_pragmas) = pragma::collect(&toks);
+
+    // line → concatenated comment text (SAFETY lookups), and the set of
+    // lines carrying significant tokens (comment-contiguity checks)
+    let mut comment_lines: BTreeMap<u32, String> = BTreeMap::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        for (line, piece) in (t.line..).zip(t.text.split('\n')) {
+            comment_lines.entry(line).or_default().push_str(piece);
+        }
+    }
+    let mut sig_lines: Vec<u32> = sig.iter().map(|t| t.line).collect();
+    sig_lines.dedup();
+
+    let mut findings = Vec::new();
+    let mut emit = |rule: &'static str, tok: &Tok, message: String| {
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            suppressed: false,
+            reason: None,
+        });
+    };
+
+    if class.lib_rules {
+        determinism(&sig, &scopes, &mut emit);
+        no_panic(&sig, &scopes, &mut emit);
+        seed_stream(&sig, &scopes, &mut emit);
+    }
+    if !class.hot_fns.is_empty() {
+        hot_path_alloc(&sig, &scopes, &class.hot_fns, &mut emit);
+    }
+    unsafe_hygiene(&sig, &comment_lines, &sig_lines, &mut emit);
+
+    // malformed pragmas are findings of the unsuppressable `pragma` rule
+    for bp in bad_pragmas {
+        findings.push(Finding {
+            rule: "pragma",
+            file: rel_path.to_string(),
+            line: bp.line,
+            col: 1,
+            message: bp.message,
+            suppressed: false,
+            reason: None,
+        });
+    }
+
+    // apply suppressions
+    for f in &mut findings {
+        if f.rule == "pragma" {
+            continue;
+        }
+        if let Some(p) = pragmas.iter().find(|p| p.covers(f.rule, f.line)) {
+            f.suppressed = true;
+            f.reason = Some(p.reason.clone());
+        }
+    }
+    findings
+}
+
+fn determinism(sig: &[Tok], scopes: &Scopes, emit: &mut impl FnMut(&'static str, &Tok, String)) {
+    for (i, tok) in sig.iter().enumerate() {
+        if tok.kind != TokKind::Ident || scopes.in_test(i) {
+            continue;
+        }
+        let msg = match tok.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "{} has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                 (or a sorted map like LinkMap) in result-producing code",
+                tok.text
+            )),
+            "Instant" | "SystemTime" => Some(format!(
+                "wall-clock time source {} in library code breaks run-to-run \
+                 reproducibility; thread virtual time through instead",
+                tok.text
+            )),
+            "thread_rng" | "from_entropy" => Some(format!(
+                "{} draws entropy outside the seed chain; derive every stream \
+                 from an explicit seed via derive_seed",
+                tok.text
+            )),
+            _ => None,
+        };
+        if let Some(m) = msg {
+            emit("determinism", tok, m);
+        }
+    }
+}
+
+fn no_panic(sig: &[Tok], scopes: &Scopes, emit: &mut impl FnMut(&'static str, &Tok, String)) {
+    for (i, tok) in sig.iter().enumerate() {
+        if tok.kind != TokKind::Ident || scopes.in_test(i) {
+            continue;
+        }
+        match tok.text.as_str() {
+            "unwrap" | "expect" if i > 0 && sig[i - 1].text == "." => {
+                emit(
+                    "no_panic",
+                    tok,
+                    format!(
+                        ".{}() can panic mid-campaign; return a typed error, or \
+                         justify provable infallibility with lint:allow",
+                        tok.text
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if sig.get(i + 1).is_some_and(|t| t.text == "!") =>
+            {
+                emit(
+                    "no_panic",
+                    tok,
+                    format!(
+                        "{}! aborts the cell instead of failing it with a typed \
+                         error a resilient campaign can isolate",
+                        tok.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Allocating `Type::method` pairs and method calls policed inside
+/// hot-path functions.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "Arc", "Rc", "VecDeque", "BTreeMap", "HashMap",
+];
+const ALLOC_TYPE_METHODS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "collect",
+    "clone",
+    "to_string",
+    "to_owned",
+    "into_owned",
+];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+fn hot_path_alloc(
+    sig: &[Tok],
+    scopes: &Scopes,
+    hot_fns: &[String],
+    emit: &mut impl FnMut(&'static str, &Tok, String),
+) {
+    for span in scopes.fns.iter().filter(|f| hot_fns.contains(&f.name)) {
+        for i in span.body_start..span.body_end.min(sig.len()) {
+            let tok = &sig[i];
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            let text = tok.text.as_str();
+            let what = if ALLOC_TYPES.contains(&text)
+                && sig.get(i + 1).is_some_and(|t| t.text == ":")
+                && sig.get(i + 2).is_some_and(|t| t.text == ":")
+                && sig
+                    .get(i + 3)
+                    .is_some_and(|t| ALLOC_TYPE_METHODS.contains(&t.text.as_str()))
+            {
+                Some(format!("{text}::{}", sig[i + 3].text))
+            } else if ALLOC_METHODS.contains(&text) && i > 0 && sig[i - 1].text == "." {
+                Some(format!(".{text}()"))
+            } else if ALLOC_MACROS.contains(&text) && sig.get(i + 1).is_some_and(|t| t.text == "!")
+            {
+                Some(format!("{text}!"))
+            } else {
+                None
+            };
+            if let Some(w) = what {
+                emit(
+                    "hot_path_alloc",
+                    tok,
+                    format!(
+                        "{w} allocates inside hot-path fn `{}`; reuse scratch \
+                         buffers across rounds instead",
+                        span.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True for identifiers the seed rule treats as seed values.
+fn is_seed_ident(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && (t.text == "seed" || t.text.ends_with("_seed"))
+}
+
+/// Binary operators that walk or alias a seed stream when applied to a
+/// raw seed. `&` and `*` are only checked on the right of the seed (a
+/// leading `&`/`*` is a borrow/deref), `-` only on the right (a leading
+/// `-` may be unary). `|` is not matched at all: single `|` tokens are
+/// overwhelmingly closure-parameter fences and `||`, and the observed
+/// seed-aliasing bugs (PR 2 transport streams, PR 5 gossip matching)
+/// were all `+`/`^` walks.
+const SEED_OPS_AFTER: &[&str] = &["+", "^", "*", "-", "&", "%"];
+const SEED_OPS_BEFORE: &[&str] = &["+", "^", "%"];
+const SEED_METHODS: &[&str] = &[
+    "wrapping_add",
+    "wrapping_mul",
+    "wrapping_sub",
+    "wrapping_xor",
+    "rotate_left",
+    "rotate_right",
+];
+
+fn seed_stream(sig: &[Tok], scopes: &Scopes, emit: &mut impl FnMut(&'static str, &Tok, String)) {
+    for (i, tok) in sig.iter().enumerate() {
+        if !is_seed_ident(tok) || scopes.in_test(i) {
+            continue;
+        }
+        let next = sig.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+        let next2 = sig.get(i + 2).map(|t| t.text.as_str()).unwrap_or("");
+        let prev = if i > 0 { sig[i - 1].text.as_str() } else { "" };
+        let prev2 = if i > 1 { sig[i - 2].text.as_str() } else { "" };
+        let arithmetic = (SEED_OPS_AFTER.contains(&next) && !(next == "&" && next2 == "&"))
+            || (next == "<" && next2 == "<")
+            || (next == ">" && next2 == ">")
+            || (next == "." && SEED_METHODS.contains(&next2))
+            || SEED_OPS_BEFORE.contains(&prev)
+            || (prev == "<" && prev2 == "<")
+            || (prev == ">" && prev2 == ">");
+        if !arithmetic {
+            continue;
+        }
+        if sanctioned(sig, scopes, i) {
+            continue;
+        }
+        emit(
+            "seed_stream",
+            tok,
+            format!(
+                "raw arithmetic on `{}` walks/aliases the seed stream; chain \
+                 through derive_seed (or tag inside a derive_seed call) instead",
+                tok.text
+            ),
+        );
+    }
+}
+
+/// True when the seed arithmetic at significant-token `i` is sanctioned:
+/// inside the body of a [`SEED_HELPERS`] function, or directly inside a
+/// call to one (`derive_seed(seed ^ TAG, …)`).
+fn sanctioned(sig: &[Tok], scopes: &Scopes, i: usize) -> bool {
+    if let Some(f) = scopes.enclosing_fn(i) {
+        if SEED_HELPERS.contains(&f.name.as_str()) {
+            return true;
+        }
+    }
+    // innermost unclosed '(' before i: if the token before it is a
+    // sanctioned helper name, the arithmetic is a tag feeding the chain
+    let floor = scopes.enclosing_fn(i).map(|f| f.body_start).unwrap_or(0);
+    let mut balance = 0i32;
+    for j in (floor..i).rev() {
+        match sig[j].text.as_str() {
+            ")" => balance += 1,
+            "(" => {
+                if balance == 0 {
+                    return j > 0
+                        && sig[j - 1].kind == TokKind::Ident
+                        && SEED_HELPERS.contains(&sig[j - 1].text.as_str());
+                }
+                balance -= 1;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn unsafe_hygiene(
+    sig: &[Tok],
+    comment_lines: &BTreeMap<u32, String>,
+    sig_lines: &[u32],
+    emit: &mut impl FnMut(&'static str, &Tok, String),
+) {
+    for (i, tok) in sig.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        // `unsafe fn` *declares* a contract rather than using one; the
+        // workspace denies `unsafe_op_in_unsafe_fn`, so every operation
+        // inside such a function still needs an `unsafe {}` block, and
+        // that block is where this rule demands the SAFETY comment.
+        if sig.get(i + 1).is_some_and(|t| t.text == "fn") {
+            continue;
+        }
+        if has_safety_comment(tok.line, comment_lines, sig_lines) {
+            continue;
+        }
+        emit(
+            "unsafe_hygiene",
+            tok,
+            "`unsafe` without a `// SAFETY:` comment directly above \
+             documenting why the contract holds"
+                .to_string(),
+        );
+    }
+}
+
+/// A `SAFETY:` comment covers an `unsafe` at `line` when it appears on
+/// the same line or in the contiguous comment block ending directly
+/// above it (blank lines allowed, intervening code lines not).
+fn has_safety_comment(line: u32, comment_lines: &BTreeMap<u32, String>, sig_lines: &[u32]) -> bool {
+    let is_code_line = |l: u32| sig_lines.binary_search(&l).is_ok();
+    if comment_lines
+        .get(&line)
+        .is_some_and(|c| c.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match comment_lines.get(&l) {
+            Some(c) if c.contains("SAFETY:") => return true,
+            Some(_) => continue,
+            None if is_code_line(l) => return false,
+            None => continue, // blank line
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_findings(src: &str) -> Vec<Finding> {
+        check_file(
+            "crates/engine/src/x.rs",
+            src,
+            &FileClass {
+                lib_rules: true,
+                hot_fns: Vec::new(),
+            },
+        )
+    }
+
+    fn unsuppressed(findings: &[Finding], rule: &str) -> usize {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule && !f.suppressed)
+            .count()
+    }
+
+    #[test]
+    fn unwrap_fires_only_outside_tests() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); z.expect(\"m\"); } }";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "no_panic"), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let f = lib_findings("fn f() { panic!(\"x\"); unreachable!(); todo!(); }");
+        assert_eq!(unsuppressed(&f, "no_panic"), 3);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let f =
+            lib_findings("fn f() { x.unwrap_or(0); y.unwrap_or_else(d); z.unwrap_or_default(); }");
+        assert_eq!(unsuppressed(&f, "no_panic"), 0);
+    }
+
+    #[test]
+    fn hashmap_fires_and_btreemap_does_not() {
+        let f = lib_findings("use std::collections::HashMap;\nfn f(m: &HashMap<u32, f32>) {}");
+        assert_eq!(unsuppressed(&f, "determinism"), 2);
+        let f = lib_findings("use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f32>) {}");
+        assert_eq!(unsuppressed(&f, "determinism"), 0);
+    }
+
+    #[test]
+    fn instant_now_fires() {
+        let f = lib_findings("fn f() { let t = Instant::now(); }");
+        assert_eq!(unsuppressed(&f, "determinism"), 1);
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let src = "fn f() {\n    // lint:allow(no_panic, \"len checked two lines up\")\n    x.unwrap();\n}";
+        let f = lib_findings(src);
+        let finding = f.iter().find(|f| f.rule == "no_panic").expect("finding");
+        assert!(finding.suppressed);
+        assert_eq!(finding.reason.as_deref(), Some("len checked two lines up"));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f() { x.unwrap(); // lint:allow(no_panic, \"infallible: just pushed\")\n}";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "no_panic"), 0);
+    }
+
+    #[test]
+    fn pragma_for_wrong_rule_does_not_suppress() {
+        let src = "// lint:allow(determinism, \"wrong rule\")\nfn f() { x.unwrap(); }";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "no_panic"), 1);
+    }
+
+    #[test]
+    fn seed_arithmetic_fires_outside_helpers() {
+        let f = lib_findings("fn f(seed: u64, t: u64) -> u64 { seed + t }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 1);
+        let f = lib_findings("fn f(base_seed: u64) -> u64 { base_seed ^ 0x3A7C }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 1);
+        let f = lib_findings("fn f(seed: u64) -> u64 { seed.wrapping_add(1) }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 1);
+    }
+
+    #[test]
+    fn seed_arithmetic_sanctioned_in_helpers_and_their_calls() {
+        // inside derive_seed itself
+        let f = lib_findings(
+            "fn derive_seed(seed: u64, stream: u64) -> u64 { seed ^ stream.wrapping_mul(3) }",
+        );
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+        // the tag idiom: arithmetic directly inside a derive_seed call
+        let f = lib_findings("fn f(seed: u64, r: u64) -> u64 { derive_seed(seed ^ 0xD50F, r) }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+        // nested chain
+        let f = lib_findings(
+            "fn f(seed: u64, r: u64, s: u64) -> u64 { derive_seed(derive_seed(seed ^ 0xC0F7, r), s) }",
+        );
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+        // …but through an unsanctioned call it still fires
+        let f = lib_findings("fn f(seed: u64) -> u64 { helper(seed + 1) }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 1);
+    }
+
+    #[test]
+    fn seed_comparisons_borrows_and_closures_do_not_fire() {
+        let f = lib_findings("fn f(seed: u64, n: u64) -> bool { g(&seed); seed < n || seed == 3 }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+        let f = lib_findings("fn f(xs: &[u64]) { xs.iter().map(|seed| g(*seed)); }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+        let f = lib_findings("fn f(seed: u64, flag: bool) -> bool { flag && seed == 1 }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 0);
+    }
+
+    #[test]
+    fn field_access_seed_arithmetic_fires() {
+        let f = lib_findings("fn f(c: &Cfg) -> u64 { c.seed ^ 1 }");
+        assert_eq!(unsuppressed(&f, "seed_stream"), 1);
+    }
+
+    #[test]
+    fn hot_path_rule_scopes_to_manifest_fns() {
+        let class = FileClass {
+            lib_rules: false,
+            hot_fns: vec!["hot".to_string()],
+        };
+        let src = "fn hot(xs: &[f32]) -> Vec<f32> { xs.to_vec() }\n\
+                   fn cold(xs: &[f32]) -> Vec<f32> { xs.to_vec() }";
+        let f = check_file("crates/linalg/src/x.rs", src, &class);
+        assert_eq!(unsuppressed(&f, "hot_path_alloc"), 1);
+        assert!(f[0].message.contains("`hot`"));
+    }
+
+    #[test]
+    fn hot_path_catches_the_full_alloc_surface() {
+        let class = FileClass {
+            lib_rules: false,
+            hot_fns: vec!["hot".to_string()],
+        };
+        let src = "fn hot() { let a = Vec::new(); let b = vec![1]; let c = x.clone(); \
+                   let d = Box::new(1); let e = format!(\"x\"); let f: Vec<_> = it.collect(); }";
+        let f = check_file("crates/linalg/src/x.rs", src, &class);
+        assert_eq!(unsuppressed(&f, "hot_path_alloc"), 6);
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_fires() {
+        let f = lib_findings("fn f() { unsafe { danger() } }");
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 1);
+    }
+
+    #[test]
+    fn safety_comment_above_covers_unsafe() {
+        for src in [
+            "// SAFETY: pointer is valid for the whole call\nunsafe { danger() }",
+            "// SAFETY: long justification\n// continuing over two lines\nunsafe { danger() }",
+            "unsafe { danger() } // SAFETY: trailing justification",
+        ] {
+            let f = lib_findings(src);
+            assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 0, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_is_not_flagged_but_inner_block_is() {
+        // the signature declares a contract; with unsafe_op_in_unsafe_fn
+        // denied, the *operation* needs its own commented unsafe block
+        let src = "unsafe fn raw(p: *mut u8) { unsafe { *p = 0; } }";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 1);
+        let covered = "unsafe fn raw(p: *mut u8) {\n\
+                       // SAFETY: caller guarantees p is valid\n\
+                       unsafe { *p = 0; } }";
+        let f = lib_findings(covered);
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 0);
+    }
+
+    #[test]
+    fn unsafe_impl_still_requires_safety_comment() {
+        let f = lib_findings("unsafe impl Send for T {}");
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 1);
+        let f = lib_findings("// SAFETY: T owns no thread-affine state\nunsafe impl Send for T {}");
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 0);
+    }
+
+    #[test]
+    fn code_between_safety_comment_and_unsafe_breaks_coverage() {
+        let src = "// SAFETY: stale comment\nlet x = 1;\nunsafe { danger() }";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "unsafe_hygiene"), 1);
+    }
+
+    #[test]
+    fn malformed_pragma_is_an_unsuppressable_finding() {
+        // even a pragma "suppressing" the pragma rule cannot hide it
+        let src = "// lint:allow(pragma, \"nice try\")\n// lint:allow(no_panic)\nfn f() {}";
+        let f = lib_findings(src);
+        assert_eq!(unsuppressed(&f, "pragma"), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Token-level scope analysis: test regions and function spans.
+//!
+//! The rule engine needs two structural facts a flat token stream does
+//! not give it:
+//!
+//! 1. **Test regions** — ranges covered by `#[cfg(test)]` items (modules,
+//!    functions, impls) and `#[test]` functions. The determinism,
+//!    no-panic, hot-path, and seed-stream rules only police code that
+//!    ships; tests unwrap and use `HashSet` freely.
+//! 2. **Function spans** — `fn name { … }` body ranges, so the hot-path
+//!    rule can scope findings to manifest-listed functions and the
+//!    seed-stream rule can sanction the `derive_seed` helper family.
+//!
+//! Both are computed by a single forward pass over the *significant*
+//! (non-comment) token stream with brace/paren/bracket matching — no
+//! grammar, which keeps the pass robust on any formatting rustfmt or a
+//! human can produce.
+
+use crate::lexer::Tok;
+
+/// A function body located in the significant-token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub start: usize,
+    /// Index of the opening `{` of the body.
+    pub body_start: usize,
+    /// Index one past the closing `}` of the body.
+    pub body_end: usize,
+}
+
+/// Scope facts for one file, in significant-token index space.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// `[start, end)` significant-token ranges that are test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Every function body in the file, in source order (nested functions
+    /// and closures in methods each get their own span).
+    pub fns: Vec<FnSpan>,
+}
+
+impl Scopes {
+    /// True when significant-token index `i` lies inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= i && i < e)
+    }
+
+    /// The innermost function whose body contains `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_start < i && i < f.body_end)
+            .max_by_key(|f| f.body_start)
+    }
+}
+
+/// Index one past the `}` matching the `{` at `open` (or `sig.len()` if
+/// unbalanced).
+fn match_brace(sig: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, tok) in sig.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    sig.len()
+}
+
+/// Index one past the `]` closing the attribute whose `[` is at `open`.
+fn match_bracket(sig: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, tok) in sig.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    sig.len()
+}
+
+/// True when the attribute token range marks test-only code: it contains
+/// the identifier `test` (covering `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`) — except under `not(…)`, so `#[cfg(not(test))]`
+/// items stay policed.
+fn attr_marks_test(sig: &[Tok], start: usize, end: usize) -> bool {
+    for k in start..end {
+        if sig[k].text == "test" {
+            let negated = k >= 2 && sig[k - 1].text == "(" && sig[k - 2].text == "not";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Index one past the end of the item starting at `from` (past its
+/// attributes): the matching `}` of its first top-level brace block, or
+/// the first top-level `;` for braceless items (`use`, trait fn decls).
+fn item_end(sig: &[Tok], from: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut k = from;
+    while k < sig.len() {
+        match sig[k].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return match_brace(sig, k),
+            ";" if paren == 0 && bracket == 0 => return k + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    sig.len()
+}
+
+/// Analyzes the significant-token stream of one file.
+pub fn analyze(sig: &[Tok]) -> Scopes {
+    let mut scopes = Scopes::default();
+    let mut i = 0usize;
+    while i < sig.len() {
+        let text = sig[i].text.as_str();
+        if text == "#" {
+            // `#[…]` outer attribute or `#![…]` inner attribute
+            let bang = i + 1 < sig.len() && sig[i + 1].text == "!";
+            let open = if bang { i + 2 } else { i + 1 };
+            if open < sig.len() && sig[open].text == "[" {
+                let close = match_bracket(sig, open);
+                if attr_marks_test(sig, open, close) {
+                    if bang {
+                        // `#![cfg(test)]`: the whole enclosing scope is
+                        // test-only; treat the rest of the file as such.
+                        scopes.test_ranges.push((i, sig.len()));
+                    } else {
+                        // skip any further attributes between this one
+                        // and the item it decorates
+                        let mut item = close;
+                        while item < sig.len() && sig[item].text == "#" {
+                            let o = item + 1;
+                            if o < sig.len() && sig[o].text == "[" {
+                                item = match_bracket(sig, o);
+                            } else {
+                                break;
+                            }
+                        }
+                        scopes.test_ranges.push((i, item_end(sig, item)));
+                    }
+                }
+                i = close;
+                continue;
+            }
+        } else if text == "fn" {
+            // `fn name …` — skip `fn` pointer types, whose next token is `(`
+            if let Some(name_tok) = sig.get(i + 1) {
+                let name = name_tok.text.clone();
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    // find the body: first `{` at zero paren/bracket
+                    // depth; a `;` first means a bodyless declaration
+                    let mut paren = 0i32;
+                    let mut bracket = 0i32;
+                    let mut k = i + 2;
+                    while k < sig.len() {
+                        match sig[k].text.as_str() {
+                            "(" => paren += 1,
+                            ")" => paren -= 1,
+                            "[" => bracket += 1,
+                            "]" => bracket -= 1,
+                            "{" if paren == 0 && bracket == 0 => {
+                                scopes.fns.push(FnSpan {
+                                    name,
+                                    start: i,
+                                    body_start: k,
+                                    body_end: match_brace(sig, k),
+                                });
+                                break;
+                            }
+                            ";" if paren == 0 && bracket == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sig(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    fn idx_of(sig: &[Tok], text: &str) -> usize {
+        sig.iter()
+            .position(|t| t.text == text)
+            .unwrap_or_else(|| panic!("token {text} not found"))
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_range() {
+        let toks = sig("fn lib_code() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n\
+             fn more_lib() {}");
+        let scopes = analyze(&toks);
+        let lib_unwrap = idx_of(&toks, "x") + 2;
+        let test_unwrap = idx_of(&toks, "y") + 2;
+        assert!(!scopes.in_test(lib_unwrap));
+        assert!(scopes.in_test(test_unwrap));
+        let more = idx_of(&toks, "more_lib");
+        assert!(!scopes.in_test(more), "code after the test mod is live");
+    }
+
+    #[test]
+    fn nested_cfg_test_blocks() {
+        // a cfg(test) mod inside a live mod; braces inside must not
+        // terminate the range early
+        let toks = sig(
+            "mod live {\n  fn a() { if x { y(); } }\n  #[cfg(test)]\n  mod t {\n    fn b() { if p { q.unwrap(); } }\n  }\n  fn c() {}\n}",
+        );
+        let scopes = analyze(&toks);
+        assert!(scopes.in_test(idx_of(&toks, "q")));
+        assert!(!scopes.in_test(idx_of(&toks, "a")));
+        assert!(!scopes.in_test(idx_of(&toks, "c")));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let toks = sig("#[test]\nfn my_case() { z.unwrap(); }\nfn live() {}");
+        let scopes = analyze(&toks);
+        assert!(scopes.in_test(idx_of(&toks, "z")));
+        assert!(!scopes.in_test(idx_of(&toks, "live")));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_not_test_does_not() {
+        let toks = sig(
+            "#[cfg(all(test, feature = \"x\"))]\nfn gated() { a.unwrap(); }\n\
+             #[cfg(not(test))]\nfn shipped() { b.unwrap(); }",
+        );
+        let scopes = analyze(&toks);
+        assert!(scopes.in_test(idx_of(&toks, "a")));
+        assert!(
+            !scopes.in_test(idx_of(&toks, "b")),
+            "cfg(not(test)) code ships and must stay policed"
+        );
+    }
+
+    #[test]
+    fn stacked_attributes_before_the_item() {
+        let toks = sig("#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn u() { v(); } }\nfn w() {}");
+        let scopes = analyze(&toks);
+        assert!(scopes.in_test(idx_of(&toks, "v")));
+        assert!(!scopes.in_test(idx_of(&toks, "w")));
+    }
+
+    #[test]
+    fn braceless_test_items_end_at_semicolon() {
+        let toks = sig("#[cfg(test)]\nuse foo::bar;\nfn live() {}");
+        let scopes = analyze(&toks);
+        assert!(!scopes.in_test(idx_of(&toks, "live")));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nest() {
+        let toks = sig("fn outer() { fn inner() { deep(); } shallow(); }");
+        let scopes = analyze(&toks);
+        assert_eq!(scopes.fns.len(), 2);
+        let deep = idx_of(&toks, "deep");
+        let shallow = idx_of(&toks, "shallow");
+        assert_eq!(scopes.enclosing_fn(deep).expect("deep").name, "inner");
+        assert_eq!(scopes.enclosing_fn(shallow).expect("shallow").name, "outer");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_spans() {
+        let toks = sig("fn takes(f: fn(u64) -> u64) { f(1); }");
+        let scopes = analyze(&toks);
+        assert_eq!(scopes.fns.len(), 1);
+        assert_eq!(scopes.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn signature_parens_and_generics_do_not_confuse_body_detection() {
+        let toks = sig(
+            "fn generic<T: Into<Vec<u8>>>(xs: &[(u32, u32)], n: usize) -> Option<u64> { body(); }",
+        );
+        let scopes = analyze(&toks);
+        assert_eq!(scopes.fns.len(), 1);
+        assert!(scopes
+            .enclosing_fn(idx_of(&toks, "body"))
+            .is_some_and(|f| f.name == "generic"));
+    }
+
+    #[test]
+    fn trait_fn_declarations_have_no_span() {
+        let toks = sig("trait T { fn decl(&self) -> u64; fn with_default(&self) { d(); } }");
+        let scopes = analyze(&toks);
+        assert_eq!(scopes.fns.len(), 1);
+        assert_eq!(scopes.fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_rest_of_file() {
+        let toks = sig("#![cfg(test)]\nfn helper() { x.unwrap(); }");
+        let scopes = analyze(&toks);
+        assert!(scopes.in_test(idx_of(&toks, "x")));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fixture corpus: every rule family has a `firing` fixture the lint
+//! must flag, an `allowed` fixture where each finding carries a
+//! reasoned suppression, and a `clean` fixture that must stay silent.
+//! The fixtures live under `tests/fixtures/<rule>/` — a directory the
+//! workspace walk skips, so deliberately-bad code never pollutes the
+//! real gate.
+
+use lint::rules::{check_file, FileClass, Finding};
+use std::path::Path;
+
+fn run(rule_dir: &str, name: &str, class: &FileClass) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir)
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    check_file(&format!("fixtures/{rule_dir}/{name}"), &src, class)
+}
+
+fn lib_class() -> FileClass {
+    FileClass {
+        lib_rules: true,
+        hot_fns: Vec::new(),
+    }
+}
+
+fn hot_class() -> FileClass {
+    FileClass {
+        lib_rules: false,
+        hot_fns: vec!["dot".to_string()],
+    }
+}
+
+fn plain_class() -> FileClass {
+    FileClass::default()
+}
+
+/// `firing.rs`: at least one finding, all of the expected rule, none
+/// suppressed.
+fn assert_fires(rule: &str, class: &FileClass) {
+    let findings = run(rule, "firing.rs", class);
+    assert!(
+        !findings.is_empty(),
+        "{rule}/firing.rs produced no findings"
+    );
+    for f in &findings {
+        assert_eq!(f.rule, rule, "unexpected rule in {rule}/firing.rs: {f:?}");
+        assert!(!f.suppressed, "finding must be unsuppressed: {f:?}");
+        assert!(f.line >= 1 && f.col >= 1, "positions are 1-based: {f:?}");
+    }
+}
+
+/// `allowed.rs`: at least one finding, all suppressed with a non-empty
+/// reason.
+fn assert_allowed(rule: &str, class: &FileClass) {
+    let findings = run(rule, "allowed.rs", class);
+    assert!(
+        !findings.is_empty(),
+        "{rule}/allowed.rs produced no findings — the pragma has nothing to justify"
+    );
+    for f in &findings {
+        assert_eq!(f.rule, rule, "unexpected rule in {rule}/allowed.rs: {f:?}");
+        assert!(f.suppressed, "finding must be suppressed: {f:?}");
+        let reason = f.reason.as_deref().unwrap_or("");
+        assert!(!reason.is_empty(), "suppression must carry a reason: {f:?}");
+    }
+}
+
+/// `clean.rs`: zero findings of any rule.
+fn assert_clean(rule: &str, class: &FileClass) {
+    let findings = run(rule, "clean.rs", class);
+    assert!(
+        findings.is_empty(),
+        "{rule}/clean.rs must be silent, got: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_fixtures() {
+    assert_fires("determinism", &lib_class());
+    assert_allowed("determinism", &lib_class());
+    assert_clean("determinism", &lib_class());
+}
+
+#[test]
+fn no_panic_fixtures() {
+    assert_fires("no_panic", &lib_class());
+    assert_allowed("no_panic", &lib_class());
+    assert_clean("no_panic", &lib_class());
+}
+
+#[test]
+fn hot_path_alloc_fixtures() {
+    assert_fires("hot_path_alloc", &hot_class());
+    assert_allowed("hot_path_alloc", &hot_class());
+    assert_clean("hot_path_alloc", &hot_class());
+}
+
+#[test]
+fn seed_stream_fixtures() {
+    assert_fires("seed_stream", &lib_class());
+    assert_allowed("seed_stream", &lib_class());
+    assert_clean("seed_stream", &lib_class());
+}
+
+#[test]
+fn unsafe_hygiene_fixtures() {
+    assert_fires("unsafe_hygiene", &plain_class());
+    assert_allowed("unsafe_hygiene", &plain_class());
+    assert_clean("unsafe_hygiene", &plain_class());
+}
+
+#[test]
+fn pragma_fixtures() {
+    assert_fires("pragma", &plain_class());
+    assert_clean("pragma", &plain_class());
+}
+
+#[test]
+fn pragma_findings_are_unsuppressable() {
+    // allowed.rs tries to shield a malformed pragma with a well-formed
+    // allow naming the pragma rule itself; the finding must survive
+    // unsuppressed.
+    let findings = run("pragma", "allowed.rs", &plain_class());
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the malformed pragma: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "pragma");
+    assert!(!findings[0].suppressed, "pragma findings cannot be allowed");
+}
+
+#[test]
+fn firing_fixtures_catch_every_pattern_variant() {
+    // spot-check counts so a lexer regression that drops half the
+    // patterns cannot slip through the any-finding assertions above
+    assert_eq!(run("determinism", "firing.rs", &lib_class()).len(), 4);
+    assert_eq!(run("no_panic", "firing.rs", &lib_class()).len(), 4);
+    assert_eq!(run("hot_path_alloc", "firing.rs", &hot_class()).len(), 3);
+    assert_eq!(run("seed_stream", "firing.rs", &lib_class()).len(), 3);
+    assert_eq!(run("unsafe_hygiene", "firing.rs", &plain_class()).len(), 1);
+    assert_eq!(run("pragma", "firing.rs", &plain_class()).len(), 2);
+}
+
+#[test]
+fn fixture_corpus_is_complete() {
+    // every rule directory must hold its expected fixture set, so a
+    // future rule added without fixtures is caught here
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in lint::rules::RULES {
+        let dir = root.join(rule);
+        assert!(dir.join("firing.rs").is_file(), "{rule}: missing firing.rs");
+        assert!(dir.join("clean.rs").is_file(), "{rule}: missing clean.rs");
+        // the unsuppressable pragma rule repurposes allowed.rs (see
+        // pragma_findings_are_unsuppressable); all others suppress
+        assert!(
+            dir.join("allowed.rs").is_file(),
+            "{rule}: missing allowed.rs"
+        );
+    }
+}
+
+/// Builds a throwaway one-crate workspace at `tag` whose
+/// `crates/core/src/lib.rs` holds `content`, plus an empty hot-path
+/// manifest, and runs the real lint binary over it. Returns the exit
+/// code.
+fn run_binary_on(tag: &str, content: &str) -> i32 {
+    let root = std::env::temp_dir().join(format!("lint-e2e-{tag}-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("create temp workspace");
+    std::fs::write(src.join("lib.rs"), content).expect("write fixture source");
+    let manifest = root.join("hotpaths.txt");
+    std::fs::write(&manifest, "# empty manifest\n").expect("write manifest");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg("--workspace")
+        .arg("--quiet")
+        .arg("--root")
+        .arg(&root)
+        .arg("--manifest")
+        .arg(&manifest)
+        .arg("--out")
+        .arg(root.join("LINT_report.json"))
+        .output()
+        .expect("run lint binary");
+    let code = out.status.code().expect("lint exit code");
+    std::fs::remove_dir_all(&root).ok();
+    code
+}
+
+#[test]
+fn binary_exits_nonzero_on_a_firing_tree_and_zero_on_a_clean_one() {
+    let firing = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism/firing.rs"),
+    )
+    .expect("read firing fixture");
+    assert_eq!(run_binary_on("firing", &firing), 1);
+
+    let clean = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism/clean.rs"),
+    )
+    .expect("read clean fixture");
+    assert_eq!(run_binary_on("clean", &clean), 0);
+}

@@ -1,0 +1,14 @@
+//! Same pattern as `firing.rs`, but every finding carries a reasoned
+//! `lint:allow` pragma. Lint fixture — never compiled.
+
+// lint:allow(determinism, "iteration order is never observed: the map is queried point-wise only")
+use std::collections::HashMap;
+
+pub fn count_distinct(xs: &[u32]) -> usize {
+    // lint:allow(determinism, "iteration order is never observed: the map is queried point-wise only")
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

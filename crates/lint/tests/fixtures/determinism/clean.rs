@@ -1,0 +1,12 @@
+//! Deterministic twin of `firing.rs`: ordered collections, no clocks.
+//! Lint fixture — never compiled.
+
+use std::collections::BTreeMap;
+
+pub fn count_distinct(xs: &[u32]) -> usize {
+    let mut seen = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

@@ -1,0 +1,14 @@
+//! Fires `determinism`: hash collections and wall-clock time in library
+//! code. Lint fixture — never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn count_distinct(xs: &[u32]) -> usize {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    let _started = Instant::now();
+    seen.len()
+}

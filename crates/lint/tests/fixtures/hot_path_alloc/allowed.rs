@@ -1,0 +1,15 @@
+//! A hot-path allocation justified by a reasoned pragma (first-call
+//! warm-up that never recurs at steady state). Lint fixture — never
+//! compiled.
+
+pub fn dot(a: &[f32], b: &[f32], scratch: &mut Vec<f32>) -> f32 {
+    if scratch.capacity() < a.len() {
+        // lint:allow(hot_path_alloc, "one-time warm-up: capacity is retained across all later rounds")
+        *scratch = Vec::with_capacity(a.len());
+    }
+    scratch.clear();
+    for (x, y) in a.iter().zip(b) {
+        scratch.push(x * y);
+    }
+    scratch.iter().sum()
+}

@@ -1,0 +1,16 @@
+//! Allocation-free hot path, plus a non-hot function that allocates
+//! freely (the rule polices only manifest-listed functions). Lint
+//! fixture — never compiled.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+pub fn describe(a: &[f32]) -> String {
+    let copy: Vec<f32> = a.to_vec();
+    format!("{} elements", copy.len())
+}

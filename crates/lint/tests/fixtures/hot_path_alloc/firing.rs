@@ -1,0 +1,12 @@
+//! Fires `hot_path_alloc`: the manifest lists `dot` as a hot-path
+//! function, and this version allocates inside it. Lint fixture — never
+//! compiled.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let staged: Vec<f32> = a.iter().zip(b).map(|(x, y)| x * y).collect();
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(&staged);
+    let label = format!("dot of {} elements", scratch.len());
+    let _ = label;
+    scratch.iter().sum()
+}

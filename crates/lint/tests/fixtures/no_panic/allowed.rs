@@ -1,0 +1,14 @@
+//! Same panics as `firing.rs`, each justified by a reasoned pragma.
+//! Lint fixture — never compiled.
+
+pub fn head(xs: &[u32]) -> u32 {
+    // lint:allow(no_panic, "provably infallible: the caller asserts non-empty input")
+    *xs.first().unwrap()
+}
+
+pub fn guard(flag: bool) {
+    if !flag {
+        // lint:allow(no_panic, "documented Panics contract: a cleared flag is a caller bug")
+        panic!("flag must be set");
+    }
+}

@@ -1,0 +1,18 @@
+//! Panic-free twin of `firing.rs`: fallible results instead of aborts.
+//! Lint fixture — never compiled.
+
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn named(map: &std::collections::BTreeMap<String, u32>, k: &str) -> Result<u32, String> {
+    map.get(k).copied().ok_or_else(|| format!("missing key {k}"))
+}
+
+pub fn dispatch(tag: u8) -> Result<u32, String> {
+    match tag {
+        0 => Ok(10),
+        1 => Ok(20),
+        other => Err(format!("unknown tag {other}")),
+    }
+}

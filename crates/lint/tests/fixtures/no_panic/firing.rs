@@ -1,0 +1,24 @@
+//! Fires `no_panic`: unwrap/expect and panicking macros in library code.
+//! Lint fixture — never compiled.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(map: &std::collections::BTreeMap<String, u32>, k: &str) -> u32 {
+    *map.get(k).expect("key must exist")
+}
+
+pub fn guard(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}
+
+pub fn dispatch(tag: u8) -> u32 {
+    match tag {
+        0 => 10,
+        1 => 20,
+        _ => unreachable!("caller validated the tag"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Pragma findings are unsuppressable: the well-formed allow on the
+//! first line names the `pragma` rule, yet the malformed pragma below it
+//! must still fire. Lint fixture — never compiled.
+
+// lint:allow(pragma, "attempting to silence the pragma rule itself must not work")
+// lint:allow(bogus_rule, "this malformed pragma still fires")
+pub fn shielded() {}

@@ -1,0 +1,10 @@
+//! Well-formed pragmas and prose that merely mentions the pragma
+//! syntax; neither may fire. Lint fixture — never compiled.
+
+// Prose discussing suppression — the marker `lint:allow` without a
+// directly-attached argument list — is not parsed as a pragma.
+
+pub fn plain(x: Option<u32>) -> u32 {
+    // lint:allow(no_panic, "fixture call sites always pass Some")
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fires `pragma`: malformed suppression pragmas — a missing reason and
+//! an unknown rule name. Lint fixture — never compiled.
+
+// lint:allow(no_panic)
+pub fn missing_reason() {}
+
+// lint:allow(made_up_rule, "the rule name does not exist")
+pub fn unknown_rule() {}

@@ -1,0 +1,7 @@
+//! Raw seed arithmetic justified by a reasoned pragma (a bit-compatible
+//! legacy stream pinned by golden tests). Lint fixture — never compiled.
+
+pub fn stream_for(seed: u64, i: u64) -> u64 {
+    // lint:allow(seed_stream, "bit-compatible legacy offset pinned by the seeded golden tests")
+    seed + i
+}

@@ -1,0 +1,15 @@
+//! Sanctioned seed handling: arithmetic lives inside a derivation
+//! helper, and call sites either pass the seed through untouched or tag
+//! it directly inside a helper call. Lint fixture — never compiled.
+
+pub fn derive_seed(seed: u64, tag: u64) -> u64 {
+    (seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(tag | 1)
+}
+
+pub fn stream_for(seed: u64, i: u64) -> u64 {
+    derive_seed(seed, i)
+}
+
+pub fn tagged(seed: u64, i: u64) -> u64 {
+    derive_seed(seed ^ 0xA5, i)
+}

@@ -1,0 +1,14 @@
+//! Fires `seed_stream`: raw arithmetic on seed values outside the
+//! sanctioned derivation helpers. Lint fixture — never compiled.
+
+pub fn stream_for(seed: u64, i: u64) -> u64 {
+    seed + i
+}
+
+pub fn fork(base_seed: u64) -> u64 {
+    base_seed.wrapping_add(1)
+}
+
+pub fn tagged(node_seed: u64) -> u64 {
+    node_seed ^ 0xA5A5
+}

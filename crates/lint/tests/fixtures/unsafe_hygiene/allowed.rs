@@ -1,0 +1,9 @@
+//! An uncommented unsafe block suppressed by a reasoned pragma (the
+//! justification lives in the function doc instead of a SAFETY line).
+//! Lint fixture — never compiled.
+
+/// Reads element 0. Callers must pass a non-empty slice.
+pub fn head_unchecked(xs: &[u32]) -> u32 {
+    // lint:allow(unsafe_hygiene, "the doc comment above states the non-empty precondition")
+    unsafe { *xs.get_unchecked(0) }
+}

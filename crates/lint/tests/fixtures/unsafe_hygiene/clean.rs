@@ -1,0 +1,17 @@
+//! Hygienic unsafe: every unsafe block carries a SAFETY comment, and an
+//! `unsafe fn` declaration itself needs none (with
+//! `unsafe_op_in_unsafe_fn` denied, its body's inner blocks are the
+//! audited sites). Lint fixture — never compiled.
+
+pub fn head(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty(), "head of empty slice");
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// # Safety
+/// `i` must be in bounds for `xs`.
+pub unsafe fn at(xs: &[u32], i: usize) -> u32 {
+    // SAFETY: in-bounds `i` is the caller's contract, restated above.
+    unsafe { *xs.get_unchecked(i) }
+}

@@ -1,0 +1,6 @@
+//! Fires `unsafe_hygiene`: an unsafe block with no SAFETY comment.
+//! Lint fixture — never compiled.
+
+pub fn head_unchecked(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

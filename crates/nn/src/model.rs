@@ -58,6 +58,7 @@ impl Sequential {
 
     /// Number of output features (logits) per sample.
     pub fn output_dim(&self) -> usize {
+        // lint:allow(no_panic, "provably infallible: the constructor asserts at least one layer")
         self.layers.last().unwrap().output_dim()
     }
 
@@ -85,6 +86,7 @@ impl Sequential {
             layer.forward(src, act, train);
             src = act;
         }
+        // lint:allow(no_panic, "provably infallible: acts is built one-to-one with the non-empty layer stack")
         self.acts.last().unwrap()
     }
 

@@ -77,6 +77,7 @@ impl ModelKind {
     /// Number of output classes.
     pub fn num_classes(&self) -> usize {
         match self {
+            // lint:allow(no_panic, "mlp() asserts at least two dims before any Mlp model is usable")
             ModelKind::Mlp { dims } => *dims.last().unwrap(),
             ModelKind::Logistic { classes, .. } => *classes,
             ModelKind::CifarCnn => 10,

@@ -11,33 +11,54 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Reusable buffers for [`random_maximal_matching_into`]: the edge list,
+/// the endpoint-used bitmap, and the resulting matching. One scratch,
+/// created once per schedule, makes per-round matching allocation-free
+/// after the first round.
+#[derive(Debug, Default, Clone)]
+pub struct MatchingScratch {
+    edges: Vec<(u32, u32)>,
+    used: Vec<bool>,
+    /// The matching produced by the last call.
+    pub matching: Vec<(u32, u32)>,
+}
+
 /// Samples a random maximal matching of `graph`: edges are visited in a
 /// seeded random order and greedily added if both endpoints are free.
 ///
 /// Deterministic in `seed`. Every returned pair is an edge of the graph and
 /// no node appears twice.
 pub fn random_maximal_matching(graph: &Graph, seed: u64) -> Vec<(u32, u32)> {
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(graph.edge_count());
+    let mut scratch = MatchingScratch::default();
+    random_maximal_matching_into(graph, seed, &mut scratch);
+    scratch.matching
+}
+
+/// [`random_maximal_matching`] into caller-owned buffers; the result lands
+/// in `scratch.matching`. Bit-identical to the allocating form for any
+/// `(graph, seed)`.
+pub fn random_maximal_matching_into(graph: &Graph, seed: u64, scratch: &mut MatchingScratch) {
+    scratch.edges.clear();
     for i in 0..graph.len() {
         for &j in graph.neighbors(i) {
             if (j as usize) > i {
-                edges.push((i as u32, j));
+                scratch.edges.push((i as u32, j));
             }
         }
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    edges.shuffle(&mut rng);
+    scratch.edges.shuffle(&mut rng);
 
-    let mut used = vec![false; graph.len()];
-    let mut matching = Vec::new();
-    for (a, b) in edges {
-        if !used[a as usize] && !used[b as usize] {
-            used[a as usize] = true;
-            used[b as usize] = true;
-            matching.push((a, b));
+    scratch.used.clear();
+    scratch.used.resize(graph.len(), false);
+    scratch.matching.clear();
+    for &(a, b) in &scratch.edges {
+        if !scratch.used[a as usize] && !scratch.used[b as usize] {
+            scratch.used[a as usize] = true;
+            scratch.used[b as usize] = true;
+            scratch.matching.push((a, b));
         }
     }
-    matching
 }
 
 #[cfg(test)]
@@ -88,6 +109,19 @@ mod tests {
         let c = random_maximal_matching(&g, 2);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reused_scratch_matches_allocating_form() {
+        // the scratch variant must stay bit-identical to the allocating
+        // one even when its buffers carry state from a different graph
+        let g1 = random_regular(32, 6, 1);
+        let g2 = random_regular(20, 4, 2);
+        let mut scratch = MatchingScratch::default();
+        for (g, seed) in [(&g1, 7u64), (&g2, 3), (&g1, 9), (&g2, 3)] {
+            random_maximal_matching_into(g, seed, &mut scratch);
+            assert_eq!(scratch.matching, random_maximal_matching(g, seed));
+        }
     }
 
     #[test]

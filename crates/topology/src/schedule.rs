@@ -24,7 +24,7 @@
 //! be independent.
 
 use crate::graph::Graph;
-use crate::matching::random_maximal_matching;
+use crate::matching::{random_maximal_matching, random_maximal_matching_into, MatchingScratch};
 use crate::weights::MixingMatrix;
 use skiptrain_linalg::rng::derive_seed;
 use std::borrow::Cow;
@@ -208,6 +208,7 @@ impl MixingCache {
             self.entries.remove(0);
         }
         self.entries.push((graph.into_owned(), weights));
+        // lint:allow(no_panic, "provably infallible: an entry was pushed on the line above")
         &self.entries.last().expect("just pushed").1
     }
 
@@ -238,6 +239,12 @@ pub struct ScheduledTopology {
     /// whose graphs essentially never repeat — deep-equality caching
     /// would be pure overhead there.
     scratch: Option<MixingMatrix>,
+    /// Reusable graph for randomized schedules: edge-dropout and
+    /// matching rounds regenerate edges into this slot instead of
+    /// building a fresh adjacency structure every round.
+    graph_scratch: Option<Graph>,
+    /// Buffers for the per-round maximal-matching sweep.
+    matching_scratch: MatchingScratch,
 }
 
 impl ScheduledTopology {
@@ -248,6 +255,7 @@ impl ScheduledTopology {
     /// differs from the base graph's (use
     /// [`ScheduledTopology::try_new`] for the typed-error form).
     pub fn new(base: Graph, schedule: TopologySchedule) -> Self {
+        // lint:allow(no_panic, "documented Panics contract; try_new is the typed-error form")
         Self::try_new(base, schedule).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -282,6 +290,8 @@ impl ScheduledTopology {
             schedule,
             cache: MixingCache::with_capacity(capacity),
             scratch: None,
+            graph_scratch: None,
+            matching_scratch: MatchingScratch::default(),
         })
     }
 
@@ -318,18 +328,52 @@ impl ScheduledTopology {
     /// compute into a reusable slot.
     pub fn mixing_for_round(&mut self, round: usize) -> &MixingMatrix {
         // Split borrows: the graph may borrow `base`/`schedule` while the
-        // cache or scratch slot is mutated.
-        let graph = generate_round_graph(&self.base, &self.schedule, round);
+        // cache or scratch slots are mutated.
         if self.schedule.is_periodic() {
-            self.cache.get_or_insert(graph)
-        } else {
-            self.cache.misses += 1;
-            match &mut self.scratch {
-                Some(slot) => MixingMatrix::metropolis_hastings_into(&graph, slot),
-                slot @ None => *slot = Some(MixingMatrix::metropolis_hastings(&graph)),
-            }
-            self.scratch.as_ref().expect("just set")
+            let graph = generate_round_graph(&self.base, &self.schedule, round);
+            return self.cache.get_or_insert(graph);
         }
+        self.cache.misses += 1;
+        // Randomized schedules regenerate edges into a reusable graph
+        // slot (and MH weights into a reusable matrix slot), so the
+        // steady-state round loop performs no heap allocation at all.
+        let graph: &Graph = match &self.schedule {
+            TopologySchedule::EdgeDropout { p, seed } => {
+                let rs = round_seed(*seed, self.schedule.schedule_id(), round);
+                let g = self
+                    .graph_scratch
+                    .get_or_insert_with(|| self.base.empty_like());
+                dropout_graph_into(&self.base, *p, rs, g);
+                g
+            }
+            TopologySchedule::PairwiseMatching { seed } => {
+                let rs = round_seed(*seed, self.schedule.schedule_id(), round);
+                random_maximal_matching_into(&self.base, rs, &mut self.matching_scratch);
+                let g = self
+                    .graph_scratch
+                    .get_or_insert_with(|| self.base.empty_like());
+                g.clear_edges();
+                for &(a, b) in &self.matching_scratch.matching {
+                    g.add_edge(a, b);
+                }
+                g
+            }
+            TopologySchedule::Custom { seed, generator } => {
+                let rs = round_seed(*seed, self.schedule.schedule_id(), round);
+                let g = generator.generate(&self.base, round, rs);
+                self.graph_scratch.insert(g)
+            }
+            // is_periodic() returned above for Static and Cycle
+            TopologySchedule::Static | TopologySchedule::Cycle(_) => &self.base,
+        };
+        // Seed the slot from the base graph: base degrees bound every
+        // subgraph's, so the rows never grow on a later round that hits
+        // a fresh per-node degree maximum.
+        let slot = self
+            .scratch
+            .get_or_insert_with(|| MixingMatrix::metropolis_hastings(&self.base));
+        MixingMatrix::metropolis_hastings_into(graph, slot);
+        slot
     }
 }
 
@@ -339,6 +383,16 @@ impl ScheduledTopology {
 /// order-independent and symmetric).
 fn dropout_graph(base: &Graph, p: f64, rs: u64) -> Graph {
     let mut g = Graph::empty(base.len());
+    dropout_graph_into(base, p, rs, &mut g);
+    g
+}
+
+/// [`dropout_graph`] into a caller-owned graph (cleared first, adjacency
+/// capacity retained) — the allocation-free per-round path. Bit-identical
+/// to the allocating form for any `(base, p, rs)`.
+fn dropout_graph_into(base: &Graph, p: f64, rs: u64, g: &mut Graph) {
+    debug_assert_eq!(g.len(), base.len(), "scratch graph sized to base");
+    g.clear_edges();
     for i in 0..base.len() {
         for &j in base.neighbors(i) {
             if (j as usize) <= i {
@@ -351,7 +405,6 @@ fn dropout_graph(base: &Graph, p: f64, rs: u64) -> Graph {
             }
         }
     }
-    g
 }
 
 #[cfg(test)]
@@ -467,6 +520,33 @@ mod tests {
             for i in 0..g.len() {
                 for &j in g.neighbors(i) {
                     assert!(base.has_edge(i, j as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_mixing_matches_fresh_construction() {
+        // mixing_for_round's reusable graph/matrix slots must reproduce
+        // exactly what a fresh per-round construction yields, round after
+        // round, for every randomized schedule kind
+        for schedule in [
+            TopologySchedule::EdgeDropout { p: 0.4, seed: 9 },
+            TopologySchedule::PairwiseMatching { seed: 11 },
+        ] {
+            let base = random_regular(24, 6, 3);
+            let mut sched = ScheduledTopology::new(base.clone(), schedule);
+            for r in 0..8 {
+                let expect = MixingMatrix::metropolis_hastings(&sched.graph_for_round(r));
+                let got = sched.mixing_for_round(r);
+                for i in 0..24 {
+                    for j in 0..24 {
+                        assert_eq!(
+                            got.get(i, j),
+                            expect.get(i, j),
+                            "round {r}: W[{i}][{j}] diverged from fresh construction"
+                        );
+                    }
                 }
             }
         }

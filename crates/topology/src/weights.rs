@@ -56,7 +56,9 @@ impl MixingMatrix {
                 off_diagonal += w;
             }
             row.push((i as u32, (1.0 - off_diagonal) as f32));
-            row.sort_by_key(|&(j, _)| j);
+            // unstable: keys are unique (neighbors + self), and the
+            // stable sort may allocate a merge buffer on larger rows
+            row.sort_unstable_by_key(|&(j, _)| j);
         }
     }
 
